@@ -1,0 +1,63 @@
+// Ablation — the γ latency/accuracy trade-off (paper §IV-B: "we can obtain
+// different bit encoding solutions based on trade-off parameter γ").
+//
+// Sweeps γ at the middle noise operating point and reports the selected
+// schedule, its average pulse count, and the resulting noisy accuracy.
+// Expected shape: avg pulses decreases monotonically (in trend) with γ,
+// trading accuracy for latency; γ→0 saturates at the longest schedules.
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "gbo/gbo.hpp"
+#include "gbo/pla_schedule.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gbo;
+
+int main() {
+  core::Experiment exp = core::make_experiment();
+  const auto sigmas = core::calibrated_sigmas(exp);
+  const double sigma = sigmas.size() > 1 ? sigmas[1] : sigmas.front();
+  std::printf("clean accuracy: %.2f%% | ablation at sigma=%.2f\n\n",
+              100.0 * exp.clean_acc, sigma);
+
+  std::size_t gbo_epochs = 3;
+  if (const char* v = std::getenv("GBO_GBO_EPOCHS"); v && *v)
+    gbo_epochs = static_cast<std::size_t>(std::atol(v));
+
+  Rng rng(505);
+  xbar::LayerNoiseController ctrl(exp.model.encoded, 0.0,
+                                  exp.model.base_pulses(), rng);
+
+  Table table({"gamma", "selected schedule", "Avg.# pulses", "Acc. (%)"});
+  for (double gamma : {0.0, 1e-3, 5e-3, 2e-2, 1e-1}) {
+    opt::GboConfig gcfg;
+    gcfg.sigma = sigma;
+    gcfg.gamma = gamma;
+    gcfg.epochs = gbo_epochs;
+    gcfg.lr = 5e-3f;  // scaled for the reduced dataset (see bench_table1)
+    opt::GboTrainer trainer(*exp.model.net, exp.model.encoded, gcfg);
+    trainer.train(exp.train);
+    const auto pulses = trainer.selected_pulses();
+
+    ctrl.attach();
+    ctrl.set_enabled_all(true);
+    ctrl.set_sigma(sigma);
+    ctrl.set_pulses(pulses);
+    const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+    ctrl.detach();
+
+    const opt::PulseSchedule sched{pulses};
+    table.add_row({Table::fmt(gamma, 4), sched.to_string(),
+                   Table::fmt(sched.average(), 2), Table::fmt(100.0 * acc, 2)});
+    log_info("gamma=", gamma, " done");
+  }
+
+  std::printf("== Ablation: latency regularizer gamma ==\n");
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("ablation_gamma.csv");
+  std::printf("Rows written to ablation_gamma.csv\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Extension bench: energy / latency cost of pulse schedules.
+//
+// The paper prices schedules in average pulses (Eq. 6); this bench reprices
+// the same schedules with the tile mapper + energy model, exposing what
+// "Avg.#pulses" hides: pulses on a *wide* layer cost far more energy than
+// pulses on a narrow one, so two schedules with identical average latency
+// can differ substantially in energy. Rows mirror Table I's methods at the
+// middle noise operating point:
+//   Baseline, PLA-10..16 (uniform), GBO at two γ (heterogeneous)
+// with columns: accuracy, avg pulses, total cycles, energy (normalized),
+// ADC share, and energy relative to baseline.
+//
+// A second table breaks the GBO schedule's energy down per layer, and a
+// third reports the chip mapping (tiles, utilization, area proxy).
+#include "common/logging.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "crossbar/energy_model.hpp"
+#include "gbo/gbo.hpp"
+#include "gbo/pla_schedule.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gbo;
+
+namespace {
+
+/// Per-inference MVM counts for the encoded layers (conv: one MVM per
+/// output position; linear: one).
+std::vector<std::size_t> spatial_mvms(const models::Vgg9& model) {
+  std::vector<std::size_t> out;
+  out.reserve(model.encoded.size());
+  for (auto* layer : model.encoded) {
+    if (const auto* conv = dynamic_cast<const quant::QuantConv2d*>(layer)) {
+      out.push_back(conv->geom().out_h() * conv->geom().out_w());
+    } else {
+      out.push_back(1);
+    }
+  }
+  return out;
+}
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name); v && *v) return std::atof(v);
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  core::Experiment exp = core::make_experiment();
+  const auto sigmas = core::calibrated_sigmas(exp);
+  const double sigma = sigmas.size() > 1 ? sigmas[1] : sigmas.front();
+
+  const xbar::TileShape tile{128, 128};
+  const xbar::NetworkMapping mapping = xbar::map_network(
+      exp.model.encoded, exp.model.encoded_names, spatial_mvms(exp.model),
+      tile);
+  const xbar::EnergyConfig ecfg;
+  const std::size_t n_layers = exp.model.encoded.size();
+
+  Rng rng(707);
+  xbar::LayerNoiseController ctrl(exp.model.encoded, sigma,
+                                  exp.model.base_pulses(), rng);
+
+  const double base_energy =
+      xbar::cost_uniform(mapping, 8, ecfg).energy.total();
+
+  Table table({"Method", "Avg.# pulses", "Acc. (%)", "Cycles", "Energy",
+               "ADC share", "E/E_base"});
+  Json doc = Json::object();
+  doc.set("experiment", "ext_energy").set("sigma", sigma);
+  Json rows = Json::array();
+
+  auto add_row = [&](const std::string& method,
+                     const std::vector<std::size_t>& pulses) {
+    ctrl.attach();
+    ctrl.set_enabled_all(true);
+    ctrl.set_sigma(sigma);
+    ctrl.set_pulses(pulses);
+    const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+    ctrl.detach();
+    const xbar::ScheduleCost cost = xbar::cost_schedule(mapping, pulses, ecfg);
+    table.add_row({method, Table::fmt(cost.avg_pulses, 2),
+                   Table::fmt(100.0 * acc, 2), Table::fmt(cost.cycles, 0),
+                   Table::fmt(cost.energy.total(), 0),
+                   Table::fmt(cost.adc_share(), 3),
+                   Table::fmt(cost.energy.total() / base_energy, 3)});
+    Json r = Json::object();
+    r.set("method", method)
+        .set("pulses", Json::array_of(pulses))
+        .set("avg_pulses", cost.avg_pulses)
+        .set("accuracy_pct", 100.0 * acc)
+        .set("cycles", cost.cycles)
+        .set("energy", cost.energy.total())
+        .set("adc_share", cost.adc_share())
+        .set("energy_vs_baseline", cost.energy.total() / base_energy);
+    rows.push_back(std::move(r));
+    return cost;
+  };
+
+  add_row("Baseline", std::vector<std::size_t>(n_layers, 8));
+  for (std::size_t n : {10u, 12u, 14u, 16u})
+    add_row("PLA" + std::to_string(n), std::vector<std::size_t>(n_layers, n));
+
+  // GBO heterogeneous schedules at two latency budgets.
+  std::vector<std::size_t> gbo_schedule;
+  for (const auto& [label, gamma] :
+       {std::pair<const char*, double>{"GBO (~PLA10)",
+                                       env_double("GBO_GAMMA_SHORT", 2e-3)},
+        std::pair<const char*, double>{"GBO (~PLA14)",
+                                       env_double("GBO_GAMMA_LONG", 5e-4)}}) {
+    opt::GboConfig gcfg;
+    gcfg.sigma = sigma;
+    gcfg.gamma = gamma;
+    gcfg.epochs = 4;
+    gcfg.lr = static_cast<float>(env_double("GBO_GBO_LR", 5e-3));
+    opt::GboTrainer trainer(*exp.model.net, exp.model.encoded, gcfg);
+    trainer.train(exp.train);
+    gbo_schedule = trainer.selected_pulses();
+    add_row(label, gbo_schedule);
+    log_info(label, " schedule: ", opt::PulseSchedule{gbo_schedule}.to_string());
+  }
+
+  std::printf("== Extension: energy/latency pricing of Table I schedules ==\n");
+  std::printf("(energy in normalized units; see crossbar/energy_model.hpp)\n");
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("ext_energy.csv");
+
+  // Per-layer breakdown of the last GBO schedule.
+  Table layer_table({"Layer", "fan-in", "fan-out", "MVMs", "pulses", "Energy",
+                     "ADC share"});
+  const xbar::ScheduleCost gbo_cost =
+      xbar::cost_schedule(mapping, gbo_schedule, ecfg);
+  for (std::size_t i = 0; i < gbo_cost.layers.size(); ++i) {
+    const auto& lc = gbo_cost.layers[i];
+    const auto& lm = mapping.layers[i];
+    layer_table.add_row(
+        {lc.name, Table::fmt_int(static_cast<long long>(lm.fan_in)),
+         Table::fmt_int(static_cast<long long>(lm.fan_out)),
+         Table::fmt_int(static_cast<long long>(lc.mvms)),
+         Table::fmt_int(static_cast<long long>(lc.pulses)),
+         Table::fmt(lc.energy.total(), 0),
+         Table::fmt(lc.energy.adc / lc.energy.total(), 3)});
+  }
+  std::printf("== Per-layer energy of the GBO(~PLA14) schedule ==\n%s\n",
+              layer_table.to_text().c_str());
+
+  // Chip mapping summary.
+  Table map_table({"Layer", "tiles", "utilization"});
+  for (const auto& l : mapping.layers)
+    map_table.add_row({l.name, Table::fmt_int(static_cast<long long>(l.tiles)),
+                       Table::fmt(l.utilization, 3)});
+  map_table.add_row({"TOTAL",
+                     Table::fmt_int(static_cast<long long>(mapping.total_tiles())),
+                     Table::fmt(mapping.overall_utilization(), 3)});
+  std::printf("== Tile mapping (%zux%zu tiles), area proxy %.0f ==\n%s\n",
+              tile.rows, tile.cols, mapping.area_proxy(),
+              map_table.to_text().c_str());
+
+  doc.set("rows", std::move(rows));
+  doc.write_file("ext_energy.json");
+  std::printf("Rows written to ext_energy.csv and ext_energy.json\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 2 — layer-wise noise sensitivity of VGG9.
+//
+// For each crossbar-mapped layer (the "target layer"), Gaussian noise
+// N(0, σ²) is injected at that layer ONLY, and test accuracy is measured.
+// The paper's finding: degradation differs strongly across layers (early
+// wide layers and the FC layer react differently), which motivates
+// heterogeneous per-layer bit encoding.
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+#include <cstdio>
+
+using namespace gbo;
+
+int main() {
+  core::Experiment exp = core::make_experiment();
+  const auto sigmas = core::calibrated_sigmas(exp);
+  std::printf("clean accuracy: %.2f%%\n\n", 100.0 * exp.clean_acc);
+
+  Rng rng(202);
+  xbar::LayerNoiseController ctrl(exp.model.encoded, 0.0,
+                                  exp.model.base_pulses(), rng);
+  ctrl.attach();
+  ctrl.set_uniform_pulses(exp.model.base_pulses());
+
+  std::vector<std::string> header{"target layer"};
+  for (double s : sigmas) header.push_back("acc% @ sigma=" + Table::fmt(s, 2));
+  Table table(header);
+
+  for (std::size_t l = 0; l < ctrl.num_layers(); ++l) {
+    std::vector<std::string> row{exp.model.encoded_names[l]};
+    for (double sigma : sigmas) {
+      ctrl.set_sigma(sigma);
+      ctrl.isolate_layer(l);
+      const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+      row.push_back(Table::fmt(100.0 * acc, 2));
+    }
+    table.add_row(std::move(row));
+    log_info("layer ", exp.model.encoded_names[l], " done");
+  }
+  ctrl.detach();
+
+  std::printf("== Fig. 2: accuracy with noise injected at one layer only ==\n");
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("fig2_sensitivity.csv");
+  std::printf("Shape check vs paper: sensitivity varies by layer (several\n"
+              "points of accuracy spread), motivating per-layer encoding.\n"
+              "Series written to fig2_sensitivity.csv\n");
+  return 0;
+}

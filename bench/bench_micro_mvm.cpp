@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) of the simulation kernels: GEMM,
+// im2col lowering, pulse-level vs analytic crossbar MVM, and encoders.
+// These quantify the cost of the two simulation fidelities — the analytic
+// mode's speedup over pulse-level execution is what makes the Table I/II
+// training loops tractable on one core.
+#include "crossbar/mvm_engine.hpp"
+#include "encoding/bit_slicing.hpp"
+#include "encoding/thermometer.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace gbo;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  ops::fill_uniform(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor random_binary(std::size_t out, std::size_t in, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor w({out, in});
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  return w;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto s = static_cast<std::size_t>(state.range(0));
+  ConvGeom g{.in_c = 16, .in_h = s, .in_w = s, .k = 3, .stride = 1, .pad = 1};
+  const Tensor x = random_tensor({8, 16, s, s}, 3);
+  for (auto _ : state) {
+    Tensor cols = im2col(x, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_ThermometerEncode(benchmark::State& state) {
+  const Tensor x = random_tensor({4096}, 4);
+  for (auto _ : state) {
+    auto train = enc::thermometer_encode(x, 8);
+    benchmark::DoNotOptimize(train.pulses.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ThermometerEncode);
+
+void BM_BitSlicingEncode(benchmark::State& state) {
+  const Tensor x = random_tensor({4096}, 5);
+  for (auto _ : state) {
+    auto train = enc::bit_slicing_encode(x, 3);
+    benchmark::DoNotOptimize(train.pulses.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BitSlicingEncode);
+
+void BM_MvmPulseLevel(benchmark::State& state) {
+  const auto pulses = static_cast<std::size_t>(state.range(0));
+  const Tensor w = random_binary(64, 256, 6);
+  xbar::MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, pulses};
+  cfg.sigma = 1.0;
+  xbar::MvmEngine engine(w, cfg, Rng(7));
+  const Tensor x = random_tensor({16, 256}, 8);
+  for (auto _ : state) {
+    Tensor y = engine.run_pulse_level(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MvmPulseLevel)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MvmAnalytic(benchmark::State& state) {
+  const Tensor w = random_binary(64, 256, 9);
+  xbar::MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  cfg.sigma = 1.0;
+  xbar::MvmEngine engine(w, cfg, Rng(10));
+  const Tensor x = random_tensor({16, 256}, 11);
+  for (auto _ : state) {
+    Tensor y = engine.run_analytic(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MvmAnalytic);
+
+void BM_MvmWithDeviceModel(benchmark::State& state) {
+  const Tensor w = random_binary(64, 256, 12);
+  xbar::MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  cfg.sigma = 1.0;
+  cfg.device.program_variation = 0.1;
+  cfg.device.adc_bits = 8;
+  cfg.device.read_noise_sigma = 0.05;
+  xbar::MvmEngine engine(w, cfg, Rng(13));
+  const Tensor x = random_tensor({16, 256}, 14);
+  for (auto _ : state) {
+    Tensor y = engine.run_pulse_level(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MvmWithDeviceModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

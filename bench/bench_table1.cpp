@@ -1,0 +1,109 @@
+// Table I — Results on (Synth)CIFAR10 with VGG9: Baseline vs uniform PLA-n
+// vs GBO heterogeneous schedules, at three noise operating points.
+//
+// The paper's σ ∈ {10, 15, 20} rows are anchored by their baseline
+// accuracies (≈84% / 62% / 31%); we calibrate σ on our fan-in to the same
+// baseline ladder (see DESIGN.md §2) and then reproduce every row:
+//   Baseline  : uniform 8 pulses
+//   PLA-n     : uniform n ∈ {10, 12, 14, 16} pulses
+//   GBO       : argmax-λ schedule from gradient-based optimization, run at
+//               two γ values to land near the PLA-10 and PLA-14 latency
+//               budgets (paper reports GBO(~PLA10) and GBO(~PLA14)).
+//
+// Shape to check against the paper: PLA recovers accuracy monotonically
+// with n at every σ; GBO matches or beats the uniform schedule of similar
+// average latency, with the margin growing as noise gets severe.
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "gbo/gbo.hpp"
+#include "gbo/pla_schedule.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gbo;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name); v && *v) return std::atof(v);
+  return fallback;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name); v && *v) {
+    const long p = std::atol(v);
+    if (p > 0) return static_cast<std::size_t>(p);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  core::Experiment exp = core::make_experiment();
+  const auto sigmas = core::calibrated_sigmas(exp);
+  std::printf("clean accuracy (no crossbar noise): %.2f%%  [paper: 90.80%%]\n\n",
+              100.0 * exp.clean_acc);
+
+  // γ values aiming at the ~PLA10 and ~PLA14 latency budgets (calibrated on
+  // the standard configuration at the middle σ operating point).
+  const double gamma_short = env_double("GBO_GAMMA_SHORT", 2e-3);
+  const double gamma_long = env_double("GBO_GAMMA_LONG", 5e-4);
+  const std::size_t gbo_epochs = env_size("GBO_GBO_EPOCHS", 4);
+
+  Rng rng(303);
+  xbar::LayerNoiseController ctrl(exp.model.encoded, 0.0,
+                                  exp.model.base_pulses(), rng);
+  const std::size_t n_layers = exp.model.encoded.size();
+
+  Table table({"Method", "Noise sigma", "# pulses in each layer", "Avg.# pulses",
+               "Acc. (%)"});
+
+  auto eval_schedule = [&](const std::string& method, double sigma,
+                           const std::vector<std::size_t>& pulses) {
+    ctrl.attach();
+    ctrl.set_enabled_all(true);
+    ctrl.set_sigma(sigma);
+    ctrl.set_pulses(pulses);
+    const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+    ctrl.detach();
+    const opt::PulseSchedule sched{pulses};
+    table.add_row({method, Table::fmt(sigma, 2), sched.to_string(),
+                   Table::fmt(sched.average(), 2), Table::fmt(100.0 * acc, 2)});
+  };
+
+  const double sigma_mid = sigmas.size() > 1 ? sigmas[1] : sigmas.front();
+  for (double sigma : sigmas) {
+    eval_schedule("Baseline", sigma, std::vector<std::size_t>(n_layers, 8));
+    for (std::size_t n : {10u, 12u, 14u, 16u})
+      eval_schedule("PLA" + std::to_string(n), sigma,
+                    std::vector<std::size_t>(n_layers, n));
+
+    for (const auto& [label, gamma] :
+         {std::pair<const char*, double>{"GBO (~PLA10)", gamma_short},
+          std::pair<const char*, double>{"GBO (~PLA14)", gamma_long}}) {
+      opt::GboConfig gcfg;
+      gcfg.sigma = sigma;
+      // The CE pressure against short codes grows ~σ²; scaling γ the same
+      // way keeps each run at its target latency budget across operating
+      // points (the paper likewise tunes γ per reported GBO row).
+      gcfg.gamma = gamma * (sigma * sigma) / (sigma_mid * sigma_mid);
+      gcfg.epochs = gbo_epochs;
+      // λ learning rate scaled up from the paper's 1e-4: our reduced
+      // dataset yields ~20x fewer optimizer steps per epoch than CIFAR-10.
+      gcfg.lr = static_cast<float>(env_double("GBO_GBO_LR", 5e-3));
+      opt::GboTrainer trainer(*exp.model.net, exp.model.encoded, gcfg);
+      trainer.train(exp.train);
+      eval_schedule(label, sigma, trainer.selected_pulses());
+      log_info(label, " at sigma=", sigma, " done");
+    }
+  }
+
+  std::printf("== Table I: baseline / PLA / GBO on SynthCIFAR-VGG9 ==\n");
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("table1.csv");
+  std::printf("Rows written to table1.csv\n");
+  return 0;
+}

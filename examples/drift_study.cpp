@@ -1,0 +1,104 @@
+// Drift study: watch a crossbar-deployed classifier age.
+//
+// Trains a small binary MLP, programs it into the pulse-level crossbar
+// simulator, and evaluates it at increasing read-out ages under power-law
+// conductance drift (crossbar/drift). Shows the standalone DriftModel
+// statistics next to the end-to-end accuracy so the weight-level error and
+// the task-level damage can be compared directly.
+//
+//   ./drift_study [--nu 0.03] [--nu-sigma 0.015] [--samples 400]
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "crossbar/drift.hpp"
+#include "crossbar/hw_deploy.hpp"
+#include "models/mlp.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace gbo;
+  set_log_level(LogLevel::kWarn);
+
+  CliParser cli("drift_study",
+                "Accuracy vs array age under conductance drift.");
+  cli.add_option("nu", "Mean drift exponent", "0.03");
+  cli.add_option("nu-sigma", "Device-to-device std of the exponent", "0.015");
+  cli.add_option("samples", "Dataset size", "400");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const double nu = cli.get_double("nu", 0.03);
+  const double nu_sigma = cli.get_double("nu-sigma", 0.015);
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get_int("samples", 400));
+
+  // Separable 4-class toy data for a binary MLP.
+  models::MlpConfig mcfg;
+  mcfg.in_features = 32;
+  mcfg.hidden = {48, 48};
+  mcfg.num_classes = 4;
+  models::Mlp model = build_mlp(mcfg);
+
+  Rng rng(3);
+  data::Dataset ds;
+  ds.images = Tensor({n, 32});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i % 4;
+    ds.labels[i] = k;
+    for (std::size_t j = 0; j < 32; ++j)
+      ds.images[i * 32 + j] = static_cast<float>(
+          0.25 * rng.normal() + (j / 8 == k ? 0.8 : -0.8));
+  }
+
+  std::printf("Training binary MLP...\n");
+  nn::SGD opt(model.net->params(), 0.05f, 0.9f, 0.0f);
+  data::DataLoader loader(ds, 32, true, Rng(4));
+  model.net->set_training(true);
+  for (std::size_t e = 0; e < 25; ++e) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      opt.zero_grad();
+      Tensor logits = model.net->forward(batch.images);
+      Tensor grad;
+      nn::CrossEntropy::forward_backward(logits, batch.labels, grad);
+      model.net->backward(grad);
+      opt.step();
+    }
+  }
+  model.net->set_training(false);
+  std::printf("clean accuracy: %.2f%%\n\n",
+              100.0 * core::evaluate(*model.net, ds));
+
+  Table table({"age (s)", "mean decay", "RMS weight err", "Acc. (%)"});
+  xbar::DriftConfig dcfg;
+  dcfg.nu_mean = nu;
+  dcfg.nu_sigma = nu_sigma;
+  xbar::DriftModel probe(1024, dcfg, Rng(7));
+  Tensor w({1024}, 1.0f);
+
+  for (double age : {0.0, 1e2, 1e4, 1e6, 1e8, 1e10}) {
+    xbar::HwDeployConfig cfg;
+    cfg.pulses.assign(model.encoded.size(), model.base_pulses());
+    cfg.device.drift_nu = nu;
+    cfg.device.drift_nu_sigma = nu_sigma;
+    cfg.device.drift_time = age;
+    cfg.seed = 11;  // same devices at every age
+    xbar::HardwareNetwork hw(*model.net, model.encoded, cfg);
+    const float acc = hw.evaluate(ds);
+    const auto stats = xbar::drift_stats(probe, w, age < 1.0 ? 1.0 : age);
+    table.add_row({Table::fmt(age, 0), Table::fmt(stats.mean_factor, 4),
+                   Table::fmt(stats.rms_rel_error, 4),
+                   Table::fmt(100.0 * acc, 2)});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "The mean decay is a uniform gain (harmless to argmax decisions);\n"
+      "accuracy only falls once the device-to-device nu spread makes the\n"
+      "per-cell decay factors diverge — the RMS weight-error column.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Energy report: map a binary-weight network onto crossbar tiles and price
+// pulse schedules in energy and latency.
+//
+// Demonstrates the hardware-costing side of the library without any
+// training: build a model, map it (crossbar/mapper), and compare what
+// uniform vs heterogeneous schedules cost (crossbar/energy_model). The
+// punchline is that two schedules with the SAME average pulse count can
+// differ >30% in energy depending on WHERE the pulses go — the information
+// Eq. 6's pulse-count regularizer cannot see.
+//
+//   ./energy_report [--width N] [--image N] [--tile N]
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "crossbar/energy_model.hpp"
+#include "models/vgg9.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace gbo;
+
+  CliParser cli("energy_report",
+                "Tile mapping and schedule energy costing for VGG9.");
+  cli.add_option("width", "Base conv width", "16");
+  cli.add_option("image", "Input image size", "16");
+  cli.add_option("tile", "Crossbar tile edge (word/bit lines)", "128");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  models::Vgg9Config mcfg;
+  mcfg.width = static_cast<std::size_t>(cli.get_int("width", 16));
+  mcfg.image_size = static_cast<std::size_t>(cli.get_int("image", 16));
+  models::Vgg9 model = models::build_vgg9(mcfg);
+
+  const std::size_t tile_edge =
+      static_cast<std::size_t>(cli.get_int("tile", 128));
+  const xbar::TileShape tile{tile_edge, tile_edge};
+
+  // Per-inference MVM counts: one per conv output position, one per linear.
+  std::vector<std::size_t> mvms;
+  for (auto* layer : model.encoded) {
+    const auto* conv = dynamic_cast<const quant::QuantConv2d*>(layer);
+    mvms.push_back(conv ? conv->geom().out_h() * conv->geom().out_w() : 1);
+  }
+  const xbar::NetworkMapping mapping =
+      xbar::map_network(model.encoded, model.encoded_names, mvms, tile);
+
+  std::printf("== VGG9 (width %zu) on %zux%zu tiles ==\n", mcfg.width,
+              tile.rows, tile.cols);
+  Table map_table({"Layer", "fan-in", "fan-out", "MVMs/inf", "tiles",
+                   "utilization"});
+  for (const auto& l : mapping.layers)
+    map_table.add_row({l.name,
+                       Table::fmt_int(static_cast<long long>(l.fan_in)),
+                       Table::fmt_int(static_cast<long long>(l.fan_out)),
+                       Table::fmt_int(static_cast<long long>(l.mvms)),
+                       Table::fmt_int(static_cast<long long>(l.tiles)),
+                       Table::fmt(l.utilization, 3)});
+  std::printf("%s\ntotal tiles: %zu | overall utilization: %.3f | "
+              "area proxy: %.2e\n\n",
+              map_table.to_text().c_str(), mapping.total_tiles(),
+              mapping.overall_utilization(), mapping.area_proxy());
+
+  const xbar::EnergyConfig ecfg;
+  const std::size_t n = mapping.layers.size();
+  Table cost_table({"Schedule", "Avg.# pulses", "Cycles", "Energy",
+                    "ADC share"});
+  auto add = [&](const std::string& name,
+                 const std::vector<std::size_t>& pulses) {
+    const auto c = xbar::cost_schedule(mapping, pulses, ecfg);
+    cost_table.add_row({name, Table::fmt(c.avg_pulses, 2),
+                        Table::fmt(c.cycles, 0),
+                        Table::fmt(c.energy.total(), 0),
+                        Table::fmt(c.adc_share(), 3)});
+  };
+  add("uniform 8 (baseline)", std::vector<std::size_t>(n, 8));
+  add("uniform 12", std::vector<std::size_t>(n, 12));
+  add("uniform 16", std::vector<std::size_t>(n, 16));
+
+  // Two heterogeneous schedules with the same 12-pulse average: pulses
+  // concentrated on the narrow late layers vs on the wide early layers.
+  std::vector<std::size_t> late_heavy(n, 8), early_heavy(n, 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= n / 2) {
+      late_heavy[i] = 16;
+      early_heavy[i] = 8;
+    }
+  }
+  add("hetero 12 avg, late-heavy", late_heavy);
+  add("hetero 12 avg, early-heavy", early_heavy);
+
+  std::printf("%s\n", cost_table.to_text().c_str());
+  std::printf(
+      "Same average latency, different energy: the early conv layers issue\n"
+      "hundreds of MVMs per inference, so pulses placed there dominate the\n"
+      "energy bill. GBO schedules should be priced in energy, not pulses.\n");
+  return 0;
+}

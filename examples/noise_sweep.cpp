@@ -1,0 +1,47 @@
+// Noise sweep: accuracy of the standard pretrained VGG9 as a function of
+// the crossbar noise level, for several uniform pulse counts. Demonstrates
+// the artifact cache (the first run pretrains; later runs are instant) and
+// the Eq. 3/4 noise-suppression effect end to end.
+//
+//   ./noise_sweep
+#include "core/experiment.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace gbo;
+  core::Experiment exp = core::make_experiment();
+  std::printf("clean accuracy: %.2f%%\n\n", 100.0 * exp.clean_acc);
+
+  Rng rng(404);
+  xbar::LayerNoiseController ctrl(exp.model.encoded, 0.0,
+                                  exp.model.base_pulses(), rng);
+  ctrl.attach();
+
+  const std::vector<double> sigmas{0.25, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<std::size_t> pulse_counts{8, 12, 16, 24};
+
+  std::vector<std::string> header{"sigma"};
+  for (std::size_t p : pulse_counts) header.push_back("p=" + std::to_string(p));
+  Table table(header);
+
+  for (double sigma : sigmas) {
+    ctrl.set_sigma(sigma);
+    std::vector<std::string> row{Table::fmt(sigma, 2)};
+    for (std::size_t p : pulse_counts) {
+      ctrl.set_uniform_pulses(p);
+      const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+      row.push_back(Table::fmt(100.0 * acc, 2));
+    }
+    table.add_row(std::move(row));
+    log_info("sigma=", sigma, " done");
+  }
+  ctrl.detach();
+
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("noise_sweep.csv");
+  std::printf("series written to noise_sweep.csv\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: train a small binary-weight VGG9 on SynthCIFAR, then watch
+// crossbar noise destroy its accuracy and pulse-length scaling (PLA, paper
+// §III-B) bring it back — the paper's core mechanism in ~1 minute on a
+// laptop core.
+//
+//   ./quickstart
+#include "core/pipeline.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "data/synth_cifar.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace gbo;
+  set_log_level(LogLevel::kWarn);  // keep the demo output tidy
+
+  // 1. A reduced VGG9 (same topology as the paper: 7 conv + 2 FC, binary
+  //    weights, 9-level Tanh activations -> 8-pulse thermometer codes).
+  models::Vgg9Config mcfg;
+  mcfg.width = 8;
+  mcfg.image_size = 16;
+  models::Vgg9 model = models::build_vgg9(mcfg);
+
+  // 2. SynthCIFAR: a procedural 10-class stand-in for CIFAR-10.
+  data::SynthCifarConfig dcfg;
+  dcfg.image_size = 16;
+  data::Dataset train = data::make_synth_cifar(dcfg, 1200, 0);
+  data::Dataset test = data::make_synth_cifar(dcfg, 400, 1);
+
+  // 3. Quantization-aware pre-training (binary W, 9-level activations).
+  std::printf("Pre-training binary-weight VGG9 on SynthCIFAR...\n");
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 8;
+  const auto stats = core::pretrain(*model.net, model.binary, train, test, pcfg);
+  std::printf("clean test accuracy: %.2f%%\n\n", 100.0 * stats.test_acc);
+
+  // 4. Attach the crossbar noise model (Eq. 1) to the 7 encoded layers and
+  //    sweep the pulse count at a fixed noise level.
+  Rng rng(1);
+  xbar::LayerNoiseController ctrl(model.encoded, /*sigma=*/0.0,
+                                  model.base_pulses(), rng);
+  ctrl.attach();
+
+  Table table({"Configuration", "#pulses/layer", "Accuracy (%)"});
+  table.add_row({"clean (no crossbar noise)", "8",
+                 Table::fmt(100.0 * stats.test_acc)});
+
+  const double sigma = 1.0;  // severe for this model's MVM magnitude
+  ctrl.set_sigma(sigma);
+  for (std::size_t pulses : {8u, 10u, 12u, 16u, 24u}) {
+    ctrl.set_uniform_pulses(pulses);
+    const float acc = core::evaluate_noisy(*model.net, ctrl, test, 3);
+    table.add_row({pulses == 8 ? "baseline (sigma=" + Table::fmt(sigma, 1) + ")"
+                               : "PLA-" + std::to_string(pulses),
+                   std::to_string(pulses), Table::fmt(100.0 * acc)});
+  }
+  ctrl.detach();
+
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("More pulses -> lower accumulated noise variance (Eq. 3/4):\n"
+              "accuracy recovers as the pulse count grows.\n");
+  return 0;
+}

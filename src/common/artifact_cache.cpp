@@ -1,0 +1,41 @@
+#include "common/artifact_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace gbo {
+
+std::string artifact_dir() {
+  std::string dir;
+  if (const char* env = std::getenv("GBO_ARTIFACT_DIR"); env && *env) {
+    dir = env;
+  } else {
+    dir = "artifacts";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+std::string fingerprint_hash(const std::string& fingerprint) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : fingerprint) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string artifact_path(const std::string& name, const std::string& fingerprint) {
+  return artifact_dir() + "/" + name + "-" + fingerprint_hash(fingerprint) + ".ckpt";
+}
+
+bool artifact_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace gbo

@@ -1,0 +1,27 @@
+// Shared artifact cache for expensive intermediate results (pretrained
+// checkpoints). Benchmark binaries for different tables reuse the same
+// pretrained network; the cache keys artifacts by a config fingerprint so a
+// changed experiment configuration never reuses a stale model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gbo {
+
+/// Returns the cache directory, creating it if needed. Resolution order:
+///   1. $GBO_ARTIFACT_DIR if set
+///   2. ./artifacts relative to the current working directory
+std::string artifact_dir();
+
+/// FNV-1a 64-bit hash of a string fingerprint, rendered as hex. Used to key
+/// cache entries by experiment configuration.
+std::string fingerprint_hash(const std::string& fingerprint);
+
+/// Full path for a cache entry: <dir>/<name>-<hash>.ckpt
+std::string artifact_path(const std::string& name, const std::string& fingerprint);
+
+/// True if the file exists.
+bool artifact_exists(const std::string& path);
+
+}  // namespace gbo

@@ -1,0 +1,83 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Every harness binary accepts the same kinds of knobs: `--quick` (shrink
+// the workload for smoke runs), `--sigma=1.5`, `--epochs 10`, `--out
+// table.csv`. This parser supports exactly that surface:
+//   * long flags only (`--name`), with `--name=value` or `--name value`;
+//   * typed lookups with defaults (flag absent -> default returned);
+//   * boolean flags are presence-only (`--quick`), or explicit
+//     `--quick=false` to override a script that appends flags;
+//   * `--help` text generated from the registered flag descriptions;
+//   * unknown flags are an error (a typo must not silently run the full
+//     three-hour sweep with defaults).
+//
+// Usage:
+//   CliParser cli("bench_table1", "Regenerates Table I.");
+//   cli.add_flag("quick", "Reduced sample counts for smoke testing");
+//   cli.add_option("sigma", "Override noise sigma", "calibrated");
+//   if (!cli.parse(argc, argv)) return cli.exit_code();
+//   bool quick = cli.get_bool("quick");
+//   double sigma = cli.get_double("sigma", -1.0);
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gbo {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a presence/boolean flag.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Registers a value-carrying option. `default_desc` is only for --help
+  /// display; typed defaults are supplied at get_* time.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_desc = "");
+
+  /// Parses argv. Returns false if parsing failed or --help was requested;
+  /// in both cases the appropriate text was printed and exit_code() tells
+  /// the caller what to return from main (0 for --help, 2 for errors).
+  bool parse(int argc, const char* const* argv);
+
+  bool get_bool(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// True if the option appeared on the command line (vs falling back).
+  bool has(const std::string& name) const;
+
+  /// Positional arguments (everything that is not a --flag).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  int exit_code() const { return exit_code_; }
+
+  /// The generated --help text (exposed for tests).
+  std::string help_text() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    std::string default_desc;
+    bool is_flag = false;
+  };
+
+  const Spec* find_spec(const std::string& name) const;
+  std::optional<std::string> raw_value(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<std::pair<std::string, std::string>> values_;  // name -> raw
+  std::vector<std::string> positional_;
+  int exit_code_ = 0;
+};
+
+}  // namespace gbo

@@ -1,0 +1,186 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gbo {
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::logic_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) throw std::logic_error("Json: not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw std::logic_error("Json: not a string");
+  return str_;
+}
+
+Json& Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) throw std::logic_error("Json: not an array");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  throw std::logic_error("Json: size() on non-container");
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::kArray) throw std::logic_error("Json: not an array");
+  return arr_.at(i);
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw std::logic_error("Json: not an object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) throw std::logic_error("Json: not an object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("Json: missing key '" + key + "'");
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::format_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == parsed) return shorter;
+  }
+  return buf;
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad(pretty ? indent * (depth + 1) : 0, ' ');
+  const std::string close_pad(pretty ? indent * depth : 0, ' ');
+  const char* nl = pretty ? "\n" : "";
+  const char* kv_sep = pretty ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += format_number(num_); break;
+    case Type::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_impl(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(obj_[i].first);
+        out += '"';
+        out += kv_sep;
+        obj_[i].second.dump_impl(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+bool Json::write_file(const std::string& path, int indent) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << dump(indent) << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace gbo

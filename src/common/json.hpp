@@ -1,0 +1,116 @@
+// Minimal JSON value + writer for machine-readable experiment outputs.
+//
+// Bench binaries print paper-style text tables and CSVs (common/table);
+// this module adds a third, structured sink: every experiment can dump its
+// full configuration + results as one JSON document so downstream tooling
+// (plotting scripts, regression dashboards) does not have to re-parse CSV
+// headers. Writing only — the library never consumes JSON, so no parser is
+// shipped (smaller surface, nothing to fuzz).
+//
+// The value model is deliberately small: null, bool, number (double),
+// string, array, object. Object keys keep insertion order so emitted
+// documents are stable across runs (important for diffing artifacts).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gbo {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Null value.
+  Json() = default;
+
+  // NOLINTBEGIN(google-explicit-constructor): implicit conversions are the
+  // point of a JSON value type — they make literals like
+  // `obj.set("sigma", 1.5)` work.
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(long v) : Json(static_cast<double>(v)) {}
+  Json(long long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long v) : Json(static_cast<double>(v)) {}
+  Json(unsigned long long v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Array from any range of values convertible to Json.
+  template <typename Range>
+  static Json array_of(const Range& values) {
+    Json j = array();
+    for (const auto& v : values) j.push_back(Json(v));
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array interface. push_back converts a null value into an array.
+  Json& push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  /// Object interface. set converts a null value into an object; setting an
+  /// existing key overwrites in place (order preserved).
+  Json& set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+
+  /// Serialization. `indent` <= 0 emits a compact single line; > 0 emits
+  /// pretty-printed output with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Writes dump(indent) to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path, int indent = 2) const;
+
+  /// JSON string escaping (shared with tests; handles control chars, quote,
+  /// backslash; UTF-8 passes through).
+  static std::string escape(const std::string& s);
+
+  /// Number formatting: integral values print without a decimal point;
+  /// non-finite values (which JSON cannot represent) print as null.
+  static std::string format_number(double v);
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;  // insertion-ordered
+};
+
+}  // namespace gbo

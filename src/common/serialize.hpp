@@ -1,0 +1,41 @@
+// Binary checkpoint format for model parameters and experiment artifacts.
+//
+// Format (little-endian):
+//   magic "GBOCKPT1" (8 bytes)
+//   u64 entry_count
+//   per entry:
+//     u32 name_len, name bytes
+//     u32 ndim, u64 dims[ndim]
+//     f32 data[prod(dims)]
+//
+// The format is self-describing enough for a state-dict round trip and is
+// deliberately free of pointers/versioned structs so checkpoints stay
+// forward compatible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gbo {
+
+/// One named tensor in a checkpoint.
+struct NamedBlob {
+  std::vector<std::size_t> shape;
+  std::vector<float> data;
+};
+
+using StateDict = std::map<std::string, NamedBlob>;
+
+/// Writes `state` to `path`. Returns false on I/O failure.
+bool save_state_dict(const std::string& path, const StateDict& state);
+
+/// Reads a checkpoint; throws std::runtime_error on malformed input,
+/// returns empty optional-like flag via `ok`.
+StateDict load_state_dict(const std::string& path, bool* ok = nullptr);
+
+/// True if `path` exists and starts with the checkpoint magic.
+bool is_checkpoint(const std::string& path);
+
+}  // namespace gbo

@@ -1,0 +1,41 @@
+// Table writer used by the benchmark harness to print paper-style tables
+// (aligned plain text to stdout) and to persist the same rows as CSV for
+// post-processing. One Table instance corresponds to one paper table/figure
+// series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gbo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must equal the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  /// Renders an aligned, boxed plain-text table.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbo

@@ -1,0 +1,55 @@
+// Shared experiment setup for the benchmark harness and examples.
+//
+// Centralizes the "standard" configuration (model width, dataset size,
+// pretraining budget) so every bench binary reproduces its table from the
+// same pretrained network via the artifact cache. Scale knobs are read from
+// the environment so CI can run quick while full runs stay the default:
+//   GBO_WIDTH       base conv width        (default 16)
+//   GBO_IMAGE       image size             (default 16)
+//   GBO_TRAIN_SIZE  training samples       (default 3000)
+//   GBO_TEST_SIZE   test samples           (default 1000)
+//   GBO_EPOCHS      pretraining epochs     (default 15)
+//   GBO_DATA_NOISE  SynthCIFAR pixel noise (default 0.85, which lands the
+//                   default model at ~90% clean accuracy = the paper's
+//                   90.8% CIFAR-10 operating point)
+//   GBO_CIFAR10_DIR use real CIFAR-10 from this directory instead of
+//                   SynthCIFAR (image size forced to 32)
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "data/synth_cifar.hpp"
+
+namespace gbo::core {
+
+struct StandardConfig {
+  models::Vgg9Config model;
+  data::SynthCifarConfig data;
+  PretrainConfig pretrain;
+  std::size_t num_train = 3000;
+  std::size_t num_test = 1000;
+  /// Baseline-accuracy operating points anchoring the paper's σ = 10/15/20
+  /// rows (Table I baseline ladder ≈ 84% / 62% / 31%).
+  std::vector<double> baseline_targets = {0.84, 0.62, 0.31};
+
+  std::string data_fingerprint() const;
+};
+
+/// The standard configuration with environment overrides applied.
+StandardConfig standard_config();
+
+/// A fully prepared experiment: model built, data generated (or CIFAR-10
+/// loaded), pretrained weights restored from cache or trained now.
+struct Experiment {
+  StandardConfig cfg;
+  models::Vgg9 model;
+  data::Dataset train;
+  data::Dataset test;
+  float clean_acc = 0.0f;
+};
+
+Experiment make_experiment();
+
+/// Convenience: experiment + calibrated σ ladder (cached per fingerprint).
+std::vector<double> calibrated_sigmas(Experiment& exp);
+
+}  // namespace gbo::core

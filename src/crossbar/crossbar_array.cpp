@@ -1,0 +1,193 @@
+#include "crossbar/crossbar_array.hpp"
+
+#include "crossbar/ir_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gbo::xbar {
+
+CrossbarArray::CrossbarArray(const Tensor& binary_weight, DeviceConfig cfg,
+                             std::size_t tile_cols, Rng rng)
+    : cfg_(cfg) {
+  if (binary_weight.ndim() != 2)
+    throw std::invalid_argument("CrossbarArray: weight must be 2D");
+  out_ = binary_weight.dim(0);
+  in_ = binary_weight.dim(1);
+  tile_cols_ = tile_cols == 0 ? in_ : tile_cols;
+  num_tiles_ = (in_ + tile_cols_ - 1) / tile_cols_;
+
+  // Recover and validate the binary scale: all entries must be ±s.
+  scale_ = std::fabs(binary_weight[0]);
+  if (scale_ == 0.0f)
+    throw std::invalid_argument("CrossbarArray: weight entries must be nonzero");
+  for (std::size_t i = 0; i < binary_weight.numel(); ++i) {
+    const float a = std::fabs(binary_weight[i]);
+    if (std::fabs(a - scale_) > 1e-6f * scale_)
+      throw std::invalid_argument("CrossbarArray: weight is not binary (±s)");
+  }
+
+  eff_weight_ = Tensor({out_, in_});
+
+  if (cfg_.mapping == WeightMapping::kOffset) {
+    if (cfg_.g_on <= cfg_.g_off)
+      throw std::invalid_argument(
+          "CrossbarArray: offset mapping requires g_on > g_off");
+    if (cfg_.wire_resistance > 0.0)
+      throw std::invalid_argument(
+          "CrossbarArray: the nodal IR solver supports differential mapping "
+          "only; use ir_drop_alpha with offset mapping");
+    // One cell per weight plus one shared mid-conductance reference cell
+    // per input line (the tile's reference column). Draw order: main array
+    // row-major, then the reference cells — pinned so seeds reproduce.
+    raw_g_ = Tensor({out_, in_});
+    ref_g_ = Tensor({in_});
+    for (std::size_t o = 0; o < out_; ++o) {
+      for (std::size_t j = 0; j < in_; ++j) {
+        const bool positive = binary_weight.at(o, j) >= 0.0f;
+        raw_g_.at(o, j) = static_cast<float>(
+            program_cell(cfg_, positive ? cfg_.g_on : cfg_.g_off, rng));
+      }
+    }
+    const double g_mid = 0.5 * (cfg_.g_on + cfg_.g_off);
+    for (std::size_t j = 0; j < in_; ++j)
+      ref_g_[j] = static_cast<float>(program_cell(cfg_, g_mid, rng));
+
+    // Fold wire parasitics into the programmed conductances. The offset
+    // path uses the per-cell attenuation model for both knobs (the nodal
+    // solver's superposition trick extracts a *differential* equivalent
+    // weight; for a single-polarity array the first-order per-cell factor
+    // is the appropriate granularity).
+    for (std::size_t j = 0; j < in_; ++j) {
+      const double ir = ir_drop_factor(cfg_, j % tile_cols_, tile_cols_);
+      ref_g_[j] = static_cast<float>(ref_g_[j] * ir);
+      for (std::size_t o = 0; o < out_; ++o)
+        raw_g_.at(o, j) = static_cast<float>(raw_g_.at(o, j) * ir);
+    }
+
+    // Sign-domain equivalent weight: (G − G_ref) · 2/(g_on − g_off).
+    const double k = 2.0 / (cfg_.g_on - cfg_.g_off);
+    for (std::size_t o = 0; o < out_; ++o)
+      for (std::size_t j = 0; j < in_; ++j)
+        eff_weight_.at(o, j) = static_cast<float>(
+            (static_cast<double>(raw_g_.at(o, j)) - ref_g_[j]) * k);
+    return;
+  }
+
+  // Differential mapping: program both polarity arrays cell-by-cell
+  // (device-to-device variation, faults, drift are frozen here, as on real
+  // hardware).
+  Tensor g_plus({out_, in_}), g_minus({out_, in_});
+  for (std::size_t o = 0; o < out_; ++o) {
+    for (std::size_t j = 0; j < in_; ++j) {
+      const bool positive = binary_weight.at(o, j) >= 0.0f;
+      g_plus.at(o, j) = static_cast<float>(
+          program_cell(cfg_, positive ? cfg_.g_on : cfg_.g_off, rng));
+      g_minus.at(o, j) = static_cast<float>(
+          program_cell(cfg_, positive ? cfg_.g_off : cfg_.g_on, rng));
+    }
+  }
+
+  if (cfg_.wire_resistance > 0.0) {
+    // Exact wire-parasitic model: solve the resistive network per tile and
+    // fold the result into the equivalent weight (see crossbar/ir_solver).
+    IrSolverConfig ir_cfg;
+    ir_cfg.r_wire = cfg_.wire_resistance;
+    for (std::size_t t = 0; t < num_tiles_; ++t) {
+      const std::size_t j0 = t * tile_cols_;
+      const std::size_t j1 = std::min(j0 + tile_cols_, in_);
+      const std::size_t width = j1 - j0;
+      // Physical layout: driven word lines = the fan-in slice (rows of the
+      // solver), collecting bit lines = the outputs (cols of the solver).
+      Tensor gp({width, out_}), gm({width, out_});
+      for (std::size_t j = j0; j < j1; ++j) {
+        for (std::size_t o = 0; o < out_; ++o) {
+          gp.at(j - j0, o) = g_plus.at(o, j);
+          gm.at(j - j0, o) = g_minus.at(o, j);
+        }
+      }
+      const Tensor eff_tile = ir_equivalent_weight(gp, gm, ir_cfg);  // [out, width]
+      for (std::size_t o = 0; o < out_; ++o)
+        for (std::size_t j = j0; j < j1; ++j)
+          eff_weight_.at(o, j) = eff_tile.at(o, j - j0);
+    }
+  } else {
+    for (std::size_t o = 0; o < out_; ++o) {
+      for (std::size_t j = 0; j < in_; ++j) {
+        const double ir = ir_drop_factor(cfg_, j % tile_cols_, tile_cols_);
+        eff_weight_.at(o, j) = static_cast<float>(
+            (static_cast<double>(g_plus.at(o, j)) - g_minus.at(o, j)) * ir);
+      }
+    }
+  }
+}
+
+Tensor CrossbarArray::mvm_pulse(const Tensor& x, Rng& rng) const {
+  if (x.ndim() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument("CrossbarArray::mvm_pulse: bad input " +
+                                x.shape_str());
+  const std::size_t batch = x.dim(0);
+  Tensor out({batch, out_});
+
+  if (cfg_.mapping == WeightMapping::kOffset) {
+    // Offset read-out: per tile, one reference-column read shared by every
+    // output line (its noise/ADC error is common-mode across the tile's
+    // outputs), one read per output column, digital subtraction, then the
+    // 2/(g_on − g_off) decode that doubles every periphery error relative
+    // to the differential mapping's full-swing read.
+    const double k = 2.0 / (cfg_.g_on - cfg_.g_off);
+    const double auto_fs = static_cast<double>(tile_cols_) * cfg_.g_on;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* xv = x.data() + n * in_;
+      float* ov = out.data() + n * out_;
+      for (std::size_t o = 0; o < out_; ++o) ov[o] = 0.0f;
+      for (std::size_t t = 0; t < num_tiles_; ++t) {
+        const std::size_t j0 = t * tile_cols_;
+        const std::size_t j1 = std::min(j0 + tile_cols_, in_);
+        double ref_current = 0.0;
+        for (std::size_t j = j0; j < j1; ++j)
+          ref_current += static_cast<double>(ref_g_[j]) * xv[j];
+        if (cfg_.read_noise_sigma > 0.0)
+          ref_current += rng.normal(0.0, cfg_.read_noise_sigma);
+        ref_current = adc_quantize(cfg_, ref_current, auto_fs);
+        for (std::size_t o = 0; o < out_; ++o) {
+          const float* grow = raw_g_.data() + o * in_;
+          double current = 0.0;
+          for (std::size_t j = j0; j < j1; ++j)
+            current += static_cast<double>(grow[j]) * xv[j];
+          if (cfg_.read_noise_sigma > 0.0)
+            current += rng.normal(0.0, cfg_.read_noise_sigma);
+          current = adc_quantize(cfg_, current, auto_fs);
+          ov[o] += static_cast<float>((current - ref_current) * k);
+        }
+      }
+    }
+    return out;
+  }
+
+  // ADC full scale defaults to the tile's worst-case current (all cells on).
+  const double auto_fs = static_cast<double>(tile_cols_) * (cfg_.g_on - cfg_.g_off);
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xv = x.data() + n * in_;
+    float* ov = out.data() + n * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wrow = eff_weight_.data() + o * in_;
+      double total = 0.0;
+      for (std::size_t t = 0; t < num_tiles_; ++t) {
+        const std::size_t j0 = t * tile_cols_;
+        const std::size_t j1 = std::min(j0 + tile_cols_, in_);
+        double current = 0.0;
+        for (std::size_t j = j0; j < j1; ++j)
+          current += static_cast<double>(wrow[j]) * xv[j];
+        if (cfg_.read_noise_sigma > 0.0)
+          current += rng.normal(0.0, cfg_.read_noise_sigma);
+        total += adc_quantize(cfg_, current, auto_fs);
+      }
+      ov[o] = static_cast<float>(total);
+    }
+  }
+  return out;
+}
+
+}  // namespace gbo::xbar

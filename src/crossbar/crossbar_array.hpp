@@ -1,0 +1,62 @@
+// Tiled binary memristive crossbar array.
+//
+// A weight matrix W ∈ {-s, +s}^{out × in} is mapped onto differential
+// conductance pairs: weight +s -> (G+ = g_on, G- = g_off), weight -s ->
+// (G+ = g_off, G- = g_on). The column current for input voltage vector v is
+// I_out = Σ_j (G+_{oj} - G-_{oj}) · v_j, so with ideal devices the array
+// computes sign(W)·v exactly; the digital scale s and any decode
+// normalization are applied by the peripheral (this class reports raw
+// sign-domain currents).
+//
+// Arrays wider than `tile_cols` are split into column tiles whose partial
+// currents are summed digitally after the per-tile ADC — the standard
+// bit-partitioned mapping (ISAAC, PRIME).
+#pragma once
+
+#include "crossbar/device_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gbo::xbar {
+
+class CrossbarArray {
+ public:
+  /// Programs the array from a binary weight matrix [out, in]; entries must
+  /// be ±s for a single s (validated). Device non-idealities are sampled
+  /// once at programming time (device-to-device variation is frozen, as on
+  /// real hardware).
+  CrossbarArray(const Tensor& binary_weight, DeviceConfig cfg,
+                std::size_t tile_cols, Rng rng);
+
+  std::size_t rows() const { return out_; }   // output lines
+  std::size_t cols() const { return in_; }    // input lines
+  std::size_t num_tiles() const { return num_tiles_; }
+
+  /// Computes output currents for a batch of bipolar input vectors
+  /// x: [N, in], entries in {-1, +1} (one pulse). Applies read noise and
+  /// per-tile ADC per the device config; `rng` drives cycle-to-cycle noise.
+  Tensor mvm_pulse(const Tensor& x, Rng& rng) const;
+
+  /// The effective (post-programming) weight the array realizes in the
+  /// sign domain: (G+ − G−) for differential mapping, (G − G_ref) ·
+  /// 2/(g_on − g_off) for offset mapping, with IR-drop folded in. Equals
+  /// sign(W) for ideal devices under either mapping.
+  const Tensor& effective_weight() const { return eff_weight_; }
+
+  /// The digital scale s recovered from the programmed matrix.
+  float weight_scale() const { return scale_; }
+
+  WeightMapping mapping() const { return cfg_.mapping; }
+
+ private:
+  std::size_t out_ = 0, in_ = 0;
+  std::size_t tile_cols_ = 0, num_tiles_ = 0;
+  DeviceConfig cfg_;
+  float scale_ = 1.0f;
+  Tensor eff_weight_;  // [out, in] sign-domain equivalent weight
+  // Offset mapping only: raw programmed conductances and the per-tile
+  // shared reference cells (one mid-level cell per input line).
+  Tensor raw_g_;       // [out, in]
+  Tensor ref_g_;       // [in]
+};
+
+}  // namespace gbo::xbar

@@ -1,0 +1,77 @@
+#include "crossbar/crossbar_layers.hpp"
+
+#include <stdexcept>
+
+namespace gbo::xbar {
+
+LayerNoiseController::LayerNoiseController(std::vector<quant::Hookable*> layers,
+                                           double sigma, std::size_t base_pulses,
+                                           Rng rng)
+    : layers_(std::move(layers)), base_pulses_(base_pulses) {
+  hooks_.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    hooks_.push_back(std::make_unique<GaussianNoiseHook>(
+        rng.fork(1000 + i), sigma,
+        enc::EncodingSpec{enc::Scheme::kThermometer, base_pulses},
+        base_pulses));
+  }
+}
+
+void LayerNoiseController::attach() {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->set_noise_hook(hooks_[i].get());
+}
+
+void LayerNoiseController::detach() {
+  for (auto* layer : layers_) layer->set_noise_hook(nullptr);
+}
+
+void LayerNoiseController::set_sigma(double sigma) {
+  for (auto& h : hooks_) h->set_sigma(sigma);
+}
+
+void LayerNoiseController::set_enabled_all(bool enabled) {
+  for (auto& h : hooks_) h->set_enabled(enabled);
+}
+
+void LayerNoiseController::isolate_layer(std::size_t idx) {
+  if (idx >= hooks_.size())
+    throw std::out_of_range("LayerNoiseController::isolate_layer");
+  for (std::size_t i = 0; i < hooks_.size(); ++i)
+    hooks_[i]->set_enabled(i == idx);
+}
+
+void LayerNoiseController::set_pulses(const std::vector<std::size_t>& pulses) {
+  if (pulses.size() != hooks_.size())
+    throw std::invalid_argument("LayerNoiseController::set_pulses: size mismatch");
+  for (std::size_t i = 0; i < hooks_.size(); ++i)
+    hooks_[i]->set_spec(enc::EncodingSpec{enc::Scheme::kThermometer, pulses[i]});
+}
+
+void LayerNoiseController::set_uniform_pulses(std::size_t pulses) {
+  set_pulses(std::vector<std::size_t>(hooks_.size(), pulses));
+}
+
+void LayerNoiseController::set_scheme(enc::Scheme scheme) {
+  for (auto& h : hooks_) {
+    enc::EncodingSpec spec = h->spec();
+    spec.scheme = scheme;
+    h->set_spec(spec);
+  }
+}
+
+std::vector<std::size_t> LayerNoiseController::pulses() const {
+  std::vector<std::size_t> out;
+  out.reserve(hooks_.size());
+  for (const auto& h : hooks_) out.push_back(h->spec().num_pulses);
+  return out;
+}
+
+double LayerNoiseController::avg_pulses() const {
+  if (hooks_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& h : hooks_) acc += static_cast<double>(h->spec().num_pulses);
+  return acc / static_cast<double>(hooks_.size());
+}
+
+}  // namespace gbo::xbar

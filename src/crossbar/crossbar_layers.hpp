@@ -1,0 +1,88 @@
+// Crossbar-side controllers and inference layers.
+//
+// LayerNoiseController owns one GaussianNoiseHook per crossbar-mapped layer
+// of a network and drives every evaluation configuration of the paper:
+//   * baseline           — uniform base pulses, noise on everywhere
+//   * PLA-n              — uniform n pulses
+//   * GBO solution       — heterogeneous per-layer pulse vector
+//   * Fig. 2 sensitivity — noise enabled at exactly one layer
+//
+// CrossbarLinear is an inference-only module that executes a trained
+// QuantLinear through the full pulse-level MvmEngine (device model
+// included); it is the "run it on the actual simulated hardware" path used
+// by examples and integration tests.
+#pragma once
+
+#include "crossbar/mvm_engine.hpp"
+#include "nn/module.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace gbo::xbar {
+
+class LayerNoiseController {
+ public:
+  /// `layers`: the network's crossbar-mapped layers, in forward order.
+  /// Hooks are created detached; call attach() to install them.
+  LayerNoiseController(std::vector<quant::Hookable*> layers, double sigma,
+                       std::size_t base_pulses, Rng rng);
+
+  /// Installs/removes the hooks on the layers.
+  void attach();
+  void detach();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t base_pulses() const { return base_pulses_; }
+
+  /// Per-pulse noise std for all layers.
+  void set_sigma(double sigma);
+
+  /// Enables/disables noise injection on all layers.
+  void set_enabled_all(bool enabled);
+
+  /// Enables noise on exactly one layer (Fig. 2); all others are disabled.
+  void isolate_layer(std::size_t idx);
+
+  /// Sets each layer's thermometer pulse count (PLA / GBO solutions).
+  void set_pulses(const std::vector<std::size_t>& pulses);
+  void set_uniform_pulses(std::size_t pulses);
+
+  /// Switches the encoding scheme on all layers (keeps pulse counts).
+  /// Used by the network-level thermometer-vs-bit-slicing comparison.
+  void set_scheme(enc::Scheme scheme);
+
+  /// Current per-layer pulse counts.
+  std::vector<std::size_t> pulses() const;
+
+  /// Mean pulse count across layers ("Avg.#pulses" column of Table I).
+  double avg_pulses() const;
+
+  GaussianNoiseHook& hook(std::size_t i) { return *hooks_.at(i); }
+
+ private:
+  std::vector<quant::Hookable*> layers_;
+  std::vector<std::unique_ptr<GaussianNoiseHook>> hooks_;
+  std::size_t base_pulses_;
+};
+
+/// Inference-only linear layer executed on the simulated crossbar at pulse
+/// granularity. Construct from the binary weight of a trained QuantLinear.
+class CrossbarLinear : public nn::Module {
+ public:
+  CrossbarLinear(const Tensor& binary_weight, MvmConfig cfg, Rng rng)
+      : engine_(binary_weight, cfg, rng) {}
+
+  Tensor forward(const Tensor& x) override { return engine_.run_pulse_level(x); }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("CrossbarLinear is inference-only");
+  }
+  std::string kind() const override { return "CrossbarLinear"; }
+
+  MvmEngine& engine() { return engine_; }
+
+ private:
+  MvmEngine engine_;
+};
+
+}  // namespace gbo::xbar

@@ -1,0 +1,68 @@
+#include "crossbar/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gbo::xbar {
+
+double drift_factor(double nu, double t, double t0) {
+  if (nu <= 0.0 || t <= t0 || t0 <= 0.0) return 1.0;
+  return std::pow(t / t0, -nu);
+}
+
+DriftModel::DriftModel(std::size_t numel, DriftConfig cfg, Rng rng)
+    : cfg_(cfg) {
+  if (cfg_.t0 <= 0.0) {
+    throw std::invalid_argument("DriftModel: t0 must be positive");
+  }
+  nu_.resize(numel);
+  for (auto& nu : nu_) {
+    const double sampled =
+        cfg_.nu_sigma > 0.0 ? rng.normal(cfg_.nu_mean, cfg_.nu_sigma)
+                            : cfg_.nu_mean;
+    nu = static_cast<float>(std::max(0.0, sampled));
+  }
+}
+
+Tensor DriftModel::apply(const Tensor& weight, double t) const {
+  if (weight.numel() != nu_.size()) {
+    throw std::invalid_argument(
+        "DriftModel::apply: weight size does not match the sampled devices");
+  }
+  Tensor out = weight;
+  for (std::size_t i = 0; i < nu_.size(); ++i) {
+    out[i] = static_cast<float>(
+        static_cast<double>(out[i]) * drift_factor(nu_[i], t, cfg_.t0));
+  }
+  return out;
+}
+
+DriftStats drift_stats(const DriftModel& model, const Tensor& weight,
+                       double t) {
+  Tensor drifted = model.apply(weight, t);
+  DriftStats s;
+  if (weight.numel() == 0) return s;
+  double sum_factor = 0.0, min_f = 1e300, max_f = -1e300, sum_sq = 0.0;
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < weight.numel(); ++i) {
+    const double f = drift_factor(model.nu()[i], t, model.config().t0);
+    sum_factor += f;
+    min_f = std::min(min_f, f);
+    max_f = std::max(max_f, f);
+    const double w0 = weight[i];
+    if (w0 != 0.0) {
+      const double rel = (static_cast<double>(drifted[i]) - w0) / std::fabs(w0);
+      sum_sq += rel * rel;
+      ++nonzero;
+    }
+  }
+  s.mean_factor = sum_factor / static_cast<double>(weight.numel());
+  s.min_factor = min_f;
+  s.max_factor = max_f;
+  s.rms_rel_error = nonzero ? std::sqrt(sum_sq / static_cast<double>(nonzero))
+                            : 0.0;
+  return s;
+}
+
+}  // namespace gbo::xbar

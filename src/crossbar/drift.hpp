@@ -1,0 +1,72 @@
+// Conductance retention drift for NVM crossbar cells.
+//
+// Filamentary NVM conductances decay after programming following the
+// empirical power law
+//     g(t) = g0 · (t / t0)^(-ν),   t ≥ t0,
+// with a per-device drift exponent ν (PCM: ν ≈ 0.03–0.1; ReRAM retention
+// loss is often fit with the same form). Device-to-device ν variation makes
+// drift *non-uniform*: the differential pair currents decay by different
+// factors, so the realized weight both shrinks and acquires a multiplicative
+// error that grows with log(t). This is a noise source the paper's Eq. 1
+// Gaussian does not capture (it is neither zero-mean nor time-independent);
+// the extension study bench_ext_drift shows longer thermometer codes also
+// damp *this* error family.
+//
+// Two entry points:
+//   * DriftModel — samples per-cell exponents once (frozen, like real
+//     devices) and maps an effective-weight tensor to its value at time t;
+//     used for analysis and the analytic evaluation path.
+//   * DeviceConfig drift fields (device_model.hpp) — the pulse-level
+//     hardware path applies the same law cell-by-cell at programming time.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace gbo::xbar {
+
+struct DriftConfig {
+  double nu_mean = 0.05;   // mean drift exponent ν
+  double nu_sigma = 0.0;   // device-to-device std of ν (clamped at 0)
+  double t0 = 1.0;         // reference time (seconds); no decay before t0
+
+  bool enabled() const { return nu_mean > 0.0 || nu_sigma > 0.0; }
+};
+
+/// The power-law decay factor (t/t0)^(-ν); clamped to 1 for t <= t0 and to
+/// ν >= 0 (conductances do not grow).
+double drift_factor(double nu, double t, double t0);
+
+/// Per-cell frozen drift exponents for one weight tensor.
+class DriftModel {
+ public:
+  /// Samples one ν per cell. The same (numel, cfg, rng seed) triple always
+  /// produces the same exponents, so time sweeps see consistent devices.
+  DriftModel(std::size_t numel, DriftConfig cfg, Rng rng);
+
+  /// The weight tensor as realized at time t: w_i · (t/t0)^(-ν_i).
+  Tensor apply(const Tensor& weight, double t) const;
+
+  const std::vector<float>& nu() const { return nu_; }
+  const DriftConfig& config() const { return cfg_; }
+
+ private:
+  DriftConfig cfg_;
+  std::vector<float> nu_;
+};
+
+/// Summary statistics of the drift-induced weight error at time t.
+struct DriftStats {
+  double mean_factor = 1.0;   // average multiplicative decay
+  double min_factor = 1.0;
+  double max_factor = 1.0;
+  double rms_rel_error = 0.0;  // RMS of (w(t) - w0)/|w0| over nonzero cells
+};
+
+DriftStats drift_stats(const DriftModel& model, const Tensor& weight,
+                       double t);
+
+}  // namespace gbo::xbar

@@ -1,0 +1,83 @@
+#include "crossbar/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace gbo::xbar {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) {
+  driver += o.driver;
+  array += o.array;
+  adc += o.adc;
+  sample_hold += o.sample_hold;
+  digital += o.digital;
+  return *this;
+}
+
+double ScheduleCost::adc_share() const {
+  const double t = energy.total();
+  return t > 0.0 ? energy.adc / t : 0.0;
+}
+
+LayerCost cost_layer(const LayerMapping& mapping, std::size_t pulses,
+                     const EnergyConfig& cfg, enc::Scheme scheme) {
+  if (pulses == 0) {
+    throw std::invalid_argument("cost_layer(" + mapping.name +
+                                "): zero pulse count");
+  }
+  LayerCost c;
+  c.name = mapping.name;
+  c.pulses = pulses;
+  c.mvms = mapping.mvms;
+
+  const double reads = static_cast<double>(mapping.mvms) *
+                       static_cast<double>(pulses);
+  const double fan_in = static_cast<double>(mapping.fan_in);
+  const double fan_out = static_cast<double>(mapping.fan_out);
+  const double segments = static_cast<double>(mapping.row_tiles) * fan_out;
+
+  c.energy.driver = reads * fan_in * cfg.e_driver;
+  c.energy.array =
+      reads * static_cast<double>(mapping.occupied_cells()) * cfg.e_cell;
+  c.energy.adc = reads * segments * cfg.e_adc;
+  c.energy.sample_hold = reads * segments * cfg.e_sample_hold;
+  const double digital_mult =
+      scheme == enc::Scheme::kBitSlicing ? 1.0 + cfg.shift_add_factor : 1.0;
+  c.energy.digital = reads * fan_out * cfg.e_accum * digital_mult;
+
+  c.cycles = reads;
+  c.latency_ns = reads * cfg.t_read_ns;
+  return c;
+}
+
+ScheduleCost cost_schedule(const NetworkMapping& net,
+                           const std::vector<std::size_t>& pulses,
+                           const EnergyConfig& cfg, enc::Scheme scheme) {
+  if (pulses.size() != net.layers.size()) {
+    throw std::invalid_argument(
+        "cost_schedule: pulse vector size does not match mapped layers");
+  }
+  ScheduleCost sc;
+  sc.layers.reserve(net.layers.size());
+  double pulse_sum = 0.0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    LayerCost lc = cost_layer(net.layers[i], pulses[i], cfg, scheme);
+    sc.energy += lc.energy;
+    sc.cycles += lc.cycles;
+    sc.latency_ns += lc.latency_ns;
+    pulse_sum += static_cast<double>(pulses[i]);
+    sc.layers.push_back(std::move(lc));
+  }
+  sc.avg_pulses = net.layers.empty()
+                      ? 0.0
+                      : pulse_sum / static_cast<double>(net.layers.size());
+  return sc;
+}
+
+ScheduleCost cost_uniform(const NetworkMapping& net, std::size_t pulses,
+                          const EnergyConfig& cfg, enc::Scheme scheme) {
+  return cost_schedule(net,
+                       std::vector<std::size_t>(net.layers.size(), pulses),
+                       cfg, scheme);
+}
+
+}  // namespace gbo::xbar

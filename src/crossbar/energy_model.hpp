@@ -1,0 +1,99 @@
+// Energy / latency cost model for pulse schedules on the tiled crossbar.
+//
+// The paper's Eq. 6 regularizer measures cost in pulses; this module turns
+// a pulse schedule into the physical quantities a chip architect reads:
+// energy per inference (with a per-component breakdown) and latency. GBO's
+// accuracy-vs-latency trade-off then becomes an accuracy-vs-energy frontier
+// (bench_ext_energy), and different schedules with the same average pulse
+// count can be ranked by where their pulses land (wide early layers vs
+// narrow late layers) — something "Avg.#pulses" alone cannot distinguish.
+//
+// Cost structure per layer, per inference, with pulse count P:
+//   driver  = mvms · P · fan_in · e_driver        (1-bit word-line DACs)
+//   array   = mvms · P · occupied_cells · e_cell  (cell read current)
+//   adc     = mvms · P · row_tiles · fan_out · e_adc   (one conversion per
+//             column tile-segment per pulse; partial sums are digital)
+//   s&h     = mvms · P · row_tiles · fan_out · e_sh
+//   digital = mvms · P · fan_out · e_accum, ×(1 + shift_add_factor) for
+//             bit slicing, whose per-pulse weighted accumulation needs a
+//             shifter in front of the adder (thermometer just adds)
+//   cycles  = mvms · P         (serial column reads; one read per pulse)
+//
+// Default coefficients are normalized energy units chosen from the relative
+// magnitudes reported for ISAAC/PRIME-class designs (8-bit SAR ADC ≫ driver
+// ≫ cell read): absolute joules are out of scope (see DESIGN.md §2), the
+// model is for *comparing schedules on the same network*.
+#pragma once
+
+#include "crossbar/mapper.hpp"
+#include "encoding/pulse_train.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace gbo::xbar {
+
+struct EnergyConfig {
+  double e_driver = 1.0;     // per word line per pulse
+  double e_cell = 0.05;      // per occupied cell per pulse
+  double e_adc = 16.0;       // per ADC conversion (dominant term)
+  double e_sample_hold = 0.2;  // per column segment per pulse
+  double e_accum = 0.1;      // per column digital accumulate per pulse
+  double shift_add_factor = 1.0;  // extra digital cost multiplier, bit slicing
+  double t_read_ns = 100.0;  // one pulse (read cycle) in nanoseconds
+};
+
+/// Energy per inference, split by component (normalized units).
+struct EnergyBreakdown {
+  double driver = 0.0;
+  double array = 0.0;
+  double adc = 0.0;
+  double sample_hold = 0.0;
+  double digital = 0.0;
+
+  double total() const { return driver + array + adc + sample_hold + digital; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+};
+
+/// Cost of one layer under a specific pulse count.
+struct LayerCost {
+  std::string name;
+  std::size_t pulses = 0;
+  std::size_t mvms = 0;
+  EnergyBreakdown energy;
+  double cycles = 0.0;      // mvms * pulses
+  double latency_ns = 0.0;  // cycles * t_read_ns (serial execution)
+};
+
+/// Cost of a full per-layer schedule.
+struct ScheduleCost {
+  std::vector<LayerCost> layers;
+  EnergyBreakdown energy;   // network total
+  double cycles = 0.0;      // serial sum over layers
+  double latency_ns = 0.0;
+  double avg_pulses = 0.0;  // Table I's "Avg.#pulses" for cross-reference
+
+  /// Fraction of total energy spent in ADC conversions — the headline
+  /// number for analog accelerators (typically > 0.5).
+  double adc_share() const;
+};
+
+/// Costs one layer; `scheme` selects the digital-accumulation model.
+LayerCost cost_layer(const LayerMapping& mapping, std::size_t pulses,
+                     const EnergyConfig& cfg,
+                     enc::Scheme scheme = enc::Scheme::kThermometer);
+
+/// Costs a per-layer pulse schedule over a mapped network. `pulses` must
+/// have one entry per mapped layer.
+ScheduleCost cost_schedule(const NetworkMapping& net,
+                           const std::vector<std::size_t>& pulses,
+                           const EnergyConfig& cfg,
+                           enc::Scheme scheme = enc::Scheme::kThermometer);
+
+/// Convenience: uniform schedule.
+ScheduleCost cost_uniform(const NetworkMapping& net, std::size_t pulses,
+                          const EnergyConfig& cfg,
+                          enc::Scheme scheme = enc::Scheme::kThermometer);
+
+}  // namespace gbo::xbar

@@ -1,0 +1,121 @@
+#include "crossbar/hw_deploy.hpp"
+
+#include "quant/binary_weight.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace gbo::xbar {
+namespace {
+
+/// [N*oh*ow, out_c] GEMM rows -> NCHW (mirror of the Conv2d lowering).
+Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t out_c,
+                    std::size_t oh, std::size_t ow) {
+  Tensor out({batch, out_c, oh, ow});
+  const float* src = rows.data();
+  float* dst = out.data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float* row = src + ((n * oh + y) * ow + x) * out_c;
+        for (std::size_t c = 0; c < out_c; ++c)
+          dst[((n * out_c + c) * oh + y) * ow + x] = row[c];
+      }
+  return out;
+}
+
+}  // namespace
+
+HardwareNetwork::HardwareNetwork(nn::Sequential& net,
+                                 const std::vector<quant::Hookable*>& encoded,
+                                 HwDeployConfig cfg)
+    : net_(net), cfg_(cfg) {
+  std::vector<std::size_t> pulses = cfg_.pulses;
+  if (pulses.empty()) pulses.assign(encoded.size(), 8);
+  if (pulses.size() != encoded.size())
+    throw std::invalid_argument("HardwareNetwork: pulses/layers mismatch");
+
+  Rng rng(cfg_.seed);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    auto* conv = dynamic_cast<quant::QuantConv2d*>(encoded[i]);
+    auto* lin = dynamic_cast<quant::QuantLinear*>(encoded[i]);
+    const nn::Module* module = nullptr;
+    Tensor binary;
+    if (conv) {
+      binary = quant::binarize(conv->weight().value, /*scaled=*/true);
+      module = conv;
+    } else if (lin) {
+      binary = quant::binarize(lin->weight().value, /*scaled=*/true);
+      module = lin;
+    } else {
+      throw std::invalid_argument(
+          "HardwareNetwork: encoded layer is neither QuantConv2d nor QuantLinear");
+    }
+    MvmConfig mcfg;
+    mcfg.spec = enc::EncodingSpec{cfg_.scheme, pulses[i]};
+    mcfg.sigma = cfg_.sigma;
+    mcfg.device = cfg_.device;
+    mcfg.tile_cols = cfg_.tile_cols;
+    engine_index_[module] = engines_.size();
+    engines_.push_back(
+        std::make_unique<MvmEngine>(binary, mcfg, rng.fork(1000 + i)));
+    conv_of_engine_.push_back(conv);
+  }
+}
+
+Tensor HardwareNetwork::forward(const Tensor& x) {
+  const bool was_training = net_.training();
+  net_.set_training(false);
+  Tensor cur = x;
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    nn::Module& module = net_.at(i);
+    auto it = engine_index_.find(&module);
+    if (it == engine_index_.end()) {
+      // Digital layer (BN, activation, pooling, full-precision ends).
+      cur = module.forward(cur);
+      continue;
+    }
+    MvmEngine& engine = *engines_[it->second];
+    if (const quant::QuantConv2d* conv = conv_of_engine_[it->second]) {
+      const std::size_t batch = cur.dim(0);
+      const ConvGeom& g = conv->geom();
+      Tensor cols = im2col(cur, g);
+      Tensor rows = engine.run_pulse_level(cols);
+      cur = rows_to_nchw(rows, batch, conv->out_channels(), g.out_h(), g.out_w());
+    } else {
+      cur = engine.run_pulse_level(cur);
+    }
+  }
+  net_.set_training(was_training);
+  return cur;
+}
+
+float HardwareNetwork::evaluate(const data::Dataset& test,
+                                std::size_t batch_size) {
+  std::size_t correct = 0, seen = 0;
+  const std::size_t len = test.sample_numel();
+  for (std::size_t start = 0; start < test.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, test.size() - start);
+    std::vector<std::size_t> shape = test.images.shape();
+    shape[0] = n;
+    Tensor batch(shape);
+    std::copy(test.images.data() + start * len,
+              test.images.data() + (start + n) * len, batch.data());
+    Tensor logits = forward(batch);
+    const auto preds = ops::argmax_rows(logits);
+    for (std::size_t i = 0; i < n; ++i)
+      if (preds[i] == test.labels[start + i]) ++correct;
+    seen += n;
+  }
+  return static_cast<float>(correct) / static_cast<float>(seen);
+}
+
+std::size_t HardwareNetwork::total_cells() const {
+  std::size_t cells = 0;
+  for (const auto& engine : engines_)
+    cells += engine->array().rows() * engine->array().cols();
+  return cells;
+}
+
+}  // namespace gbo::xbar

@@ -1,0 +1,90 @@
+// Nodal IR-drop solver for crossbar wire parasitics.
+//
+// The device model's `ir_drop_alpha` is a linear attenuation proxy; this
+// module solves the actual resistive network. Each word line is driven
+// from its left edge and each bit line is collected at its bottom edge by
+// a virtual-ground TIA; between adjacent cells both wires contribute a
+// segment resistance r_wire. With cell conductances g_ij the circuit is
+// linear, so Kirchhoff current law at every cell's row node and column
+// node gives a sparse SPD-like system we solve with Gauss–Seidel:
+//
+//   row node (i,j):  (v_r(i,j-1) − v_r(i,j))/r − (v_r(i,j) − v_r(i,j+1))/r
+//                    − g_ij (v_r(i,j) − v_c(i,j)) = 0,   v_r(i,-1) = V_i
+//   col node (i,j):  (v_c(i-1,j) − v_c(i,j))/r − (v_c(i,j) − v_c(i+1,j))/r
+//                    + g_ij (v_r(i,j) − v_c(i,j)) = 0,   v_c(rows,j) = 0
+//
+// Output current of column j is the current into the TIA,
+// v_c(rows-1, j) / r. Because the network is linear in the drive vector,
+// the crossbar's behaviour under IR drop is exactly an *equivalent weight
+// matrix*, recoverable by solving once per one-hot drive
+// (ir_equivalent_weight) — this is what CrossbarArray uses at programming
+// time when DeviceConfig::wire_resistance is set, replacing the proxy.
+//
+// Index convention matches the physical array: `rows` = driven word lines
+// (the MVM's fan-in axis), `cols` = collecting bit lines (the output axis).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace gbo::xbar {
+
+struct IrSolverConfig {
+  /// Wire segment resistance in units of 1/g_on (so 1e-3 means one segment
+  /// is a thousandth of the on-state cell resistance — a typical ratio for
+  /// sub-micron metal over memristor stacks).
+  double r_wire = 1e-3;
+  std::size_t max_iters = 4000;
+  /// Convergence: max change of any column TIA current per sweep, relative
+  /// to the worst-case ideal column current.
+  double tol = 1e-8;
+  /// Successive over-relaxation factor. The wire-dominated network is
+  /// Laplacian-like, where plain Gauss–Seidel (omega = 1) converges as
+  /// 1 − O(1/N²) per sweep; for the longest wire chains shipped here
+  /// (128-cell tiles) the near-optimal factor is ≈ 2/(1 + sin(π/N)) ≈ 1.9.
+  /// Must stay in (0, 2) for convergence on this SPD system.
+  double omega = 1.9;
+};
+
+/// Gauss–Seidel nodal solver for one crossbar tile.
+class IrDropSolver {
+ public:
+  /// `conductance`: [rows, cols], entries >= 0 (a single polarity array;
+  /// differential pairs use two solvers or two equivalent weights).
+  IrDropSolver(const Tensor& conductance, IrSolverConfig cfg);
+
+  /// Solves the network for one drive vector [rows]; returns the column
+  /// TIA currents [cols]. Warm-starts from the previous solution.
+  std::vector<double> solve(const std::vector<double>& v_in);
+
+  /// Ideal (no wire resistance) currents for reference: G^T · v.
+  std::vector<double> ideal(const std::vector<double>& v_in) const;
+
+  /// Iterations consumed by the most recent solve.
+  std::size_t last_iters() const { return last_iters_; }
+  /// True if the most recent solve met `tol` within `max_iters`.
+  bool converged() const { return converged_; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  IrSolverConfig cfg_;
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> g_;    // [rows * cols]
+  std::vector<double> vr_;   // row-node voltages, warm start
+  std::vector<double> vc_;   // col-node voltages, warm start
+  std::size_t last_iters_ = 0;
+  bool converged_ = true;
+};
+
+/// The equivalent weight matrix of a differential crossbar under IR drop:
+/// entry [c, r] is the column-c TIA current differential when word line r
+/// is driven with 1 V. Exact by superposition (the network is linear).
+/// Layout matches CrossbarArray's eff_weight ([out, in] = [cols, rows]).
+Tensor ir_equivalent_weight(const Tensor& g_plus, const Tensor& g_minus,
+                            const IrSolverConfig& cfg);
+
+}  // namespace gbo::xbar

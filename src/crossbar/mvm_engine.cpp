@@ -1,0 +1,78 @@
+#include "crossbar/mvm_engine.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace gbo::xbar {
+
+MvmEngine::MvmEngine(const Tensor& binary_weight, MvmConfig cfg, Rng rng)
+    : cfg_(cfg),
+      binary_weight_(binary_weight),
+      array_(binary_weight, cfg.device, cfg.tile_cols, rng.fork(1)),
+      rng_(rng.fork(2)) {
+  scale_ = array_.weight_scale();
+}
+
+Tensor MvmEngine::encode_and_snap(const Tensor& activations) const {
+  Tensor snapped(activations.shape());
+  const float* a = activations.data();
+  float* s = snapped.data();
+  for (std::size_t i = 0; i < activations.numel(); ++i) {
+    s[i] = cfg_.spec.scheme == enc::Scheme::kThermometer
+               ? enc::thermometer_snap(a[i], cfg_.spec.num_pulses)
+               : enc::bit_slicing_snap(a[i], cfg_.spec.num_pulses);
+  }
+  return snapped;
+}
+
+Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
+  enc::PulseTrain train =
+      cfg_.spec.scheme == enc::Scheme::kThermometer
+          ? enc::thermometer_encode(activations, cfg_.spec.num_pulses)
+          : enc::bit_slicing_encode(activations, cfg_.spec.num_pulses);
+
+  const auto weights = cfg_.spec.pulse_weights();
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+
+  Tensor out;
+  for (std::size_t i = 0; i < train.pulses.size(); ++i) {
+    // One crossbar read per pulse, in sign-current domain.
+    Tensor y = array_.mvm_pulse(train.pulses[i], rng_);
+    // Peripheral scaling back to the weight domain, then the Eq. 1 noise.
+    ops::scale_inplace(y, scale_);
+    if (cfg_.sigma > 0.0) {
+      float* p = y.data();
+      for (std::size_t j = 0; j < y.numel(); ++j)
+        p[j] += static_cast<float>(rng_.normal(0.0, cfg_.sigma));
+    }
+    const float wi = static_cast<float>(weights[i] / wsum);
+    if (i == 0) {
+      out = ops::scale(y, wi);
+    } else {
+      ops::axpy_inplace(out, wi, y);
+    }
+  }
+  return out;
+}
+
+Tensor MvmEngine::run_analytic(const Tensor& activations) {
+  Tensor snapped = encode_and_snap(activations);
+  // Expected MVM uses the *effective* (post-programming) weights so the
+  // analytic mode reproduces frozen device variation too, then adds the
+  // closed-form accumulated Gaussian noise (Eq. 2 / Eq. 3).
+  Tensor out = ops::matmul_bt(snapped, array_.effective_weight());
+  ops::scale_inplace(out, scale_);
+  if (cfg_.sigma > 0.0) {
+    const double std = cfg_.sigma * std::sqrt(cfg_.spec.noise_variance_factor());
+    float* p = out.data();
+    for (std::size_t i = 0; i < out.numel(); ++i)
+      p[i] += static_cast<float>(rng_.normal(0.0, std));
+  }
+  return out;
+}
+
+Tensor MvmEngine::run_ideal(const Tensor& activations) const {
+  return ops::matmul_bt(encode_and_snap(activations), binary_weight_);
+}
+
+}  // namespace gbo::xbar

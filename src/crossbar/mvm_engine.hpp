@@ -1,0 +1,57 @@
+// Two-mode crossbar MVM engine.
+//
+// Pulse-level mode is the ground-truth simulation: activations are encoded
+// into bipolar pulse trains, one crossbar read is issued per pulse with
+// fresh N(0, σ²) output noise, and the weighted pulse results are decoded.
+// Analytic mode computes the identical expected result (MVM of the snapped
+// activations, scaled by the digital weight scale) plus one Gaussian sample
+// with the closed-form accumulated variance — the distribution the paper
+// derives in Eq. 2–4. test_mvm_equivalence.cpp verifies the two modes agree
+// in mean and variance for both encodings across pulse counts.
+#pragma once
+
+#include "crossbar/crossbar_array.hpp"
+#include "crossbar/noise_model.hpp"
+#include "encoding/bit_slicing.hpp"
+#include "encoding/thermometer.hpp"
+
+namespace gbo::xbar {
+
+struct MvmConfig {
+  enc::EncodingSpec spec;         // encoding for streaming the activations
+  double sigma = 0.0;             // per-pulse output noise std (Eq. 1)
+  DeviceConfig device;            // device non-idealities (default ideal)
+  std::size_t tile_cols = 128;    // crossbar tile width
+};
+
+class MvmEngine {
+ public:
+  /// Programs a crossbar from the binary weight [out, in] (entries ±s).
+  /// `rng` seeds both programming-time variation and read-time noise.
+  MvmEngine(const Tensor& binary_weight, MvmConfig cfg, Rng rng);
+
+  /// Ground truth: pulse-by-pulse execution. activations: [N, in] values in
+  /// [-1, 1]; returns [N, out] decoded currents scaled back to the weight
+  /// domain (times s).
+  Tensor run_pulse_level(const Tensor& activations);
+
+  /// Fast path: exact expected MVM + equivalent accumulated Gaussian noise.
+  Tensor run_analytic(const Tensor& activations);
+
+  /// Noise-free reference (snapped activations, ideal weights).
+  Tensor run_ideal(const Tensor& activations) const;
+
+  const MvmConfig& config() const { return cfg_; }
+  const CrossbarArray& array() const { return array_; }
+
+ private:
+  Tensor encode_and_snap(const Tensor& activations) const;
+
+  MvmConfig cfg_;
+  Tensor binary_weight_;  // ±s as given
+  float scale_ = 1.0f;
+  CrossbarArray array_;
+  Rng rng_;
+};
+
+}  // namespace gbo::xbar

@@ -1,0 +1,29 @@
+#include "crossbar/noise_model.hpp"
+
+namespace gbo::xbar {
+
+void GaussianNoiseHook::on_input(Tensor& x) {
+  if (!enabled_) return;
+  if (spec_.scheme == enc::Scheme::kThermometer) {
+    // PLA re-encoding: activations were quantized for base_pulses_ levels;
+    // a different pulse count can only realize its own level grid.
+    if (spec_.num_pulses != base_pulses_)
+      x = enc::pla_approximate(x, spec_.num_pulses);
+  } else {
+    // Bit slicing realizes a 2^p-level grid, which does not contain the
+    // thermometer training grid exactly; snap to the nearest code.
+    float* p = x.data();
+    for (std::size_t i = 0; i < x.numel(); ++i)
+      p[i] = enc::bit_slicing_snap(p[i], spec_.num_pulses);
+  }
+}
+
+void GaussianNoiseHook::on_forward(Tensor& out) {
+  if (!enabled_ || sigma_ <= 0.0) return;
+  const double std = sigma_ * std::sqrt(spec_.noise_variance_factor());
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    p[i] += static_cast<float>(rng_.normal(0.0, std));
+}
+
+}  // namespace gbo::xbar

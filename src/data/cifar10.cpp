@@ -1,0 +1,53 @@
+#include "data/cifar10.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+namespace gbo::data {
+namespace {
+
+constexpr std::size_t kImageBytes = 3 * 32 * 32;
+constexpr std::size_t kRecordBytes = 1 + kImageBytes;
+
+bool append_batch(const std::string& path, std::vector<float>& pixels,
+                  std::vector<std::size_t>& labels) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::vector<unsigned char> record(kRecordBytes);
+  while (f.read(reinterpret_cast<char*>(record.data()), kRecordBytes)) {
+    labels.push_back(record[0]);
+    for (std::size_t i = 0; i < kImageBytes; ++i)
+      pixels.push_back(static_cast<float>(record[1 + i]) / 127.5f - 1.0f);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Dataset> load_cifar10(const std::string& dir, bool train) {
+  if (dir.empty()) return std::nullopt;
+  std::vector<float> pixels;
+  std::vector<std::size_t> labels;
+  if (train) {
+    for (int b = 1; b <= 5; ++b) {
+      if (!append_batch(dir + "/data_batch_" + std::to_string(b) + ".bin",
+                        pixels, labels))
+        return std::nullopt;
+    }
+  } else {
+    if (!append_batch(dir + "/test_batch.bin", pixels, labels))
+      return std::nullopt;
+  }
+  Dataset ds;
+  ds.images = Tensor({labels.size(), 3, 32, 32}, std::move(pixels));
+  ds.labels = std::move(labels);
+  return ds;
+}
+
+std::string cifar10_dir_from_env() {
+  const char* env = std::getenv("GBO_CIFAR10_DIR");
+  return env ? env : "";
+}
+
+}  // namespace gbo::data

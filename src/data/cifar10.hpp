@@ -1,0 +1,24 @@
+// CIFAR-10 binary-format loader.
+//
+// Reads the standard python/binary distribution (data_batch_1..5.bin,
+// test_batch.bin; 3073-byte records: 1 label byte + 3072 RGB bytes). When
+// the files are present (directory from $GBO_CIFAR10_DIR or an explicit
+// path) the experiment pipeline can run on the real dataset; offline
+// environments fall back to SynthCIFAR (see DESIGN.md §2).
+#pragma once
+
+#include "data/dataset.hpp"
+
+#include <optional>
+#include <string>
+
+namespace gbo::data {
+
+/// Loads the train (5 batches) or test (1 batch) split from `dir`.
+/// Pixels are normalized to [-1, 1]. Returns nullopt when files are absent.
+std::optional<Dataset> load_cifar10(const std::string& dir, bool train);
+
+/// Directory from $GBO_CIFAR10_DIR, or empty string when unset.
+std::string cifar10_dir_from_env();
+
+}  // namespace gbo::data

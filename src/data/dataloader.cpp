@@ -1,0 +1,60 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gbo::data {
+
+DataLoader::DataLoader(const Dataset& ds, std::size_t batch_size, bool shuffle,
+                       Rng rng, bool augment_flip)
+    : ds_(ds),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      augment_flip_(augment_flip),
+      rng_(rng),
+      order_(ds.size()) {
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  reset();
+}
+
+std::size_t DataLoader::num_batches() const {
+  return (ds_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) std::shuffle(order_.begin(), order_.end(), rng_);
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t n = std::min(batch_size_, order_.size() - cursor_);
+  const std::size_t img_len = ds_.sample_numel();
+  const bool is_image = ds_.images.ndim() == 4;
+  // Flip augmentation only makes sense for NCHW image data.
+  const bool flip_ok = augment_flip_ && is_image;
+
+  std::vector<std::size_t> shape = ds_.images.shape();
+  shape[0] = n;
+  out.images = Tensor(shape);
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src_idx = order_[cursor_ + i];
+    out.labels[i] = ds_.labels[src_idx];
+    const float* src = ds_.images.data() + src_idx * img_len;
+    float* dst = out.images.data() + i * img_len;
+    if (flip_ok && rng_.bernoulli(0.5)) {
+      const std::size_t c = ds_.channels(), h = ds_.height(), w = ds_.width();
+      for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t x = 0; x < w; ++x)
+            dst[(ch * h + y) * w + x] = src[(ch * h + y) * w + (w - 1 - x)];
+    } else {
+      std::copy(src, src + img_len, dst);
+    }
+  }
+  cursor_ += n;
+  return true;
+}
+
+}  // namespace gbo::data

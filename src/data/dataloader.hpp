@@ -1,0 +1,39 @@
+// Mini-batch iteration over a Dataset with optional shuffling and
+// horizontal-flip augmentation.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace gbo::data {
+
+struct Batch {
+  Tensor images;                    // [B, C, H, W]
+  std::vector<std::size_t> labels;  // B entries
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& ds, std::size_t batch_size, bool shuffle, Rng rng,
+             bool augment_flip = false);
+
+  /// Batches per epoch (last partial batch included).
+  std::size_t num_batches() const;
+
+  /// Reshuffles (when enabled) and resets the cursor. Call between epochs.
+  void reset();
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+ private:
+  const Dataset& ds_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  bool augment_flip_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gbo::data

@@ -1,0 +1,29 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <vector>
+
+namespace gbo::data {
+
+struct Dataset {
+  /// [N, C, H, W] for image data; any [N, ...] layout works with the
+  /// DataLoader (e.g. [N, features] for MLP experiments).
+  Tensor images;
+  std::vector<std::size_t> labels;  // N entries
+
+  std::size_t size() const { return labels.size(); }
+  /// Elements per sample (product of the non-batch dims).
+  std::size_t sample_numel() const {
+    return size() == 0 ? 0 : images.numel() / size();
+  }
+  std::size_t channels() const { return images.dim(1); }
+  std::size_t height() const { return images.dim(2); }
+  std::size_t width() const { return images.dim(3); }
+
+  /// Copies one sample into a [1, ...] tensor of the same layout.
+  Tensor image(std::size_t i) const;
+};
+
+}  // namespace gbo::data

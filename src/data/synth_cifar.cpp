@@ -1,0 +1,111 @@
+#include "data/synth_cifar.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gbo::data {
+
+Tensor Dataset::image(std::size_t i) const {
+  const std::size_t len = sample_numel();
+  std::vector<std::size_t> shape = images.shape();
+  shape[0] = 1;
+  Tensor out(shape);
+  const float* src = images.data() + i * len;
+  std::copy(src, src + len, out.data());
+  return out;
+}
+
+std::string SynthCifarConfig::fingerprint() const {
+  std::ostringstream oss;
+  oss << "synthcifar:k" << num_classes << ":s" << image_size << ":c" << channels
+      << ":n" << pixel_noise_std << ":seed" << seed;
+  return oss.str();
+}
+
+namespace {
+
+/// Fixed per-class generative parameters, derived from the dataset seed so
+/// the class definitions are shared between train and test splits.
+struct ClassDef {
+  float freq;        // grating spatial frequency (cycles per image)
+  float theta;       // grating orientation
+  float blob_x, blob_y;  // blob center in [0.2, 0.8]
+  float blob_sigma;
+  float color[3];    // per-channel weighting of the grating
+  float blob_color[3];
+};
+
+std::vector<ClassDef> make_class_defs(const SynthCifarConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<ClassDef> defs(cfg.num_classes);
+  for (std::size_t k = 0; k < cfg.num_classes; ++k) {
+    ClassDef& d = defs[k];
+    d.freq = 1.5f + static_cast<float>(k % 5);
+    d.theta = static_cast<float>(k) * static_cast<float>(M_PI) /
+                  static_cast<float>(cfg.num_classes) +
+              static_cast<float>(rng.uniform(-0.05, 0.05));
+    d.blob_x = static_cast<float>(rng.uniform(0.25, 0.75));
+    d.blob_y = static_cast<float>(rng.uniform(0.25, 0.75));
+    d.blob_sigma = static_cast<float>(rng.uniform(0.10, 0.18));
+    for (int ch = 0; ch < 3; ++ch) {
+      d.color[ch] = static_cast<float>(rng.uniform(0.3, 1.0));
+      d.blob_color[ch] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return defs;
+}
+
+}  // namespace
+
+Dataset make_synth_cifar(const SynthCifarConfig& cfg, std::size_t count,
+                         std::uint64_t stream) {
+  const auto defs = make_class_defs(cfg);
+  Rng base(cfg.seed);
+  Rng rng = base.fork(100 + stream);
+
+  const std::size_t s = cfg.image_size, c = cfg.channels;
+  Dataset ds;
+  ds.images = Tensor({count, c, s, s});
+  ds.labels.resize(count);
+
+  for (std::size_t n = 0; n < count; ++n) {
+    const std::size_t k = n % cfg.num_classes;  // balanced classes
+    ds.labels[n] = k;
+    const ClassDef& d = defs[k];
+
+    const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+    const float amp = static_cast<float>(rng.uniform(0.7, 1.0));
+    const float bx = d.blob_x + static_cast<float>(rng.uniform(-0.08, 0.08));
+    const float by = d.blob_y + static_cast<float>(rng.uniform(-0.08, 0.08));
+    const bool flip = rng.bernoulli(0.5);
+
+    const float ct = std::cos(d.theta), st = std::sin(d.theta);
+    float* img = ds.images.data() + n * c * s * s;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float cw = ch < 3 ? d.color[ch] : 1.0f;
+      const float bw = ch < 3 ? d.blob_color[ch] : 0.0f;
+      for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t x = 0; x < s; ++x) {
+          const std::size_t xe = flip ? s - 1 - x : x;
+          const float u = static_cast<float>(xe) / static_cast<float>(s);
+          const float v = static_cast<float>(y) / static_cast<float>(s);
+          const float grating =
+              std::sin(2.0f * static_cast<float>(M_PI) * d.freq *
+                           (u * ct + v * st) +
+                       phase);
+          const float dx = u - bx, dy = v - by;
+          const float blob =
+              std::exp(-(dx * dx + dy * dy) / (2.0f * d.blob_sigma * d.blob_sigma));
+          float val = amp * (0.6f * cw * grating + 0.8f * bw * blob) +
+                      cfg.pixel_noise_std * static_cast<float>(rng.normal());
+          // Clamp to the normalized image range.
+          val = val > 1.0f ? 1.0f : (val < -1.0f ? -1.0f : val);
+          img[(ch * s + y) * s + x] = val;
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace gbo::data

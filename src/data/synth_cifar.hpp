@@ -1,0 +1,34 @@
+// SynthCIFAR — procedural 10-class image dataset.
+//
+// Offline substitute for CIFAR-10 (see DESIGN.md §2): each class is defined
+// by (a) an oriented sinusoidal grating with class-specific frequency and
+// orientation, (b) a class-colored Gaussian blob at a class-specific
+// location, and (c) a class color balance. Instances draw random grating
+// phase, blob jitter, amplitude jitter, per-pixel Gaussian noise, and a
+// random horizontal flip, so the task requires learning spatial structure
+// rather than mean color alone. Difficulty is tuned (noise_std) so the
+// reduced VGG9 reaches ≈90% clean accuracy — the paper's CIFAR-10 operating
+// point — making the relative noise-degradation trends comparable.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace gbo::data {
+
+struct SynthCifarConfig {
+  std::size_t num_classes = 10;
+  std::size_t image_size = 16;
+  std::size_t channels = 3;
+  float pixel_noise_std = 0.35f;  // instance noise; raises task difficulty
+  std::uint64_t seed = 1234;
+
+  std::string fingerprint() const;
+};
+
+/// Generates `count` samples. `stream` separates independent splits
+/// (0 = train, 1 = test) drawn from the same class definitions.
+Dataset make_synth_cifar(const SynthCifarConfig& cfg, std::size_t count,
+                         std::uint64_t stream);
+
+}  // namespace gbo::data

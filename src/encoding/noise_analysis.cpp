@@ -1,0 +1,42 @@
+#include "encoding/noise_analysis.hpp"
+
+#include <stdexcept>
+
+namespace gbo::enc {
+
+double bit_slicing_variance_factor(std::size_t num_pulses) {
+  return EncodingSpec{Scheme::kBitSlicing, num_pulses}.noise_variance_factor();
+}
+
+double thermometer_variance_factor(std::size_t num_pulses) {
+  return EncodingSpec{Scheme::kThermometer, num_pulses}.noise_variance_factor();
+}
+
+std::size_t bit_slicing_pulses_for_bits(std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("pulses_for_bits: bits must be > 0");
+  return bits;
+}
+
+std::size_t thermometer_pulses_for_bits(std::size_t bits) {
+  if (bits == 0 || bits >= 31)
+    throw std::invalid_argument("pulses_for_bits: bad bit count");
+  return (static_cast<std::size_t>(1) << bits) - 1;
+}
+
+std::vector<Fig1bPoint> fig1b_series(std::size_t max_bits) {
+  std::vector<Fig1bPoint> out;
+  // Both encodings collapse to a single pulse at 1 bit, so the 1-bit
+  // variance factor (== 1) is the normalization baseline the paper uses.
+  for (std::size_t b = 1; b <= max_bits; ++b) {
+    Fig1bPoint pt;
+    pt.bits = b;
+    pt.bs_pulses = bit_slicing_pulses_for_bits(b);
+    pt.tc_pulses = thermometer_pulses_for_bits(b);
+    pt.bs_variance = bit_slicing_variance_factor(pt.bs_pulses);
+    pt.tc_variance = thermometer_variance_factor(pt.tc_pulses);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace gbo::enc

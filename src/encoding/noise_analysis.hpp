@@ -1,0 +1,38 @@
+// Closed-form noise analysis of binary bit encodings (paper §II-B, Fig. 1b).
+//
+// With independent per-pulse output noise N(0, σ²), the accumulated noise
+// variance after decode is σ² · Σ w_i² / (Σ w_i)². This header provides the
+// specialized formulas and the Fig. 1b series (variance vs number of bits,
+// normalized to the 1-bit baseline).
+#pragma once
+
+#include "encoding/pulse_train.hpp"
+
+#include <vector>
+
+namespace gbo::enc {
+
+/// Eq. 2 factor: Σ_{i<p} 4^i / (Σ_{i<p} 2^i)² for bit slicing with p pulses.
+double bit_slicing_variance_factor(std::size_t num_pulses);
+
+/// Eq. 3 factor: 1/p for thermometer coding with p pulses.
+double thermometer_variance_factor(std::size_t num_pulses);
+
+/// Pulses needed to carry b bits of information:
+///   bit slicing: b ; thermometer: 2^b - 1.
+std::size_t bit_slicing_pulses_for_bits(std::size_t bits);
+std::size_t thermometer_pulses_for_bits(std::size_t bits);
+
+/// One point of the Fig. 1b curves.
+struct Fig1bPoint {
+  std::size_t bits;
+  std::size_t bs_pulses;
+  std::size_t tc_pulses;
+  double bs_variance;  // normalized so that bits == 1 -> 1.0
+  double tc_variance;
+};
+
+/// The full Fig. 1b series for bits = 1..max_bits.
+std::vector<Fig1bPoint> fig1b_series(std::size_t max_bits);
+
+}  // namespace gbo::enc

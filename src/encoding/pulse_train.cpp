@@ -1,0 +1,59 @@
+#include "encoding/pulse_train.hpp"
+
+#include <stdexcept>
+
+namespace gbo::enc {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kThermometer: return "thermometer";
+    case Scheme::kBitSlicing: return "bit_slicing";
+  }
+  return "unknown";
+}
+
+std::size_t EncodingSpec::levels() const {
+  if (num_pulses == 0) throw std::invalid_argument("EncodingSpec: 0 pulses");
+  if (scheme == Scheme::kThermometer) return num_pulses + 1;
+  if (num_pulses >= 63) throw std::invalid_argument("EncodingSpec: too many bit-slicing pulses");
+  return static_cast<std::size_t>(1) << num_pulses;
+}
+
+std::vector<double> EncodingSpec::pulse_weights() const {
+  std::vector<double> w(num_pulses);
+  for (std::size_t i = 0; i < num_pulses; ++i)
+    w[i] = scheme == Scheme::kThermometer ? 1.0
+                                          : static_cast<double>(1ull << i);
+  return w;
+}
+
+double EncodingSpec::noise_variance_factor() const {
+  const auto w = pulse_weights();
+  double sum = 0.0, sum_sq = 0.0;
+  for (double wi : w) {
+    sum += wi;
+    sum_sq += wi * wi;
+  }
+  return sum_sq / (sum * sum);
+}
+
+Tensor PulseTrain::decode() const {
+  if (pulses.empty()) throw std::invalid_argument("PulseTrain: empty");
+  const auto w = spec.pulse_weights();
+  if (w.size() != pulses.size())
+    throw std::invalid_argument("PulseTrain: pulse count mismatch with spec");
+  double wsum = 0.0;
+  for (double wi : w) wsum += wi;
+
+  Tensor out(pulses[0].shape());
+  for (std::size_t i = 0; i < pulses.size(); ++i) {
+    Tensor::check_same_shape(pulses[i], out, "PulseTrain::decode");
+    const float* p = pulses[i].data();
+    float* o = out.data();
+    const float wi = static_cast<float>(w[i] / wsum);
+    for (std::size_t j = 0; j < out.numel(); ++j) o[j] += wi * p[j];
+  }
+  return out;
+}
+
+}  // namespace gbo::enc

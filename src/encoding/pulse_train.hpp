@@ -1,0 +1,57 @@
+// Temporal binary pulse trains for crossbar input encoding.
+//
+// Both encodings studied by the paper are represented uniformly: an encoded
+// activation is a sequence of bipolar pulses x_i ∈ {-1, +1} with per-pulse
+// contribution weights w_i, and decodes as Σ w_i x_i / Σ w_i.
+//   * Thermometer coding:  w_i = 1      (p pulses ↔ p+1 levels)
+//   * Bit slicing:         w_i = 2^i    (p pulses ↔ 2^p levels)
+// Bipolar bit slicing decodes exactly: with level index L and bits β_i,
+// Σ 2^i (2β_i - 1) / Σ 2^i = 2L/(2^p - 1) - 1, the symmetric quantized value.
+//
+// Per-pulse crossbar noise N(0, σ²) accumulates as
+//   Var = σ² · Σ w_i² / (Σ w_i)²,
+// which specializes to Eq. 2 (bit slicing) and Eq. 3 (thermometer, 1/p).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbo::enc {
+
+enum class Scheme : std::uint8_t { kThermometer = 0, kBitSlicing = 1 };
+
+std::string scheme_name(Scheme s);
+
+/// Describes how one layer's activations are streamed into the crossbar.
+struct EncodingSpec {
+  Scheme scheme = Scheme::kThermometer;
+  std::size_t num_pulses = 8;  // p
+
+  /// Number of representable activation levels.
+  ///   thermometer: p + 1 ; bit slicing: 2^p.
+  std::size_t levels() const;
+
+  /// Per-pulse contribution weights w_i.
+  std::vector<double> pulse_weights() const;
+
+  /// Σ w_i² / (Σ w_i)² — the accumulated output-noise variance as a multiple
+  /// of the single-pulse variance σ² (Eq. 2 / Eq. 3).
+  double noise_variance_factor() const;
+
+  bool operator==(const EncodingSpec&) const = default;
+};
+
+/// A batch of activations encoded as `num_pulses` bipolar pulse tensors.
+/// pulses[i] has the same shape as the source tensor, entries in {-1, +1}.
+struct PulseTrain {
+  EncodingSpec spec;
+  std::vector<Tensor> pulses;
+
+  /// Reconstructs the (quantized) activation tensor: Σ w_i x_i / Σ w_i.
+  Tensor decode() const;
+};
+
+}  // namespace gbo::enc

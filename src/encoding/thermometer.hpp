@@ -1,0 +1,22 @@
+// Thermometer coding (Soliman et al., IEDM'20): the number of +1 pulses is
+// proportional to the representation level. p pulses represent p+1 levels;
+// level k decodes to (2k - p) / p.
+#pragma once
+
+#include "encoding/pulse_train.hpp"
+
+namespace gbo::enc {
+
+/// Level index (count of +1 pulses) for a value in [-1, 1] under p pulses.
+std::size_t thermometer_level(float value, std::size_t num_pulses);
+
+/// Encodes a tensor of activations in [-1, 1]. Values are snapped to the
+/// nearest representable level first (identical to the 9-level activation
+/// quantizer when num_pulses == 8).
+PulseTrain thermometer_encode(const Tensor& activations, std::size_t num_pulses);
+
+/// The exact value a thermometer train of p pulses can represent closest to
+/// `value` — used to quantify PLA approximation error.
+float thermometer_snap(float value, std::size_t num_pulses);
+
+}  // namespace gbo::enc

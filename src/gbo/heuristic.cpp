@@ -1,0 +1,77 @@
+#include "gbo/heuristic.hpp"
+
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gbo::opt {
+
+std::vector<double> layer_sensitivity(nn::Sequential& net,
+                                      xbar::LayerNoiseController& ctrl,
+                                      const data::Dataset& val, double sigma,
+                                      std::size_t trials) {
+  const float clean = core::evaluate(net, val);
+  ctrl.attach();
+  ctrl.set_sigma(sigma);
+  ctrl.set_uniform_pulses(ctrl.base_pulses());
+  std::vector<double> drops;
+  drops.reserve(ctrl.num_layers());
+  for (std::size_t l = 0; l < ctrl.num_layers(); ++l) {
+    ctrl.isolate_layer(l);
+    const float acc = core::evaluate_noisy(net, ctrl, val, trials);
+    drops.push_back(std::max(0.0, static_cast<double>(clean) - acc));
+  }
+  ctrl.detach();
+  return drops;
+}
+
+std::vector<std::size_t> sensitivity_guided_schedule(
+    const std::vector<double>& sensitivity,
+    const std::vector<std::size_t>& pulse_set, double avg_budget) {
+  if (sensitivity.empty()) throw std::invalid_argument("heuristic: no layers");
+  if (pulse_set.empty()) throw std::invalid_argument("heuristic: empty pulse set");
+  std::vector<std::size_t> set = pulse_set;
+  std::sort(set.begin(), set.end());
+
+  const std::size_t layers = sensitivity.size();
+  std::vector<std::size_t> level(layers, 0);  // index into `set`
+  const double budget_total = avg_budget * static_cast<double>(layers);
+  double total = static_cast<double>(set.front()) * static_cast<double>(layers);
+
+  // Greedy upgrades: each step, upgrade the layer with the largest
+  // per-pulse sensitivity gain that still fits the budget. Sensitivity mass
+  // is "consumed" proportionally to the relative latency already granted,
+  // so a very sensitive layer gets several upgrades before others get one.
+  std::vector<double> remaining = sensitivity;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pick the most sensitive upgradable layer.
+    std::size_t best = layers;
+    double best_mass = 0.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+      if (level[l] + 1 >= set.size()) continue;
+      const double step =
+          static_cast<double>(set[level[l] + 1] - set[level[l]]);
+      if (total + step > budget_total + 1e-9) continue;
+      if (remaining[l] > best_mass) {
+        best_mass = remaining[l];
+        best = l;
+      }
+    }
+    if (best == layers || best_mass <= 0.0) break;
+    const double step = static_cast<double>(set[level[best] + 1] - set[level[best]]);
+    total += step;
+    ++level[best];
+    // Diminish the layer's claim so other sensitive layers get their turn.
+    remaining[best] *= 0.5;
+    progressed = true;
+  }
+
+  std::vector<std::size_t> schedule(layers);
+  for (std::size_t l = 0; l < layers; ++l) schedule[l] = set[level[l]];
+  return schedule;
+}
+
+}  // namespace gbo::opt

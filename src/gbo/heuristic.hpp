@@ -1,0 +1,37 @@
+// Sensitivity-guided heuristic schedule — the manual baseline GBO is
+// claimed to generalize over (paper contribution (2): "compared to a
+// heuristic approach (e.g., manually selecting bit encoding for each
+// layer), our work provides a more general solution").
+//
+// The heuristic does what a careful engineer would: run the Fig. 2
+// layer-isolation experiment on a validation set, then hand each layer a
+// pulse budget proportional to its measured sensitivity, subject to the
+// same average-latency budget and the same realizable pulse set as GBO.
+// The γ-ablation bench pits it against GBO directly.
+#pragma once
+
+#include "crossbar/crossbar_layers.hpp"
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+#include <vector>
+
+namespace gbo::opt {
+
+/// Per-layer accuracy drop when noise is isolated at that layer
+/// (clean_accuracy - isolated_accuracy, clamped at >= 0).
+std::vector<double> layer_sensitivity(nn::Sequential& net,
+                                      xbar::LayerNoiseController& ctrl,
+                                      const data::Dataset& val, double sigma,
+                                      std::size_t trials = 2);
+
+/// Allocates pulse counts from `pulse_set` (sorted ascending) so that more
+/// sensitive layers get longer codes while the schedule's average stays at
+/// or below `avg_budget`. Greedy: start everyone at the shortest code, then
+/// repeatedly upgrade the most sensitive layer (by remaining sensitivity
+/// mass) that still fits the budget.
+std::vector<std::size_t> sensitivity_guided_schedule(
+    const std::vector<double>& sensitivity,
+    const std::vector<std::size_t>& pulse_set, double avg_budget);
+
+}  // namespace gbo::opt

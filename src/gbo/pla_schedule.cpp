@@ -1,0 +1,39 @@
+#include "gbo/pla_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace gbo::opt {
+
+double PulseSchedule::average() const {
+  if (per_layer.empty()) return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(per_layer.size());
+}
+
+std::size_t PulseSchedule::total() const {
+  return std::accumulate(per_layer.begin(), per_layer.end(), std::size_t{0});
+}
+
+std::size_t PulseSchedule::max_pulses() const {
+  return per_layer.empty()
+             ? 0
+             : *std::max_element(per_layer.begin(), per_layer.end());
+}
+
+std::string PulseSchedule::to_string() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < per_layer.size(); ++i) {
+    if (i) oss << ", ";
+    oss << per_layer[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+PulseSchedule uniform_schedule(std::size_t layers, std::size_t pulses) {
+  return PulseSchedule{std::vector<std::size_t>(layers, pulses)};
+}
+
+}  // namespace gbo::opt

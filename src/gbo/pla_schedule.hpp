@@ -1,0 +1,30 @@
+// Latency accounting for pulse schedules (supports the Table I/II
+// "Avg.#pulses" column and the γ ablation).
+//
+// A pulse schedule is the per-layer thermometer pulse count a configuration
+// runs with. Crossbar layers execute sequentially at one pulse per cycle,
+// so a layer's latency contribution is its pulse count; the paper reports
+// the unweighted average across encoded layers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gbo::opt {
+
+struct PulseSchedule {
+  std::vector<std::size_t> per_layer;
+
+  double average() const;
+  std::size_t total() const;
+  std::size_t max_pulses() const;
+
+  /// "[10, 10, 8, 10, 10, 4, 6]" — the Table I formatting.
+  std::string to_string() const;
+};
+
+/// Uniform schedule (baseline / PLA-n rows of Table I).
+PulseSchedule uniform_schedule(std::size_t layers, std::size_t pulses);
+
+}  // namespace gbo::opt

@@ -1,0 +1,121 @@
+// Joint (encoding scheme × pulse length) search — 2-D extension of GBO.
+//
+// The paper fixes Thermometer coding and searches only the pulse *length*
+// per layer. But its own Eq. 2/3 analysis prices every (scheme, pulses)
+// pair: a candidate's accumulated noise variance is σ² · Σw_i²/(Σw_i)²,
+// and its latency is its pulse count. Nothing in the λ/softmax machinery
+// requires candidates to share a scheme, so this module generalizes the
+// search space to arbitrary mixed candidate lists, e.g.
+//     {TC-4, TC-8, TC-16, BS-4, BS-8}
+// and lets gradient descent decide per layer whether a cheaper bit-sliced
+// code (fewer pulses for the same levels, but a worse variance factor)
+// beats a longer thermometer code. The per-candidate variance factor comes
+// from EncodingSpec::noise_variance_factor(), so the same code path prices
+// any future encoding that defines pulse weights.
+//
+// This implements the paper's future-work direction implicitly raised by
+// Fig. 1b (why not pick the encoding per layer too?) and powers
+// bench_ext_scheme.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataloader.hpp"
+#include "encoding/pulse_train.hpp"
+#include "gbo/gbo.hpp"
+#include "nn/optim.hpp"
+#include "nn/sequential.hpp"
+#include "quant/quant_layers.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gbo::opt {
+
+/// One point of the mixed search space.
+struct SchemeCandidate {
+  enc::EncodingSpec spec;
+
+  /// Accumulated noise variance as a multiple of σ² (Eq. 2/3).
+  double variance_factor() const { return spec.noise_variance_factor(); }
+  std::size_t pulses() const { return spec.num_pulses; }
+  std::string name() const;
+
+  bool operator==(const SchemeCandidate&) const = default;
+};
+
+/// The default mixed candidate set: thermometer at the paper's PLA lengths
+/// plus bit-sliced codes carrying comparable level counts.
+std::vector<SchemeCandidate> default_mixed_candidates(
+    std::size_t base_pulses = 8);
+
+struct MixedGboConfig {
+  std::vector<SchemeCandidate> candidates;
+  double sigma = 1.0;
+  double gamma = 1e-3;
+  std::size_t epochs = 10;
+  float lr = 1e-4f;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 21;
+};
+
+/// Per-layer λ logits over mixed candidates; Eq. 5 noise mixture with
+/// per-candidate variance factors.
+class MixedLayerState : public quant::MvmNoiseHook {
+ public:
+  MixedLayerState(const MixedGboConfig& cfg, Rng rng);
+
+  void on_forward(Tensor& out) override;
+  void on_backward(const Tensor& grad_out) override;
+  void accumulate_latency_grad();
+
+  std::vector<double> alpha() const;
+  double expected_pulses() const;
+  std::size_t selected_index() const;
+  const SchemeCandidate& selected() const;
+
+  nn::Param& lambda() { return lambda_; }
+  const std::vector<SchemeCandidate>& candidates() const {
+    return cfg_.candidates;
+  }
+
+ private:
+  MixedGboConfig cfg_;
+  nn::Param lambda_;
+  Rng rng_;
+  std::vector<Tensor> cached_noise_;
+  std::vector<double> cached_alpha_;
+};
+
+/// λ-only trainer over the mixed space; mirrors GboTrainer.
+class MixedGboTrainer {
+ public:
+  MixedGboTrainer(nn::Sequential& net,
+                  std::vector<quant::Hookable*> encoded_layers,
+                  MixedGboConfig cfg);
+  ~MixedGboTrainer();
+
+  MixedGboTrainer(const MixedGboTrainer&) = delete;
+  MixedGboTrainer& operator=(const MixedGboTrainer&) = delete;
+
+  std::vector<GboEpochStats> train(const data::Dataset& train);
+
+  /// Per-layer selections after training.
+  std::vector<SchemeCandidate> selected() const;
+  std::vector<std::size_t> selected_pulses() const;
+  double avg_selected_pulses() const;
+  /// Human-readable per-layer selection like "[TC-8, BS-4, TC-16]".
+  std::string selection_string() const;
+
+  MixedLayerState& layer_state(std::size_t i) { return *states_.at(i); }
+  std::size_t num_layers() const { return states_.size(); }
+
+ private:
+  nn::Sequential& net_;
+  std::vector<quant::Hookable*> layers_;
+  MixedGboConfig cfg_;
+  std::vector<std::unique_ptr<MixedLayerState>> states_;
+  std::vector<bool> saved_requires_grad_;
+};
+
+}  // namespace gbo::opt

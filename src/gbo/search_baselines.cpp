@@ -1,0 +1,243 @@
+#include "gbo/search_baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gbo::opt {
+
+namespace {
+
+double avg_pulses(const std::vector<std::size_t>& pulses) {
+  if (pulses.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t p : pulses) s += static_cast<double>(p);
+  return s / static_cast<double>(pulses.size());
+}
+
+void validate(const SearchConfig& cfg, std::size_t layers) {
+  if (cfg.candidates.empty())
+    throw std::invalid_argument("schedule search: empty candidate set");
+  if (cfg.budget == 0)
+    throw std::invalid_argument("schedule search: zero budget");
+  if (layers == 0)
+    throw std::invalid_argument("schedule search: network has no layers");
+}
+
+/// The budget counts *distinct* schedule evaluations, but the search space
+/// is finite (candidates^layers): once it is exhausted no proposal can
+/// consume budget, so every sampler must also stop on this bound (and, as a
+/// belt-and-braces guard, on a generous cap of non-spending proposals).
+std::size_t effective_budget(const SearchConfig& cfg, std::size_t layers) {
+  double space = 1.0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    space *= static_cast<double>(cfg.candidates.size());
+    if (space >= static_cast<double>(cfg.budget)) return cfg.budget;
+  }
+  return std::min<std::size_t>(cfg.budget,
+                               static_cast<std::size_t>(space));
+}
+
+/// Tracks the incumbent and the anytime trace as evaluations are spent.
+struct Incumbent {
+  SearchResult result;
+  ScheduleEvaluator& eval;
+  std::size_t evals_at_start;
+
+  Incumbent(std::string method, ScheduleEvaluator& e)
+      : eval(e), evals_at_start(e.evaluations()) {
+    result.method = std::move(method);
+  }
+
+  /// Evaluates `pulses` (may hit the memo) and updates the incumbent.
+  double consider(const std::vector<std::size_t>& pulses) {
+    const double j = eval.objective(pulses);
+    if (j > result.best_objective) {
+      result.best_objective = j;
+      result.best = pulses;
+      result.best_accuracy = eval.accuracy(pulses);
+    }
+    // One trace point per *distinct* evaluation consumed so far.
+    const std::size_t spent = eval.evaluations() - evals_at_start;
+    while (result.trace.size() < spent)
+      result.trace.push_back(result.best_objective);
+    return j;
+  }
+
+  std::size_t spent() const { return eval.evaluations() - evals_at_start; }
+
+  SearchResult finish() {
+    result.evaluations = spent();
+    return std::move(result);
+  }
+};
+
+}  // namespace
+
+ScheduleEvaluator::ScheduleEvaluator(nn::Sequential& net,
+                                     xbar::LayerNoiseController& ctrl,
+                                     const data::Dataset& eval_set,
+                                     double latency_weight, std::size_t trials,
+                                     std::size_t batch_size)
+    : net_(net), ctrl_(ctrl), eval_set_(eval_set),
+      latency_weight_(latency_weight), trials_(trials),
+      batch_size_(batch_size) {}
+
+const ScheduleEvaluator::Entry& ScheduleEvaluator::lookup(
+    const std::vector<std::size_t>& pulses) {
+  if (pulses.size() != ctrl_.num_layers())
+    throw std::invalid_argument(
+        "ScheduleEvaluator: schedule length does not match the network");
+  auto it = memo_.find(pulses);
+  if (it != memo_.end()) return it->second;
+
+  ctrl_.set_pulses(pulses);
+  const float acc =
+      core::evaluate_noisy(net_, ctrl_, eval_set_, trials_, batch_size_);
+  ++evals_;
+  Entry e;
+  e.accuracy_pct = 100.0 * static_cast<double>(acc);
+  e.objective = e.accuracy_pct - latency_weight_ * avg_pulses(pulses);
+  return memo_.emplace(pulses, e).first->second;
+}
+
+double ScheduleEvaluator::objective(const std::vector<std::size_t>& pulses) {
+  return lookup(pulses).objective;
+}
+
+double ScheduleEvaluator::accuracy(const std::vector<std::size_t>& pulses) {
+  return lookup(pulses).accuracy_pct;
+}
+
+SearchResult random_search(ScheduleEvaluator& eval, const SearchConfig& cfg) {
+  const std::size_t layers = eval.num_layers();
+  validate(cfg, layers);
+  const std::size_t budget = effective_budget(cfg, layers);
+  Rng rng(cfg.seed);
+  Incumbent inc("random", eval);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * budget;
+  while (inc.spent() < budget && attempts++ < max_attempts) {
+    std::vector<std::size_t> s(layers);
+    for (auto& p : s)
+      p = cfg.candidates[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cfg.candidates.size()) - 1))];
+    inc.consider(s);
+  }
+  return inc.finish();
+}
+
+SearchResult evolutionary_search(ScheduleEvaluator& eval,
+                                 const SearchConfig& cfg) {
+  const std::size_t layers = eval.num_layers();
+  validate(cfg, layers);
+  if (cfg.population == 0 || cfg.offspring == 0)
+    throw std::invalid_argument("evolutionary search: empty population");
+  const std::size_t budget = effective_budget(cfg, layers);
+  Rng rng(cfg.seed);
+  Incumbent inc("evolutionary", eval);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * budget;
+
+  auto candidate_index = [&](std::size_t pulse) {
+    for (std::size_t i = 0; i < cfg.candidates.size(); ++i)
+      if (cfg.candidates[i] == pulse) return i;
+    return std::size_t{0};
+  };
+
+  // Seed: one uniform schedule per candidate pulse count (the PLA-n
+  // baselines), then random fill to the population size.
+  std::vector<std::pair<double, std::vector<std::size_t>>> pop;
+  for (std::size_t c = 0; c < cfg.candidates.size() && inc.spent() < budget;
+       ++c) {
+    std::vector<std::size_t> s(layers, cfg.candidates[c]);
+    pop.emplace_back(inc.consider(s), std::move(s));
+  }
+  while (pop.size() < cfg.population && inc.spent() < budget &&
+         attempts++ < max_attempts) {
+    std::vector<std::size_t> s(layers);
+    for (auto& p : s)
+      p = cfg.candidates[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cfg.candidates.size()) - 1))];
+    pop.emplace_back(inc.consider(s), std::move(s));
+  }
+
+  while (inc.spent() < budget && attempts < max_attempts) {
+    // Truncation selection: keep the best μ.
+    std::sort(pop.begin(), pop.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (pop.size() > cfg.population) pop.resize(cfg.population);
+
+    for (std::size_t o = 0; o < cfg.offspring && inc.spent() < budget &&
+                            attempts++ < max_attempts;
+         ++o) {
+      const auto& parent =
+          pop[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))]
+              .second;
+      std::vector<std::size_t> child = parent;
+      bool mutated = false;
+      for (auto& p : child) {
+        if (!rng.bernoulli(cfg.mutation_rate)) continue;
+        mutated = true;
+        const std::size_t i = candidate_index(p);
+        if (rng.bernoulli(0.2)) {  // occasional jump anywhere
+          p = cfg.candidates[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(cfg.candidates.size()) - 1))];
+        } else if (i == 0) {
+          p = cfg.candidates[1 % cfg.candidates.size()];
+        } else if (i + 1 == cfg.candidates.size()) {
+          p = cfg.candidates[i - 1];
+        } else {
+          p = cfg.candidates[rng.bernoulli(0.5) ? i - 1 : i + 1];
+        }
+      }
+      if (!mutated) {  // force at least one mutation
+        auto& p = child[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(layers) - 1))];
+        p = cfg.candidates[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cfg.candidates.size()) - 1))];
+      }
+      pop.emplace_back(inc.consider(child), std::move(child));
+    }
+  }
+  return inc.finish();
+}
+
+SearchResult greedy_coordinate_descent(ScheduleEvaluator& eval,
+                                       const SearchConfig& cfg) {
+  const std::size_t layers = eval.num_layers();
+  validate(cfg, layers);
+  Incumbent inc("greedy", eval);
+
+  // Start from the base-pulse uniform schedule (the paper's baseline);
+  // use the median candidate if the base is not in the set.
+  std::vector<std::size_t> current(
+      layers, cfg.candidates[cfg.candidates.size() / 2]);
+  double current_j = inc.consider(current);
+
+  bool improved = true;
+  while (improved && inc.spent() < cfg.budget) {
+    improved = false;
+    for (std::size_t l = 0; l < layers && inc.spent() < cfg.budget; ++l) {
+      std::size_t best_p = current[l];
+      for (std::size_t c = 0;
+           c < cfg.candidates.size() && inc.spent() < cfg.budget; ++c) {
+        if (cfg.candidates[c] == current[l]) continue;
+        std::vector<std::size_t> trial = current;
+        trial[l] = cfg.candidates[c];
+        const double j = inc.consider(trial);
+        if (j > current_j) {
+          current_j = j;
+          best_p = cfg.candidates[c];
+        }
+      }
+      if (best_p != current[l]) {
+        current[l] = best_p;
+        improved = true;
+      }
+    }
+  }
+  return inc.finish();
+}
+
+}  // namespace gbo::opt

@@ -1,0 +1,102 @@
+// Black-box schedule-search baselines (optimizer ablation).
+//
+// The paper's contribution (2) claims gradient-based optimization beats
+// heuristic per-layer selection. These baselines quantify that claim from
+// the other side: they search the same per-layer pulse-length space
+// *without* gradients, treating noisy evaluation accuracy as an oracle.
+// All searchers consume the same budget unit — one full noisy evaluation
+// of one candidate schedule — so bench_ablation_optimizer can compare
+// GBO / Gumbel / random / evolutionary / greedy at equal cost.
+//
+// The scalar objective mirrors Eq. 6's two terms:
+//     J(schedule) = accuracy(%) − latency_weight · avg_pulses,
+// so latency_weight plays the role of γ (in %-accuracy per pulse units).
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "crossbar/crossbar_layers.hpp"
+#include "data/dataset.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gbo::opt {
+
+/// Budgeted, memoized oracle: schedule -> Eq. 6-style objective.
+class ScheduleEvaluator {
+ public:
+  /// `ctrl` must already be attached to `net`'s encoded layers and have its
+  /// σ configured. Each distinct schedule costs one budget unit (repeat
+  /// queries hit the memo and are free — real hardware would also cache).
+  ScheduleEvaluator(nn::Sequential& net, xbar::LayerNoiseController& ctrl,
+                    const data::Dataset& eval_set, double latency_weight,
+                    std::size_t trials = 1, std::size_t batch_size = 64);
+
+  /// Objective J = accuracy% − latency_weight · avg_pulses.
+  double objective(const std::vector<std::size_t>& pulses);
+
+  /// Accuracy (%) of the most recent distinct evaluation of `pulses`;
+  /// evaluates if not memoized.
+  double accuracy(const std::vector<std::size_t>& pulses);
+
+  std::size_t num_layers() const { return ctrl_.num_layers(); }
+  std::size_t evaluations() const { return evals_; }
+
+ private:
+  struct Entry {
+    double accuracy_pct;
+    double objective;
+  };
+  const Entry& lookup(const std::vector<std::size_t>& pulses);
+
+  nn::Sequential& net_;
+  xbar::LayerNoiseController& ctrl_;
+  const data::Dataset& eval_set_;
+  double latency_weight_;
+  std::size_t trials_;
+  std::size_t batch_size_;
+  std::size_t evals_ = 0;
+  std::map<std::vector<std::size_t>, Entry> memo_;
+};
+
+struct SearchConfig {
+  std::vector<std::size_t> candidates;  // allowed pulse counts per layer
+  std::size_t budget = 60;              // distinct schedule evaluations
+  std::uint64_t seed = 33;
+
+  // Evolutionary-search knobs.
+  std::size_t population = 8;   // parents kept per generation (μ)
+  std::size_t offspring = 8;    // children per generation (λ)
+  double mutation_rate = 0.3;   // per-layer probability of mutating
+};
+
+struct SearchResult {
+  std::string method;
+  std::vector<std::size_t> best;   // best schedule found
+  double best_objective = -1e300;
+  double best_accuracy = 0.0;      // accuracy(%) of `best`
+  std::size_t evaluations = 0;     // budget actually consumed
+  /// best_objective after each evaluation (anytime curve for plots).
+  std::vector<double> trace;
+};
+
+/// Uniform random schedules until the budget is exhausted.
+SearchResult random_search(ScheduleEvaluator& eval, const SearchConfig& cfg);
+
+/// (μ + λ) evolutionary search: truncation selection, per-layer mutation
+/// to a neighboring candidate (or a uniform resample with small
+/// probability). Population seeded with uniform schedules, one per
+/// candidate pulse count.
+SearchResult evolutionary_search(ScheduleEvaluator& eval,
+                                 const SearchConfig& cfg);
+
+/// Cyclic greedy coordinate descent from the uniform base-pulse schedule:
+/// sweeps layers in order, trying every candidate at that layer and keeping
+/// the best, until the budget runs out or a full sweep makes no change.
+SearchResult greedy_coordinate_descent(ScheduleEvaluator& eval,
+                                       const SearchConfig& cfg);
+
+}  // namespace gbo::opt

@@ -1,0 +1,35 @@
+#include "models/mlp.hpp"
+
+#include "quant/act_quant.hpp"
+
+#include <stdexcept>
+
+namespace gbo::models {
+
+Mlp build_mlp(const MlpConfig& cfg) {
+  if (cfg.hidden.empty())
+    throw std::invalid_argument("build_mlp: need at least one hidden layer");
+
+  Rng rng(cfg.seed);
+  Mlp model;
+  model.config = cfg;
+  model.net = std::make_unique<nn::Sequential>();
+  auto& net = *model.net;
+
+  std::size_t in = cfg.in_features;
+  for (std::size_t i = 0; i < cfg.hidden.size(); ++i) {
+    auto* fc = net.emplace<quant::QuantLinear>(in, cfg.hidden[i], rng);
+    net.emplace<nn::BatchNorm1d>(cfg.hidden[i]);
+    net.emplace<quant::QuantTanh>(cfg.act_levels);
+    model.binary.push_back(fc);
+    if (i > 0) {
+      model.encoded.push_back(fc);
+      model.encoded_names.push_back("fc" + std::to_string(i + 1));
+    }
+    in = cfg.hidden[i];
+  }
+  net.emplace<nn::Linear>(in, cfg.num_classes, /*bias=*/true, rng);
+  return model;
+}
+
+}  // namespace gbo::models

@@ -1,0 +1,39 @@
+// Small binary-weight MLP builder, used by unit tests and the quickstart
+// example where a full VGG9 would be overkill.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "quant/quant_layers.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace gbo::models {
+
+struct MlpConfig {
+  std::size_t in_features = 64;
+  std::vector<std::size_t> hidden = {128, 128};
+  std::size_t num_classes = 10;
+  std::size_t act_levels = 9;
+  std::uint64_t seed = 11;
+};
+
+struct Mlp {
+  std::unique_ptr<nn::Sequential> net;
+  /// All hidden QuantLinear layers except the first (whose input is the raw
+  /// feature vector) — the bit-encoded layers.
+  std::vector<quant::Hookable*> encoded;
+  std::vector<std::string> encoded_names;
+  /// Every binary-weight layer (including the first hidden layer).
+  std::vector<quant::Hookable*> binary;
+  MlpConfig config;
+
+  std::size_t base_pulses() const { return config.act_levels - 1; }
+};
+
+Mlp build_mlp(const MlpConfig& cfg);
+
+}  // namespace gbo::models

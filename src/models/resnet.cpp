@@ -1,0 +1,219 @@
+#include "models/resnet.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gbo::models {
+
+namespace {
+
+/// Prefixes every param/buffer name of `m` with "<tag>." so a block's
+/// flattened state dict has unique keys (conv1.weight vs conv2.weight).
+void tag_names(nn::Module& m, const std::string& tag) {
+  for (nn::Param* p : m.params()) p->name = tag + "." + p->name;
+  for (nn::Param* b : m.buffers()) b->name = tag + "." + b->name;
+}
+
+}  // namespace
+
+ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                             std::size_t in_size, std::size_t stride,
+                             std::size_t act_levels, Rng& rng) {
+  if (stride != 1 && stride != 2)
+    throw std::invalid_argument("ResidualBlock: stride must be 1 or 2");
+  if (in_size == 0 || in_channels == 0 || out_channels == 0)
+    throw std::invalid_argument("ResidualBlock: zero-sized configuration");
+
+  ConvGeom g1;
+  g1.in_c = in_channels;
+  g1.in_h = in_size;
+  g1.in_w = in_size;
+  g1.k = 3;
+  g1.stride = stride;
+  g1.pad = 1;
+  conv1_ = std::make_unique<quant::QuantConv2d>(out_channels, g1, rng);
+  out_size_ = g1.out_h();
+  bn1_ = std::make_unique<nn::BatchNorm2d>(out_channels);
+  act1_ = std::make_unique<quant::QuantTanh>(act_levels);
+
+  ConvGeom g2;
+  g2.in_c = out_channels;
+  g2.in_h = out_size_;
+  g2.in_w = out_size_;
+  g2.k = 3;
+  g2.stride = 1;
+  g2.pad = 1;
+  conv2_ = std::make_unique<quant::QuantConv2d>(out_channels, g2, rng);
+  bn2_ = std::make_unique<nn::BatchNorm2d>(out_channels);
+
+  if (stride != 1 || in_channels != out_channels) {
+    ConvGeom gp;
+    gp.in_c = in_channels;
+    gp.in_h = in_size;
+    gp.in_w = in_size;
+    gp.k = 1;
+    gp.stride = stride;
+    gp.pad = 0;
+    proj_conv_ = std::make_unique<quant::QuantConv2d>(out_channels, gp, rng);
+    proj_bn_ = std::make_unique<nn::BatchNorm2d>(out_channels);
+    if (proj_conv_->geom().out_h() != out_size_)
+      throw std::logic_error("ResidualBlock: shortcut/main size mismatch");
+  }
+  act_out_ = std::make_unique<quant::QuantTanh>(act_levels);
+
+  tag_names(*conv1_, "conv1");
+  tag_names(*bn1_, "bn1");
+  tag_names(*conv2_, "conv2");
+  tag_names(*bn2_, "bn2");
+  if (proj_conv_) {
+    tag_names(*proj_conv_, "proj");
+    tag_names(*proj_bn_, "proj_bn");
+  }
+}
+
+std::vector<nn::Module*> ResidualBlock::submodules() {
+  std::vector<nn::Module*> mods = {conv1_.get(), bn1_.get(), act1_.get(),
+                                   conv2_.get(), bn2_.get(), act_out_.get()};
+  if (proj_conv_) {
+    mods.push_back(proj_conv_.get());
+    mods.push_back(proj_bn_.get());
+  }
+  return mods;
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+  Tensor main = conv1_->forward(x);
+  main = bn1_->forward(main);
+  main = act1_->forward(main);
+  main = conv2_->forward(main);
+  main = bn2_->forward(main);
+
+  Tensor shortcut;
+  if (proj_conv_) {
+    shortcut = proj_bn_->forward(proj_conv_->forward(x));
+  } else {
+    shortcut = x;
+  }
+
+  Tensor::check_same_shape(main, shortcut, "ResidualBlock::forward");
+  ops::axpy_inplace(main, 1.0f, shortcut);
+  return act_out_->forward(main);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  // out = act(main + shortcut): the addition fans the gradient out to both
+  // branches unchanged.
+  Tensor g_sum = act_out_->backward(grad_out);
+
+  Tensor g_main = bn2_->backward(g_sum);
+  g_main = conv2_->backward(g_main);
+  g_main = act1_->backward(g_main);
+  g_main = bn1_->backward(g_main);
+  g_main = conv1_->backward(g_main);
+
+  if (proj_conv_) {
+    Tensor g_short = proj_bn_->backward(g_sum);
+    g_short = proj_conv_->backward(g_short);
+    ops::axpy_inplace(g_main, 1.0f, g_short);
+  } else {
+    ops::axpy_inplace(g_main, 1.0f, g_sum);
+  }
+  return g_main;
+}
+
+std::vector<nn::Param*> ResidualBlock::params() {
+  std::vector<nn::Param*> out;
+  for (nn::Module* m : submodules())
+    for (nn::Param* p : m->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<nn::Param*> ResidualBlock::buffers() {
+  std::vector<nn::Param*> out;
+  for (nn::Module* m : submodules())
+    for (nn::Param* b : m->buffers()) out.push_back(b);
+  return out;
+}
+
+void ResidualBlock::set_training(bool training) {
+  Module::set_training(training);
+  for (nn::Module* m : submodules()) m->set_training(training);
+}
+
+std::vector<quant::Hookable*> ResidualBlock::encoded_layers() {
+  std::vector<quant::Hookable*> out = {conv1_.get(), conv2_.get()};
+  if (proj_conv_) out.push_back(proj_conv_.get());
+  return out;
+}
+
+std::vector<std::string> ResidualBlock::encoded_suffixes() const {
+  std::vector<std::string> out = {"conv1", "conv2"};
+  if (proj_conv_) out.push_back("proj");
+  return out;
+}
+
+std::string ResNetConfig::fingerprint() const {
+  std::ostringstream oss;
+  oss << "resnet8:c" << in_channels << ":s" << image_size << ":k"
+      << num_classes << ":w" << width << ":l" << act_levels << ":seed" << seed;
+  return oss.str();
+}
+
+ResNet build_resnet(const ResNetConfig& cfg) {
+  if (cfg.image_size % 4 != 0)
+    throw std::invalid_argument(
+        "build_resnet: image_size must be divisible by 4");
+  if (cfg.act_levels < 2)
+    throw std::invalid_argument("build_resnet: act_levels must be >= 2");
+
+  Rng rng(cfg.seed);
+  ResNet model;
+  model.config = cfg;
+  model.net = std::make_unique<nn::Sequential>();
+  auto& net = *model.net;
+
+  const std::size_t w = cfg.width;
+  std::size_t size = cfg.image_size;
+
+  // Stem reads the image through DACs; not bit-encoded.
+  ConvGeom gs;
+  gs.in_c = cfg.in_channels;
+  gs.in_h = size;
+  gs.in_w = size;
+  gs.k = 3;
+  gs.stride = 1;
+  gs.pad = 1;
+  auto* stem = net.emplace<quant::QuantConv2d>(w, gs, rng);
+  net.emplace<nn::BatchNorm2d>(w);
+  net.emplace<quant::QuantTanh>(cfg.act_levels);
+
+  auto add_stage = [&](const std::string& name, std::size_t in_c,
+                       std::size_t out_c, std::size_t stride) {
+    auto* block = net.emplace<ResidualBlock>(in_c, out_c, size, stride,
+                                             cfg.act_levels, rng);
+    size = block->out_size();
+    const auto layers = block->encoded_layers();
+    const auto suffixes = block->encoded_suffixes();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      model.encoded.push_back(layers[i]);
+      model.encoded_names.push_back(name + "." + suffixes[i]);
+    }
+  };
+
+  add_stage("s1", w, w, 1);
+  add_stage("s2", w, 2 * w, 2);
+  add_stage("s3", 2 * w, 4 * w, 2);
+
+  net.emplace<nn::AvgPool2d>(size);
+  net.emplace<nn::Flatten>();
+  // Full-precision classifier head.
+  net.emplace<nn::Linear>(4 * w, cfg.num_classes, /*bias=*/true, rng);
+
+  model.binary.push_back(stem);
+  for (auto* layer : model.encoded) model.binary.push_back(layer);
+  return model;
+}
+
+}  // namespace gbo::models

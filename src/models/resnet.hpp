@@ -1,0 +1,102 @@
+// Binary-weight residual network (second architecture).
+//
+// The paper argues GBO generalizes across network configurations
+// (contribution (2)); VGG9 alone cannot demonstrate that. This model adds
+// skip connections — the structurally different case, because a residual
+// block's crossbar layers see *partially denoised* inputs (the identity
+// path bypasses the noisy MVM), which shifts per-layer noise sensitivity
+// relative to a plain chain. bench_ext_resnet runs the full
+// baseline/PLA/GBO comparison on this topology.
+//
+// Topology ("ResNet-8" scaled to the reduced CPU configuration):
+//   stem:   QuantConv 3×3 (image input, not bit-encoded) + BN + QuantTanh
+//   stage1: ResidualBlock(w   -> w,  stride 1)
+//   stage2: ResidualBlock(w   -> 2w, stride 2)   [projection shortcut]
+//   stage3: ResidualBlock(2w  -> 4w, stride 2)   [projection shortcut]
+//   head:   AvgPool to 1×1 spatial/4, Flatten, full-precision Linear
+//
+// Every conv inside a block is a QuantConv2d whose input is a quantized
+// activation, so each is a crossbar-encoded layer (8 in total with the
+// default one block per stage: 2 per plain block + 1 projection in each of
+// the two downsampling blocks).
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "quant/act_quant.hpp"
+#include "quant/quant_layers.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gbo::models {
+
+/// Post-activation residual block with binary-weight convolutions:
+///   out = QuantTanh( BN2(Conv2(QuantTanh(BN1(Conv1(x))))) + shortcut(x) )
+/// where shortcut is identity when shape-preserving, or a 1×1 binary
+/// projection conv + BN when the block changes channels or stride.
+class ResidualBlock : public nn::Module {
+ public:
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                std::size_t in_size, std::size_t stride,
+                std::size_t act_levels, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Param*> params() override;
+  std::vector<nn::Param*> buffers() override;
+  void set_training(bool training) override;
+  std::string kind() const override { return "ResidualBlock"; }
+
+  bool has_projection() const { return proj_conv_ != nullptr; }
+  std::size_t out_size() const { return out_size_; }
+
+  /// The block's crossbar-mapped layers: conv1, conv2[, projection].
+  std::vector<quant::Hookable*> encoded_layers();
+  std::vector<std::string> encoded_suffixes() const;
+
+ private:
+  std::vector<nn::Module*> submodules();
+
+  std::size_t out_size_ = 0;
+  std::unique_ptr<quant::QuantConv2d> conv1_;
+  std::unique_ptr<nn::BatchNorm2d> bn1_;
+  std::unique_ptr<quant::QuantTanh> act1_;
+  std::unique_ptr<quant::QuantConv2d> conv2_;
+  std::unique_ptr<nn::BatchNorm2d> bn2_;
+  std::unique_ptr<quant::QuantConv2d> proj_conv_;  // null for identity
+  std::unique_ptr<nn::BatchNorm2d> proj_bn_;       // null for identity
+  std::unique_ptr<quant::QuantTanh> act_out_;
+};
+
+struct ResNetConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;
+  std::size_t num_classes = 10;
+  std::size_t width = 16;      // stem width; stages use w, 2w, 4w
+  std::size_t act_levels = 9;  // 9 levels -> 8-pulse thermometer codes
+  std::uint64_t seed = 13;
+
+  /// Stable id for the artifact cache (mirrors Vgg9Config::fingerprint).
+  std::string fingerprint() const;
+};
+
+/// A built residual network plus handles to its crossbar-encoded layers
+/// (same shape as models::Vgg9, so pipelines/benches are interchangeable).
+struct ResNet {
+  std::unique_ptr<nn::Sequential> net;
+  std::vector<quant::Hookable*> encoded;   // 8 layers, forward order
+  std::vector<std::string> encoded_names;  // "s1.conv1", ..., "s3.proj"
+  std::vector<quant::Hookable*> binary;    // encoded + the stem conv
+  ResNetConfig config;
+
+  std::size_t base_pulses() const { return config.act_levels - 1; }
+};
+
+ResNet build_resnet(const ResNetConfig& cfg);
+
+}  // namespace gbo::models

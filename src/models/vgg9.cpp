@@ -1,0 +1,76 @@
+#include "models/vgg9.hpp"
+
+#include "quant/act_quant.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gbo::models {
+
+std::string Vgg9Config::fingerprint() const {
+  std::ostringstream oss;
+  oss << "vgg9:c" << in_channels << ":s" << image_size << ":k" << num_classes
+      << ":w" << width << ":l" << act_levels << ":seed" << seed;
+  return oss.str();
+}
+
+Vgg9 build_vgg9(const Vgg9Config& cfg) {
+  if (cfg.image_size % 8 != 0)
+    throw std::invalid_argument("build_vgg9: image_size must be divisible by 8");
+  if (cfg.act_levels < 2)
+    throw std::invalid_argument("build_vgg9: act_levels must be >= 2");
+
+  Rng rng(cfg.seed);
+  Vgg9 model;
+  model.config = cfg;
+  model.net = std::make_unique<nn::Sequential>();
+  auto& net = *model.net;
+
+  const std::size_t w = cfg.width;
+  std::size_t size = cfg.image_size;
+
+  auto conv_block = [&](std::size_t in_c, std::size_t out_c,
+                        bool pool) -> quant::QuantConv2d* {
+    ConvGeom g;
+    g.in_c = in_c;
+    g.in_h = size;
+    g.in_w = size;
+    g.k = 3;
+    g.stride = 1;
+    g.pad = 1;
+    auto* conv = net.emplace<quant::QuantConv2d>(out_c, g, rng);
+    net.emplace<nn::BatchNorm2d>(out_c);
+    net.emplace<quant::QuantTanh>(cfg.act_levels);
+    if (pool) {
+      net.emplace<nn::MaxPool2d>(2);
+      size /= 2;
+    }
+    return conv;
+  };
+
+  // conv1 reads the image; its input is not bit-encoded.
+  auto* conv1 = conv_block(cfg.in_channels, w, /*pool=*/false);
+
+  auto* conv2 = conv_block(w, w, /*pool=*/true);
+  auto* conv3 = conv_block(w, 2 * w, /*pool=*/false);
+  auto* conv4 = conv_block(2 * w, 2 * w, /*pool=*/true);
+  auto* conv5 = conv_block(2 * w, 4 * w, /*pool=*/false);
+  auto* conv6 = conv_block(4 * w, 4 * w, /*pool=*/false);
+  auto* conv7 = conv_block(4 * w, 4 * w, /*pool=*/true);
+
+  net.emplace<nn::Flatten>();
+  const std::size_t flat = 4 * w * size * size;
+  auto* fc1 = net.emplace<quant::QuantLinear>(flat, 8 * w, rng);
+  net.emplace<nn::BatchNorm1d>(8 * w);
+  net.emplace<quant::QuantTanh>(cfg.act_levels);
+  // Full-precision classifier head.
+  net.emplace<nn::Linear>(8 * w, cfg.num_classes, /*bias=*/true, rng);
+
+  model.encoded = {conv2, conv3, conv4, conv5, conv6, conv7, fc1};
+  model.encoded_names = {"conv2", "conv3", "conv4", "conv5",
+                         "conv6", "conv7", "fc1"};
+  model.binary = {conv1, conv2, conv3, conv4, conv5, conv6, conv7, fc1};
+  return model;
+}
+
+}  // namespace gbo::models

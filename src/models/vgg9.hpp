@@ -1,0 +1,59 @@
+// VGG9 binary-weight network builder (paper §IV-A).
+//
+// Topology follows the paper's VGG9: seven 3×3 conv layers in widths
+// [w, w, 2w, 2w, 4w, 4w, 4w] with maxpools after conv2/conv4/conv7, then two
+// FC layers. Every conv/FC-1 weight is binary (QuantConv2d/QuantLinear) and
+// every hidden activation is Tanh quantized to `act_levels` levels so it
+// maps onto (act_levels - 1)-pulse thermometer codes. The classifier (fc2)
+// stays full precision, standard practice for BWNNs.
+//
+// The paper's Table I reports 7-entry per-layer pulse vectors; those are the
+// layers whose *input* is bit-encoded: conv2..conv7 and fc1 (conv1 reads
+// the image through DACs, fc2 reads fc1's activations but is the narrow
+// classifier the paper leaves at the base encoding... it is conv1 and fc2
+// that are excluded). build_vgg9 returns exactly these 7 layers as
+// `encoded`, in forward order.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "quant/quant_layers.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gbo::models {
+
+struct Vgg9Config {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;   // paper: 32 (CIFAR-10); reduced default for CPU
+  std::size_t num_classes = 10;
+  std::size_t width = 16;        // base conv width; paper: 64
+  std::size_t act_levels = 9;    // 9 levels -> 8-pulse thermometer codes
+  std::uint64_t seed = 7;
+
+  /// Stable string identifying the architecture + init, used as the
+  /// artifact-cache key component.
+  std::string fingerprint() const;
+};
+
+/// A built network plus handles to its crossbar-encoded layers.
+struct Vgg9 {
+  std::unique_ptr<nn::Sequential> net;
+  std::vector<quant::Hookable*> encoded;      // 7 layers, forward order
+  std::vector<std::string> encoded_names;     // "conv2".."conv7", "fc1"
+  /// All binary-weight layers (conv1..conv7, fc1), for latent-weight
+  /// clamping during weight training. fc2 is full precision and excluded.
+  std::vector<quant::Hookable*> binary;
+  Vgg9Config config;
+
+  std::size_t base_pulses() const { return config.act_levels - 1; }
+};
+
+Vgg9 build_vgg9(const Vgg9Config& cfg);
+
+}  // namespace gbo::models

@@ -1,0 +1,59 @@
+#include "nia/nia.hpp"
+
+#include "common/logging.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "quant/binary_weight.hpp"
+#include "tensor/ops.hpp"
+
+namespace gbo::nia {
+
+std::vector<NiaEpochStats> nia_finetune(
+    nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
+    const std::vector<quant::Hookable*>& binary_layers,
+    const data::Dataset& train, const NiaConfig& cfg) {
+  Rng rng(cfg.seed);
+  xbar::LayerNoiseController noise(encoded_layers, cfg.sigma, cfg.base_pulses,
+                                   rng.fork(1));
+  noise.attach();
+  noise.set_enabled_all(true);
+
+  nn::SGD opt(net.params(), cfg.lr, cfg.momentum, cfg.weight_decay);
+  data::DataLoader loader(train, cfg.batch_size, /*shuffle=*/true, rng.fork(2));
+
+  net.set_training(true);
+  std::vector<NiaEpochStats> history;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    NiaEpochStats stats;
+    std::size_t batches = 0, correct = 0, seen = 0;
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      opt.zero_grad();
+      Tensor logits = net.forward(batch.images);
+      Tensor grad;
+      stats.loss += nn::CrossEntropy::forward_backward(logits, batch.labels, grad);
+      net.backward(grad);
+      opt.step();
+      // Keep latent binary-layer weights in the STE pass-through region.
+      for (quant::Hookable* layer : binary_layers)
+        quant::clamp_latent(layer->latent_weight().value);
+
+      const auto preds = ops::argmax_rows(logits);
+      for (std::size_t i = 0; i < preds.size(); ++i)
+        if (preds[i] == batch.labels[i]) ++correct;
+      seen += preds.size();
+      ++batches;
+    }
+    stats.loss /= static_cast<float>(batches);
+    stats.train_accuracy = static_cast<float>(correct) / static_cast<float>(seen);
+    history.push_back(stats);
+    log_info("NIA epoch ", epoch + 1, "/", cfg.epochs, " loss=", stats.loss,
+             " acc=", stats.train_accuracy);
+  }
+  net.set_training(false);
+  noise.detach();
+  return history;
+}
+
+}  // namespace gbo::nia

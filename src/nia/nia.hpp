@@ -1,0 +1,47 @@
+// Noise-Injection Adaptation (NIA) baseline — He et al., DAC 2019
+// ("Noise injection adaption: end-to-end ReRAM crossbar non-ideal effect
+// adaption for neural network mapping"), the noise-aware-training method
+// the paper composes with GBO in Table II.
+//
+// NIA fine-tunes the pre-trained network weights while crossbar noise is
+// injected at every crossbar-mapped layer during the forward pass, so the
+// weights adapt to the noise distribution the hardware will produce. In
+// this repro the injected noise is the same Eq. 1 Gaussian model used at
+// evaluation (base thermometer encoding), making NIA/GBO/NIA+GBO directly
+// comparable.
+#pragma once
+
+#include "crossbar/crossbar_layers.hpp"
+#include "data/dataloader.hpp"
+#include "nn/sequential.hpp"
+
+#include <vector>
+
+namespace gbo::nia {
+
+struct NiaConfig {
+  double sigma = 1.0;           // injected per-pulse noise std
+  std::size_t base_pulses = 8;  // encoding during fine-tuning
+  std::size_t epochs = 5;
+  float lr = 1e-4f;             // gentle fine-tuning of the pre-trained weights
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 33;
+};
+
+struct NiaEpochStats {
+  float loss = 0.0f;
+  float train_accuracy = 0.0f;
+};
+
+/// Fine-tunes `net` in place with per-layer noise injection. Hooks are
+/// attached for the duration of training and removed afterwards.
+/// `binary_layers`: every binary-weight layer of the network (encoded or
+/// not); their latent weights are clamped to [-1, 1] after each step.
+std::vector<NiaEpochStats> nia_finetune(
+    nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
+    const std::vector<quant::Hookable*>& binary_layers,
+    const data::Dataset& train, const NiaConfig& cfg);
+
+}  // namespace gbo::nia

@@ -1,0 +1,77 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace gbo::nn {
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) q[i] = std::tanh(p[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor::check_same_shape(grad_out, cached_output_, "Tanh::backward");
+  Tensor grad(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* y = cached_output_.data();
+  float* o = grad.data();
+  for (std::size_t i = 0; i < grad.numel(); ++i) o[i] = g[i] * (1.0f - y[i] * y[i]);
+  return grad;
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) q[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor::check_same_shape(grad_out, cached_input_, "ReLU::backward");
+  Tensor grad(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* x = cached_input_.data();
+  float* o = grad.data();
+  for (std::size_t i = 0; i < grad.numel(); ++i) o[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  return grad;
+}
+
+Tensor HardTanh::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    q[i] = p[i] > 1.0f ? 1.0f : (p[i] < -1.0f ? -1.0f : p[i]);
+  return out;
+}
+
+Tensor HardTanh::backward(const Tensor& grad_out) {
+  Tensor::check_same_shape(grad_out, cached_input_, "HardTanh::backward");
+  Tensor grad(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* x = cached_input_.data();
+  float* o = grad.data();
+  for (std::size_t i = 0; i < grad.numel(); ++i)
+    o[i] = (x[i] > -1.0f && x[i] < 1.0f) ? g[i] : 0.0f;
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < x.ndim(); ++i) rest *= x.dim(i);
+  return x.reshaped({x.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,54 @@
+// Pointwise activation layers.
+//
+// The paper's BWNN uses Tanh to bound activations in [-1, 1] ahead of the
+// multi-level quantizer (Section II-A). ReLU and HardTanh are provided for
+// ablations and for the MLP example.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace gbo::nn {
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Clamp to [-1, 1]; gradient 1 inside the interval, 0 outside.
+class HardTanh : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "HardTanh"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Flattens [N, ...] to [N, prod(...)]; restores the shape in backward.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace gbo::nn

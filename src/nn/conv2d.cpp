@@ -1,0 +1,95 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace gbo::nn {
+namespace {
+
+/// [N*oh*ow, out_c] (GEMM result) -> [N, out_c, oh, ow]
+Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t out_c,
+                    std::size_t oh, std::size_t ow) {
+  Tensor out({batch, out_c, oh, ow});
+  const float* src = rows.data();
+  float* dst = out.data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float* row = src + ((n * oh + y) * ow + x) * out_c;
+        for (std::size_t c = 0; c < out_c; ++c)
+          dst[((n * out_c + c) * oh + y) * ow + x] = row[c];
+      }
+  return out;
+}
+
+/// [N, out_c, oh, ow] -> [N*oh*ow, out_c]
+Tensor nchw_to_rows(const Tensor& x) {
+  const std::size_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor rows({batch * h * w, c});
+  const float* src = x.data();
+  float* dst = rows.data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t xx = 0; xx < w; ++xx)
+          dst[((n * h + y) * w + xx) * c + ch] =
+              src[((n * c + ch) * h + y) * w + xx];
+  return rows;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t out_channels, ConvGeom geom, bool bias, Rng& rng)
+    : out_c_(out_channels), geom_(geom), has_bias_(bias) {
+  Tensor w({out_c_, geom_.patch_len()});
+  xavier_uniform(w, geom_.patch_len(), out_c_, rng);
+  weight_ = Param("weight", std::move(w));
+  if (has_bias_) bias_ = Param("bias", Tensor({out_c_}));
+}
+
+const Tensor& Conv2d::effective_weight() { return weight_.value; }
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_batch_ = x.dim(0);
+  cached_cols_ = im2col(x, geom_);
+  cached_eff_weight_ = effective_weight();
+  Tensor rows = ops::matmul_bt(cached_cols_, cached_eff_weight_);  // [N*oh*ow, out_c]
+  if (has_bias_) {
+    float* p = rows.data();
+    const float* b = bias_.value.data();
+    for (std::size_t r = 0; r < rows.dim(0); ++r)
+      for (std::size_t c = 0; c < out_c_; ++c) p[r * out_c_ + c] += b[c];
+  }
+  return rows_to_nchw(rows, cached_batch_, out_c_, geom_.out_h(), geom_.out_w());
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (grad_out.ndim() != 4 || grad_out.dim(1) != out_c_)
+    throw std::invalid_argument("Conv2d::backward: bad grad shape " +
+                                grad_out.shape_str());
+  Tensor grad_rows = nchw_to_rows(grad_out);  // [N*oh*ow, out_c]
+
+  // dW = grad_rows^T @ cols -> [out_c, patch_len]
+  Tensor grad_w = ops::matmul_at(grad_rows, cached_cols_);
+  on_weight_grad(grad_w);
+  if (weight_.requires_grad) ops::add_inplace(weight_.grad, grad_w);
+
+  if (has_bias_ && bias_.requires_grad) {
+    float* gb = bias_.grad.data();
+    const float* g = grad_rows.data();
+    for (std::size_t r = 0; r < grad_rows.dim(0); ++r)
+      for (std::size_t c = 0; c < out_c_; ++c) gb[c] += g[r * out_c_ + c];
+  }
+
+  // dCols = grad_rows @ W -> [N*oh*ow, patch_len]; then scatter to input.
+  Tensor grad_cols = ops::matmul(grad_rows, cached_eff_weight_);
+  return col2im(grad_cols, cached_batch_, geom_);
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,45 @@
+// 2D convolution (square kernel) via im2col + GEMM.
+//
+// Weight layout: [out_c, in_c * k * k], i.e. already flattened to the MVM
+// matrix a crossbar tile would store. Forward lowers the input to the patch
+// matrix, multiplies, and reshapes to NCHW.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "tensor/im2col.hpp"
+
+namespace gbo::nn {
+
+class Conv2d : public Module {
+ public:
+  /// Geometry: square kernel `k`, stride, zero padding. Spatial input size
+  /// (in_h/in_w of `geom`) is fixed at construction; this matches the fixed
+  /// crossbar mapping of a deployed network.
+  Conv2d(std::size_t out_channels, ConvGeom geom, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "Conv2d"; }
+
+  const ConvGeom& geom() const { return geom_; }
+  std::size_t out_channels() const { return out_c_; }
+  Param& weight() { return weight_; }
+
+ protected:
+  /// Hooks mirroring Linear's, so the quantized subclass reuses this body.
+  virtual const Tensor& effective_weight();
+  virtual void on_weight_grad(Tensor& /*grad_w*/) {}
+
+  std::size_t out_c_ = 0;
+  ConvGeom geom_;
+  bool has_bias_ = true;
+  Param weight_;  // [out_c, in_c*k*k]
+  Param bias_;    // [out_c]
+  Tensor cached_cols_;        // [N*oh*ow, in_c*k*k]
+  Tensor cached_eff_weight_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace gbo::nn

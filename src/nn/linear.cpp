@@ -1,0 +1,61 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace gbo::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
+               Rng& rng)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  Tensor w({out_, in_});
+  xavier_uniform(w, in_, out_, rng);
+  weight_ = Param("weight", std::move(w));
+  if (has_bias_) bias_ = Param("bias", Tensor({out_}));
+}
+
+const Tensor& Linear::effective_weight() { return weight_.value; }
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.ndim() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
+  cached_input_ = x;
+  cached_eff_weight_ = effective_weight();
+  Tensor y = ops::matmul_bt(x, cached_eff_weight_);  // [N, out]
+  if (has_bias_) {
+    float* p = y.data();
+    const float* b = bias_.value.data();
+    for (std::size_t n = 0; n < y.dim(0); ++n)
+      for (std::size_t o = 0; o < out_; ++o) p[n * out_ + o] += b[o];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_.dim(0);
+  if (grad_out.ndim() != 2 || grad_out.dim(0) != batch || grad_out.dim(1) != out_)
+    throw std::invalid_argument("Linear::backward: bad grad shape");
+
+  // dW = grad_out^T @ x  -> [out, in]
+  Tensor grad_w = ops::matmul_at(grad_out, cached_input_);
+  on_weight_grad(grad_w);
+  if (weight_.requires_grad) ops::add_inplace(weight_.grad, grad_w);
+
+  if (has_bias_ && bias_.requires_grad) {
+    float* gb = bias_.grad.data();
+    const float* g = grad_out.data();
+    for (std::size_t n = 0; n < batch; ++n)
+      for (std::size_t o = 0; o < out_; ++o) gb[o] += g[n * out_ + o];
+  }
+
+  // dX = grad_out @ W  -> [N, in]
+  return ops::matmul(grad_out, cached_eff_weight_);
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,40 @@
+// Fully connected layer: y = x W^T + b, x: [N, in], W: [out, in].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace gbo::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string kind() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  Param& weight() { return weight_; }
+  Param* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+ protected:
+  /// Hook for subclasses (quantized layer) to substitute the effective
+  /// weight used in forward/backward. Default: the raw weight.
+  virtual const Tensor& effective_weight();
+  /// Hook to transform the raw weight gradient (e.g. STE clipping).
+  virtual void on_weight_grad(Tensor& /*grad_w*/) {}
+
+  std::size_t in_ = 0, out_ = 0;
+  bool has_bias_ = true;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;      // [N, in]
+  Tensor cached_eff_weight_; // weight actually used in the last forward
+};
+
+}  // namespace gbo::nn

@@ -1,0 +1,77 @@
+#include "nn/loss.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gbo::nn {
+namespace {
+
+void check_inputs(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  if (logits.ndim() != 2)
+    throw std::invalid_argument("CrossEntropy: logits must be 2D");
+  if (labels.size() != logits.dim(0))
+    throw std::invalid_argument("CrossEntropy: batch/label count mismatch");
+  for (std::size_t lbl : labels)
+    if (lbl >= logits.dim(1))
+      throw std::invalid_argument("CrossEntropy: label out of range");
+}
+
+/// Computes per-row softmax into `probs` and returns the mean NLL.
+float softmax_nll(const Tensor& logits, const std::vector<std::size_t>& labels,
+                  Tensor* probs) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float mx = row[0];
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[labels[i]] - mx) - log_denom);
+    if (probs) {
+      float* prow = probs->data() + i * c;
+      for (std::size_t j = 0; j < c; ++j)
+        prow[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - mx)) / denom);
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+}  // namespace
+
+float CrossEntropy::forward_backward(const Tensor& logits,
+                                     const std::vector<std::size_t>& labels,
+                                     Tensor& grad) {
+  check_inputs(logits, labels);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  grad = Tensor({n, c});
+  const float loss = softmax_nll(logits, labels, &grad);
+  // d(mean NLL)/dlogit = (softmax - onehot) / N
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* g = grad.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < c; ++j) g[i * c + j] *= inv_n;
+    g[i * c + labels[i]] -= inv_n;
+  }
+  return loss;
+}
+
+float CrossEntropy::forward(const Tensor& logits,
+                            const std::vector<std::size_t>& labels) {
+  check_inputs(logits, labels);
+  return softmax_nll(logits, labels, nullptr);
+}
+
+float accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  check_inputs(logits, labels);
+  const auto preds = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(preds.size());
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss (fused for numerical stability).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <vector>
+
+namespace gbo::nn {
+
+/// Computes mean softmax cross-entropy over the batch and the gradient
+/// w.r.t. the logits in one pass.
+///
+/// logits: [N, classes]; labels: N class indices.
+struct CrossEntropy {
+  /// Returns the mean loss; fills `grad` (same shape as logits) with
+  /// d(mean loss)/d(logits).
+  static float forward_backward(const Tensor& logits,
+                                const std::vector<std::size_t>& labels,
+                                Tensor& grad);
+
+  /// Loss only (no gradient); used for evaluation.
+  static float forward(const Tensor& logits,
+                       const std::vector<std::size_t>& labels);
+};
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace gbo::nn

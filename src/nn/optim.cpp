@@ -1,0 +1,79 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace gbo::nn {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+SGD::SGD(std::vector<Param*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (!p->requires_grad) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* vel = velocity_[i].data();
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      vel[j] = momentum_ * vel[j] + grad;
+      w[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (!p->requires_grad) continue;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+StepLR::StepLR(Optimizer& opt, std::size_t total_epochs,
+               std::vector<double> milestones_frac, float factor)
+    : opt_(opt), base_lr_(opt.lr()), factor_(factor) {
+  for (double f : milestones_frac)
+    milestones_.push_back(static_cast<std::size_t>(f * static_cast<double>(total_epochs)));
+}
+
+void StepLR::on_epoch(std::size_t epoch) {
+  float lr = base_lr_;
+  for (std::size_t ms : milestones_)
+    if (epoch >= ms) lr *= factor_;
+  opt_.set_lr(lr);
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,73 @@
+// Optimizers and learning-rate schedules.
+//
+// SGD with momentum + weight decay is used for pre-training (paper §IV-A:
+// momentum 0.9, weight decay 5e-4, base lr 1e-3, step decay x0.1 at 50/70/90%
+// of epochs). ADAM (lr 1e-4) is used for the GBO λ-parameter phase.
+#pragma once
+
+#include "nn/module.hpp"
+
+#include <vector>
+
+namespace gbo::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_ = 1e-3f;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 5e-4f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+/// Multiplies the lr by `factor` when crossing each milestone (fractions of
+/// total epochs, e.g. {0.5, 0.7, 0.9} per the paper).
+class StepLR {
+ public:
+  StepLR(Optimizer& opt, std::size_t total_epochs,
+         std::vector<double> milestones_frac, float factor = 0.1f);
+
+  /// Call once at the start of every epoch (0-based).
+  void on_epoch(std::size_t epoch);
+
+ private:
+  Optimizer& opt_;
+  float base_lr_;
+  float factor_;
+  std::vector<std::size_t> milestones_;
+};
+
+}  // namespace gbo::nn

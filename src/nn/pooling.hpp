@@ -1,0 +1,35 @@
+// Spatial pooling layers (square window, stride == window).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace gbo::nn {
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t window) : window_(window) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> cached_shape_;
+  std::vector<std::size_t> cached_argmax_;  // flat input index per output cell
+};
+
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(std::size_t window) : window_(window) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace gbo::nn

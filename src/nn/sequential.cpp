@@ -1,0 +1,59 @@
+#include "nn/sequential.hpp"
+
+namespace gbo::nn {
+
+Tensor Sequential::forward(const Tensor& x) { return forward_suffix(x, 0); }
+
+Tensor Sequential::forward_prefix(const Tensor& x, std::size_t upto) {
+  Tensor cur = x;
+  for (std::size_t i = 0; i < upto && i < modules_.size(); ++i)
+    cur = modules_[i]->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::forward_suffix(const Tensor& x, std::size_t from) {
+  Tensor cur = x;
+  for (std::size_t i = from; i < modules_.size(); ++i)
+    cur = modules_[i]->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor grad = grad_out;
+  for (std::size_t i = modules_.size(); i-- > 0;)
+    grad = modules_[i]->backward(grad);
+  return grad;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& m : modules_)
+    for (Param* p : m->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Param*> Sequential::buffers() {
+  std::vector<Param*> out;
+  for (auto& m : modules_)
+    for (Param* b : m->buffers()) out.push_back(b);
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  training_ = training;
+  for (auto& m : modules_) m->set_training(training);
+}
+
+StateDict Sequential::state_dict(const std::string& prefix) {
+  StateDict state;
+  for (std::size_t i = 0; i < modules_.size(); ++i)
+    modules_[i]->collect_state(prefix + std::to_string(i) + ".", state);
+  return state;
+}
+
+void Sequential::load_state_dict(const StateDict& state, const std::string& prefix) {
+  for (std::size_t i = 0; i < modules_.size(); ++i)
+    modules_[i]->load_state(prefix + std::to_string(i) + ".", state);
+}
+
+}  // namespace gbo::nn

@@ -1,0 +1,56 @@
+#include "quant/act_quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gbo::quant {
+
+float quantize_value(float x, std::size_t levels) {
+  if (levels < 2) throw std::invalid_argument("quantize: levels must be >= 2");
+  x = x > 1.0f ? 1.0f : (x < -1.0f ? -1.0f : x);
+  const float steps = static_cast<float>(levels - 1);
+  const float idx = std::round((x + 1.0f) * 0.5f * steps);
+  return idx / steps * 2.0f - 1.0f;
+}
+
+std::size_t level_index(float x, std::size_t levels) {
+  if (levels < 2) throw std::invalid_argument("level_index: levels must be >= 2");
+  x = x > 1.0f ? 1.0f : (x < -1.0f ? -1.0f : x);
+  const float steps = static_cast<float>(levels - 1);
+  return static_cast<std::size_t>(std::round((x + 1.0f) * 0.5f * steps));
+}
+
+Tensor quantize(const Tensor& x, std::size_t levels) {
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) q[i] = quantize_value(p[i], levels);
+  return out;
+}
+
+Tensor QuantTanh::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  cached_tanh_ = Tensor(x.shape());
+  const float* p = x.data();
+  float* t = cached_tanh_.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    t[i] = std::tanh(p[i]);
+    q[i] = quantize_value(t[i], levels_);
+  }
+  return out;
+}
+
+Tensor QuantTanh::backward(const Tensor& grad_out) {
+  Tensor::check_same_shape(grad_out, cached_tanh_, "QuantTanh::backward");
+  // STE through the quantizer; exact derivative of tanh.
+  Tensor grad(grad_out.shape());
+  const float* g = grad_out.data();
+  const float* y = cached_tanh_.data();
+  float* o = grad.data();
+  for (std::size_t i = 0; i < grad.numel(); ++i)
+    o[i] = g[i] * (1.0f - y[i] * y[i]);
+  return grad;
+}
+
+}  // namespace gbo::quant

@@ -1,0 +1,42 @@
+// Multi-level activation quantization for temporal binary bit encoding.
+//
+// The paper (§IV-A) quantizes Tanh activations to 9 levels so they map onto
+// 8-pulse thermometer codes: level k of a (p+1)-level quantizer over [-1, 1]
+// corresponds to k positive pulses out of p, giving value (2k - p) / p.
+//
+// QuantTanh is the fused module used by the BWNN: tanh followed by the
+// uniform quantizer, with a straight-through estimator for the quantizer
+// (gradient of tanh only).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace gbo::quant {
+
+/// Uniform symmetric quantizer over [-1, 1] with `levels` levels
+/// (levels >= 2). Values outside [-1, 1] are clamped first.
+float quantize_value(float x, std::size_t levels);
+
+/// Elementwise quantization of a whole tensor.
+Tensor quantize(const Tensor& x, std::size_t levels);
+
+/// The discrete level index in [0, levels-1] for a value in [-1, 1].
+std::size_t level_index(float x, std::size_t levels);
+
+/// Tanh + uniform quantization with STE.
+class QuantTanh : public gbo::nn::Module {
+ public:
+  explicit QuantTanh(std::size_t levels = 9) : levels_(levels) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "QuantTanh"; }
+
+  std::size_t levels() const { return levels_; }
+
+ private:
+  std::size_t levels_;
+  Tensor cached_tanh_;
+};
+
+}  // namespace gbo::quant

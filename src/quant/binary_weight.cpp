@@ -1,0 +1,40 @@
+#include "quant/binary_weight.hpp"
+
+#include <cmath>
+
+namespace gbo::quant {
+
+Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
+  float scale = 1.0f;
+  if (scaled) {
+    double acc = 0.0;
+    const float* p = latent.data();
+    for (std::size_t i = 0; i < latent.numel(); ++i) acc += std::fabs(p[i]);
+    scale = latent.numel() ? static_cast<float>(acc / latent.numel()) : 1.0f;
+    if (scale == 0.0f) scale = 1.0f;
+  }
+  if (scale_out) *scale_out = scale;
+
+  Tensor out(latent.shape());
+  const float* p = latent.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < latent.numel(); ++i)
+    q[i] = p[i] >= 0.0f ? scale : -scale;
+  return out;
+}
+
+void ste_clip_grad(const Tensor& latent, Tensor& grad) {
+  Tensor::check_same_shape(latent, grad, "ste_clip_grad");
+  const float* w = latent.data();
+  float* g = grad.data();
+  for (std::size_t i = 0; i < grad.numel(); ++i)
+    if (w[i] > 1.0f || w[i] < -1.0f) g[i] = 0.0f;
+}
+
+void clamp_latent(Tensor& latent) {
+  float* w = latent.data();
+  for (std::size_t i = 0; i < latent.numel(); ++i)
+    w[i] = w[i] > 1.0f ? 1.0f : (w[i] < -1.0f ? -1.0f : w[i]);
+}
+
+}  // namespace gbo::quant

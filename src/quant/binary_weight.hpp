@@ -1,0 +1,29 @@
+// Binary weight quantization (BinaryConnect-style, Courbariaux et al. 2015).
+//
+// A binary memristive crossbar stores each weight as a single on/off
+// conductance pair, so the deployed weight is sign(w) (optionally scaled by
+// a per-layer constant folded into the ADC reference / BN that follows).
+// Training keeps latent float weights; the forward pass uses the binarized
+// weight, and the straight-through estimator (STE) passes gradients to the
+// latent weights, zeroing them where |w| > 1 (the saturation region).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace gbo::quant {
+
+/// Returns sign(w) * scale. `scale`, when enabled, is the mean absolute
+/// latent weight of the layer (XNOR-Net-style), which preserves the layer's
+/// output magnitude; this constant is digital and does not touch the
+/// crossbar cells.
+Tensor binarize(const Tensor& latent, bool scaled, float* scale_out = nullptr);
+
+/// STE backward: zeroes gradient entries where the latent weight saturates
+/// (|w| > 1), in place.
+void ste_clip_grad(const Tensor& latent, Tensor& grad);
+
+/// Clamps latent weights to [-1, 1] after an optimizer step (keeps the
+/// latent weights inside the STE pass-through region).
+void clamp_latent(Tensor& latent);
+
+}  // namespace gbo::quant

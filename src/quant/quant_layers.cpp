@@ -1,0 +1,69 @@
+#include "quant/quant_layers.hpp"
+
+#include "quant/binary_weight.hpp"
+
+namespace gbo::quant {
+
+QuantConv2d::QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
+                         bool scaled)
+    : Conv2d(out_channels, geom, /*bias=*/false, rng), scaled_(scaled) {}
+
+const Tensor& QuantConv2d::effective_weight() {
+  binary_weight_ = binarize(weight_.value, scaled_, &weight_scale_);
+  return binary_weight_;
+}
+
+void QuantConv2d::on_weight_grad(Tensor& grad_w) {
+  ste_clip_grad(weight_.value, grad_w);
+}
+
+Tensor QuantConv2d::forward(const Tensor& x) {
+  Tensor out;
+  if (hook_) {
+    Tensor xin = x;
+    hook_->on_input(xin);
+    out = Conv2d::forward(xin);
+    hook_->on_forward(out);
+  } else {
+    out = Conv2d::forward(x);
+  }
+  return out;
+}
+
+Tensor QuantConv2d::backward(const Tensor& grad_out) {
+  if (hook_) hook_->on_backward(grad_out);
+  return Conv2d::backward(grad_out);
+}
+
+QuantLinear::QuantLinear(std::size_t in_features, std::size_t out_features,
+                         Rng& rng, bool scaled)
+    : Linear(in_features, out_features, /*bias=*/false, rng), scaled_(scaled) {}
+
+const Tensor& QuantLinear::effective_weight() {
+  binary_weight_ = binarize(weight_.value, scaled_, &weight_scale_);
+  return binary_weight_;
+}
+
+void QuantLinear::on_weight_grad(Tensor& grad_w) {
+  ste_clip_grad(weight_.value, grad_w);
+}
+
+Tensor QuantLinear::forward(const Tensor& x) {
+  Tensor out;
+  if (hook_) {
+    Tensor xin = x;
+    hook_->on_input(xin);
+    out = Linear::forward(xin);
+    hook_->on_forward(out);
+  } else {
+    out = Linear::forward(x);
+  }
+  return out;
+}
+
+Tensor QuantLinear::backward(const Tensor& grad_out) {
+  if (hook_) hook_->on_backward(grad_out);
+  return Linear::backward(grad_out);
+}
+
+}  // namespace gbo::quant

@@ -1,0 +1,120 @@
+// Binary-weight layers with a crossbar noise attachment point.
+//
+// QuantConv2d / QuantLinear behave exactly like Conv2d / Linear except that
+// the forward pass uses the binarized weight (the matrix a binary crossbar
+// would physically store) and the backward pass applies the STE.
+//
+// Each layer exposes an MvmNoiseHook slot. The hook is invoked on the MVM
+// output (Eq. 1: o = Wx + noise) and observes the output gradient in
+// backward. Every execution mode of the paper is a different hook:
+//   * pre-training           -> no hook (ideal digital MVM)
+//   * noisy evaluation       -> GaussianNoiseHook (src/crossbar)
+//   * NIA fine-tuning        -> GaussianNoiseHook while training weights
+//   * GBO λ training         -> GboNoiseHook (src/gbo) — α-weighted mixture
+#pragma once
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace gbo::quant {
+
+/// Attachment point for crossbar-noise simulation on an MVM output.
+class MvmNoiseHook {
+ public:
+  virtual ~MvmNoiseHook() = default;
+
+  /// Mutates the layer input in place before the MVM. This models the
+  /// encoder/DAC side: e.g. PLA re-quantization snaps activations to the
+  /// levels representable by the active pulse count. Default: no-op.
+  virtual void on_input(Tensor& /*x*/) {}
+
+  /// Mutates the MVM output in place (adds noise). `out` is the layer
+  /// output before any digital post-processing (bias add excluded — biases
+  /// are digital registers, not crossbar columns, so they see no noise; the
+  /// layers therefore run bias-free in crossbar configurations).
+  virtual void on_forward(Tensor& out) = 0;
+
+  /// Observes the gradient arriving at the MVM output. Additive noise means
+  /// the data gradient is unchanged; hooks that own learnable parameters
+  /// (GBO's λ) accumulate their gradients here.
+  virtual void on_backward(const Tensor& /*grad_out*/) {}
+};
+
+/// Common interface of layers that accept a crossbar-noise hook. The VGG9
+/// builder exposes its crossbar-mapped layers through this interface so the
+/// evaluation/NIA/GBO controllers can attach per-layer hooks uniformly.
+class Hookable {
+ public:
+  virtual ~Hookable() = default;
+  virtual void set_noise_hook(MvmNoiseHook* hook) = 0;
+  virtual MvmNoiseHook* noise_hook() const = 0;
+  /// Rows × cols of the crossbar this layer maps to (out × fan-in).
+  virtual std::size_t crossbar_rows() const = 0;
+  virtual std::size_t crossbar_cols() const = 0;
+  /// The latent (pre-binarization) weight parameter, for STE clamping.
+  virtual gbo::nn::Param& latent_weight() = 0;
+};
+
+class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
+ public:
+  /// Crossbar layers are bias-free (see MvmNoiseHook); `scaled` selects the
+  /// per-layer mean-|w| scaling of the binarized weight.
+  QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
+              bool scaled = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "QuantConv2d"; }
+
+  void set_noise_hook(MvmNoiseHook* hook) override { hook_ = hook; }
+  MvmNoiseHook* noise_hook() const override { return hook_; }
+  std::size_t crossbar_rows() const override { return out_channels(); }
+  std::size_t crossbar_cols() const override { return geom().patch_len(); }
+  gbo::nn::Param& latent_weight() override { return weight_; }
+
+  /// The binarized weight from the most recent forward (what the crossbar
+  /// stores), and its digital scale.
+  const Tensor& binary_weight() const { return binary_weight_; }
+  float weight_scale() const { return weight_scale_; }
+
+ protected:
+  const Tensor& effective_weight() override;
+  void on_weight_grad(Tensor& grad_w) override;
+
+ private:
+  bool scaled_;
+  MvmNoiseHook* hook_ = nullptr;
+  Tensor binary_weight_;
+  float weight_scale_ = 1.0f;
+};
+
+class QuantLinear : public gbo::nn::Linear, public Hookable {
+ public:
+  QuantLinear(std::size_t in_features, std::size_t out_features, Rng& rng,
+              bool scaled = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "QuantLinear"; }
+
+  void set_noise_hook(MvmNoiseHook* hook) override { hook_ = hook; }
+  MvmNoiseHook* noise_hook() const override { return hook_; }
+  std::size_t crossbar_rows() const override { return out_features(); }
+  std::size_t crossbar_cols() const override { return in_features(); }
+  gbo::nn::Param& latent_weight() override { return weight_; }
+
+  const Tensor& binary_weight() const { return binary_weight_; }
+  float weight_scale() const { return weight_scale_; }
+
+ protected:
+  const Tensor& effective_weight() override;
+  void on_weight_grad(Tensor& grad_w) override;
+
+ private:
+  bool scaled_;
+  MvmNoiseHook* hook_ = nullptr;
+  Tensor binary_weight_;
+  float weight_scale_ = 1.0f;
+};
+
+}  // namespace gbo::quant

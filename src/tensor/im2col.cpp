@@ -1,0 +1,85 @@
+#include "tensor/im2col.hpp"
+
+namespace gbo {
+
+Tensor im2col(const Tensor& input, const ConvGeom& g) {
+  if (input.ndim() != 4)
+    throw std::invalid_argument("im2col: expected NCHW input, got " + input.shape_str());
+  const std::size_t batch = input.dim(0);
+  if (input.dim(1) != g.in_c || input.dim(2) != g.in_h || input.dim(3) != g.in_w)
+    throw std::invalid_argument("im2col: input does not match geometry");
+
+  const std::size_t oh = g.out_h(), ow = g.out_w(), plen = g.patch_len();
+  Tensor cols({batch * oh * ow, plen});
+  float* out = cols.data();
+  const float* in = input.data();
+  const std::size_t chw = g.in_c * g.in_h * g.in_w;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* img = in + n * chw;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* row = out + ((n * oh + oy) * ow + ox) * plen;
+        const std::ptrdiff_t iy0 =
+            static_cast<std::ptrdiff_t>(oy * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+        const std::ptrdiff_t ix0 =
+            static_cast<std::ptrdiff_t>(ox * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          const float* chan = img + c * g.in_h * g.in_w;
+          for (std::size_t ky = 0; ky < g.k; ++ky) {
+            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+            const bool y_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
+            for (std::size_t kx = 0; kx < g.k; ++kx, ++idx) {
+              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+              row[idx] = (y_ok && ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w))
+                             ? chan[iy * static_cast<std::ptrdiff_t>(g.in_w) + ix]
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, std::size_t batch, const ConvGeom& g) {
+  const std::size_t oh = g.out_h(), ow = g.out_w(), plen = g.patch_len();
+  if (columns.ndim() != 2 || columns.dim(0) != batch * oh * ow || columns.dim(1) != plen)
+    throw std::invalid_argument("col2im: column shape does not match geometry");
+
+  Tensor grad({batch, g.in_c, g.in_h, g.in_w});
+  float* out = grad.data();
+  const float* in = columns.data();
+  const std::size_t chw = g.in_c * g.in_h * g.in_w;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* img = out + n * chw;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* row = in + ((n * oh + oy) * ow + ox) * plen;
+        const std::ptrdiff_t iy0 =
+            static_cast<std::ptrdiff_t>(oy * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+        const std::ptrdiff_t ix0 =
+            static_cast<std::ptrdiff_t>(ox * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < g.in_c; ++c) {
+          float* chan = img + c * g.in_h * g.in_w;
+          for (std::size_t ky = 0; ky < g.k; ++ky) {
+            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+            const bool y_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
+            for (std::size_t kx = 0; kx < g.k; ++kx, ++idx) {
+              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+              if (y_ok && ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w))
+                chan[iy * static_cast<std::ptrdiff_t>(g.in_w) + ix] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace gbo

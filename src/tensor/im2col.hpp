@@ -1,0 +1,33 @@
+// im2col / col2im lowering for convolution.
+//
+// Conv2d forward is computed as GEMM over the im2col patch matrix; the
+// backward data pass uses col2im. The same patch matrix is also what gets
+// streamed through the crossbar simulator pulse-by-pulse, so this lowering
+// is the single point where "convolution" becomes "MVM" for both the
+// digital and the analog execution paths.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace gbo {
+
+struct ConvGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t k = 3;       // square kernel
+  std::size_t stride = 1;
+  std::size_t pad = 1;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - k) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - k) / stride + 1; }
+  std::size_t patch_len() const { return in_c * k * k; }
+};
+
+/// input: [N, C, H, W]  ->  columns: [N * out_h * out_w, C * k * k]
+/// Each row is one receptive-field patch (zero padded at borders).
+Tensor im2col(const Tensor& input, const ConvGeom& g);
+
+/// Inverse scatter-add of im2col: columns [N * out_h * out_w, C*k*k]
+/// -> gradient w.r.t. input [N, C, H, W].
+Tensor col2im(const Tensor& columns, std::size_t batch, const ConvGeom& g);
+
+}  // namespace gbo

@@ -1,0 +1,63 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gbo {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_numel(new_shape) != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (shape_numel(new_shape) != numel())
+    throw std::invalid_argument("Tensor::reshape: numel mismatch");
+  shape_ = std::move(new_shape);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+void Tensor::check_same_shape(const Tensor& a, const Tensor& b, const char* msg) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(msg) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+}
+
+}  // namespace gbo

@@ -1,0 +1,105 @@
+// Dense N-dimensional float tensor with value semantics.
+//
+// This is the numeric substrate for the NN framework and the crossbar
+// simulator. Design choices:
+//  * float32 storage in a contiguous std::vector (row-major / C order);
+//  * value semantics (copy = deep copy) — the framework never shares
+//    mutable buffers, which keeps the backward passes easy to audit;
+//  * shape checked at every access in debug builds, cheap unchecked
+//    data() access for inner loops in release builds.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gbo {
+
+class Tensor {
+ public:
+  /// Empty 0-element tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  /// Tensor filled with `value`.
+  Tensor(std::vector<std::size_t> shape, float value);
+
+  /// Tensor wrapping a copy of the provided data (size must match shape).
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::size_t> shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor ones(std::vector<std::size_t> shape) { return full(std::move(shape), 1.0f); }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// Flat element access.
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// Multi-dimensional access (2D..4D convenience overloads).
+  float& at(std::size_t i, std::size_t j) {
+    assert(ndim() == 2);
+    return data_[i * shape_[1] + j];
+  }
+  float at(std::size_t i, std::size_t j) const {
+    assert(ndim() == 2);
+    return data_[i * shape_[1] + j];
+  }
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    assert(ndim() == 4);
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    assert(ndim() == 4);
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// In-place fill.
+  void fill(float v);
+
+  /// Returns a tensor with the same data and a new shape (numel must match).
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// In-place reshape (numel must match).
+  void reshape(std::vector<std::size_t> new_shape);
+
+  /// True if shapes are identical.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable shape like "[2, 3, 32, 32]".
+  std::string shape_str() const;
+
+  /// Throws std::invalid_argument unless shapes match; msg names the caller.
+  static void check_same_shape(const Tensor& a, const Tensor& b, const char* msg);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of dims, with overflow-free semantics for the sizes used here.
+std::size_t shape_numel(const std::vector<std::size_t>& shape);
+
+}  // namespace gbo

@@ -1,0 +1,175 @@
+#include "data/cifar10.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth_cifar.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+namespace gbo::data {
+namespace {
+
+SynthCifarConfig small_cfg() {
+  SynthCifarConfig cfg;
+  cfg.image_size = 8;
+  return cfg;
+}
+
+TEST(SynthCifar, ShapesAndLabels) {
+  Dataset ds = make_synth_cifar(small_cfg(), 50, 0);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.images.shape(), (std::vector<std::size_t>{50, 3, 8, 8}));
+  for (std::size_t lbl : ds.labels) EXPECT_LT(lbl, 10u);
+}
+
+TEST(SynthCifar, BalancedClasses) {
+  Dataset ds = make_synth_cifar(small_cfg(), 100, 0);
+  std::vector<int> counts(10, 0);
+  for (std::size_t lbl : ds.labels) ++counts[lbl];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SynthCifar, PixelsInRange) {
+  Dataset ds = make_synth_cifar(small_cfg(), 20, 0);
+  EXPECT_GE(ops::min(ds.images), -1.0f);
+  EXPECT_LE(ops::max(ds.images), 1.0f);
+}
+
+TEST(SynthCifar, DeterministicPerSeedAndStream) {
+  Dataset a = make_synth_cifar(small_cfg(), 10, 0);
+  Dataset b = make_synth_cifar(small_cfg(), 10, 0);
+  EXPECT_TRUE(ops::allclose(a.images, b.images, 0.0f, 0.0f));
+  Dataset c = make_synth_cifar(small_cfg(), 10, 1);
+  EXPECT_FALSE(ops::allclose(a.images, c.images, 0.0f, 0.0f));
+}
+
+TEST(SynthCifar, ClassesAreSeparable) {
+  // Same-class images must correlate more than cross-class images on
+  // average — otherwise the task would be unlearnable.
+  Dataset ds = make_synth_cifar(small_cfg(), 200, 0);
+  const std::size_t len = 3 * 8 * 8;
+  auto corr = [&](std::size_t i, std::size_t j) {
+    const float* a = ds.images.data() + i * len;
+    const float* b = ds.images.data() + j * len;
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t k = 0; k < len; ++k) {
+      dot += static_cast<double>(a[k]) * b[k];
+      na += static_cast<double>(a[k]) * a[k];
+      nb += static_cast<double>(b[k]) * b[k];
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i < 60; ++i)
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      if (ds.labels[i] == ds.labels[j]) {
+        same += std::fabs(corr(i, j));
+        ++same_n;
+      } else {
+        cross += std::fabs(corr(i, j));
+        ++cross_n;
+      }
+    }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(SynthCifar, ImageAccessor) {
+  Dataset ds = make_synth_cifar(small_cfg(), 5, 0);
+  Tensor img = ds.image(3);
+  EXPECT_EQ(img.shape(), (std::vector<std::size_t>{1, 3, 8, 8}));
+  EXPECT_FLOAT_EQ(img[0], ds.images[3 * 3 * 8 * 8]);
+}
+
+TEST(DataLoader, CoversAllSamplesOnce) {
+  Dataset ds = make_synth_cifar(small_cfg(), 23, 0);
+  DataLoader loader(ds, 5, /*shuffle=*/true, Rng(1));
+  EXPECT_EQ(loader.num_batches(), 5u);
+  std::size_t total = 0;
+  Batch batch;
+  while (loader.next(batch)) total += batch.labels.size();
+  EXPECT_EQ(total, 23u);
+}
+
+TEST(DataLoader, NoShuffleKeepsOrder) {
+  Dataset ds = make_synth_cifar(small_cfg(), 10, 0);
+  DataLoader loader(ds, 4, /*shuffle=*/false, Rng(1));
+  Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  for (std::size_t i = 0; i < batch.labels.size(); ++i)
+    EXPECT_EQ(batch.labels[i], ds.labels[i]);
+}
+
+TEST(DataLoader, ResetReplaysEpoch) {
+  Dataset ds = make_synth_cifar(small_cfg(), 12, 0);
+  DataLoader loader(ds, 4, /*shuffle=*/false, Rng(1));
+  Batch b1, b2;
+  loader.next(b1);
+  loader.reset();
+  loader.next(b2);
+  EXPECT_TRUE(ops::allclose(b1.images, b2.images, 0.0f, 0.0f));
+}
+
+TEST(DataLoader, FlipAugmentationMirrorsImages) {
+  Dataset ds = make_synth_cifar(small_cfg(), 8, 0);
+  // With flip probability 1/2 and 8 samples the chance of no flips in a few
+  // epochs is negligible; check that some batch differs from the source but
+  // only by horizontal mirroring.
+  DataLoader loader(ds, 8, /*shuffle=*/false, Rng(7), /*augment_flip=*/true);
+  Batch batch;
+  bool saw_flip = false;
+  for (int epoch = 0; epoch < 4 && !saw_flip; ++epoch) {
+    loader.reset();
+    loader.next(batch);
+    const std::size_t len = 3 * 8 * 8;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float* orig = ds.images.data() + i * len;
+      const float* got = batch.images.data() + i * len;
+      bool identical = true, mirrored = true;
+      for (std::size_t c = 0; c < 3; ++c)
+        for (std::size_t y = 0; y < 8; ++y)
+          for (std::size_t x = 0; x < 8; ++x) {
+            const float o = orig[(c * 8 + y) * 8 + x];
+            if (got[(c * 8 + y) * 8 + x] != o) identical = false;
+            if (got[(c * 8 + y) * 8 + (7 - x)] != o) mirrored = false;
+          }
+      EXPECT_TRUE(identical || mirrored) << "sample " << i;
+      if (mirrored && !identical) saw_flip = true;
+    }
+  }
+  EXPECT_TRUE(saw_flip);
+}
+
+TEST(Cifar10, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_cifar10("/nonexistent/path", true).has_value());
+  EXPECT_FALSE(load_cifar10("", true).has_value());
+}
+
+TEST(Cifar10, LoadsWellFormedBatchFiles) {
+  // Write two tiny fake batch records and verify decoding + normalization.
+  const std::string dir = ::testing::TempDir() + "/cifar_fake";
+  std::filesystem::create_directories(dir);
+  std::vector<unsigned char> record(3073, 0);
+  record[0] = 7;                 // label
+  record[1] = 255;               // first red pixel -> +1.0
+  record[2] = 0;                 // second pixel -> -1.0
+  std::ofstream f(dir + "/test_batch.bin", std::ios::binary);
+  f.write(reinterpret_cast<const char*>(record.data()), 3073);
+  record[0] = 2;
+  f.write(reinterpret_cast<const char*>(record.data()), 3073);
+  f.close();
+
+  auto ds = load_cifar10(dir, /*train=*/false);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->labels[0], 7u);
+  EXPECT_EQ(ds->labels[1], 2u);
+  EXPECT_NEAR((*ds).images[0], 1.0f, 1e-3f);
+  EXPECT_NEAR((*ds).images[1], -1.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace gbo::data

@@ -1,0 +1,200 @@
+// Unit + property tests for the retention-drift model (crossbar/drift) and
+// its integration with the pulse-level device model.
+#include "crossbar/drift.hpp"
+
+#include "crossbar/crossbar_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::xbar {
+namespace {
+
+TEST(DriftFactor, IdentityBeforeReferenceTime) {
+  EXPECT_DOUBLE_EQ(drift_factor(0.05, 0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(0.05, 1.0, 1.0), 1.0);
+}
+
+TEST(DriftFactor, IdentityWithZeroExponent) {
+  EXPECT_DOUBLE_EQ(drift_factor(0.0, 1e6, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift_factor(-0.1, 1e6, 1.0), 1.0);  // clamped
+}
+
+TEST(DriftFactor, PowerLawValue) {
+  // (100/1)^-0.05 = 10^(-0.1)
+  EXPECT_NEAR(drift_factor(0.05, 100.0, 1.0), std::pow(10.0, -0.1), 1e-12);
+}
+
+TEST(DriftFactor, MonotoneDecreasingInTime) {
+  double prev = 1.0;
+  for (double t : {2.0, 10.0, 100.0, 1e4, 1e6}) {
+    const double f = drift_factor(0.05, t, 1.0);
+    EXPECT_LT(f, prev);
+    EXPECT_GT(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(DriftModel, UniformExponentWithZeroSigma) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.1;
+  cfg.nu_sigma = 0.0;
+  DriftModel m(16, cfg, Rng(1));
+  for (float nu : m.nu()) EXPECT_FLOAT_EQ(nu, 0.1f);
+}
+
+TEST(DriftModel, ApplyScalesEveryWeight) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.05;
+  DriftModel m(4, cfg, Rng(2));
+  Tensor w({2, 2}, {1.0f, -1.0f, 0.5f, 0.0f});
+  Tensor d = m.apply(w, 100.0);
+  const float f = static_cast<float>(drift_factor(0.05, 100.0, 1.0));
+  EXPECT_FLOAT_EQ(d[0], f);
+  EXPECT_FLOAT_EQ(d[1], -f);
+  EXPECT_FLOAT_EQ(d[2], 0.5f * f);
+  EXPECT_FLOAT_EQ(d[3], 0.0f);
+}
+
+TEST(DriftModel, DeterministicForSameSeed) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.05;
+  cfg.nu_sigma = 0.02;
+  DriftModel a(64, cfg, Rng(7));
+  DriftModel b(64, cfg, Rng(7));
+  EXPECT_EQ(a.nu(), b.nu());
+  DriftModel c(64, cfg, Rng(8));
+  EXPECT_NE(a.nu(), c.nu());
+}
+
+TEST(DriftModel, NegativeExponentsClampedToZero) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.0;
+  cfg.nu_sigma = 0.05;  // half the draws would be negative
+  DriftModel m(256, cfg, Rng(3));
+  for (float nu : m.nu()) EXPECT_GE(nu, 0.0f);
+}
+
+TEST(DriftModel, SizeMismatchThrows) {
+  DriftModel m(4, DriftConfig{}, Rng(1));
+  Tensor w({3});
+  EXPECT_THROW(m.apply(w, 10.0), std::invalid_argument);
+}
+
+TEST(DriftModel, BadReferenceTimeThrows) {
+  DriftConfig cfg;
+  cfg.t0 = 0.0;
+  EXPECT_THROW(DriftModel(4, cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(DriftStats, FreshArrayHasNoError) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.05;
+  cfg.nu_sigma = 0.02;
+  DriftModel m(64, cfg, Rng(5));
+  Tensor w({64}, 1.0f);
+  DriftStats s = drift_stats(m, w, 1.0);  // t == t0: no decay yet
+  EXPECT_DOUBLE_EQ(s.mean_factor, 1.0);
+  EXPECT_DOUBLE_EQ(s.rms_rel_error, 0.0);
+}
+
+TEST(DriftStats, BoundsOrdered) {
+  DriftConfig cfg;
+  cfg.nu_mean = 0.05;
+  cfg.nu_sigma = 0.02;
+  DriftModel m(256, cfg, Rng(5));
+  Tensor w({256}, 1.0f);
+  DriftStats s = drift_stats(m, w, 1e4);
+  EXPECT_LE(s.min_factor, s.mean_factor);
+  EXPECT_LE(s.mean_factor, s.max_factor);
+  EXPECT_GT(s.min_factor, 0.0);
+  EXPECT_LE(s.max_factor, 1.0);
+}
+
+// Property sweep: the drift-induced RMS weight error grows monotonically
+// with read-out age — the physical statement behind the accuracy-vs-time
+// curve in bench_ext_drift.
+class DriftErrorGrowth : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftErrorGrowth, RmsErrorGrowsWithTime) {
+  const double t = GetParam();
+  DriftConfig cfg;
+  cfg.nu_mean = 0.05;
+  cfg.nu_sigma = 0.02;
+  DriftModel m(512, cfg, Rng(11));
+  Tensor w({512}, 1.0f);
+  const double err_now = drift_stats(m, w, t).rms_rel_error;
+  const double err_later = drift_stats(m, w, t * 10.0).rms_rel_error;
+  EXPECT_GT(err_later, err_now);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DriftErrorGrowth,
+                         ::testing::Values(2.0, 10.0, 1e2, 1e3, 1e4, 1e5));
+
+// --- integration with the pulse-level device model ------------------------
+
+Tensor binary_weight(std::size_t out, std::size_t in) {
+  Tensor w({out, in});
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = (i % 3 == 0) ? -1.0f : 1.0f;
+  return w;
+}
+
+TEST(DeviceDrift, FreshArrayMatchesIdeal) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.05;
+  cfg.drift_time = 0.0;  // fresh
+  CrossbarArray arr(binary_weight(4, 8), cfg, 0, Rng(1));
+  const Tensor& eff = arr.effective_weight();
+  for (std::size_t i = 0; i < eff.numel(); ++i)
+    EXPECT_NEAR(std::fabs(eff[i]), 1.0, 1e-6);
+}
+
+TEST(DeviceDrift, AgedArrayDecaysTowardZero) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.05;
+  cfg.drift_nu_sigma = 0.01;
+  cfg.drift_time = 1e4;
+  CrossbarArray arr(binary_weight(4, 8), cfg, 0, Rng(1));
+  const Tensor& eff = arr.effective_weight();
+  for (std::size_t i = 0; i < eff.numel(); ++i) {
+    EXPECT_LT(std::fabs(eff[i]), 1.0);
+    EXPECT_GT(std::fabs(eff[i]), 0.0);
+  }
+}
+
+TEST(DeviceDrift, TimeSweepSeesSameDevices) {
+  // Rebuilding the array with the same seed at two ages must produce
+  // per-cell ratios consistent with a single frozen ν per cell:
+  // w(t2)/w(t1) = (t2/t1)^(-ν) with ν recoverable and >= 0.
+  DeviceConfig young = DeviceConfig{};
+  young.drift_nu = 0.05;
+  young.drift_nu_sigma = 0.02;
+  young.drift_time = 1e2;
+  DeviceConfig old = young;
+  old.drift_time = 1e4;
+  CrossbarArray a1(binary_weight(4, 8), young, 0, Rng(9));
+  CrossbarArray a2(binary_weight(4, 8), old, 0, Rng(9));
+  for (std::size_t i = 0; i < a1.effective_weight().numel(); ++i) {
+    const double w1 = a1.effective_weight()[i];
+    const double w2 = a2.effective_weight()[i];
+    const double ratio = w2 / w1;  // (1e4/1e2)^-nu = 100^-nu, in (0, 1]
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0 + 1e-6);
+    const double nu = -std::log(ratio) / std::log(100.0);
+    EXPECT_GE(nu, -1e-9);
+    EXPECT_LT(nu, 0.2);  // within a few sigma of the mean
+  }
+}
+
+TEST(DeviceDrift, IdealAccountsForDrift) {
+  DeviceConfig cfg;
+  EXPECT_TRUE(cfg.ideal());
+  cfg.drift_nu = 0.05;
+  EXPECT_TRUE(cfg.ideal());  // enabled but fresh: still Eq. 1 behaviour
+  cfg.drift_time = 10.0;
+  EXPECT_FALSE(cfg.ideal());
+}
+
+}  // namespace
+}  // namespace gbo::xbar

@@ -1,0 +1,152 @@
+// Unit + property tests for the energy/latency model (crossbar/energy_model).
+#include "crossbar/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo::xbar {
+namespace {
+
+NetworkMapping two_layer_net() {
+  NetworkMapping net;
+  net.tile = TileShape{128, 128};
+  net.layers.push_back(map_layer("conv", 72, 16, 64, net.tile));
+  net.layers.push_back(map_layer("fc", 256, 10, 1, net.tile));
+  return net;
+}
+
+TEST(Energy, LayerCostClosedForm) {
+  LayerMapping m = map_layer("fc", 100, 20, 1, TileShape{64, 64});
+  ASSERT_EQ(m.row_tiles, 2u);
+  EnergyConfig cfg;
+  cfg.e_driver = 1.0;
+  cfg.e_cell = 0.1;
+  cfg.e_adc = 10.0;
+  cfg.e_sample_hold = 0.5;
+  cfg.e_accum = 0.2;
+  cfg.t_read_ns = 50.0;
+  LayerCost c = cost_layer(m, 8, cfg);
+  const double reads = 8.0;  // 1 MVM * 8 pulses
+  EXPECT_DOUBLE_EQ(c.energy.driver, reads * 100.0 * 1.0);
+  EXPECT_DOUBLE_EQ(c.energy.array, reads * 100.0 * 20.0 * 0.1);
+  EXPECT_DOUBLE_EQ(c.energy.adc, reads * 2.0 * 20.0 * 10.0);
+  EXPECT_DOUBLE_EQ(c.energy.sample_hold, reads * 2.0 * 20.0 * 0.5);
+  EXPECT_DOUBLE_EQ(c.energy.digital, reads * 20.0 * 0.2);
+  EXPECT_DOUBLE_EQ(c.cycles, reads);
+  EXPECT_DOUBLE_EQ(c.latency_ns, reads * 50.0);
+}
+
+TEST(Energy, EnergyLinearInPulses) {
+  LayerMapping m = map_layer("fc", 128, 128, 1, TileShape{128, 128});
+  EnergyConfig cfg;
+  LayerCost c8 = cost_layer(m, 8, cfg);
+  LayerCost c16 = cost_layer(m, 16, cfg);
+  EXPECT_NEAR(c16.energy.total(), 2.0 * c8.energy.total(), 1e-9);
+  EXPECT_NEAR(c16.latency_ns, 2.0 * c8.latency_ns, 1e-9);
+}
+
+TEST(Energy, ConvMvmsMultiply) {
+  TileShape tile{128, 128};
+  LayerMapping once = map_layer("c", 72, 16, 1, tile);
+  LayerMapping many = map_layer("c", 72, 16, 64, tile);
+  EnergyConfig cfg;
+  EXPECT_NEAR(cost_layer(many, 8, cfg).energy.total(),
+              64.0 * cost_layer(once, 8, cfg).energy.total(), 1e-9);
+}
+
+TEST(Energy, BitSlicingPaysShiftAdd) {
+  LayerMapping m = map_layer("fc", 64, 64, 1, TileShape{128, 128});
+  EnergyConfig cfg;
+  cfg.shift_add_factor = 1.0;
+  LayerCost tc = cost_layer(m, 8, cfg, enc::Scheme::kThermometer);
+  LayerCost bs = cost_layer(m, 8, cfg, enc::Scheme::kBitSlicing);
+  EXPECT_DOUBLE_EQ(bs.energy.digital, 2.0 * tc.energy.digital);
+  // Analog components identical: the array does not care about decode.
+  EXPECT_DOUBLE_EQ(bs.energy.driver, tc.energy.driver);
+  EXPECT_DOUBLE_EQ(bs.energy.adc, tc.energy.adc);
+}
+
+TEST(Energy, ZeroPulsesThrows) {
+  LayerMapping m = map_layer("fc", 8, 8, 1, TileShape{});
+  EXPECT_THROW(cost_layer(m, 0, EnergyConfig{}), std::invalid_argument);
+}
+
+TEST(Energy, ScheduleAggregatesLayers) {
+  NetworkMapping net = two_layer_net();
+  EnergyConfig cfg;
+  ScheduleCost sc = cost_schedule(net, {8, 16}, cfg);
+  ASSERT_EQ(sc.layers.size(), 2u);
+  LayerCost l0 = cost_layer(net.layers[0], 8, cfg);
+  LayerCost l1 = cost_layer(net.layers[1], 16, cfg);
+  EXPECT_NEAR(sc.energy.total(), l0.energy.total() + l1.energy.total(), 1e-9);
+  EXPECT_NEAR(sc.cycles, l0.cycles + l1.cycles, 1e-9);
+  EXPECT_DOUBLE_EQ(sc.avg_pulses, 12.0);
+}
+
+TEST(Energy, ScheduleSizeMismatchThrows) {
+  NetworkMapping net = two_layer_net();
+  EXPECT_THROW(cost_schedule(net, {8}, EnergyConfig{}), std::invalid_argument);
+}
+
+TEST(Energy, UniformMatchesExplicitSchedule) {
+  NetworkMapping net = two_layer_net();
+  EnergyConfig cfg;
+  ScheduleCost u = cost_uniform(net, 10, cfg);
+  ScheduleCost e = cost_schedule(net, {10, 10}, cfg);
+  EXPECT_DOUBLE_EQ(u.energy.total(), e.energy.total());
+  EXPECT_DOUBLE_EQ(u.avg_pulses, 10.0);
+}
+
+TEST(Energy, AdcDominatesWithDefaultCoefficients) {
+  NetworkMapping net = two_layer_net();
+  ScheduleCost sc = cost_uniform(net, 8, EnergyConfig{});
+  EXPECT_GT(sc.adc_share(), 0.5);
+  EXPECT_LT(sc.adc_share(), 1.0);
+}
+
+TEST(Energy, AdcShareZeroOnEmptySchedule) {
+  NetworkMapping net;
+  net.tile = TileShape{};
+  ScheduleCost sc = cost_schedule(net, {}, EnergyConfig{});
+  EXPECT_DOUBLE_EQ(sc.adc_share(), 0.0);
+  EXPECT_DOUBLE_EQ(sc.avg_pulses, 0.0);
+}
+
+TEST(Energy, BreakdownAccumulate) {
+  EnergyBreakdown a{1, 2, 3, 4, 5};
+  EnergyBreakdown b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.driver, 11.0);
+  EXPECT_DOUBLE_EQ(a.digital, 55.0);
+  EXPECT_DOUBLE_EQ(a.total(), 11 + 22 + 33 + 44 + 55);
+}
+
+// Property sweep: schedules with more pulses anywhere cost strictly more
+// energy and latency (monotonicity), and cost is permutation-sensitive —
+// putting the long code on the *wide* layer costs more than on the narrow
+// one, which is exactly the information Avg.#pulses hides.
+class EnergyMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnergyMonotone, MorePulsesCostMore) {
+  const std::size_t p = GetParam();
+  NetworkMapping net = two_layer_net();
+  EnergyConfig cfg;
+  ScheduleCost base = cost_uniform(net, p, cfg);
+  ScheduleCost more = cost_uniform(net, p + 2, cfg);
+  EXPECT_GT(more.energy.total(), base.energy.total());
+  EXPECT_GT(more.latency_ns, base.latency_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnergyMonotone,
+                         ::testing::Values(4, 6, 8, 10, 12, 14, 16));
+
+TEST(Energy, PlacementMattersAtEqualAvgPulses) {
+  NetworkMapping net = two_layer_net();  // layer 0 is the expensive conv
+  EnergyConfig cfg;
+  ScheduleCost long_on_wide = cost_schedule(net, {16, 8}, cfg);
+  ScheduleCost long_on_narrow = cost_schedule(net, {8, 16}, cfg);
+  EXPECT_DOUBLE_EQ(long_on_wide.avg_pulses, long_on_narrow.avg_pulses);
+  EXPECT_GT(long_on_wide.energy.total(), long_on_narrow.energy.total());
+}
+
+}  // namespace
+}  // namespace gbo::xbar

@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gbo::core {
+namespace {
+
+/// Saves/restores the scale-knob environment around each test.
+class ExperimentConfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : kVars) {
+      const char* v = std::getenv(name);
+      saved_.emplace_back(name, v ? std::optional<std::string>(v) : std::nullopt);
+      ::unsetenv(name);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [name, value] : saved_) {
+      if (value) {
+        ::setenv(name.c_str(), value->c_str(), 1);
+      } else {
+        ::unsetenv(name.c_str());
+      }
+    }
+  }
+
+  static constexpr const char* kVars[] = {
+      "GBO_WIDTH", "GBO_IMAGE", "GBO_TRAIN_SIZE", "GBO_TEST_SIZE",
+      "GBO_EPOCHS", "GBO_DATA_NOISE", "GBO_CIFAR10_DIR"};
+
+ private:
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+};
+
+TEST_F(ExperimentConfigTest, Defaults) {
+  const StandardConfig cfg = standard_config();
+  EXPECT_EQ(cfg.model.width, 16u);
+  EXPECT_EQ(cfg.model.image_size, 16u);
+  EXPECT_EQ(cfg.data.image_size, 16u);
+  EXPECT_EQ(cfg.num_train, 3000u);
+  EXPECT_EQ(cfg.num_test, 1000u);
+  EXPECT_EQ(cfg.pretrain.epochs, 15u);
+  ASSERT_EQ(cfg.baseline_targets.size(), 3u);
+  EXPECT_GT(cfg.baseline_targets[0], cfg.baseline_targets[1]);
+  EXPECT_GT(cfg.baseline_targets[1], cfg.baseline_targets[2]);
+}
+
+TEST_F(ExperimentConfigTest, EnvOverrides) {
+  ::setenv("GBO_WIDTH", "32", 1);
+  ::setenv("GBO_IMAGE", "32", 1);
+  ::setenv("GBO_TRAIN_SIZE", "500", 1);
+  ::setenv("GBO_EPOCHS", "3", 1);
+  ::setenv("GBO_DATA_NOISE", "0.5", 1);
+  const StandardConfig cfg = standard_config();
+  EXPECT_EQ(cfg.model.width, 32u);
+  EXPECT_EQ(cfg.model.image_size, 32u);
+  EXPECT_EQ(cfg.data.image_size, 32u);
+  EXPECT_EQ(cfg.num_train, 500u);
+  EXPECT_EQ(cfg.pretrain.epochs, 3u);
+  EXPECT_FLOAT_EQ(cfg.data.pixel_noise_std, 0.5f);
+}
+
+TEST_F(ExperimentConfigTest, InvalidEnvFallsBack) {
+  ::setenv("GBO_WIDTH", "not_a_number", 1);
+  ::setenv("GBO_TRAIN_SIZE", "-5", 1);
+  const StandardConfig cfg = standard_config();
+  EXPECT_EQ(cfg.model.width, 16u);
+  EXPECT_EQ(cfg.num_train, 3000u);
+}
+
+TEST_F(ExperimentConfigTest, FingerprintTracksSizes) {
+  const StandardConfig a = standard_config();
+  ::setenv("GBO_TRAIN_SIZE", "42", 1);
+  const StandardConfig b = standard_config();
+  EXPECT_NE(a.data_fingerprint(), b.data_fingerprint());
+}
+
+TEST_F(ExperimentConfigTest, Cifar10DirForcesImageSize32) {
+  ::setenv("GBO_CIFAR10_DIR", "/some/dir", 1);
+  const StandardConfig cfg = standard_config();
+  EXPECT_EQ(cfg.model.image_size, 32u);
+  EXPECT_EQ(cfg.data.image_size, 32u);
+}
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Filtered calls must be harmless no-ops.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2);
+  log_warn("dropped ", 3);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace gbo::core

@@ -1,0 +1,78 @@
+// Tests of the sensitivity-guided heuristic schedule baseline.
+#include "gbo/heuristic.hpp"
+
+#include "gbo/pla_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo::opt {
+namespace {
+
+const std::vector<std::size_t> kSet{4, 6, 8, 10, 12, 14, 16};
+
+TEST(Heuristic, UniformSensitivityGivesNearUniformSchedule) {
+  const std::vector<double> sens(7, 1.0);
+  const auto sched = sensitivity_guided_schedule(sens, kSet, 8.0);
+  const PulseSchedule s{sched};
+  EXPECT_LE(s.average(), 8.0 + 1e-9);
+  // All layers within one upgrade step of each other.
+  EXPECT_LE(s.max_pulses() - *std::min_element(sched.begin(), sched.end()), 2u);
+}
+
+TEST(Heuristic, SensitiveLayerGetsMorePulses) {
+  std::vector<double> sens(7, 0.05);
+  sens[2] = 0.9;  // layer 2 is very sensitive
+  const auto sched = sensitivity_guided_schedule(sens, kSet, 8.0);
+  for (std::size_t l = 0; l < 7; ++l) {
+    if (l != 2) {
+      EXPECT_GE(sched[2], sched[l]);
+    }
+  }
+  EXPECT_GT(sched[2], 8u);
+}
+
+TEST(Heuristic, RespectsBudget) {
+  std::vector<double> sens{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3};
+  for (double budget : {6.0, 8.0, 10.0, 14.0}) {
+    const auto sched = sensitivity_guided_schedule(sens, kSet, budget);
+    EXPECT_LE(PulseSchedule{sched}.average(), budget + 1e-9) << budget;
+  }
+}
+
+TEST(Heuristic, BudgetBelowMinimumGivesShortestCodes) {
+  const std::vector<double> sens(7, 1.0);
+  const auto sched = sensitivity_guided_schedule(sens, kSet, 3.0);
+  for (std::size_t p : sched) EXPECT_EQ(p, 4u);
+}
+
+TEST(Heuristic, LargeBudgetSaturatesAtLongestCodes) {
+  const std::vector<double> sens(3, 1.0);
+  const auto sched = sensitivity_guided_schedule(sens, kSet, 100.0);
+  for (std::size_t p : sched) EXPECT_EQ(p, 16u);
+}
+
+TEST(Heuristic, ZeroSensitivityLayersStayShort) {
+  std::vector<double> sens{0.0, 1.0, 0.0};
+  const auto sched = sensitivity_guided_schedule(sens, kSet, 8.0);
+  EXPECT_EQ(sched[0], 4u);
+  EXPECT_EQ(sched[2], 4u);
+  EXPECT_GT(sched[1], 8u);
+}
+
+TEST(Heuristic, ValidatesInputs) {
+  EXPECT_THROW(sensitivity_guided_schedule({}, kSet, 8.0),
+               std::invalid_argument);
+  EXPECT_THROW(sensitivity_guided_schedule({1.0}, {}, 8.0),
+               std::invalid_argument);
+}
+
+TEST(Heuristic, UnsortedPulseSetIsHandled) {
+  const std::vector<std::size_t> shuffled{16, 4, 12, 8, 6, 14, 10};
+  std::vector<double> sens(4, 1.0);
+  const auto sched = sensitivity_guided_schedule(sens, shuffled, 8.0);
+  EXPECT_LE(PulseSchedule{sched}.average(), 8.0 + 1e-9);
+  for (std::size_t p : sched) EXPECT_GE(p, 4u);
+}
+
+}  // namespace
+}  // namespace gbo::opt

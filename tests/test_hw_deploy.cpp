@@ -1,0 +1,129 @@
+// Tests of the pulse-level hardware deployment runner.
+#include "crossbar/hw_deploy.hpp"
+
+#include "core/pipeline.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/mlp.hpp"
+#include "models/vgg9.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo::xbar {
+namespace {
+
+models::Vgg9 tiny_vgg() {
+  models::Vgg9Config cfg;
+  cfg.width = 4;
+  cfg.image_size = 8;
+  return models::build_vgg9(cfg);
+}
+
+TEST(HardwareNetwork, MatchesHostForwardWithIdealDevicesNoNoise) {
+  models::Vgg9 model = tiny_vgg();
+  model.net->set_training(false);
+  Rng rng(1);
+  Tensor x({2, 3, 8, 8});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  Tensor host = model.net->forward(x);
+
+  HwDeployConfig cfg;  // ideal devices, sigma 0, uniform 8 pulses
+  HardwareNetwork hw(*model.net, model.encoded, cfg);
+  Tensor deployed = hw.forward(x);
+  // Host path: exact binarized MVM. HW path: thermometer-encoded inputs at
+  // the native 8 pulses (exactly the 9-level activation grid) -> identical.
+  EXPECT_TRUE(ops::allclose(deployed, host, 1e-3f, 1e-3f));
+}
+
+TEST(HardwareNetwork, MlpDeploymentMatchesHost) {
+  models::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {16, 16};
+  models::Mlp model = build_mlp(cfg);
+  model.net->set_training(false);
+  Rng rng(2);
+  Tensor x({3, 12});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  Tensor host = model.net->forward(x);
+
+  HwDeployConfig hcfg;
+  HardwareNetwork hw(*model.net, model.encoded, hcfg);
+  EXPECT_TRUE(ops::allclose(hw.forward(x), host, 1e-3f, 1e-3f));
+}
+
+TEST(HardwareNetwork, CountsCrossbarResources) {
+  models::Vgg9 model = tiny_vgg();
+  HwDeployConfig cfg;
+  HardwareNetwork hw(*model.net, model.encoded, cfg);
+  EXPECT_EQ(hw.num_crossbar_layers(), 7u);
+  std::size_t expected = 0;
+  for (auto* layer : model.encoded)
+    expected += layer->crossbar_rows() * layer->crossbar_cols();
+  EXPECT_EQ(hw.total_cells(), expected);
+}
+
+TEST(HardwareNetwork, RejectsMismatchedPulseVector) {
+  models::Vgg9 model = tiny_vgg();
+  HwDeployConfig cfg;
+  cfg.pulses = {8, 8};  // 7 layers expected
+  EXPECT_THROW(HardwareNetwork(*model.net, model.encoded, cfg),
+               std::invalid_argument);
+}
+
+TEST(HardwareNetwork, NoisePerturbsLogits) {
+  models::Vgg9 model = tiny_vgg();
+  model.net->set_training(false);
+  Rng rng(3);
+  Tensor x({1, 3, 8, 8});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+
+  HwDeployConfig cfg;
+  cfg.sigma = 1.0;
+  HardwareNetwork hw(*model.net, model.encoded, cfg);
+  Tensor a = hw.forward(x);
+  Tensor b = hw.forward(x);
+  EXPECT_FALSE(ops::allclose(a, b, 1e-6f, 1e-6f));  // fresh noise per run
+}
+
+TEST(HardwareNetwork, StuckCellsDegradeAccuracy) {
+  // Train a tiny model, then deploy with heavy stuck-at faults: accuracy
+  // must drop relative to the ideal deployment.
+  models::Vgg9 model = tiny_vgg();
+  data::SynthCifarConfig dcfg;
+  dcfg.image_size = 8;
+  dcfg.pixel_noise_std = 0.25f;
+  auto train = data::make_synth_cifar(dcfg, 300, 0);
+  auto test = data::make_synth_cifar(dcfg, 100, 1);
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 6;
+  pcfg.lr = 0.03f;
+  pcfg.batch_size = 16;
+  core::pretrain(*model.net, model.binary, train, test, pcfg);
+
+  HwDeployConfig ideal;
+  const float acc_ideal =
+      HardwareNetwork(*model.net, model.encoded, ideal).evaluate(test);
+
+  HwDeployConfig faulty;
+  faulty.device.stuck_off_rate = 0.4;
+  const float acc_faulty =
+      HardwareNetwork(*model.net, model.encoded, faulty).evaluate(test);
+  EXPECT_LT(acc_faulty, acc_ideal);
+}
+
+TEST(HardwareNetwork, BitSlicingSchemeRuns) {
+  models::Vgg9 model = tiny_vgg();
+  model.net->set_training(false);
+  HwDeployConfig cfg;
+  cfg.scheme = enc::Scheme::kBitSlicing;
+  cfg.pulses.assign(7, 4);  // 16-level bit-sliced codes
+  HardwareNetwork hw(*model.net, model.encoded, cfg);
+  Rng rng(4);
+  Tensor x({1, 3, 8, 8});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  Tensor y = hw.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 10}));
+}
+
+}  // namespace
+}  // namespace gbo::xbar

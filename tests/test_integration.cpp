@@ -1,0 +1,129 @@
+// End-to-end integration: the paper's headline claims, executed on a tiny
+// VGG9 + SynthCIFAR so the whole pipeline (pretrain -> GBO -> noisy eval,
+// pretrain -> NIA -> eval) runs in seconds.
+#include "core/pipeline.hpp"
+#include "data/synth_cifar.hpp"
+#include "gbo/gbo.hpp"
+#include "gbo/pla_schedule.hpp"
+#include "nia/nia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gbo {
+namespace {
+
+struct Env {
+  models::Vgg9 model;
+  data::Dataset train;
+  data::Dataset test;
+  float clean_acc = 0.0f;
+};
+
+Env make_trained_env() {
+  models::Vgg9Config mcfg;
+  mcfg.width = 6;
+  mcfg.image_size = 8;
+  data::SynthCifarConfig dcfg;
+  dcfg.image_size = 8;
+  dcfg.pixel_noise_std = 0.25f;
+  Env env{models::build_vgg9(mcfg), data::make_synth_cifar(dcfg, 400, 0),
+          data::make_synth_cifar(dcfg, 200, 1), 0.0f};
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 10;
+  pcfg.lr = 0.03f;
+  pcfg.batch_size = 16;
+  const auto stats =
+      core::pretrain(*env.model.net, env.model.binary, env.train, env.test, pcfg);
+  env.clean_acc = stats.test_acc;
+  return env;
+}
+
+float eval_with_pulses(Env& env, double sigma,
+                       const std::vector<std::size_t>& pulses,
+                       std::size_t trials = 5) {
+  Rng rng(99);
+  xbar::LayerNoiseController ctrl(env.model.encoded, sigma,
+                                  env.model.base_pulses(), rng);
+  ctrl.attach();
+  ctrl.set_enabled_all(true);
+  ctrl.set_pulses(pulses);
+  const float acc = core::evaluate_noisy(*env.model.net, ctrl, env.test, trials);
+  ctrl.detach();
+  return acc;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  // One shared pretrained model for all integration cases (expensive).
+  static Env& env() {
+    static Env e = make_trained_env();
+    return e;
+  }
+};
+
+TEST_F(IntegrationTest, PretrainReachesUsableAccuracy) {
+  EXPECT_GT(env().clean_acc, 0.6f);
+}
+
+TEST_F(IntegrationTest, GboScheduleBeatsBaselineUnderSevereNoise) {
+  Env& e = env();
+  const double sigma = 1.5;  // severe for this model scale
+  const std::size_t n_layers = e.model.encoded.size();
+  const float baseline =
+      eval_with_pulses(e, sigma, std::vector<std::size_t>(n_layers, 8));
+
+  opt::GboConfig gcfg;
+  gcfg.sigma = sigma;
+  gcfg.gamma = 1e-3;
+  gcfg.epochs = 8;
+  gcfg.lr = 0.02f;
+  gcfg.batch_size = 32;
+  opt::GboTrainer trainer(*e.model.net, e.model.encoded, gcfg);
+  trainer.train(e.train);
+  const auto schedule = trainer.selected_pulses();
+  const float gbo_acc = eval_with_pulses(e, sigma, schedule);
+
+  // The headline claim, scaled down: GBO improves on the baseline encoding.
+  EXPECT_GT(gbo_acc, baseline);
+  // And it should have increased at least some layer's pulse budget.
+  const double avg = opt::PulseSchedule{schedule}.average();
+  EXPECT_GT(avg, 8.0);
+}
+
+TEST_F(IntegrationTest, NiaPlusPlaComposes) {
+  // Table II mechanism: NIA fine-tuning plus longer codes beats NIA alone.
+  Env e = make_trained_env();  // private copy — NIA mutates weights
+  const double sigma = 1.5;
+  const std::size_t n_layers = e.model.encoded.size();
+
+  nia::NiaConfig ncfg;
+  ncfg.sigma = sigma;
+  ncfg.epochs = 6;
+  ncfg.lr = 0.01f;
+  ncfg.batch_size = 16;
+  nia::nia_finetune(*e.model.net, e.model.encoded, e.model.binary, e.train,
+                    ncfg);
+
+  const float nia8 =
+      eval_with_pulses(e, sigma, std::vector<std::size_t>(n_layers, 8));
+  const float nia16 =
+      eval_with_pulses(e, sigma, std::vector<std::size_t>(n_layers, 16));
+  EXPECT_GT(nia16, nia8);
+}
+
+TEST_F(IntegrationTest, CheckpointRoundTripPreservesNoisyBehaviour) {
+  Env& e = env();
+  const std::string path = ::testing::TempDir() + "/integration.ckpt";
+  ASSERT_TRUE(save_state_dict(path, e.model.net->state_dict()));
+
+  models::Vgg9 restored = models::build_vgg9(e.model.config);
+  restored.net->load_state_dict(load_state_dict(path));
+  const float a = core::evaluate(*e.model.net, e.test);
+  const float b = core::evaluate(*restored.net, e.test);
+  EXPECT_FLOAT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gbo

@@ -1,0 +1,200 @@
+// Tests of the nodal IR-drop solver (crossbar/ir_solver) and its
+// integration with CrossbarArray programming.
+#include "crossbar/ir_solver.hpp"
+
+#include "crossbar/crossbar_array.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::xbar {
+namespace {
+
+Tensor uniform_g(std::size_t rows, std::size_t cols, float g = 1.0f) {
+  return Tensor({rows, cols}, g);
+}
+
+TEST(IrSolver, InvalidArgumentsThrow) {
+  EXPECT_THROW(IrDropSolver(Tensor({4}), IrSolverConfig{}),
+               std::invalid_argument);
+  IrSolverConfig bad;
+  bad.r_wire = 0.0;
+  EXPECT_THROW(IrDropSolver(uniform_g(2, 2), bad), std::invalid_argument);
+  Tensor neg({1, 1}, -1.0f);
+  EXPECT_THROW(IrDropSolver(neg, IrSolverConfig{}), std::invalid_argument);
+  IrDropSolver ok(uniform_g(2, 3), IrSolverConfig{});
+  EXPECT_THROW(ok.solve({1.0}), std::invalid_argument);
+  EXPECT_THROW(ok.ideal({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(IrSolver, IdealReferenceIsTransposedMvm) {
+  Tensor g({2, 3}, {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  IrDropSolver solver(g, IrSolverConfig{});
+  const auto out = solver.ideal({1.0, 0.5});
+  EXPECT_NEAR(out[0], 1.0 + 0.5 * 4.0, 1e-12);
+  EXPECT_NEAR(out[1], 2.0 + 0.5 * 5.0, 1e-12);
+  EXPECT_NEAR(out[2], 3.0 + 0.5 * 6.0, 1e-12);
+}
+
+TEST(IrSolver, NegligibleWireMatchesIdeal) {
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-9;
+  IrDropSolver solver(uniform_g(6, 4, 0.7f), cfg);
+  const std::vector<double> v = {1.0, -1.0, 1.0, 1.0, -1.0, 1.0};
+  const auto got = solver.solve(v);
+  const auto want = solver.ideal(v);
+  ASSERT_TRUE(solver.converged());
+  for (std::size_t j = 0; j < got.size(); ++j)
+    EXPECT_NEAR(got[j], want[j], 1e-4 * std::fabs(want[j]) + 1e-7);
+}
+
+TEST(IrSolver, WireResistanceAttenuatesCurrents) {
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-2;
+  IrDropSolver solver(uniform_g(8, 8), cfg);
+  const std::vector<double> v(8, 1.0);
+  const auto got = solver.solve(v);
+  const auto want = solver.ideal(v);
+  ASSERT_TRUE(solver.converged());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    EXPECT_LT(got[j], want[j]);
+    EXPECT_GT(got[j], 0.0);
+  }
+}
+
+TEST(IrSolver, RowsFartherFromTiaAttenuateMore) {
+  // One-hot drives: the top row's current path runs down the whole bit
+  // line, so it loses more than the bottom row's.
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-2;
+  IrDropSolver solver(uniform_g(8, 4), cfg);
+  std::vector<double> top(8, 0.0), bottom(8, 0.0);
+  top[0] = 1.0;
+  bottom[7] = 1.0;
+  const double i_top = solver.solve(top)[0];
+  const double i_bottom = solver.solve(bottom)[0];
+  EXPECT_LT(i_top, i_bottom);
+}
+
+TEST(IrSolver, LaterColumnsAttenuateMore) {
+  // Word lines are driven from the left edge, so cells in later columns
+  // see a lower drive voltage.
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-2;
+  IrDropSolver solver(uniform_g(4, 8), cfg);
+  const auto out = solver.solve(std::vector<double>(4, 1.0));
+  for (std::size_t j = 1; j < out.size(); ++j) EXPECT_LT(out[j], out[j - 1]);
+}
+
+TEST(IrSolver, SuperpositionHolds) {
+  // The network is linear for fixed conductances: solving the sum of two
+  // drives must equal the sum of the solutions.
+  IrSolverConfig cfg;
+  cfg.r_wire = 5e-3;
+  cfg.tol = 1e-12;
+  Tensor g({5, 3});
+  Rng rng(3);
+  for (std::size_t i = 0; i < g.numel(); ++i)
+    g[i] = static_cast<float>(0.5 + 0.5 * rng.uniform());
+  IrDropSolver solver(g, cfg);
+  const std::vector<double> v1 = {1.0, 0.0, -1.0, 0.5, 0.0};
+  const std::vector<double> v2 = {0.0, 1.0, 0.5, -0.5, -1.0};
+  std::vector<double> v12(5);
+  for (std::size_t i = 0; i < 5; ++i) v12[i] = v1[i] + v2[i];
+  const auto s1 = solver.solve(v1);
+  const auto s2 = solver.solve(v2);
+  const auto s12 = solver.solve(v12);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(s12[j], s1[j] + s2[j], 1e-6);
+}
+
+TEST(IrSolver, ReportsNonConvergenceUnderTinyIterBudget) {
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-2;
+  cfg.max_iters = 1;
+  cfg.tol = 1e-14;
+  IrDropSolver solver(uniform_g(8, 8), cfg);
+  solver.solve(std::vector<double>(8, 1.0));
+  EXPECT_FALSE(solver.converged());
+  EXPECT_EQ(solver.last_iters(), 1u);
+}
+
+// Property sweep: attenuation grows monotonically with wire resistance.
+class IrAttenuation : public ::testing::TestWithParam<double> {};
+
+TEST_P(IrAttenuation, MonotoneInWireResistance) {
+  const double r = GetParam();
+  IrSolverConfig cfg_lo, cfg_hi;
+  cfg_lo.r_wire = r;
+  cfg_hi.r_wire = r * 2.0;
+  IrDropSolver lo(uniform_g(8, 8), cfg_lo);
+  IrDropSolver hi(uniform_g(8, 8), cfg_hi);
+  const std::vector<double> v(8, 1.0);
+  const auto out_lo = lo.solve(v);
+  const auto out_hi = hi.solve(v);
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_LT(out_hi[j], out_lo[j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IrAttenuation,
+                         ::testing::Values(1e-4, 5e-4, 1e-3, 5e-3, 1e-2));
+
+// ---- equivalent weight + CrossbarArray integration -------------------------
+
+TEST(IrEquivalentWeight, MatchesDifferentialAtNegligibleWire) {
+  IrSolverConfig cfg;
+  cfg.r_wire = 1e-9;
+  Tensor gp({3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 1.0f});
+  Tensor gm({3, 2}, {0.0f, 1.0f, 1.0f, 0.0f, 0.0f, 0.0f});
+  const Tensor eff = ir_equivalent_weight(gp, gm, cfg);  // [2, 3]
+  ASSERT_EQ(eff.shape(), (std::vector<std::size_t>{2, 3}));
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_NEAR(eff.at(c, r), gp.at(r, c) - gm.at(r, c), 1e-4);
+}
+
+TEST(IrEquivalentWeight, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      ir_equivalent_weight(uniform_g(2, 2), uniform_g(2, 3), IrSolverConfig{}),
+      std::invalid_argument);
+}
+
+TEST(CrossbarArrayIr, SolverBasedWeightsAttenuated) {
+  Tensor w({4, 6});
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = (i % 2 == 0) ? 1.0f : -1.0f;
+
+  DeviceConfig ideal_cfg;
+  CrossbarArray ideal(w, ideal_cfg, 0, Rng(1));
+
+  DeviceConfig ir_cfg;
+  ir_cfg.wire_resistance = 1e-2;
+  CrossbarArray lossy(w, ir_cfg, 0, Rng(1));
+
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    // Same sign, strictly smaller magnitude.
+    EXPECT_GT(lossy.effective_weight()[i] * ideal.effective_weight()[i], 0.0f);
+    EXPECT_LT(std::fabs(lossy.effective_weight()[i]),
+              std::fabs(ideal.effective_weight()[i]));
+  }
+}
+
+TEST(CrossbarArrayIr, MvmStillTracksIdealSign) {
+  // Mild wire resistance must not flip MVM results on a simple pattern.
+  Tensor w({2, 4});
+  for (std::size_t j = 0; j < 4; ++j) {
+    w.at(0, j) = 1.0f;
+    w.at(1, j) = (j < 2) ? 1.0f : -1.0f;
+  }
+  DeviceConfig cfg;
+  cfg.wire_resistance = 1e-3;
+  CrossbarArray arr(w, cfg, 0, Rng(2));
+  Tensor x({1, 4}, 1.0f);
+  Rng rng(3);
+  Tensor out = arr.mvm_pulse(x, rng);
+  EXPECT_GT(out.at(0, 0), 3.0f);          // ~4 minus small drop
+  EXPECT_NEAR(out.at(0, 1), 0.0f, 0.2f);  // balanced row
+}
+
+}  // namespace
+}  // namespace gbo::xbar

@@ -1,0 +1,172 @@
+// Unit tests for the JSON writer (common/json).
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace gbo {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("s")).dump(), "\"s\"");
+}
+
+TEST(Json, NumberFormattingIntegralVsFractional) {
+  EXPECT_EQ(Json(3.0).dump(), "3");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(-2.25).dump(), "-2.25");
+  // Large integral values beyond exact double-int range fall back to %g.
+  EXPECT_EQ(Json(1e20).dump(), "1e+20");
+}
+
+TEST(Json, NumberRoundTripsThroughShortestForm) {
+  const double v = 0.1 + 0.2;  // classic 0.30000000000000004
+  std::string s = Json(v).dump();
+  EXPECT_DOUBLE_EQ(std::strtod(s.c_str(), nullptr), v);
+}
+
+TEST(Json, NonFiniteNumbersEmitNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(Json::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(Json::escape("nl\n"), "nl\\n");
+  EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ArrayBuildAndAccess) {
+  Json a = Json::array();
+  a.push_back(1).push_back("two").push_back(true);
+  EXPECT_TRUE(a.is_array());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(0).as_number(), 1.0);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+  EXPECT_TRUE(a.at(2).as_bool());
+  EXPECT_EQ(a.dump(), "[1,\"two\",true]");
+}
+
+TEST(Json, ArrayOfRange) {
+  std::vector<std::size_t> pulses = {8, 10, 16};
+  Json a = Json::array_of(pulses);
+  EXPECT_EQ(a.dump(), "[8,10,16]");
+}
+
+TEST(Json, NullPromotesToContainerOnFirstUse) {
+  Json a;
+  a.push_back(1);
+  EXPECT_TRUE(a.is_array());
+  Json o;
+  o.set("k", 2);
+  EXPECT_TRUE(o.is_object());
+}
+
+TEST(Json, ObjectInsertionOrderPreserved) {
+  Json o = Json::object();
+  o.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(o.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ObjectOverwriteKeepsPosition) {
+  Json o = Json::object();
+  o.set("a", 1).set("b", 2);
+  o.set("a", 99);
+  EXPECT_EQ(o.dump(), "{\"a\":99,\"b\":2}");
+  ASSERT_EQ(o.size(), 2u);
+}
+
+TEST(Json, ObjectLookup) {
+  Json o = Json::object();
+  o.set("sigma", 1.5);
+  EXPECT_TRUE(o.contains("sigma"));
+  EXPECT_FALSE(o.contains("gamma"));
+  EXPECT_DOUBLE_EQ(o.at("sigma").as_number(), 1.5);
+  EXPECT_THROW(o.at("gamma"), std::out_of_range);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  Json n(1.0);
+  EXPECT_THROW(n.as_string(), std::logic_error);
+  EXPECT_THROW(n.as_bool(), std::logic_error);
+  EXPECT_THROW(n.push_back(1), std::logic_error);
+  EXPECT_THROW(n.set("k", 1), std::logic_error);
+  Json s("x");
+  EXPECT_THROW(s.as_number(), std::logic_error);
+  EXPECT_THROW(s.at(0), std::logic_error);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json o = Json::object();
+  o.set("name", "gbo");
+  Json arr = Json::array();
+  arr.push_back(1).push_back(2);
+  o.set("pulses", std::move(arr));
+  const std::string expected =
+      "{\n"
+      "  \"name\": \"gbo\",\n"
+      "  \"pulses\": [\n"
+      "    1,\n"
+      "    2\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(o.dump(2), expected);
+}
+
+TEST(Json, NestedDocumentCompact) {
+  Json doc = Json::object();
+  doc.set("experiment", "table1");
+  Json row = Json::object();
+  row.set("method", "GBO").set("acc", 86.36);
+  Json rows = Json::array();
+  rows.push_back(std::move(row));
+  doc.set("rows", std::move(rows));
+  EXPECT_EQ(doc.dump(),
+            "{\"experiment\":\"table1\",\"rows\":[{\"method\":\"GBO\","
+            "\"acc\":86.36}]}");
+}
+
+TEST(Json, WriteFileRoundTrip) {
+  Json o = Json::object();
+  o.set("k", 1);
+  const std::string path = ::testing::TempDir() + "/gbo_json_test.json";
+  ASSERT_TRUE(o.write_file(path, 0));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "{\"k\":1}\n");
+  std::remove(path.c_str());
+}
+
+TEST(Json, WriteFileFailsOnBadPath) {
+  Json o = Json::object();
+  EXPECT_FALSE(o.write_file("/nonexistent-dir-xyz/out.json"));
+}
+
+}  // namespace
+}  // namespace gbo

@@ -1,0 +1,83 @@
+#include "nn/loss.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::nn {
+namespace {
+
+TEST(CrossEntropy, MatchesManualComputation) {
+  // logits [0, log(3)] with label 1: p1 = 3/4, loss = -log(3/4).
+  Tensor logits({1, 2}, std::vector<float>{0.0f, std::log(3.0f)});
+  const float loss = CrossEntropy::forward(logits, {1});
+  EXPECT_NEAR(loss, -std::log(0.75f), 1e-5f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4}, 0.0f);
+  const float loss = CrossEntropy::forward(logits, {0, 3});
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2}, std::vector<float>{1000.0f, 0.0f});
+  const float loss = CrossEntropy::forward(logits, {0});
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+  const float bad = CrossEntropy::forward(logits, {1});
+  EXPECT_NEAR(bad, 1000.0f, 1.0f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits({2, 3}, std::vector<float>{1, 2, 3, 0, 0, 0});
+  Tensor grad;
+  CrossEntropy::forward_backward(logits, {2, 0}, grad);
+  // Row 1: uniform softmax (1/3); label 0.
+  EXPECT_NEAR(grad.at(1, 0), (1.0f / 3 - 1) / 2, 1e-5f);
+  EXPECT_NEAR(grad.at(1, 1), (1.0f / 3) / 2, 1e-5f);
+  // Gradient rows sum to zero.
+  for (std::size_t r = 0; r < 2; ++r) {
+    float row_sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) row_sum += grad.at(r, c);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(9);
+  Tensor logits({3, 4});
+  ops::fill_normal(logits, rng, 0.0f, 1.0f);
+  const std::vector<std::size_t> labels{1, 3, 0};
+  Tensor grad;
+  CrossEntropy::forward_backward(logits, labels, grad);
+
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + h;
+    const float lp = CrossEntropy::forward(logits, labels);
+    logits[i] = orig - h;
+    const float lm = CrossEntropy::forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * h), grad[i], 2e-3f);
+  }
+}
+
+TEST(CrossEntropy, ValidatesInputs) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(CrossEntropy::forward(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(CrossEntropy::forward(logits, {0, 5}), std::invalid_argument);
+  Tensor bad({6});
+  EXPECT_THROW(CrossEntropy::forward(bad, {0}), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsCorrectArgmax) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1, 0, 5, 1, 0});
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.0f);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 0}), 2.0f / 3, 1e-6f);
+}
+
+}  // namespace
+}  // namespace gbo::nn

@@ -1,0 +1,142 @@
+// Unit + property tests for the network-to-tile mapper (crossbar/mapper).
+#include "crossbar/mapper.hpp"
+
+#include "models/vgg9.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo::xbar {
+namespace {
+
+TEST(Mapper, ExactFitSingleTile) {
+  LayerMapping m = map_layer("fc", 128, 128, 1, TileShape{128, 128});
+  EXPECT_EQ(m.row_tiles, 1u);
+  EXPECT_EQ(m.col_tiles, 1u);
+  EXPECT_EQ(m.tiles, 1u);
+  EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Mapper, PartialTileRoundsUp) {
+  LayerMapping m = map_layer("fc", 129, 1, 1, TileShape{128, 128});
+  EXPECT_EQ(m.row_tiles, 2u);
+  EXPECT_EQ(m.col_tiles, 1u);
+  EXPECT_EQ(m.tiles, 2u);
+  EXPECT_NEAR(m.utilization, 129.0 / (2.0 * 128 * 128), 1e-12);
+}
+
+TEST(Mapper, BothAxesSplit) {
+  LayerMapping m = map_layer("conv", 300, 200, 64, TileShape{128, 128});
+  EXPECT_EQ(m.row_tiles, 3u);
+  EXPECT_EQ(m.col_tiles, 2u);
+  EXPECT_EQ(m.tiles, 6u);
+  EXPECT_EQ(m.mvms, 64u);
+  EXPECT_EQ(m.occupied_cells(), 300u * 200u);
+}
+
+TEST(Mapper, TinyLayerLowUtilization) {
+  LayerMapping m = map_layer("small", 9, 16, 1, TileShape{128, 128});
+  EXPECT_EQ(m.tiles, 1u);
+  EXPECT_NEAR(m.utilization, 9.0 * 16.0 / (128.0 * 128.0), 1e-12);
+}
+
+TEST(Mapper, InvalidArgumentsThrow) {
+  EXPECT_THROW(map_layer("x", 0, 8, 1, TileShape{}), std::invalid_argument);
+  EXPECT_THROW(map_layer("x", 8, 0, 1, TileShape{}), std::invalid_argument);
+  EXPECT_THROW(map_layer("x", 8, 8, 0, TileShape{}), std::invalid_argument);
+  EXPECT_THROW(map_layer("x", 8, 8, 1, TileShape{0, 128}),
+               std::invalid_argument);
+  EXPECT_THROW(map_layer("x", 8, 8, 1, TileShape{128, 0}),
+               std::invalid_argument);
+}
+
+TEST(Mapper, NetworkAggregates) {
+  NetworkMapping net;
+  net.tile = TileShape{128, 128};
+  net.layers.push_back(map_layer("a", 128, 128, 1, net.tile));
+  net.layers.push_back(map_layer("b", 200, 64, 1, net.tile));
+  EXPECT_EQ(net.total_tiles(), 1u + 2u);
+  EXPECT_EQ(net.total_occupied_cells(), 128u * 128u + 200u * 64u);
+  EXPECT_EQ(net.total_allocated_cells(), 3u * 128u * 128u);
+  EXPECT_NEAR(net.overall_utilization(),
+              static_cast<double>(128 * 128 + 200 * 64) / (3.0 * 128 * 128),
+              1e-12);
+}
+
+TEST(Mapper, AreaProxyScalesWithTiles) {
+  NetworkMapping net;
+  net.tile = TileShape{128, 128};
+  net.layers.push_back(map_layer("a", 128, 128, 1, net.tile));
+  const double one_tile = net.area_proxy();
+  net.layers.push_back(map_layer("b", 128, 128, 1, net.tile));
+  EXPECT_NEAR(net.area_proxy(), 2.0 * one_tile, 1e-9);
+  // Peripheral overhead is additive per tile.
+  EXPECT_NEAR(net.area_proxy(0.0), 2.0 * 128 * 128, 1e-9);
+}
+
+TEST(Mapper, MapNetworkOverVgg9EncodedLayers) {
+  models::Vgg9Config cfg;
+  cfg.width = 8;
+  cfg.image_size = 16;
+  models::Vgg9 model = models::build_vgg9(cfg);
+  NetworkMapping net = map_network(model.encoded, model.encoded_names, {},
+                                   TileShape{64, 64});
+  ASSERT_EQ(net.layers.size(), model.encoded.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    EXPECT_EQ(net.layers[i].name, model.encoded_names[i]);
+    EXPECT_EQ(net.layers[i].fan_in, model.encoded[i]->crossbar_cols());
+    EXPECT_EQ(net.layers[i].fan_out, model.encoded[i]->crossbar_rows());
+    EXPECT_GT(net.layers[i].utilization, 0.0);
+    EXPECT_LE(net.layers[i].utilization, 1.0);
+  }
+}
+
+TEST(Mapper, MapNetworkSizeMismatchThrows) {
+  models::Vgg9Config cfg;
+  cfg.width = 8;
+  models::Vgg9 model = models::build_vgg9(cfg);
+  std::vector<std::string> short_names(model.encoded.size() - 1, "x");
+  EXPECT_THROW(map_network(model.encoded, short_names, {}, TileShape{}),
+               std::invalid_argument);
+  std::vector<std::size_t> bad_mvms(model.encoded.size() + 1, 1);
+  EXPECT_THROW(
+      map_network(model.encoded, model.encoded_names, bad_mvms, TileShape{}),
+      std::invalid_argument);
+}
+
+// Property sweep: for any (fan_in, fan_out, tile) combination, allocated
+// cells cover occupied cells, tile counts are minimal, and utilization is
+// consistent with the counts.
+struct MapperCase {
+  std::size_t fan_in, fan_out, tile_rows, tile_cols;
+};
+
+class MapperProperty : public ::testing::TestWithParam<MapperCase> {};
+
+TEST_P(MapperProperty, TileCountsMinimalAndConsistent) {
+  const auto& c = GetParam();
+  LayerMapping m = map_layer("p", c.fan_in, c.fan_out, 3,
+                             TileShape{c.tile_rows, c.tile_cols});
+  // Covering: allocated tiles fit the matrix.
+  EXPECT_GE(m.row_tiles * c.tile_rows, c.fan_in);
+  EXPECT_GE(m.col_tiles * c.tile_cols, c.fan_out);
+  // Minimality: one fewer tile on either axis would not fit.
+  EXPECT_LT((m.row_tiles - 1) * c.tile_rows, c.fan_in);
+  EXPECT_LT((m.col_tiles - 1) * c.tile_cols, c.fan_out);
+  // Utilization consistency.
+  EXPECT_NEAR(m.utilization,
+              static_cast<double>(c.fan_in * c.fan_out) /
+                  static_cast<double>(m.tiles * c.tile_rows * c.tile_cols),
+              1e-12);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperProperty,
+    ::testing::Values(MapperCase{1, 1, 128, 128}, MapperCase{128, 128, 128, 128},
+                      MapperCase{129, 127, 128, 128}, MapperCase{72, 16, 64, 64},
+                      MapperCase{576, 64, 128, 128}, MapperCase{1000, 10, 128, 128},
+                      MapperCase{37, 41, 16, 8}, MapperCase{256, 256, 64, 32}));
+
+}  // namespace
+}  // namespace gbo::xbar

@@ -1,0 +1,162 @@
+// The paper's Eq. 2–4 as an executable property: the analytic noise model
+// (single Gaussian with closed-form accumulated variance) must match the
+// pulse-level simulation (one noisy crossbar read per pulse) in both mean
+// and variance, for both encodings, across pulse counts and noise levels.
+#include "crossbar/mvm_engine.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace gbo::xbar {
+namespace {
+
+Tensor random_binary_weight(std::size_t out, std::size_t in, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor w({out, in});
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  return w;
+}
+
+Tensor random_activations(std::size_t n, std::size_t in, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({n, in});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  return x;
+}
+
+TEST(MvmEngine, NoiselessPulseLevelEqualsIdeal) {
+  const Tensor w = random_binary_weight(8, 24, 1);
+  for (auto scheme : {enc::Scheme::kThermometer, enc::Scheme::kBitSlicing}) {
+    MvmConfig cfg;
+    cfg.spec = enc::EncodingSpec{scheme, scheme == enc::Scheme::kThermometer
+                                             ? std::size_t{8}
+                                             : std::size_t{4}};
+    cfg.sigma = 0.0;
+    MvmEngine engine(w, cfg, Rng(2));
+    const Tensor x = random_activations(4, 24, 3);
+    Tensor pulse = engine.run_pulse_level(x);
+    Tensor ideal = engine.run_ideal(x);
+    EXPECT_TRUE(ops::allclose(pulse, ideal, 1e-4f, 1e-4f))
+        << enc::scheme_name(scheme);
+  }
+}
+
+TEST(MvmEngine, AnalyticNoiselessEqualsIdeal) {
+  const Tensor w = random_binary_weight(8, 24, 4);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  cfg.sigma = 0.0;
+  MvmEngine engine(w, cfg, Rng(5));
+  const Tensor x = random_activations(4, 24, 6);
+  EXPECT_TRUE(ops::allclose(engine.run_analytic(x), engine.run_ideal(x), 1e-5f,
+                            1e-5f));
+}
+
+struct EquivCase {
+  enc::Scheme scheme;
+  std::size_t pulses;
+  double sigma;
+};
+
+class MvmEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(MvmEquivalence, PulseAndAnalyticAgreeInMeanAndVariance) {
+  const auto param = GetParam();
+  const Tensor w = random_binary_weight(4, 16, 7);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{param.scheme, param.pulses};
+  cfg.sigma = param.sigma;
+  const Tensor x = random_activations(1, 16, 8);
+
+  MvmEngine engine(w, cfg, Rng(9));
+  const Tensor ideal = engine.run_ideal(x);
+
+  const int trials = 2000;
+  auto collect = [&](bool pulse_mode) {
+    // mean/variance of the first output element's noise across trials
+    std::vector<double> mean(4, 0.0), m2(4, 0.0);
+    for (int t = 0; t < trials; ++t) {
+      Tensor y = pulse_mode ? engine.run_pulse_level(x) : engine.run_analytic(x);
+      for (std::size_t o = 0; o < 4; ++o) {
+        const double d = y.at(0, o) - ideal.at(0, o);
+        const double delta = d - mean[o];
+        mean[o] += delta / (t + 1);
+        m2[o] += delta * (d - mean[o]);
+      }
+    }
+    for (auto& v : m2) v /= trials - 1;
+    return std::make_pair(mean, m2);
+  };
+
+  const auto [pulse_mean, pulse_var] = collect(true);
+  const auto [ana_mean, ana_var] = collect(false);
+  const double expected_var =
+      param.sigma * param.sigma * cfg.spec.noise_variance_factor();
+
+  for (std::size_t o = 0; o < 4; ++o) {
+    const double se = std::sqrt(expected_var / trials);
+    EXPECT_NEAR(pulse_mean[o], 0.0, 6.0 * se) << "pulse mean, o=" << o;
+    EXPECT_NEAR(ana_mean[o], 0.0, 6.0 * se) << "analytic mean, o=" << o;
+    // Sample variance of a Gaussian: rel. std-error ≈ sqrt(2/(n-1)) ≈ 3.2%.
+    EXPECT_NEAR(pulse_var[o] / expected_var, 1.0, 0.2) << "pulse var, o=" << o;
+    EXPECT_NEAR(ana_var[o] / expected_var, 1.0, 0.2) << "analytic var, o=" << o;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MvmEquivalence,
+    ::testing::Values(
+        EquivCase{enc::Scheme::kThermometer, 4, 1.0},
+        EquivCase{enc::Scheme::kThermometer, 8, 1.0},
+        EquivCase{enc::Scheme::kThermometer, 8, 4.0},
+        EquivCase{enc::Scheme::kThermometer, 16, 2.0},
+        EquivCase{enc::Scheme::kBitSlicing, 2, 1.0},
+        EquivCase{enc::Scheme::kBitSlicing, 3, 2.0},
+        EquivCase{enc::Scheme::kBitSlicing, 4, 1.0}));
+
+TEST(MvmEngine, ThermometerBeatsBitSlicingAtEqualBits) {
+  // End-to-end validation of Fig. 1b on the simulator: 3-bit information,
+  // same σ — thermometer (7 pulses) must show lower output noise variance
+  // than bit slicing (3 pulses).
+  const Tensor w = random_binary_weight(4, 16, 10);
+  const Tensor x = random_activations(1, 16, 11);
+  auto noise_var = [&](enc::Scheme scheme, std::size_t pulses) {
+    MvmConfig cfg;
+    cfg.spec = enc::EncodingSpec{scheme, pulses};
+    cfg.sigma = 2.0;
+    MvmEngine engine(w, cfg, Rng(12));
+    const Tensor ideal = engine.run_ideal(x);
+    double acc = 0.0;
+    const int trials = 1500;
+    for (int t = 0; t < trials; ++t) {
+      Tensor y = engine.run_pulse_level(x);
+      const double d = y.at(0, 0) - ideal.at(0, 0);
+      acc += d * d;
+    }
+    return acc / trials;
+  };
+  const double tc = noise_var(enc::Scheme::kThermometer, 7);
+  const double bs = noise_var(enc::Scheme::kBitSlicing, 3);
+  EXPECT_LT(tc, bs * 0.6);  // theory predicts ratio (1/7)/(21/49) ≈ 0.33
+}
+
+TEST(MvmEngine, DeviceVariationIsSharedBetweenModes) {
+  // With frozen programming variation and σ = 0, analytic mode must
+  // reproduce the *same* corrupted weights as pulse-level mode.
+  const Tensor w = random_binary_weight(6, 12, 13);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  cfg.sigma = 0.0;
+  cfg.device.program_variation = 0.3;
+  MvmEngine engine(w, cfg, Rng(14));
+  const Tensor x = random_activations(2, 12, 15);
+  EXPECT_TRUE(ops::allclose(engine.run_pulse_level(x), engine.run_analytic(x),
+                            1e-4f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace gbo::xbar

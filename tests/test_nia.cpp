@@ -1,0 +1,126 @@
+// Behavioural tests of the NIA baseline (He et al., DAC'19).
+#include "nia/nia.hpp"
+
+#include "core/pipeline.hpp"
+#include "models/mlp.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo::nia {
+namespace {
+
+struct TinySetup {
+  models::Mlp model;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+data::Dataset make_blocks(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.images = Tensor({n, 16});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i % 4;
+    ds.labels[i] = k;
+    for (std::size_t j = 0; j < 16; ++j)
+      ds.images[i * 16 + j] = static_cast<float>(
+          0.2 * rng.normal() + (j / 4 == k ? 0.9 : -0.9));
+  }
+  return ds;
+}
+
+TinySetup make_setup() {
+  models::MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = {24, 24, 24};
+  cfg.num_classes = 4;
+  TinySetup s{build_mlp(cfg), make_blocks(160, 1), make_blocks(80, 2)};
+
+  nn::SGD opt(s.model.net->params(), 0.05f, 0.9f, 0.0f);
+  data::DataLoader loader(s.train, 16, true, Rng(3));
+  s.model.net->set_training(true);
+  for (int e = 0; e < 25; ++e) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      opt.zero_grad();
+      Tensor logits = s.model.net->forward(batch.images);
+      Tensor grad;
+      nn::CrossEntropy::forward_backward(logits, batch.labels, grad);
+      s.model.net->backward(grad);
+      opt.step();
+    }
+  }
+  s.model.net->set_training(false);
+  return s;
+}
+
+float noisy_accuracy(TinySetup& s, double sigma) {
+  Rng rng(77);
+  xbar::LayerNoiseController ctrl(s.model.encoded, sigma,
+                                  s.model.base_pulses(), rng);
+  ctrl.attach();
+  ctrl.set_enabled_all(true);
+  const float acc = core::evaluate_noisy(*s.model.net, ctrl, s.test, 5);
+  ctrl.detach();
+  return acc;
+}
+
+TEST(Nia, ImprovesNoisyAccuracy) {
+  TinySetup s = make_setup();
+  const double sigma = 8.0;
+  const float before = noisy_accuracy(s, sigma);
+
+  NiaConfig cfg;
+  cfg.sigma = sigma;
+  cfg.epochs = 12;
+  cfg.lr = 0.02f;
+  cfg.batch_size = 16;
+  nia_finetune(*s.model.net, s.model.encoded, s.model.binary, s.train, cfg);
+
+  const float after = noisy_accuracy(s, sigma);
+  EXPECT_GT(after, before + 0.02f);
+}
+
+TEST(Nia, DetachesHooksAfterTraining) {
+  TinySetup s = make_setup();
+  NiaConfig cfg;
+  cfg.epochs = 1;
+  nia_finetune(*s.model.net, s.model.encoded, s.model.binary, s.train, cfg);
+  for (auto* layer : s.model.encoded) EXPECT_EQ(layer->noise_hook(), nullptr);
+  EXPECT_FALSE(s.model.net->training());
+}
+
+TEST(Nia, KeepsLatentWeightsClamped) {
+  TinySetup s = make_setup();
+  NiaConfig cfg;
+  cfg.epochs = 3;
+  cfg.lr = 0.1f;  // aggressive steps would push weights out of [-1, 1]
+  nia_finetune(*s.model.net, s.model.encoded, s.model.binary, s.train, cfg);
+  for (auto* layer : s.model.binary) {
+    const Tensor& w = layer->latent_weight().value;
+    EXPECT_LE(ops::max(w), 1.0f);
+    EXPECT_GE(ops::min(w), -1.0f);
+  }
+}
+
+TEST(Nia, ReturnsPerEpochStats) {
+  TinySetup s = make_setup();
+  NiaConfig cfg;
+  cfg.epochs = 3;
+  const auto stats =
+      nia_finetune(*s.model.net, s.model.encoded, s.model.binary, s.train, cfg);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& st : stats) {
+    EXPECT_GT(st.loss, 0.0f);
+    EXPECT_GE(st.train_accuracy, 0.0f);
+    EXPECT_LE(st.train_accuracy, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gbo::nia

@@ -1,0 +1,253 @@
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::nn {
+namespace {
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear fc(3, 2, /*bias=*/true, rng);
+  // Overwrite weights deterministically: W = [[1,0,2],[0,1,0]], b = [1,-1].
+  fc.weight().value = Tensor({2, 3}, std::vector<float>{1, 0, 2, 0, 1, 0});
+  fc.bias()->value = Tensor({2}, std::vector<float>{1, -1});
+
+  Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 6 + 1);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 - 1);
+}
+
+TEST(Linear, RejectsWrongInput) {
+  Rng rng(1);
+  Linear fc(3, 2, true, rng);
+  Tensor bad({1, 4});
+  EXPECT_THROW(fc.forward(bad), std::invalid_argument);
+}
+
+TEST(Linear, ParamsExposed) {
+  Rng rng(1);
+  Linear with_bias(3, 2, true, rng);
+  EXPECT_EQ(with_bias.params().size(), 2u);
+  Linear no_bias(3, 2, false, rng);
+  EXPECT_EQ(no_bias.params().size(), 1u);
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(2);
+  ConvGeom g{.in_c = 3, .in_h = 8, .in_w = 8, .k = 3, .stride = 1, .pad = 1};
+  Conv2d conv(16, g, true, rng);
+  Tensor x({2, 3, 8, 8});
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 16, 8, 8}));
+}
+
+/// Direct (quadruple-loop) convolution reference.
+Tensor ref_conv(const Tensor& x, const Tensor& w, const ConvGeom& g,
+                std::size_t out_c) {
+  const std::size_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
+  Tensor y({n, out_c, oh, ow});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t oc = 0; oc < out_c; ++oc)
+      for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ic = 0; ic < g.in_c; ++ic)
+            for (std::size_t ky = 0; ky < g.k; ++ky)
+              for (std::size_t kx = 0; kx < g.k; ++kx) {
+                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                                          static_cast<std::ptrdiff_t>(g.pad);
+                const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                                          static_cast<std::ptrdiff_t>(g.pad);
+                if (iy < 0 || ix < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h) ||
+                    ix >= static_cast<std::ptrdiff_t>(g.in_w))
+                  continue;
+                acc += x.at(b, ic, static_cast<std::size_t>(iy),
+                            static_cast<std::size_t>(ix)) *
+                       w[(oc * g.in_c + ic) * g.k * g.k + ky * g.k + kx];
+              }
+          y.at(b, oc, oy, ox) = acc;
+        }
+  return y;
+}
+
+TEST(Conv2d, MatchesDirectConvolution) {
+  Rng rng(3);
+  ConvGeom g{.in_c = 2, .in_h = 5, .in_w = 5, .k = 3, .stride = 1, .pad = 1};
+  Conv2d conv(4, g, /*bias=*/false, rng);
+  Tensor x({2, 2, 5, 5});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  Tensor y = conv.forward(x);
+  Tensor expected = ref_conv(x, conv.weight().value, g, 4);
+  EXPECT_TRUE(ops::allclose(y, expected, 1e-4f, 1e-5f));
+}
+
+TEST(BatchNorm2d, NormalizesPerChannel) {
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  Rng rng(4);
+  Tensor x({8, 2, 4, 4});
+  ops::fill_normal(x, rng, 3.0f, 2.0f);
+  Tensor y = bn.forward(x);
+  // Each channel of the output should be ~N(0,1) over (N,H,W).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 8; ++n)
+      for (std::size_t h = 0; h < 4; ++h)
+        for (std::size_t w = 0; w < 4; ++w) {
+          const double v = y.at(n, c, h, w);
+          sum += v;
+          sum_sq += v * v;
+          ++count;
+        }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / count - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.set_training(true);
+  Rng rng(5);
+  // Feed several batches so running stats converge toward (3, 4).
+  for (int i = 0; i < 200; ++i) {
+    Tensor x({16, 1, 2, 2});
+    ops::fill_normal(x, rng, 3.0f, 2.0f);
+    bn.forward(x);
+  }
+  bn.set_training(false);
+  Tensor probe({1, 1, 1, 1}, std::vector<float>{3.0f});
+  // Reshape to a valid spatial input.
+  Tensor x({1, 1, 1, 1}, std::vector<float>{3.0f});
+  Tensor y = bn.forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 0.1f);  // input at the running mean -> ~0
+}
+
+TEST(BatchNorm1d, ShapeValidation) {
+  BatchNorm1d bn(4);
+  Tensor bad({2, 5});
+  EXPECT_THROW(bn.forward(bad), std::invalid_argument);
+}
+
+TEST(Activations, TanhBoundsAndValues) {
+  Tanh act;
+  Tensor x({3}, std::vector<float>{-10.0f, 0.0f, 10.0f});
+  Tensor y = act.forward(x);
+  EXPECT_NEAR(y[0], -1.0f, 1e-4f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-4f);
+}
+
+TEST(Activations, ReLUZeroesNegatives) {
+  ReLU act;
+  Tensor x({3}, std::vector<float>{-1.0f, 0.0f, 2.0f});
+  Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g({3}, 1.0f);
+  Tensor gx = act.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(Activations, HardTanhClampsAndMasksGrad) {
+  HardTanh act;
+  Tensor x({3}, std::vector<float>{-2.0f, 0.5f, 2.0f});
+  Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  Tensor g({3}, 1.0f);
+  Tensor gx = act.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(Pooling, MaxPoolSelectsMaxAndRoutesGrad) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  Tensor y = pool.forward(x);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{2.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 2.0f);  // gradient lands on the max position
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(Pooling, AvgPoolAverages) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{4.0f});
+  Tensor gx = pool.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 1.0f);
+}
+
+TEST(Pooling, RejectsIndivisibleSize) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 3, 3});
+  EXPECT_THROW(pool.forward(x), std::invalid_argument);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 4});
+  Tensor y = flat.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Sequential, ChainsAndCollectsParams) {
+  Rng rng(6);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, true, rng);
+  seq.emplace<Tanh>();
+  seq.emplace<Linear>(8, 2, true, rng);
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.params().size(), 4u);
+
+  Tensor x({5, 4});
+  Tensor y = seq.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{5, 2}));
+}
+
+TEST(Sequential, PrefixSuffixSplitEqualsFull) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<Linear>(4, 4, true, rng);
+  seq.emplace<Tanh>();
+  seq.emplace<Linear>(4, 3, true, rng);
+  Tensor x({2, 4});
+  ops::fill_normal(x, rng, 0.0f, 1.0f);
+  Tensor full = seq.forward(x);
+  Tensor mid = seq.forward_prefix(x, 2);
+  Tensor split = seq.forward_suffix(mid, 2);
+  EXPECT_TRUE(ops::allclose(split, full, 1e-6f, 1e-7f));
+}
+
+TEST(Sequential, TrainingFlagPropagates) {
+  Rng rng(8);
+  Sequential seq;
+  auto* bn = seq.emplace<BatchNorm1d>(4);
+  seq.set_training(false);
+  EXPECT_FALSE(bn->training());
+  seq.set_training(true);
+  EXPECT_TRUE(bn->training());
+}
+
+}  // namespace
+}  // namespace gbo::nn

@@ -1,0 +1,74 @@
+// Tests of the closed-form Eq. 2/3 noise analysis and the Fig. 1b series.
+#include "encoding/noise_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::enc {
+namespace {
+
+TEST(NoiseAnalysis, ThermometerFactorIsOneOverP) {
+  for (std::size_t p = 1; p <= 32; ++p)
+    EXPECT_DOUBLE_EQ(thermometer_variance_factor(p), 1.0 / static_cast<double>(p));
+}
+
+TEST(NoiseAnalysis, BitSlicingFactorClosedForm) {
+  // Σ 4^i = (4^p - 1)/3 ; Σ 2^i = 2^p - 1.
+  for (std::size_t p = 1; p <= 10; ++p) {
+    const double num = (std::pow(4.0, static_cast<double>(p)) - 1.0) / 3.0;
+    const double den = std::pow(2.0, static_cast<double>(p)) - 1.0;
+    EXPECT_NEAR(bit_slicing_variance_factor(p), num / (den * den), 1e-12);
+  }
+}
+
+TEST(NoiseAnalysis, BitSlicingApproachesOneThird) {
+  // As p grows the bit-slicing factor converges to 1/3 — more pulses stop
+  // helping, which is exactly the paper's motivation for thermometer codes.
+  EXPECT_NEAR(bit_slicing_variance_factor(16), 1.0 / 3.0, 1e-4);
+}
+
+TEST(NoiseAnalysis, PulsesForBits) {
+  EXPECT_EQ(bit_slicing_pulses_for_bits(3), 3u);
+  EXPECT_EQ(thermometer_pulses_for_bits(3), 7u);
+  EXPECT_EQ(thermometer_pulses_for_bits(1), 1u);
+  EXPECT_THROW(thermometer_pulses_for_bits(0), std::invalid_argument);
+}
+
+TEST(Fig1b, BaselineNormalizedToOne) {
+  const auto series = fig1b_series(8);
+  ASSERT_EQ(series.size(), 8u);
+  EXPECT_DOUBLE_EQ(series[0].bs_variance, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].tc_variance, 1.0);
+}
+
+TEST(Fig1b, ThermometerAlwaysAtMostBitSlicing) {
+  // The paper's headline claim: at equal bit information thermometer coding
+  // accumulates no more noise than bit slicing, strictly less for b >= 2.
+  for (const auto& pt : fig1b_series(8)) {
+    EXPECT_LE(pt.tc_variance, pt.bs_variance + 1e-12) << "bits=" << pt.bits;
+    if (pt.bits >= 2) {
+      EXPECT_LT(pt.tc_variance, pt.bs_variance) << "bits=" << pt.bits;
+    }
+  }
+}
+
+TEST(Fig1b, BothMonotonicallyDecreasing) {
+  const auto series = fig1b_series(8);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i].tc_variance, series[i - 1].tc_variance);
+    EXPECT_LT(series[i].bs_variance, series[i - 1].bs_variance);
+  }
+}
+
+TEST(Fig1b, ThermometerGapGrowsExponentially) {
+  // tc at b bits uses 2^b - 1 pulses -> variance 1/(2^b - 1).
+  const auto series = fig1b_series(6);
+  for (const auto& pt : series)
+    EXPECT_NEAR(pt.tc_variance,
+                1.0 / (std::pow(2.0, static_cast<double>(pt.bits)) - 1.0),
+                1e-12);
+}
+
+}  // namespace
+}  // namespace gbo::enc

@@ -1,0 +1,107 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::nn {
+namespace {
+
+/// Quadratic bowl f(w) = 0.5 * ||w - target||²; gradient = w - target.
+void fill_quadratic_grad(Param& p, const std::vector<float>& target) {
+  for (std::size_t i = 0; i < p.value.numel(); ++i)
+    p.grad[i] = p.value[i] - target[i];
+}
+
+TEST(SGD, ConvergesOnQuadratic) {
+  Param w("w", Tensor({2}, std::vector<float>{5.0f, -3.0f}));
+  const std::vector<float> target{1.0f, 2.0f};
+  SGD opt({&w}, /*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.0f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    fill_quadratic_grad(w, target);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(w.value[1], 2.0f, 1e-3f);
+}
+
+TEST(SGD, MomentumAcceleratesDescent) {
+  Param plain("a", Tensor({1}, std::vector<float>{10.0f}));
+  Param heavy("b", Tensor({1}, std::vector<float>{10.0f}));
+  SGD opt_plain({&plain}, 0.01f, 0.0f, 0.0f);
+  SGD opt_heavy({&heavy}, 0.01f, 0.9f, 0.0f);
+  for (int i = 0; i < 20; ++i) {
+    opt_plain.zero_grad();
+    opt_heavy.zero_grad();
+    plain.grad[0] = plain.value[0];
+    heavy.grad[0] = heavy.value[0];
+    opt_plain.step();
+    opt_heavy.step();
+  }
+  EXPECT_LT(std::fabs(heavy.value[0]), std::fabs(plain.value[0]));
+}
+
+TEST(SGD, WeightDecayShrinksWeights) {
+  Param w("w", Tensor({1}, std::vector<float>{1.0f}));
+  SGD opt({&w}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  opt.zero_grad();  // zero data gradient; only decay acts
+  opt.step();
+  EXPECT_NEAR(w.value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(SGD, SkipsFrozenParams) {
+  Param w("w", Tensor({1}, std::vector<float>{1.0f}));
+  w.requires_grad = false;
+  SGD opt({&w}, 0.1f, 0.0f, 0.0f);
+  w.grad[0] = 100.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param w("w", Tensor({2}, std::vector<float>{5.0f, -3.0f}));
+  const std::vector<float> target{1.0f, 2.0f};
+  Adam opt({&w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    fill_quadratic_grad(w, target);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(w.value[1], 2.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // With bias correction the first ADAM step is ≈ lr * sign(grad).
+  Param w("w", Tensor({1}, std::vector<float>{0.0f}));
+  Adam opt({&w}, 0.01f);
+  w.grad[0] = 42.0f;
+  opt.step();
+  EXPECT_NEAR(w.value[0], -0.01f, 1e-4f);
+}
+
+TEST(ZeroGrad, ClearsAccumulators) {
+  Param w("w", Tensor({2}));
+  w.grad[0] = 3.0f;
+  SGD opt({&w}, 0.1f);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);
+}
+
+TEST(StepLR, AppliesMilestones) {
+  Param w("w", Tensor({1}));
+  SGD opt({&w}, 1.0f);
+  StepLR sched(opt, /*total_epochs=*/10, {0.5, 0.7, 0.9}, 0.1f);
+  sched.on_epoch(0);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  sched.on_epoch(5);
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-6f);
+  sched.on_epoch(7);
+  EXPECT_NEAR(opt.lr(), 0.01f, 1e-7f);
+  sched.on_epoch(9);
+  EXPECT_NEAR(opt.lr(), 0.001f, 1e-8f);
+}
+
+}  // namespace
+}  // namespace gbo::nn

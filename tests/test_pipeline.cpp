@@ -1,0 +1,171 @@
+// Integration tests of the training/evaluation pipeline on a reduced VGG9.
+#include "core/pipeline.hpp"
+
+#include "common/artifact_cache.hpp"
+#include "data/synth_cifar.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace gbo::core {
+namespace {
+
+struct PipelineEnv {
+  models::Vgg9 model;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+PipelineEnv make_env() {
+  models::Vgg9Config mcfg;
+  mcfg.width = 4;
+  mcfg.image_size = 8;
+  data::SynthCifarConfig dcfg;
+  dcfg.image_size = 8;
+  dcfg.pixel_noise_std = 0.2f;
+  return PipelineEnv{models::build_vgg9(mcfg),
+               data::make_synth_cifar(dcfg, 300, 0),
+               data::make_synth_cifar(dcfg, 120, 1)};
+}
+
+PretrainConfig quick_pretrain() {
+  PretrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.lr = 0.03f;
+  cfg.batch_size = 16;
+  return cfg;
+}
+
+TEST(Pipeline, PretrainLearnsAboveChance) {
+  PipelineEnv s = make_env();
+  const PretrainStats stats =
+      pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  ASSERT_EQ(stats.train_loss.size(), 8u);
+  EXPECT_LT(stats.train_loss.back(), stats.train_loss.front());
+  EXPECT_GT(stats.test_acc, 0.4f);  // 10 classes -> chance is 0.1
+}
+
+TEST(Pipeline, EvaluateIsDeterministicWithoutNoise) {
+  PipelineEnv s = make_env();
+  pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  const float a = evaluate(*s.model.net, s.test);
+  const float b = evaluate(*s.model.net, s.test);
+  EXPECT_FLOAT_EQ(a, b);
+}
+
+TEST(Pipeline, NoiseDegradesAccuracyMonotonically) {
+  PipelineEnv s = make_env();
+  pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  Rng rng(5);
+  xbar::LayerNoiseController ctrl(s.model.encoded, 0.0, s.model.base_pulses(),
+                                  rng);
+  ctrl.attach();
+  ctrl.set_enabled_all(true);
+
+  const float clean = evaluate(*s.model.net, s.test);
+  // σ is scaled to this reduced model's MVM output magnitude (≈1), not the
+  // paper's full-width fan-in (see DESIGN.md on σ calibration).
+  ctrl.set_sigma(0.5);
+  const float mid = evaluate_noisy(*s.model.net, ctrl, s.test, 3);
+  ctrl.set_sigma(4.0);
+  const float heavy = evaluate_noisy(*s.model.net, ctrl, s.test, 3);
+  ctrl.detach();
+
+  EXPECT_GT(clean, mid - 0.02f);
+  EXPECT_GT(mid, heavy);
+  EXPECT_LT(heavy, clean);
+}
+
+TEST(Pipeline, MorePulsesRecoverAccuracy) {
+  // The paper's central mechanism: at fixed σ, increasing the uniform pulse
+  // count (PLA) must recover accuracy.
+  PipelineEnv s = make_env();
+  pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  Rng rng(6);
+  xbar::LayerNoiseController ctrl(s.model.encoded, 1.0, s.model.base_pulses(),
+                                  rng);
+  ctrl.attach();
+  ctrl.set_enabled_all(true);
+
+  ctrl.set_uniform_pulses(8);
+  const float base = evaluate_noisy(*s.model.net, ctrl, s.test, 5);
+  ctrl.set_uniform_pulses(32);
+  const float pla32 = evaluate_noisy(*s.model.net, ctrl, s.test, 5);
+  ctrl.detach();
+  EXPECT_GT(pla32, base + 0.02f);
+}
+
+TEST(Pipeline, CalibrateSigmasAreOrdered) {
+  PipelineEnv s = make_env();
+  pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  Rng rng(7);
+  xbar::LayerNoiseController ctrl(s.model.encoded, 0.0, s.model.base_pulses(),
+                                  rng);
+  const float clean = evaluate(*s.model.net, s.test);
+  // Targets below the clean accuracy: lower target needs more noise.
+  const std::vector<double> targets{clean * 0.8, clean * 0.5};
+  const auto sigmas =
+      calibrate_sigmas(*s.model.net, ctrl, s.test, targets, 4.0, 8, 2);
+  ASSERT_EQ(sigmas.size(), 2u);
+  EXPECT_GT(sigmas[0], 0.0);
+  EXPECT_LT(sigmas[0], sigmas[1]);
+  // Hooks must be detached afterwards.
+  for (auto* layer : s.model.encoded) EXPECT_EQ(layer->noise_hook(), nullptr);
+}
+
+TEST(Pipeline, LoadOrPretrainUsesCache) {
+  const std::string cache_dir =
+      ::testing::TempDir() + "/gbo_cache_test";
+  std::filesystem::remove_all(cache_dir);
+  ::setenv("GBO_ARTIFACT_DIR", cache_dir.c_str(), 1);
+
+  models::Vgg9Config mcfg;
+  mcfg.width = 4;
+  mcfg.image_size = 8;
+  data::SynthCifarConfig dcfg;
+  dcfg.image_size = 8;
+  auto train = data::make_synth_cifar(dcfg, 100, 0);
+  auto test = data::make_synth_cifar(dcfg, 50, 1);
+  PretrainConfig pcfg;
+  pcfg.epochs = 2;
+  pcfg.batch_size = 16;
+
+  models::Vgg9 m1 = models::build_vgg9(mcfg);
+  const float acc1 = load_or_pretrain(m1, train, test, pcfg, "testdata");
+
+  // Second call must load the checkpoint and reproduce the same weights.
+  models::Vgg9 m2 = models::build_vgg9(mcfg);
+  const float acc2 = load_or_pretrain(m2, train, test, pcfg, "testdata");
+  EXPECT_FLOAT_EQ(acc1, acc2);
+  const auto p1 = m1.net->params();
+  const auto p2 = m2.net->params();
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_TRUE(ops::allclose(p1[i]->value, p2[i]->value, 0.0f, 0.0f));
+
+  ::unsetenv("GBO_ARTIFACT_DIR");
+}
+
+TEST(Pipeline, LayerIsolationChangesAccuracyDifferently) {
+  // Fig. 2 mechanism: noise isolated at different layers must not produce
+  // identical degradation (layers have different sensitivity).
+  PipelineEnv s = make_env();
+  pretrain(*s.model.net, s.model.binary, s.train, s.test, quick_pretrain());
+  Rng rng(8);
+  xbar::LayerNoiseController ctrl(s.model.encoded, 2.0, s.model.base_pulses(),
+                                  rng);
+  ctrl.attach();
+  std::vector<float> accs;
+  for (std::size_t l = 0; l < ctrl.num_layers(); ++l) {
+    ctrl.isolate_layer(l);
+    accs.push_back(evaluate_noisy(*s.model.net, ctrl, s.test, 3));
+  }
+  ctrl.detach();
+  const auto [mn, mx] = std::minmax_element(accs.begin(), accs.end());
+  EXPECT_GT(*mx - *mn, 0.01f);
+}
+
+}  // namespace
+}  // namespace gbo::core

@@ -1,0 +1,210 @@
+#include "quant/quant_layers.hpp"
+
+#include "crossbar/crossbar_layers.hpp"
+#include "quant/binary_weight.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbo::quant {
+namespace {
+
+/// Records hook invocations for contract testing.
+class SpyHook : public MvmNoiseHook {
+ public:
+  void on_input(Tensor& x) override {
+    ++input_calls;
+    last_input_numel = x.numel();
+  }
+  void on_forward(Tensor& out) override {
+    ++forward_calls;
+    if (add_offset != 0.0f)
+      for (std::size_t i = 0; i < out.numel(); ++i) out[i] += add_offset;
+  }
+  void on_backward(const Tensor& grad) override {
+    ++backward_calls;
+    last_grad_numel = grad.numel();
+  }
+
+  int input_calls = 0, forward_calls = 0, backward_calls = 0;
+  std::size_t last_input_numel = 0, last_grad_numel = 0;
+  float add_offset = 0.0f;
+};
+
+TEST(QuantLinear, ForwardUsesBinarizedWeight) {
+  Rng rng(1);
+  QuantLinear fc(4, 3, rng, /*scaled=*/true);
+  Tensor x({2, 4});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  Tensor y = fc.forward(x);
+  Tensor expected = ops::matmul_bt(x, binarize(fc.weight().value, true));
+  EXPECT_TRUE(ops::allclose(y, expected, 1e-5f, 1e-6f));
+  // The stored binary weight is ±scale.
+  const float s = fc.weight_scale();
+  for (std::size_t i = 0; i < fc.binary_weight().numel(); ++i)
+    EXPECT_NEAR(std::fabs(fc.binary_weight()[i]), s, 1e-6f);
+}
+
+TEST(QuantLinear, NoBiasParameter) {
+  Rng rng(2);
+  QuantLinear fc(4, 3, rng);
+  EXPECT_EQ(fc.params().size(), 1u);  // crossbar layers are bias-free
+}
+
+TEST(QuantLinear, BackwardAppliesSte) {
+  Rng rng(3);
+  QuantLinear fc(2, 1, rng, /*scaled=*/false);
+  // Saturate one latent weight beyond the STE window.
+  fc.weight().value = Tensor({1, 2}, std::vector<float>{2.0f, 0.5f});
+  Tensor x({1, 2}, std::vector<float>{1.0f, 1.0f});
+  fc.forward(x);
+  Tensor g({1, 1}, std::vector<float>{1.0f});
+  fc.backward(g);
+  EXPECT_FLOAT_EQ(fc.weight().grad[0], 0.0f);  // clipped (|w| > 1)
+  EXPECT_FLOAT_EQ(fc.weight().grad[1], 1.0f);  // passes through
+}
+
+TEST(QuantLinear, HookLifecycle) {
+  Rng rng(4);
+  QuantLinear fc(4, 3, rng);
+  SpyHook hook;
+  fc.set_noise_hook(&hook);
+  Tensor x({2, 4});
+  Tensor y = fc.forward(x);
+  Tensor g(y.shape());
+  fc.backward(g);
+  EXPECT_EQ(hook.input_calls, 1);
+  EXPECT_EQ(hook.forward_calls, 1);
+  EXPECT_EQ(hook.backward_calls, 1);
+  EXPECT_EQ(hook.last_input_numel, x.numel());
+  EXPECT_EQ(hook.last_grad_numel, y.numel());
+
+  fc.set_noise_hook(nullptr);
+  fc.forward(x);
+  EXPECT_EQ(hook.input_calls, 1);  // detached hooks are not called
+}
+
+TEST(QuantLinear, HookOffsetIsAdditive) {
+  Rng rng(5);
+  QuantLinear fc(4, 3, rng);
+  Tensor x({1, 4}, 0.5f);
+  Tensor clean = fc.forward(x);
+  SpyHook hook;
+  hook.add_offset = 2.5f;
+  fc.set_noise_hook(&hook);
+  Tensor noisy = fc.forward(x);
+  for (std::size_t i = 0; i < clean.numel(); ++i)
+    EXPECT_NEAR(noisy[i] - clean[i], 2.5f, 1e-5f);
+}
+
+TEST(QuantConv2d, ForwardUsesBinarizedWeight) {
+  Rng rng(6);
+  ConvGeom g{.in_c = 2, .in_h = 4, .in_w = 4, .k = 3, .stride = 1, .pad = 1};
+  QuantConv2d conv(3, g, rng);
+  Tensor x({1, 2, 4, 4});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 3, 4, 4}));
+  const float s = conv.weight_scale();
+  for (std::size_t i = 0; i < conv.binary_weight().numel(); ++i)
+    EXPECT_NEAR(std::fabs(conv.binary_weight()[i]), s, 1e-6f);
+}
+
+TEST(QuantConv2d, HookSeesMvmOutput) {
+  Rng rng(7);
+  ConvGeom g{.in_c = 1, .in_h = 4, .in_w = 4, .k = 3, .stride = 1, .pad = 1};
+  QuantConv2d conv(2, g, rng);
+  SpyHook hook;
+  conv.set_noise_hook(&hook);
+  Tensor x({3, 1, 4, 4});
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(hook.forward_calls, 1);
+  Tensor grad(y.shape());
+  conv.backward(grad);
+  EXPECT_EQ(hook.last_grad_numel, y.numel());
+}
+
+TEST(QuantConv2d, CrossbarDims) {
+  Rng rng(8);
+  ConvGeom g{.in_c = 3, .in_h = 8, .in_w = 8, .k = 3, .stride = 1, .pad = 1};
+  QuantConv2d conv(16, g, rng);
+  Hookable& h = conv;
+  EXPECT_EQ(h.crossbar_rows(), 16u);
+  EXPECT_EQ(h.crossbar_cols(), 27u);
+  EXPECT_EQ(&h.latent_weight(), &conv.weight());
+}
+
+TEST(GaussianNoiseHook, AddsCorrectVariance) {
+  Rng rng(9);
+  xbar::GaussianNoiseHook hook(rng, /*sigma=*/2.0,
+                               enc::EncodingSpec{enc::Scheme::kThermometer, 8},
+                               /*base_pulses=*/8);
+  Tensor out({20000});
+  hook.on_forward(out);
+  // Var should be σ²/p = 4/8 = 0.5.
+  EXPECT_NEAR(ops::mean(out), 0.0f, 0.03f);
+  EXPECT_NEAR(ops::variance(out), 0.5f, 0.03f);
+}
+
+TEST(GaussianNoiseHook, DisabledIsNoop) {
+  Rng rng(10);
+  xbar::GaussianNoiseHook hook(rng, 5.0,
+                               enc::EncodingSpec{enc::Scheme::kThermometer, 8}, 8);
+  hook.set_enabled(false);
+  Tensor out({100}, 1.0f);
+  hook.on_forward(out);
+  for (std::size_t i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], 1.0f);
+  Tensor x({10}, 0.37f);
+  hook.on_input(x);
+  EXPECT_FLOAT_EQ(x[0], 0.37f);
+}
+
+TEST(GaussianNoiseHook, PlaReencodesInputAtNonBasePulses) {
+  Rng rng(11);
+  xbar::GaussianNoiseHook hook(rng, 0.0,
+                               enc::EncodingSpec{enc::Scheme::kThermometer, 10}, 8);
+  // 0.25 is a 9-level value; at 10 pulses the nearest level is 0.2.
+  Tensor x({1}, std::vector<float>{0.25f});
+  hook.on_input(x);
+  EXPECT_NEAR(x[0], 0.2f, 1e-6f);
+}
+
+TEST(GaussianNoiseHook, BasePulsesLeaveInputUntouched) {
+  Rng rng(12);
+  xbar::GaussianNoiseHook hook(rng, 0.0,
+                               enc::EncodingSpec{enc::Scheme::kThermometer, 8}, 8);
+  Tensor x({1}, std::vector<float>{0.25f});
+  hook.on_input(x);
+  EXPECT_FLOAT_EQ(x[0], 0.25f);
+}
+
+TEST(LayerNoiseController, ManagesPerLayerSpecs) {
+  Rng rng(13);
+  QuantLinear a(4, 4, rng), b(4, 4, rng), c(4, 4, rng);
+  xbar::LayerNoiseController ctrl({&a, &b, &c}, 1.0, 8, rng);
+  ctrl.attach();
+  EXPECT_NE(a.noise_hook(), nullptr);
+  ctrl.set_pulses({4, 8, 16});
+  EXPECT_EQ(ctrl.pulses(), (std::vector<std::size_t>{4, 8, 16}));
+  EXPECT_NEAR(ctrl.avg_pulses(), 28.0 / 3.0, 1e-9);
+  ctrl.set_uniform_pulses(10);
+  EXPECT_NEAR(ctrl.avg_pulses(), 10.0, 1e-9);
+  EXPECT_THROW(ctrl.set_pulses({1, 2}), std::invalid_argument);
+  ctrl.detach();
+  EXPECT_EQ(a.noise_hook(), nullptr);
+}
+
+TEST(LayerNoiseController, IsolateLayerEnablesExactlyOne) {
+  Rng rng(14);
+  QuantLinear a(4, 4, rng), b(4, 4, rng);
+  xbar::LayerNoiseController ctrl({&a, &b}, 1.0, 8, rng);
+  ctrl.isolate_layer(1);
+  EXPECT_FALSE(ctrl.hook(0).enabled());
+  EXPECT_TRUE(ctrl.hook(1).enabled());
+  EXPECT_THROW(ctrl.isolate_layer(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gbo::quant

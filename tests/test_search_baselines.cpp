@@ -1,0 +1,207 @@
+// Tests of the black-box schedule-search baselines (gbo/search_baselines).
+#include "gbo/search_baselines.hpp"
+
+#include "models/mlp.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gbo::opt {
+namespace {
+
+struct Fixture {
+  models::Mlp model;
+  data::Dataset data;
+  std::unique_ptr<xbar::LayerNoiseController> ctrl;
+};
+
+Fixture make_fixture(double sigma = 2.0) {
+  models::MlpConfig mcfg;
+  mcfg.in_features = 16;
+  mcfg.hidden = {24, 24, 24};
+  mcfg.num_classes = 4;
+  Fixture fx{build_mlp(mcfg), {}, nullptr};
+
+  Rng rng(9);
+  const std::size_t n = 128;
+  fx.data.images = Tensor({n, 16});
+  fx.data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i % 4;
+    fx.data.labels[i] = k;
+    for (std::size_t j = 0; j < 16; ++j)
+      fx.data.images[i * 16 + j] = static_cast<float>(
+          0.2 * rng.normal() + (j / 4 == k ? 0.9 : -0.9));
+  }
+
+  // Brief pretraining so accuracy responds to noise at all.
+  nn::SGD opt(fx.model.net->params(), 0.05f, 0.9f, 0.0f);
+  data::DataLoader loader(fx.data, 16, true, Rng(10));
+  fx.model.net->set_training(true);
+  for (std::size_t e = 0; e < 20; ++e) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      opt.zero_grad();
+      Tensor logits = fx.model.net->forward(batch.images);
+      Tensor grad;
+      nn::CrossEntropy::forward_backward(logits, batch.labels, grad);
+      fx.model.net->backward(grad);
+      opt.step();
+    }
+  }
+  fx.model.net->set_training(false);
+
+  fx.ctrl = std::make_unique<xbar::LayerNoiseController>(
+      fx.model.encoded, sigma, fx.model.base_pulses(), Rng(20));
+  fx.ctrl->attach();
+  return fx;
+}
+
+SearchConfig small_search() {
+  SearchConfig cfg;
+  cfg.candidates = {4, 8, 12, 16};
+  cfg.budget = 20;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ScheduleEvaluator, MemoizesDistinctSchedules) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  const std::vector<std::size_t> s(fx.ctrl->num_layers(), 8);
+  const double j1 = eval.objective(s);
+  EXPECT_EQ(eval.evaluations(), 1u);
+  const double j2 = eval.objective(s);
+  EXPECT_EQ(eval.evaluations(), 1u);  // memo hit
+  EXPECT_DOUBLE_EQ(j1, j2);
+  std::vector<std::size_t> s2 = s;
+  s2[0] = 16;
+  eval.objective(s2);
+  EXPECT_EQ(eval.evaluations(), 2u);
+}
+
+TEST(ScheduleEvaluator, ObjectivePenalizesLatency) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, /*latency_weight=*/
+                         1.0);
+  const std::vector<std::size_t> s(fx.ctrl->num_layers(), 8);
+  const double acc = eval.accuracy(s);
+  EXPECT_NEAR(eval.objective(s), acc - 1.0 * 8.0, 1e-9);
+}
+
+TEST(ScheduleEvaluator, WrongLengthThrows) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.0);
+  EXPECT_THROW(eval.objective({8}), std::invalid_argument);
+}
+
+TEST(SearchValidation, BadConfigsThrow) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.0);
+  SearchConfig no_candidates = small_search();
+  no_candidates.candidates.clear();
+  EXPECT_THROW(random_search(eval, no_candidates), std::invalid_argument);
+  SearchConfig no_budget = small_search();
+  no_budget.budget = 0;
+  EXPECT_THROW(evolutionary_search(eval, no_budget), std::invalid_argument);
+  SearchConfig no_pop = small_search();
+  no_pop.population = 0;
+  EXPECT_THROW(evolutionary_search(eval, no_pop), std::invalid_argument);
+}
+
+void check_result_invariants(const SearchResult& r, const SearchConfig& cfg,
+                             std::size_t layers) {
+  EXPECT_LE(r.evaluations, cfg.budget);
+  EXPECT_GT(r.evaluations, 0u);
+  ASSERT_EQ(r.best.size(), layers);
+  for (std::size_t p : r.best) {
+    EXPECT_NE(std::find(cfg.candidates.begin(), cfg.candidates.end(), p),
+              cfg.candidates.end())
+        << "selected pulse count " << p << " not in the candidate set";
+  }
+  // Anytime trace: one point per evaluation, monotone non-decreasing,
+  // ending at the best objective.
+  ASSERT_EQ(r.trace.size(), r.evaluations);
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_GE(r.trace[i], r.trace[i - 1]);
+  EXPECT_DOUBLE_EQ(r.trace.back(), r.best_objective);
+  EXPECT_GT(r.best_accuracy, 0.0);
+}
+
+TEST(RandomSearch, RespectsInvariants) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  SearchConfig cfg = small_search();
+  SearchResult r = random_search(eval, cfg);
+  EXPECT_EQ(r.method, "random");
+  check_result_invariants(r, cfg, fx.ctrl->num_layers());
+}
+
+TEST(EvolutionarySearch, RespectsInvariants) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  SearchConfig cfg = small_search();
+  SearchResult r = evolutionary_search(eval, cfg);
+  EXPECT_EQ(r.method, "evolutionary");
+  check_result_invariants(r, cfg, fx.ctrl->num_layers());
+}
+
+TEST(GreedySearch, RespectsInvariantsAndMayStopEarly) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  SearchConfig cfg = small_search();
+  cfg.budget = 60;
+  SearchResult r = greedy_coordinate_descent(eval, cfg);
+  EXPECT_EQ(r.method, "greedy");
+  check_result_invariants(r, cfg, fx.ctrl->num_layers());
+}
+
+TEST(EvolutionarySearch, SeedsIncludeUniformBaselines) {
+  // With a budget exactly the candidate count, the ES evaluates precisely
+  // the PLA-n uniform schedules, so its best must equal the best uniform.
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  SearchConfig cfg = small_search();
+  cfg.budget = cfg.candidates.size();
+  SearchResult r = evolutionary_search(eval, cfg);
+  // Best schedule must be one of the uniform seeds.
+  for (std::size_t i = 1; i < r.best.size(); ++i)
+    EXPECT_EQ(r.best[i], r.best[0]);
+}
+
+TEST(Searches, HighNoiseFavorsLongCodes) {
+  // Under severe noise with no latency penalty, every searcher should land
+  // on schedules longer on average than the base 8 pulses.
+  Fixture fx = make_fixture(/*sigma=*/8.0);
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data,
+                         /*latency_weight=*/0.0, /*trials=*/2);
+  SearchConfig cfg = small_search();
+  cfg.budget = 30;
+  SearchResult r = evolutionary_search(eval, cfg);
+  double avg = 0.0;
+  for (std::size_t p : r.best) avg += static_cast<double>(p);
+  avg /= static_cast<double>(r.best.size());
+  EXPECT_GT(avg, 8.0);
+}
+
+TEST(Searches, SharedEvaluatorAccumulatesBudget) {
+  Fixture fx = make_fixture();
+  ScheduleEvaluator eval(*fx.model.net, *fx.ctrl, fx.data, 0.1);
+  SearchConfig cfg = small_search();
+  cfg.budget = 10;
+  SearchResult a = random_search(eval, cfg);
+  const std::size_t after_a = eval.evaluations();
+  cfg.seed = 6;
+  SearchResult b = random_search(eval, cfg);
+  // Each run spends its own budget relative to its start.
+  EXPECT_LE(a.evaluations, 10u);
+  EXPECT_LE(b.evaluations, 10u);
+  EXPECT_GE(eval.evaluations(), after_a);
+}
+
+}  // namespace
+}  // namespace gbo::opt

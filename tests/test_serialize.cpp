@@ -1,0 +1,94 @@
+#include "common/serialize.hpp"
+
+#include "common/artifact_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gbo {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTrip) {
+  StateDict state;
+  state["a.weight"] = NamedBlob{{2, 3}, {1, 2, 3, 4, 5, 6}};
+  state["b.bias"] = NamedBlob{{2}, {-1.5f, 2.5f}};
+  const std::string path = temp_path("roundtrip.ckpt");
+  ASSERT_TRUE(save_state_dict(path, state));
+  EXPECT_TRUE(is_checkpoint(path));
+
+  bool ok = false;
+  const StateDict loaded = load_state_dict(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at("a.weight").shape, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(loaded.at("a.weight").data,
+            (std::vector<float>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(loaded.at("b.bias").data, (std::vector<float>{-1.5f, 2.5f}));
+}
+
+TEST(Serialize, EmptyStateDict) {
+  const std::string path = temp_path("empty.ckpt");
+  ASSERT_TRUE(save_state_dict(path, {}));
+  bool ok = false;
+  const StateDict loaded = load_state_dict(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, MissingFileReportsNotOk) {
+  bool ok = true;
+  const StateDict loaded = load_state_dict("/nonexistent/x.ckpt", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  const std::string path = temp_path("badmagic.ckpt");
+  std::ofstream f(path, std::ios::binary);
+  f << "NOTACKPTFILE";
+  f.close();
+  EXPECT_THROW(load_state_dict(path), std::runtime_error);
+  EXPECT_FALSE(is_checkpoint(path));
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  StateDict state;
+  state["w"] = NamedBlob{{100}, std::vector<float>(100, 1.0f)};
+  const std::string path = temp_path("trunc.ckpt");
+  ASSERT_TRUE(save_state_dict(path, state));
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_state_dict(path), std::runtime_error);
+}
+
+TEST(Serialize, ShapeDataMismatchThrowsOnSave) {
+  StateDict state;
+  state["w"] = NamedBlob{{3}, {1.0f}};  // 3 vs 1 elements
+  EXPECT_THROW(save_state_dict(temp_path("bad.ckpt"), state),
+               std::runtime_error);
+}
+
+TEST(ArtifactCache, FingerprintIsStable) {
+  EXPECT_EQ(fingerprint_hash("abc"), fingerprint_hash("abc"));
+  EXPECT_NE(fingerprint_hash("abc"), fingerprint_hash("abd"));
+  EXPECT_EQ(fingerprint_hash("x").size(), 16u);
+}
+
+TEST(ArtifactCache, PathRespectsEnv) {
+  ::setenv("GBO_ARTIFACT_DIR", (::testing::TempDir() + "/artdir").c_str(), 1);
+  const std::string path = artifact_path("model", "fp");
+  EXPECT_NE(path.find("artdir"), std::string::npos);
+  EXPECT_NE(path.find("model-"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(::testing::TempDir() + "/artdir"));
+  ::unsetenv("GBO_ARTIFACT_DIR");
+}
+
+}  // namespace
+}  // namespace gbo

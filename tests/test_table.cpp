@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gbo {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"Method", "Acc"});
+  t.add_row({"Baseline", "83.94"});
+  t.add_row({"GBO", "86.36"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| Method   |"), std::string::npos);
+  EXPECT_NE(text.find("| Baseline |"), std::string::npos);
+  EXPECT_NE(text.find("86.36"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripToFile) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+}
+
+TEST(Table, Accessors) {
+  Table t({"a"});
+  t.add_row({"r0"});
+  t.add_row({"r1"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 1u);
+  EXPECT_EQ(t.row(1)[0], "r1");
+}
+
+}  // namespace
+}  // namespace gbo

@@ -1,0 +1,101 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gbo {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.ndim(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, At4DRowMajor) {
+  Tensor t({1, 2, 2, 2});
+  t.at(0, 1, 1, 0) = 9.0f;
+  // flat index = ((0*2+1)*2+1)*2+0 = 6
+  EXPECT_EQ(t[6], 9.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r.dim(1), 2u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(Tensor, ReshapeRejectsWrongNumel) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({7}), std::invalid_argument);
+}
+
+TEST(Tensor, ValueSemanticsDeepCopy) {
+  Tensor a({2}, 1.0f);
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 5.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({3}, 1.0f);
+  t.fill(-2.0f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], -2.0f);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+TEST(Tensor, CheckSameShapeThrowsWithMessage) {
+  Tensor a({2, 3}), b({3, 2});
+  EXPECT_THROW(Tensor::check_same_shape(a, b, "unit"), std::invalid_argument);
+  EXPECT_NO_THROW(Tensor::check_same_shape(a, a, "unit"));
+}
+
+TEST(Tensor, StaticFactories) {
+  Tensor z = Tensor::zeros({2});
+  Tensor o = Tensor::ones({2});
+  Tensor f = Tensor::full({2}, 3.0f);
+  EXPECT_EQ(z[0], 0.0f);
+  EXPECT_EQ(o[1], 1.0f);
+  EXPECT_EQ(f[0], 3.0f);
+}
+
+TEST(Tensor, ShapeNumel) {
+  EXPECT_EQ(shape_numel({}), 1u);  // scalar convention
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+}
+
+}  // namespace
+}  // namespace gbo
