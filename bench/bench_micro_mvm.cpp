@@ -1,15 +1,34 @@
-// Micro-benchmarks (google-benchmark) of the simulation kernels: GEMM,
-// im2col lowering, pulse-level vs analytic crossbar MVM, and encoders.
-// These quantify the cost of the two simulation fidelities — the analytic
-// mode's speedup over pulse-level execution is what makes the Table I/II
-// training loops tractable on one core.
+// Micro-benchmarks of the simulation kernels: GEMM, im2col lowering,
+// pulse-level vs analytic crossbar MVM, and encoders.
+//
+// Two modes:
+//   * default / --smoke: a self-timed harness that measures the kernel-layer
+//     hot paths (naive vs blocked vs threaded GEMM, analytic MVM, fused vs
+//     per-pulse reference pulse-level MVM) and writes GFLOP/s + per-path
+//     timings to BENCH_mvm.json (override with --json <path>). --smoke
+//     shrinks sizes/repetitions so CI can gate on it in seconds.
+//   * --gbench [...]: the google-benchmark suite below, with remaining
+//     arguments forwarded (e.g. --gbench --benchmark_filter=Gemm).
+//
+// Thread count is controlled by the GBO_NUM_THREADS environment variable
+// (default: all hardware threads); the harness reports both single-thread
+// and thread-pool numbers so the JSON tracks blocking and scaling
+// separately. Kernel results are bitwise identical at any thread count.
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
 #include "crossbar/mvm_engine.hpp"
 #include "encoding/bit_slicing.hpp"
 #include "encoding/thermometer.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 namespace {
 
@@ -30,6 +49,8 @@ Tensor random_binary(std::size_t out, std::size_t in, std::uint64_t seed) {
   return w;
 }
 
+// ---- google-benchmark suite (--gbench) -----------------------------------
+
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Tensor a = random_tensor({n, n}, 1);
@@ -41,7 +62,7 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_Im2col(benchmark::State& state) {
   const auto s = static_cast<std::size_t>(state.range(0));
@@ -120,6 +141,231 @@ void BM_MvmWithDeviceModel(benchmark::State& state) {
 }
 BENCHMARK(BM_MvmWithDeviceModel);
 
+// ---- self-timed JSON harness ---------------------------------------------
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of fn(), in seconds.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    const double t1 = now_seconds();
+    if (t1 - t0 < best) best = t1 - t0;
+  }
+  return best;
+}
+
+double gflops(std::size_t flops, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(flops) / seconds / 1e9 : 0.0;
+}
+
+struct HarnessConfig {
+  bool smoke = false;
+  std::string json_path = "BENCH_mvm.json";
+  std::size_t gemm_n = 512;        // acceptance size: 512×512 GEMM paths
+  std::size_t mvm_out = 512, mvm_in = 512, mvm_batch = 16;
+  std::size_t pulse_out = 64, pulse_in = 256, pulse_batch = 16, pulses = 8;
+  int reps = 5;
+};
+
+Json bench_gemm_paths(const HarnessConfig& hc, std::size_t pool_threads) {
+  const std::size_t n = hc.gemm_n;
+  const std::size_t flops = 2 * n * n * n;
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c({n, n});
+  ThreadPool& pool = ThreadPool::instance();
+
+  Json out = Json::object();
+  out.set("size", n);
+  out.set("flops", flops);
+
+  // C = A·B: seed naive ikj vs blocked, 1 thread vs pool.
+  const double t_naive = time_best(hc.reps, [&] {
+    c.fill(0.0f);
+    gemm::naive_gemm_nn_acc(n, n, n, a.data(), b.data(), c.data());
+  });
+  pool.set_num_threads(1);
+  const double t_blocked_1t = time_best(hc.reps, [&] {
+    gemm::gemm_nn(n, n, n, a.data(), n, b.data(), n, c.data(), n, false);
+  });
+  pool.set_num_threads(pool_threads);
+  const double t_blocked_mt = time_best(hc.reps, [&] {
+    gemm::gemm_nn(n, n, n, a.data(), n, b.data(), n, c.data(), n, false);
+  });
+  Json nn = Json::object();
+  nn.set("naive_ms", t_naive * 1e3);
+  nn.set("blocked_1t_ms", t_blocked_1t * 1e3);
+  nn.set("blocked_mt_ms", t_blocked_mt * 1e3);
+  nn.set("gflops_naive", gflops(flops, t_naive));
+  nn.set("gflops_blocked_1t", gflops(flops, t_blocked_1t));
+  nn.set("gflops_blocked_mt", gflops(flops, t_blocked_mt));
+  nn.set("speedup_blocked_1t", t_naive / t_blocked_1t);
+  nn.set("speedup_blocked_mt", t_naive / t_blocked_mt);
+  out.set("nn", nn);
+
+  // C = A·Bᵀ — the analytic-MVM inner kernel (weights stored [out, in]).
+  const Tensor bt = random_tensor({n, n}, 3);
+  const double t_nt_naive = time_best(hc.reps, [&] {
+    gemm::naive_gemm_nt(n, n, n, a.data(), bt.data(), c.data());
+  });
+  pool.set_num_threads(1);
+  const double t_nt_1t = time_best(hc.reps, [&] {
+    gemm::gemm_nt(n, n, n, a.data(), n, bt.data(), n, c.data(), n);
+  });
+  pool.set_num_threads(pool_threads);
+  const double t_nt_mt = time_best(hc.reps, [&] {
+    gemm::gemm_nt(n, n, n, a.data(), n, bt.data(), n, c.data(), n);
+  });
+  Json nt = Json::object();
+  nt.set("naive_ms", t_nt_naive * 1e3);
+  nt.set("blocked_1t_ms", t_nt_1t * 1e3);
+  nt.set("blocked_mt_ms", t_nt_mt * 1e3);
+  nt.set("gflops_naive", gflops(flops, t_nt_naive));
+  nt.set("gflops_blocked_1t", gflops(flops, t_nt_1t));
+  nt.set("gflops_blocked_mt", gflops(flops, t_nt_mt));
+  nt.set("speedup_blocked_1t", t_nt_naive / t_nt_1t);
+  nt.set("speedup_blocked_mt", t_nt_naive / t_nt_mt);
+  out.set("nt", nt);
+  return out;
+}
+
+Json bench_analytic_mvm(const HarnessConfig& hc) {
+  const Tensor w = random_binary(hc.mvm_out, hc.mvm_in, 9);
+  xbar::MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  cfg.sigma = 1.0;
+  xbar::MvmEngine engine(w, cfg, Rng(10));
+  const Tensor x = random_tensor({hc.mvm_batch, hc.mvm_in}, 11);
+  const std::size_t flops = 2 * hc.mvm_batch * hc.mvm_out * hc.mvm_in;
+  const double t = time_best(hc.reps, [&] {
+    Tensor y = engine.run_analytic(x);
+    benchmark::DoNotOptimize(y.data());
+  });
+  Json out = Json::object();
+  out.set("batch", hc.mvm_batch);
+  out.set("out", hc.mvm_out);
+  out.set("in", hc.mvm_in);
+  out.set("time_ms", t * 1e3);
+  out.set("gflops", gflops(flops, t));
+  return out;
+}
+
+Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model) {
+  const Tensor w = random_binary(hc.pulse_out, hc.pulse_in, 6);
+  xbar::MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, hc.pulses};
+  cfg.sigma = 1.0;
+  if (device_model) {
+    cfg.device.program_variation = 0.1;
+    cfg.device.adc_bits = 8;
+    cfg.device.read_noise_sigma = 0.05;
+  }
+  const Tensor x = random_tensor({hc.pulse_batch, hc.pulse_in}, 8);
+  const std::size_t flops =
+      2 * hc.pulse_batch * hc.pulse_out * hc.pulse_in * hc.pulses;
+
+  xbar::MvmEngine fused(w, cfg, Rng(7));
+  const double t_fused = time_best(hc.reps, [&] {
+    Tensor y = fused.run_pulse_level(x);
+    benchmark::DoNotOptimize(y.data());
+  });
+  xbar::MvmEngine reference(w, cfg, Rng(7));
+  const double t_ref = time_best(hc.reps, [&] {
+    Tensor y = reference.run_pulse_level_reference(x);
+    benchmark::DoNotOptimize(y.data());
+  });
+
+  Json out = Json::object();
+  out.set("batch", hc.pulse_batch);
+  out.set("out", hc.pulse_out);
+  out.set("in", hc.pulse_in);
+  out.set("pulses", hc.pulses);
+  out.set("device_model", device_model);
+  out.set("fused_ms", t_fused * 1e3);
+  out.set("reference_ms", t_ref * 1e3);
+  out.set("gflops_fused", gflops(flops, t_fused));
+  out.set("gflops_reference", gflops(flops, t_ref));
+  out.set("speedup_fused", t_ref / t_fused);
+  return out;
+}
+
+int run_harness(const HarnessConfig& hc) {
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t pool_threads = pool.num_threads();
+
+  Json doc = Json::object();
+  doc.set("bench", "micro_mvm");
+  doc.set("smoke", hc.smoke);
+  doc.set("num_threads", pool_threads);
+
+  std::printf("[gemm] n=%zu (naive vs blocked, 1 vs %zu threads)...\n",
+              hc.gemm_n, pool_threads);
+  doc.set("gemm", bench_gemm_paths(hc, pool_threads));
+  pool.set_num_threads(pool_threads);
+
+  std::printf("[analytic mvm] %zux%zu batch=%zu...\n", hc.mvm_out, hc.mvm_in,
+              hc.mvm_batch);
+  doc.set("analytic_mvm", bench_analytic_mvm(hc));
+
+  std::printf("[pulse mvm] %zux%zu batch=%zu pulses=%zu (fused vs reference)...\n",
+              hc.pulse_out, hc.pulse_in, hc.pulse_batch, hc.pulses);
+  doc.set("pulse_mvm", bench_pulse_mvm(hc, /*device_model=*/false));
+  doc.set("pulse_mvm_device_model", bench_pulse_mvm(hc, /*device_model=*/true));
+
+  if (!doc.write_file(hc.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", hc.json_path.c_str());
+    return 1;
+  }
+  std::printf("%s\n", doc.dump(2).c_str());
+  std::printf("wrote %s\n", hc.json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench = false;
+  HarnessConfig hc;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gbench") {
+      gbench = true;
+      // Forward the remaining args to google-benchmark.
+      argv[i] = argv[0];
+      argc -= i;
+      argv += i;
+      break;
+    }
+    if (arg == "--smoke") {
+      hc.smoke = true;
+      hc.gemm_n = 128;
+      hc.mvm_out = hc.mvm_in = 128;
+      hc.pulse_out = 32;
+      hc.pulse_in = 64;
+      hc.pulse_batch = 8;
+      hc.reps = 2;
+    } else if (arg == "--json" && i + 1 < argc) {
+      hc.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <path>] | --gbench [...]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return run_harness(hc);
+}

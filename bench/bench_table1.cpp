@@ -10,6 +10,9 @@
 //               two γ values to land near the PLA-10 and PLA-14 latency
 //               budgets (paper reports GBO(~PLA10) and GBO(~PLA14)).
 //
+// Set GBO_NUM_THREADS to control the kernel thread pool (default: all
+// hardware threads); accuracies are bitwise identical at any thread count.
+//
 // Shape to check against the paper: PLA recovers accuracy monotonically
 // with n at every σ; GBO matches or beats the uniform schedule of similar
 // average latency, with the margin growing as noise gets severe.

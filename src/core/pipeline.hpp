@@ -10,6 +10,12 @@
 //
 // load_or_pretrain() adds artifact caching so every benchmark binary shares
 // one pretrained checkpoint per configuration.
+//
+// Threading: the per-batch hot paths (GEMM in linear/conv2d, the im2col
+// lowering, and the fused pulse-level MVM in attached crossbar layers) run
+// on the shared pool (common/thread_pool.hpp, GBO_NUM_THREADS). Results are
+// bitwise reproducible at any thread count, so pretrain/evaluate numbers do
+// not depend on the machine's core count.
 #pragma once
 
 #include "crossbar/crossbar_layers.hpp"

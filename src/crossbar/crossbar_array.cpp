@@ -1,7 +1,9 @@
 #include "crossbar/crossbar_array.hpp"
 
+#include "common/thread_pool.hpp"
 #include "crossbar/ir_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -188,6 +190,131 @@ Tensor CrossbarArray::mvm_pulse(const Tensor& x, Rng& rng) const {
     }
   }
   return out;
+}
+
+std::size_t CrossbarArray::read_noise_draws(std::size_t batch) const {
+  if (cfg_.read_noise_sigma <= 0.0) return 0;
+  // Matches the consumption order in mvm_pulse: differential draws one
+  // normal per (row, output, tile); offset draws one per (row, tile) for
+  // the reference column plus one per (row, tile, output).
+  return cfg_.mapping == WeightMapping::kOffset
+             ? batch * num_tiles_ * (1 + out_)
+             : batch * out_ * num_tiles_;
+}
+
+void CrossbarArray::fill_read_noise(std::size_t batch, Rng& rng,
+                                    double* buf) const {
+  const std::size_t draws = read_noise_draws(batch);
+  for (std::size_t i = 0; i < draws; ++i)
+    buf[i] = rng.normal(0.0, cfg_.read_noise_sigma);
+}
+
+void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
+                                    const double* read_noise,
+                                    const PulseSink& sink) const {
+  const std::size_t num_pulses = pulses.size();
+  if (num_pulses == 0) return;
+  const std::size_t batch = pulses[0].ndim() == 2 ? pulses[0].dim(0) : 0;
+  for (const Tensor& x : pulses)
+    if (x.ndim() != 2 || x.dim(1) != in_ || x.dim(0) != batch)
+      throw std::invalid_argument("CrossbarArray::mvm_pulse_train: bad pulse " +
+                                  x.shape_str());
+  if (batch == 0) return;
+  const bool noisy = cfg_.read_noise_sigma > 0.0;
+  if (noisy && read_noise == nullptr)
+    throw std::invalid_argument(
+        "CrossbarArray::mvm_pulse_train: read noise enabled but no draws "
+        "provided");
+
+  std::vector<const float*> xs(num_pulses);
+  for (std::size_t p = 0; p < num_pulses; ++p) xs[p] = pulses[p].data();
+  const std::size_t stride = read_noise_draws(batch);  // draws per pulse
+
+  if (cfg_.mapping == WeightMapping::kOffset) {
+    // Batch-major fusion of the offset read-out: per row, walk the raw
+    // conductance matrix once and read every pulse against the resident
+    // tile. Arithmetic per (pulse, row, output, tile) is ordered exactly as
+    // in mvm_pulse, so the values streamed to the sink match it bitwise.
+    const double k = 2.0 / (cfg_.g_on - cfg_.g_off);
+    const double auto_fs = static_cast<double>(tile_cols_) * cfg_.g_on;
+    parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> ref_current(num_pulses);
+      // Per-row float accumulators [out_][num_pulses]: the reference path
+      // accumulates each output in float across tiles, so the scratch must
+      // too for bitwise agreement.
+      std::vector<float> row_acc(out_ * num_pulses);
+      for (std::size_t n = lo; n < hi; ++n) {
+        std::fill(row_acc.begin(), row_acc.end(), 0.0f);
+        for (std::size_t t = 0; t < num_tiles_; ++t) {
+          const std::size_t j0 = t * tile_cols_;
+          const std::size_t j1 = std::min(j0 + tile_cols_, in_);
+          const std::size_t noise_base =
+              (n * num_tiles_ + t) * (1 + out_);  // [ref, out0, out1, ...]
+          for (std::size_t p = 0; p < num_pulses; ++p) {
+            const float* xv = xs[p] + n * in_;
+            double rc = 0.0;
+            for (std::size_t j = j0; j < j1; ++j)
+              rc += static_cast<double>(ref_g_[j]) * xv[j];
+            if (noisy) rc += read_noise[p * stride + noise_base];
+            ref_current[p] = adc_quantize(cfg_, rc, auto_fs);
+          }
+          for (std::size_t o = 0; o < out_; ++o) {
+            const float* grow = raw_g_.data() + o * in_;
+            for (std::size_t p = 0; p < num_pulses; ++p) {
+              const float* xv = xs[p] + n * in_;
+              double current = 0.0;
+              for (std::size_t j = j0; j < j1; ++j)
+                current += static_cast<double>(grow[j]) * xv[j];
+              if (noisy)
+                current += read_noise[p * stride + noise_base + 1 + o];
+              current = adc_quantize(cfg_, current, auto_fs);
+              row_acc[o * num_pulses + p] +=
+                  static_cast<float>((current - ref_current[p]) * k);
+            }
+          }
+        }
+        for (std::size_t o = 0; o < out_; ++o)
+          sink(n * out_ + o, row_acc.data() + o * num_pulses);
+      }
+    });
+    return;
+  }
+
+  // Differential mapping: every (row, output) pair is independent, so the
+  // flattened index space threads freely; per pair, each weight-row tile is
+  // loaded once (L1-resident) and dotted against every pulse before moving
+  // on — one weight-matrix sweep per row instead of one per (row, pulse).
+  const double auto_fs =
+      static_cast<double>(tile_cols_) * (cfg_.g_on - cfg_.g_off);
+  const std::size_t work = in_ * num_pulses;  // flops per (row, output) pair
+  const std::size_t grain = std::max<std::size_t>(1, 16384 / std::max<std::size_t>(work, 1));
+  parallel_for(0, batch * out_, grain, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> total(num_pulses);
+    std::vector<float> element(num_pulses);
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const std::size_t n = idx / out_;
+      const std::size_t o = idx % out_;
+      const float* wrow = eff_weight_.data() + o * in_;
+      std::fill(total.begin(), total.end(), 0.0);
+      for (std::size_t t = 0; t < num_tiles_; ++t) {
+        const std::size_t j0 = t * tile_cols_;
+        const std::size_t j1 = std::min(j0 + tile_cols_, in_);
+        for (std::size_t p = 0; p < num_pulses; ++p) {
+          const float* xv = xs[p] + n * in_;
+          double current = 0.0;
+          for (std::size_t j = j0; j < j1; ++j)
+            current += static_cast<double>(wrow[j]) * xv[j];
+          if (noisy)
+            current +=
+                read_noise[p * stride + (n * out_ + o) * num_tiles_ + t];
+          total[p] += adc_quantize(cfg_, current, auto_fs);
+        }
+      }
+      for (std::size_t p = 0; p < num_pulses; ++p)
+        element[p] = static_cast<float>(total[p]);
+      sink(idx, element.data());
+    }
+  });
 }
 
 }  // namespace gbo::xbar

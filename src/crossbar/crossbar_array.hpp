@@ -16,6 +16,8 @@
 #include "crossbar/device_model.hpp"
 #include "tensor/tensor.hpp"
 
+#include <functional>
+
 namespace gbo::xbar {
 
 class CrossbarArray {
@@ -34,7 +36,39 @@ class CrossbarArray {
   /// Computes output currents for a batch of bipolar input vectors
   /// x: [N, in], entries in {-1, +1} (one pulse). Applies read noise and
   /// per-tile ADC per the device config; `rng` drives cycle-to-cycle noise.
+  /// This is the scalar reference path; the fused mvm_pulse_train below is
+  /// the fast path and must stay bitwise equivalent to it
+  /// (tests/test_mvm_equivalence.cpp).
   Tensor mvm_pulse(const Tensor& x, Rng& rng) const;
+
+  /// Number of read-noise RNG draws mvm_pulse consumes for one pulse of a
+  /// batch of `batch` rows (0 when read noise is disabled).
+  std::size_t read_noise_draws(std::size_t batch) const;
+
+  /// Fills buf[0 .. read_noise_draws(batch)) with N(0, read_noise_sigma)
+  /// draws in exactly the order mvm_pulse consumes them, so the fused path
+  /// can replay one pulse's noise stream.
+  void fill_read_noise(std::size_t batch, Rng& rng, double* buf) const;
+
+  /// Per-element consumer for mvm_pulse_train: `idx` = n * rows() + o, and
+  /// `per_pulse[p]` is exactly the value mvm_pulse(pulses[p], ...) would
+  /// store at that element. May be invoked concurrently for distinct idx.
+  using PulseSink =
+      std::function<void(std::size_t idx, const float* per_pulse)>;
+
+  /// Fused multi-pulse MVM: computes mvm_pulse for every pulse tensor in
+  /// `pulses` (each [N, in]) in a single batch-major sweep of the weight
+  /// matrix — each weight tile is loaded once and accumulated against all
+  /// pulses while register/cache resident, instead of once per pulse — and
+  /// streams each element's per-pulse results to `sink` instead of
+  /// materializing pulses.size() output tensors. `read_noise` must be null
+  /// when read noise is disabled, else hold pulses.size() *
+  /// read_noise_draws(N) values laid out pulse-major, each pulse's slice
+  /// filled by fill_read_noise. Values handed to the sink are bitwise
+  /// identical to calling mvm_pulse per pulse with the same noise stream,
+  /// at any thread count.
+  void mvm_pulse_train(const std::vector<Tensor>& pulses,
+                       const double* read_noise, const PulseSink& sink) const;
 
   /// The effective (post-programming) weight the array realizes in the
   /// sign domain: (G+ − G−) for differential mapping, (G − G_ref) ·

@@ -16,23 +16,102 @@ Tensor MvmEngine::encode_and_snap(const Tensor& activations) const {
   Tensor snapped(activations.shape());
   const float* a = activations.data();
   float* s = snapped.data();
-  for (std::size_t i = 0; i < activations.numel(); ++i) {
-    s[i] = cfg_.spec.scheme == enc::Scheme::kThermometer
-               ? enc::thermometer_snap(a[i], cfg_.spec.num_pulses)
-               : enc::bit_slicing_snap(a[i], cfg_.spec.num_pulses);
+  const std::size_t n = activations.numel();
+  const std::size_t pulses = cfg_.spec.num_pulses;
+  // Scheme branch hoisted out of the element loop so each arm is a tight,
+  // inlinable kernel over the batch.
+  if (cfg_.spec.scheme == enc::Scheme::kThermometer) {
+    for (std::size_t i = 0; i < n; ++i) s[i] = enc::thermometer_snap(a[i], pulses);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) s[i] = enc::bit_slicing_snap(a[i], pulses);
   }
   return snapped;
 }
 
-Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
-  enc::PulseTrain train =
-      cfg_.spec.scheme == enc::Scheme::kThermometer
-          ? enc::thermometer_encode(activations, cfg_.spec.num_pulses)
-          : enc::bit_slicing_encode(activations, cfg_.spec.num_pulses);
+enc::PulseTrain MvmEngine::encode_train(const Tensor& activations) const {
+  if (activations.ndim() != 2)
+    throw std::invalid_argument("MvmEngine: expected [N, in] activations, got " +
+                                activations.shape_str());
+  return cfg_.spec.scheme == enc::Scheme::kThermometer
+             ? enc::thermometer_encode(activations, cfg_.spec.num_pulses)
+             : enc::bit_slicing_encode(activations, cfg_.spec.num_pulses);
+}
 
+std::vector<float> MvmEngine::normalized_pulse_weights() const {
   const auto weights = cfg_.spec.pulse_weights();
   double wsum = 0.0;
   for (double w : weights) wsum += w;
+  std::vector<float> w(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    w[i] = static_cast<float>(weights[i] / wsum);
+  return w;
+}
+
+Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
+  enc::PulseTrain train = encode_train(activations);
+  const std::size_t batch = activations.dim(0);
+  const std::size_t out_n = array_.rows();
+  // An empty pulse train (num_pulses == 0) contributes no current: the
+  // decoded result is exactly zero, not a default-constructed tensor.
+  if (train.pulses.empty()) return Tensor({batch, out_n});
+
+  const std::size_t num_pulses = train.pulses.size();
+  const std::size_t bn = batch * out_n;
+  const bool has_sigma = cfg_.sigma > 0.0;
+
+  // Pre-draw every stochastic term in exactly the order the per-pulse
+  // reference path consumes rng_: for each pulse, first the crossbar's
+  // read noise, then the Eq. 1 output noise (the latter cast to float at
+  // draw time, matching the reference's cast at add time). This frees the
+  // fused sweep below to visit pulses in weight-tile order while staying
+  // bitwise identical to run_pulse_level_reference for the same seed.
+  const std::size_t stride = array_.read_noise_draws(batch);
+  std::vector<double> read_noise(stride * num_pulses);
+  std::vector<float> out_noise(has_sigma ? num_pulses * bn : 0);
+  for (std::size_t i = 0; i < num_pulses; ++i) {
+    if (stride > 0)
+      array_.fill_read_noise(batch, rng_, read_noise.data() + i * stride);
+    if (has_sigma) {
+      float* sn = out_noise.data() + i * bn;
+      for (std::size_t j = 0; j < bn; ++j)
+        sn[j] = static_cast<float>(rng_.normal(0.0, cfg_.sigma));
+    }
+  }
+
+  const std::vector<float> w = normalized_pulse_weights();
+
+  // One fused batch-major sweep of the weight matrix for all pulses; the
+  // sink decodes each element in place (peripheral scale, Eq. 1 noise,
+  // weighted pulse sum — the same float operations, in the same order, as
+  // the reference path's per-tensor loops), so no per-pulse output tensors
+  // are ever materialized.
+  Tensor out({batch, out_n});
+  float* po = out.data();
+  const float* on = out_noise.data();
+  array_.mvm_pulse_train(
+      train.pulses, stride > 0 ? read_noise.data() : nullptr,
+      [&](std::size_t idx, const float* per_pulse) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < num_pulses; ++p) {
+          float y = per_pulse[p];
+          y *= scale_;
+          if (has_sigma) y += on[p * bn + idx];
+          if (p == 0) {
+            acc = y * w[0];
+          } else {
+            acc += w[p] * y;
+          }
+        }
+        po[idx] = acc;
+      });
+  return out;
+}
+
+Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations) {
+  enc::PulseTrain train = encode_train(activations);
+  if (train.pulses.empty()) return Tensor({activations.dim(0), array_.rows()});
+
+  const std::vector<float> w = normalized_pulse_weights();
 
   Tensor out;
   for (std::size_t i = 0; i < train.pulses.size(); ++i) {
@@ -45,11 +124,10 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
       for (std::size_t j = 0; j < y.numel(); ++j)
         p[j] += static_cast<float>(rng_.normal(0.0, cfg_.sigma));
     }
-    const float wi = static_cast<float>(weights[i] / wsum);
     if (i == 0) {
-      out = ops::scale(y, wi);
+      out = ops::scale(y, w[i]);
     } else {
-      ops::axpy_inplace(out, wi, y);
+      ops::axpy_inplace(out, w[i], y);
     }
   }
   return out;

@@ -30,10 +30,18 @@ class MvmEngine {
   /// `rng` seeds both programming-time variation and read-time noise.
   MvmEngine(const Tensor& binary_weight, MvmConfig cfg, Rng rng);
 
-  /// Ground truth: pulse-by-pulse execution. activations: [N, in] values in
+  /// Ground truth: pulse-level execution. activations: [N, in] values in
   /// [-1, 1]; returns [N, out] decoded currents scaled back to the weight
-  /// domain (times s).
+  /// domain (times s). Internally fused batch-major (one weight-matrix
+  /// sweep per batch row for the whole pulse train); bitwise identical to
+  /// run_pulse_level_reference for the same seed, at any thread count.
+  /// An empty pulse train yields an explicit zero [N, out] result.
   Tensor run_pulse_level(const Tensor& activations);
+
+  /// Retained pre-fusion scalar path (one crossbar read per pulse). Kept as
+  /// the equivalence oracle for tests and as a debugging fallback; consumes
+  /// rng_ in the same order as run_pulse_level.
+  Tensor run_pulse_level_reference(const Tensor& activations);
 
   /// Fast path: exact expected MVM + equivalent accumulated Gaussian noise.
   Tensor run_analytic(const Tensor& activations);
@@ -46,6 +54,10 @@ class MvmEngine {
 
  private:
   Tensor encode_and_snap(const Tensor& activations) const;
+  /// Validates [N, in] shape and encodes per the configured scheme.
+  enc::PulseTrain encode_train(const Tensor& activations) const;
+  /// Per-pulse decode weights w_i / Σ w_i as float.
+  std::vector<float> normalized_pulse_weights() const;
 
   MvmConfig cfg_;
   Tensor binary_weight_;  // ±s as given

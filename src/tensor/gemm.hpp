@@ -1,0 +1,57 @@
+// Cache-blocked, register-tiled, multithreaded GEMM micro-kernels.
+//
+// The Goto/van de Geijn decomposition specialized to this project's needs:
+// row-major float32, three transpose variants (the only ones the NN and
+// crossbar layers use), and bitwise-reproducible threading.
+//
+//   * Loop structure: rows of C are split into MC-row slabs (the threading
+//     unit); within a slab, K is blocked by KC and columns by NC so the
+//     active B panel stays L2-resident; the innermost tile is an MR×NR
+//     register block accumulated over the K block.
+//   * Per-element arithmetic order depends only on the fixed block sizes,
+//     never on the thread count — each C element is produced by exactly one
+//     thread, so results are identical at 1..N threads.
+//   * Thread count: GBO_NUM_THREADS / ThreadPool (common/thread_pool.hpp).
+//
+// The seed's naive loops are retained below as `naive_*` — they are the
+// correctness oracle for tests/test_gemm.cpp and the baseline the
+// bench_micro_mvm speedup numbers are measured against.
+//
+// All pointers are row-major with explicit leading dimensions; matrices may
+// not alias. Callers (ops::matmul*) own shape validation.
+#pragma once
+
+#include <cstddef>
+
+namespace gbo::gemm {
+
+/// C = A·B (+ C when accumulate): A[m,k] lda, B[k,n] ldb, C[m,n] ldc.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate);
+
+/// C = A·Bᵀ: A[m,k] lda, B[n,k] ldb, C[m,n] ldc.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc);
+
+/// C += Aᵀ·B: A[k,m] lda, B[k,n] ldb, C[m,n] ldc.
+void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,
+                 std::size_t lda, const float* B, std::size_t ldb, float* C,
+                 std::size_t ldc);
+
+// ---- retained naive reference kernels (seed implementations) -------------
+
+/// Seed ikj loop: C += A·B (callers zero C for the plain product).
+void naive_gemm_nn_acc(std::size_t m, std::size_t n, std::size_t k,
+                       const float* A, const float* B, float* C);
+
+/// Seed dot-product loop: C = A·Bᵀ.
+void naive_gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
+                   const float* B, float* C);
+
+/// Seed outer-product loop: C += Aᵀ·B.
+void naive_gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k,
+                       const float* A, const float* B, float* C);
+
+}  // namespace gbo::gemm

@@ -1,5 +1,7 @@
 #include "tensor/im2col.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace gbo {
 
 Tensor im2col(const Tensor& input, const ConvGeom& g) {
@@ -15,9 +17,12 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
   const float* in = input.data();
   const std::size_t chw = g.in_c * g.in_h * g.in_w;
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* img = in + n * chw;
-    for (std::size_t oy = 0; oy < oh; ++oy) {
+  // Each (image, output row) writes a disjoint slice of `cols`, so the
+  // flattened loop threads freely (deterministic: pure writes).
+  parallel_for(0, batch * oh, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t noy = lo; noy < hi; ++noy) {
+      const std::size_t n = noy / oh, oy = noy % oh;
+      const float* img = in + n * chw;
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float* row = out + ((n * oh + oy) * ow + ox) * plen;
         const std::ptrdiff_t iy0 =
@@ -40,7 +45,7 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -54,31 +59,35 @@ Tensor col2im(const Tensor& columns, std::size_t batch, const ConvGeom& g) {
   const float* in = columns.data();
   const std::size_t chw = g.in_c * g.in_h * g.in_w;
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    float* img = out + n * chw;
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        const float* row = in + ((n * oh + oy) * ow + ox) * plen;
-        const std::ptrdiff_t iy0 =
-            static_cast<std::ptrdiff_t>(oy * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
-        const std::ptrdiff_t ix0 =
-            static_cast<std::ptrdiff_t>(ox * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
-        std::size_t idx = 0;
-        for (std::size_t c = 0; c < g.in_c; ++c) {
-          float* chan = img + c * g.in_h * g.in_w;
-          for (std::size_t ky = 0; ky < g.k; ++ky) {
-            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
-            const bool y_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
-            for (std::size_t kx = 0; kx < g.k; ++kx, ++idx) {
-              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
-              if (y_ok && ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w))
-                chan[iy * static_cast<std::ptrdiff_t>(g.in_w) + ix] += row[idx];
+  // Overlapping patches accumulate within one image, but images are
+  // independent: thread over the batch only.
+  parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t n = lo; n < hi; ++n) {
+      float* img = out + n * chw;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float* row = in + ((n * oh + oy) * ow + ox) * plen;
+          const std::ptrdiff_t iy0 =
+              static_cast<std::ptrdiff_t>(oy * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * g.stride) - static_cast<std::ptrdiff_t>(g.pad);
+          std::size_t idx = 0;
+          for (std::size_t c = 0; c < g.in_c; ++c) {
+            float* chan = img + c * g.in_h * g.in_w;
+            for (std::size_t ky = 0; ky < g.k; ++ky) {
+              const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+              const bool y_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
+              for (std::size_t kx = 0; kx < g.k; ++kx, ++idx) {
+                const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+                if (y_ok && ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w))
+                  chan[iy * static_cast<std::ptrdiff_t>(g.in_w) + ix] += row[idx];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return grad;
 }
 

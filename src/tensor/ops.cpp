@@ -1,5 +1,7 @@
 #include "tensor/ops.hpp"
 
+#include "tensor/gemm.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -159,21 +161,10 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (c.dim(0) != m || c.dim(1) != n)
     throw std::invalid_argument("ops::matmul_acc: output shape mismatch");
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // ikj loop order: streams B and C rows contiguously, which the compiler
-  // auto-vectorizes well; adequate for the matrix sizes in this project.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* Ci = C + i * n;
-    const float* Ai = A + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = Ai[kk];
-      if (aik == 0.0f) continue;
-      const float* Bk = B + kk * n;
-      for (std::size_t j = 0; j < n; ++j) Ci[j] += aik * Bk[j];
-    }
-  }
+  // Blocked multithreaded kernel (tensor/gemm.hpp); deterministic at any
+  // thread count.
+  gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                /*accumulate=*/true);
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& b) {
@@ -183,19 +174,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("ops::matmul_bt: inner dim mismatch");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* Ai = A + i * k;
-    float* Ci = C + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* Bj = B + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += Ai[kk] * Bj[kk];
-      Ci[j] = acc;
-    }
-  }
+  gemm::gemm_nt(m, n, k, a.data(), k, b.data(), k, c.data(), n);
   return c;
 }
 
@@ -206,19 +185,7 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("ops::matmul_at: inner dim mismatch");
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* Ak = A + kk * m;
-    const float* Bk = B + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = Ak[i];
-      if (aki == 0.0f) continue;
-      float* Ci = C + i * n;
-      for (std::size_t j = 0; j < n; ++j) Ci[j] += aki * Bk[j];
-    }
-  }
+  gemm::gemm_tn_acc(m, n, k, a.data(), m, b.data(), n, c.data(), n);
   return c;
 }
 

@@ -42,6 +42,10 @@ void fill_uniform(Tensor& a, Rng& rng, float lo, float hi);
 void fill_normal(Tensor& a, Rng& rng, float mean, float stddev);
 
 // ---- GEMM -----------------------------------------------------------------
+//
+// All variants dispatch to the cache-blocked multithreaded kernels in
+// tensor/gemm.hpp (thread count: GBO_NUM_THREADS). Results are bitwise
+// reproducible at any thread count.
 
 /// C = A * B with A:[m,k], B:[k,n] -> C:[m,n].
 Tensor matmul(const Tensor& a, const Tensor& b);

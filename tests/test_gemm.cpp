@@ -1,0 +1,164 @@
+// The blocked/threaded GEMM layer (tensor/gemm.hpp) against the retained
+// naive reference kernels: agreement across odd, rectangular, and edge
+// shapes (k = 0, 1×N, N×1, exact-tile, cross-tile), accumulate semantics,
+// and bitwise reproducibility across thread counts.
+#include "tensor/gemm.hpp"
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace gbo {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  ops::fill_normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+// Shapes chosen to hit every dispatch path: the small-problem cutoff, lone
+// rows/columns, exact MR×NR multiples, ragged tile edges, and blocks that
+// span multiple KC/NC panels.
+struct Shape {
+  std::size_t m, n, k;
+};
+// Blocked and naive kernels associate the k-sum differently, so the
+// absolute error of a cancellation-prone dot product grows with the
+// magnitude of its k intermediate terms (N(0,1) draws here), not with the
+// result. Scale atol accordingly.
+float atol_for(std::size_t k) { return 1e-5f + 1e-6f * static_cast<float>(k); }
+
+const std::vector<Shape> kShapes = {
+    {1, 1, 1},   {1, 9, 4},    {9, 1, 4},    {4, 9, 1},    {7, 5, 3},
+    {6, 16, 8},  {12, 32, 16}, {13, 33, 17}, {64, 64, 64}, {65, 67, 63},
+    {3, 300, 5}, {300, 3, 5},  {90, 110, 70}, {130, 150, 300},
+    {16, 200, 400},  // small-m direct A·Bᵀ path (below the transpose cutoff)
+};
+
+TEST(Gemm, NnMatchesNaiveAcrossShapes) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = random_tensor({s.m, s.k}, 11 + s.m);
+    const Tensor b = random_tensor({s.k, s.n}, 23 + s.n);
+    Tensor c({s.m, s.n}), ref({s.m, s.n});
+    gemm::gemm_nn(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n,
+                  /*accumulate=*/false);
+    gemm::naive_gemm_nn_acc(s.m, s.n, s.k, a.data(), b.data(), ref.data());
+    EXPECT_TRUE(ops::allclose(c, ref, 1e-4f, atol_for(s.k)))
+        << "nn mismatch at m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+TEST(Gemm, NtMatchesNaiveAcrossShapes) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = random_tensor({s.m, s.k}, 31 + s.m);
+    const Tensor b = random_tensor({s.n, s.k}, 41 + s.n);
+    Tensor c({s.m, s.n}), ref({s.m, s.n});
+    gemm::gemm_nt(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, c.data(), s.n);
+    gemm::naive_gemm_nt(s.m, s.n, s.k, a.data(), b.data(), ref.data());
+    EXPECT_TRUE(ops::allclose(c, ref, 1e-4f, atol_for(s.k)))
+        << "nt mismatch at m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+TEST(Gemm, TnAccMatchesNaiveAcrossShapes) {
+  for (const Shape& s : kShapes) {
+    const Tensor a = random_tensor({s.k, s.m}, 51 + s.m);
+    const Tensor b = random_tensor({s.k, s.n}, 61 + s.n);
+    Tensor c({s.m, s.n}), ref({s.m, s.n});
+    gemm::gemm_tn_acc(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, c.data(),
+                      s.n);
+    gemm::naive_gemm_tn_acc(s.m, s.n, s.k, a.data(), b.data(), ref.data());
+    EXPECT_TRUE(ops::allclose(c, ref, 1e-4f, atol_for(s.k)))
+        << "tn mismatch at m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+TEST(Gemm, KZeroYieldsZeroProduct) {
+  Tensor c({3, 4}, 7.0f);
+  gemm::gemm_nn(3, 4, 0, nullptr, 0, nullptr, 4, c.data(), 4,
+                /*accumulate=*/false);
+  for (std::size_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0.0f);
+
+  Tensor d({3, 4}, 7.0f);
+  gemm::gemm_nt(3, 4, 0, nullptr, 0, nullptr, 0, d.data(), 4);
+  for (std::size_t i = 0; i < d.numel(); ++i) EXPECT_EQ(d[i], 0.0f);
+}
+
+TEST(Gemm, KZeroAccumulateLeavesCUntouched) {
+  Tensor c({2, 2}, 3.0f);
+  gemm::gemm_nn(2, 2, 0, nullptr, 0, nullptr, 2, c.data(), 2,
+                /*accumulate=*/true);
+  for (std::size_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 3.0f);
+  gemm::gemm_tn_acc(2, 2, 0, nullptr, 2, nullptr, 2, c.data(), 2);
+  for (std::size_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 3.0f);
+}
+
+TEST(Gemm, NnAccumulatesOntoExistingC) {
+  const std::size_t m = 33, n = 29, k = 17;
+  const Tensor a = random_tensor({m, k}, 71);
+  const Tensor b = random_tensor({k, n}, 72);
+  Tensor c({m, n}, 1.5f), ref({m, n}, 1.5f);
+  gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                /*accumulate=*/true);
+  gemm::naive_gemm_nn_acc(m, n, k, a.data(), b.data(), ref.data());
+  EXPECT_TRUE(ops::allclose(c, ref, 1e-4f, atol_for(k)));
+}
+
+TEST(Gemm, BitwiseReproducibleAcrossThreadCounts) {
+  const std::size_t m = 150, n = 130, k = 270;  // spans several MC/KC/NC blocks
+  const Tensor a = random_tensor({m, k}, 81);
+  const Tensor b = random_tensor({k, n}, 82);
+  const Tensor bt = ops::transpose(b);  // [n, k]
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  std::vector<Tensor> nn_results, nt_results, tn_results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    pool.set_num_threads(threads);
+    Tensor c_nn({m, n});
+    gemm::gemm_nn(m, n, k, a.data(), k, b.data(), n, c_nn.data(), n, false);
+    nn_results.push_back(std::move(c_nn));
+    Tensor c_nt({m, n});
+    gemm::gemm_nt(m, n, k, a.data(), k, bt.data(), k, c_nt.data(), n);
+    nt_results.push_back(std::move(c_nt));
+    const Tensor at = ops::transpose(a);  // [k, m]
+    Tensor c_tn({m, n});
+    gemm::gemm_tn_acc(m, n, k, at.data(), m, b.data(), n, c_tn.data(), n);
+    tn_results.push_back(std::move(c_tn));
+  }
+  pool.set_num_threads(restore);
+
+  EXPECT_EQ(0, std::memcmp(nn_results[0].data(), nn_results[1].data(),
+                           m * n * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(nt_results[0].data(), nt_results[1].data(),
+                           m * n * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(tn_results[0].data(), tn_results[1].data(),
+                           m * n * sizeof(float)));
+}
+
+TEST(Gemm, OpsWrappersDispatchToBlockedKernels) {
+  // ops::matmul* route through the blocked layer; cross-check one odd shape
+  // per variant against the naive kernels.
+  const std::size_t m = 37, n = 41, k = 29;
+  const Tensor a = random_tensor({m, k}, 91);
+  const Tensor b = random_tensor({k, n}, 92);
+
+  Tensor ref({m, n});
+  gemm::naive_gemm_nn_acc(m, n, k, a.data(), b.data(), ref.data());
+  EXPECT_TRUE(ops::allclose(ops::matmul(a, b), ref, 1e-4f, 1e-5f));
+  EXPECT_TRUE(
+      ops::allclose(ops::matmul_bt(a, ops::transpose(b)), ref, 1e-4f, 1e-5f));
+  EXPECT_TRUE(
+      ops::allclose(ops::matmul_at(ops::transpose(a), b), ref, 1e-4f, 1e-5f));
+}
+
+}  // namespace
+}  // namespace gbo

@@ -3,11 +3,14 @@
 // pulse-level simulation (one noisy crossbar read per pulse) in both mean
 // and variance, for both encodings, across pulse counts and noise levels.
 #include "crossbar/mvm_engine.hpp"
+
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 namespace gbo::xbar {
@@ -142,6 +145,109 @@ TEST(MvmEngine, ThermometerBeatsBitSlicingAtEqualBits) {
   const double tc = noise_var(enc::Scheme::kThermometer, 7);
   const double bs = noise_var(enc::Scheme::kBitSlicing, 3);
   EXPECT_LT(tc, bs * 0.6);  // theory predicts ratio (1/7)/(21/49) ≈ 0.33
+}
+
+// ---- fused vs. reference pulse-level path --------------------------------
+//
+// run_pulse_level is the fused batch-major sweep; run_pulse_level_reference
+// is the retained pre-refactor scalar path (one crossbar read per pulse).
+// For the same seed they consume rng in the same order and must agree
+// BITWISE — across encodings, device models, ragged tiling, and any thread
+// count.
+
+Tensor run_with_threads(const Tensor& w, const MvmConfig& cfg, const Tensor& x,
+                        std::size_t threads, bool fused) {
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  pool.set_num_threads(threads);
+  MvmEngine engine(w, cfg, Rng(42));
+  Tensor y = fused ? engine.run_pulse_level(x)
+                   : engine.run_pulse_level_reference(x);
+  pool.set_num_threads(restore);
+  return y;
+}
+
+struct FusedCase {
+  const char* name;
+  enc::Scheme scheme;
+  std::size_t pulses;
+  double sigma;
+  DeviceConfig device;
+};
+
+std::vector<FusedCase> fused_cases() {
+  std::vector<FusedCase> cases;
+  cases.push_back({"ideal_thermo", enc::Scheme::kThermometer, 8, 1.5, {}});
+  cases.push_back({"ideal_bits", enc::Scheme::kBitSlicing, 4, 2.0, {}});
+  {
+    // Read noise + ADC + programming variation on ragged tiles.
+    DeviceConfig d;
+    d.program_variation = 0.1;
+    d.read_noise_sigma = 0.05;
+    d.adc_bits = 8;
+    cases.push_back({"noisy_adc", enc::Scheme::kThermometer, 8, 1.0, d});
+  }
+  {
+    DeviceConfig d;
+    d.mapping = WeightMapping::kOffset;
+    d.g_on = 1.0;
+    d.g_off = 0.1;
+    d.read_noise_sigma = 0.02;
+    d.adc_bits = 10;
+    cases.push_back({"offset_noisy", enc::Scheme::kBitSlicing, 3, 0.5, d});
+  }
+  return cases;
+}
+
+TEST(MvmEngine, FusedPulsePathMatchesReferenceBitwiseAtAnyThreadCount) {
+  const Tensor w = random_binary_weight(9, 37, 21);  // ragged against tile_cols
+  const Tensor x = random_activations(5, 37, 22);
+  for (const FusedCase& c : fused_cases()) {
+    MvmConfig cfg;
+    cfg.spec = enc::EncodingSpec{c.scheme, c.pulses};
+    cfg.sigma = c.sigma;
+    cfg.device = c.device;
+    cfg.tile_cols = 16;  // 37 inputs -> tiles of 16, 16, 5
+
+    const Tensor ref = run_with_threads(w, cfg, x, 1, /*fused=*/false);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const Tensor fused = run_with_threads(w, cfg, x, threads, /*fused=*/true);
+      ASSERT_TRUE(fused.same_shape(ref)) << c.name;
+      EXPECT_EQ(0, std::memcmp(fused.data(), ref.data(),
+                               ref.numel() * sizeof(float)))
+          << c.name << " diverges at " << threads << " thread(s)";
+    }
+  }
+}
+
+TEST(MvmEngine, ZeroRowBatchWorksEvenWithReadNoise) {
+  // Regression: the fused path must not reject an empty batch just because
+  // read noise is enabled (zero draws are needed for zero rows).
+  const Tensor w = random_binary_weight(5, 8, 31);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 4};
+  cfg.sigma = 1.0;
+  cfg.device.read_noise_sigma = 0.1;
+  MvmEngine engine(w, cfg, Rng(32));
+  const Tensor x({0, 8});
+  const Tensor y = engine.run_pulse_level(x);
+  ASSERT_EQ(y.ndim(), 2u);
+  EXPECT_EQ(y.dim(0), 0u);
+  EXPECT_EQ(y.dim(1), 5u);
+}
+
+TEST(MvmEngine, EmptyPulseTrainYieldsZeroFilledResult) {
+  const Tensor w = random_binary_weight(6, 12, 23);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 0};
+  cfg.sigma = 1.0;
+  MvmEngine engine(w, cfg, Rng(24));
+  const Tensor x = random_activations(3, 12, 25);
+  const Tensor y = engine.run_pulse_level(x);
+  ASSERT_EQ(y.ndim(), 2u);
+  EXPECT_EQ(y.dim(0), 3u);
+  EXPECT_EQ(y.dim(1), 6u);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0f);
 }
 
 TEST(MvmEngine, DeviceVariationIsSharedBetweenModes) {

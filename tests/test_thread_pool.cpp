@@ -1,0 +1,107 @@
+// The deterministic parallel_for contract (common/thread_pool.hpp): full
+// coverage of the index space, fixed block boundaries independent of thread
+// count, exception propagation, nested-call degradation, and resizing.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gbo {
+namespace {
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::instance().set_num_threads(restore_); }
+  std::size_t restore_ = ThreadPool::instance().num_threads();
+};
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    ThreadPool::instance().set_num_threads(threads);
+    const std::size_t n = 1003;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(0, n, 17, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+  }
+}
+
+TEST_F(ThreadPoolTest, BlockBoundariesIndependentOfThreadCount) {
+  auto boundaries_at = [](std::size_t threads) {
+    ThreadPool::instance().set_num_threads(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> blocks(100);
+    parallel_for(5, 777, 40, [&](std::size_t lo, std::size_t hi) {
+      blocks[(lo - 5) / 40] = {lo, hi};  // one slot per block, no race
+    });
+    blocks.resize((777 - 5 + 39) / 40);
+    return blocks;
+  };
+  const auto one = boundaries_at(1);
+  const auto four = boundaries_at(4);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one.front(), (std::pair<std::size_t, std::size_t>{5, 45}));
+  EXPECT_EQ(one.back().second, 777u);
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(10, 10, 1, [&](std::size_t, std::size_t) { called = true; });
+  parallel_for(10, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool::instance().set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 10,
+                   [&](std::size_t lo, std::size_t) {
+                     if (lo == 50) throw std::runtime_error("block 50");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<std::size_t> sum{0};
+  parallel_for(0, 10, 2, [&](std::size_t lo, std::size_t hi) {
+    sum.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 10u);
+}
+
+TEST_F(ThreadPoolTest, NestedCallsRunInline) {
+  ThreadPool::instance().set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner loop must not deadlock on the shared job slot.
+      parallel_for(0, 8, 2, [&](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j)
+          hits[i * 8 + j].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_F(ThreadPoolTest, ResizeIsIdempotentAndClampsToOne) {
+  ThreadPool& pool = ThreadPool::instance();
+  pool.set_num_threads(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  pool.set_num_threads(2);
+  pool.set_num_threads(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(0, 1000, 7, [&](std::size_t lo, std::size_t hi) {
+    sum.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace gbo
