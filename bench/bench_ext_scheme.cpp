@@ -46,7 +46,8 @@ int main() {
   Table table({"Method", "Per-layer encoding", "Avg.# pulses", "Acc. (%)"});
 
   // Evaluates a per-layer (scheme, pulses) selection through the analytic
-  // noise hooks (each hook prices its spec's variance factor).
+  // noise hooks (each hook prices its spec's variance factor); the noise
+  // trials run concurrently on the shared pool (opt::evaluate_selection).
   auto eval_selection = [&](const std::string& method,
                             const std::vector<opt::SchemeCandidate>& sel) {
     ctrl.attach();
@@ -55,13 +56,13 @@ int main() {
     double pulse_sum = 0.0;
     std::string desc = "[";
     for (std::size_t l = 0; l < sel.size(); ++l) {
-      ctrl.hook(l).set_spec(sel[l].spec);
       pulse_sum += static_cast<double>(sel[l].pulses());
       if (l) desc += ", ";
       desc += sel[l].name();
     }
     desc += "]";
-    const float acc = core::evaluate_noisy(*exp.model.net, ctrl, exp.test, 3);
+    const float acc =
+        opt::evaluate_selection(*exp.model.net, ctrl, sel, exp.test, 3);
     ctrl.detach();
     table.add_row({method, desc,
                    Table::fmt(pulse_sum / static_cast<double>(sel.size()), 2),

@@ -4,9 +4,12 @@
 // Two modes:
 //   * default / --smoke: a self-timed harness that measures the kernel-layer
 //     hot paths (naive vs blocked vs threaded GEMM, analytic MVM, fused vs
-//     per-pulse reference pulse-level MVM) and writes GFLOP/s + per-path
-//     timings to BENCH_mvm.json (override with --json <path>). --smoke
-//     shrinks sizes/repetitions so CI can gate on it in seconds.
+//     per-pulse reference pulse-level MVM) plus the trial-parallel noisy
+//     evaluator (eval_trials section: throughput + a hard gate that the
+//     pool-dispatched trials stay bitwise equal to the sequential oracle),
+//     and writes GFLOP/s + per-path timings to BENCH_mvm.json (override
+//     with --json <path>). --smoke shrinks sizes/repetitions so CI can gate
+//     on it in seconds.
 //   * --gbench [...]: the google-benchmark suite below, with remaining
 //     arguments forwarded (e.g. --gbench --benchmark_filter=Gemm).
 //
@@ -16,9 +19,11 @@
 // separately. Kernel results are bitwise identical at any thread count.
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
 #include "crossbar/mvm_engine.hpp"
 #include "encoding/bit_slicing.hpp"
 #include "encoding/thermometer.hpp"
+#include "models/mlp.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
@@ -172,6 +177,7 @@ struct HarnessConfig {
   std::size_t gemm_n = 512;        // acceptance size: 512×512 GEMM paths
   std::size_t mvm_out = 512, mvm_in = 512, mvm_batch = 16;
   std::size_t pulse_out = 64, pulse_in = 256, pulse_batch = 16, pulses = 8;
+  std::size_t eval_samples = 2048, eval_trials = 16;  // noisy-eval throughput
   int reps = 5;
 };
 
@@ -297,6 +303,80 @@ Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model) {
   return out;
 }
 
+/// Trial-parallel noisy evaluation: sequential oracle vs the pool-dispatched
+/// evaluator, with a correctness gate (the two must be bitwise equal — any
+/// mismatch fails the harness). Records trial throughput so CI tracks the
+/// trial-level scaling alongside the kernel numbers.
+Json bench_eval_trials(const HarnessConfig& hc, std::size_t pool_threads,
+                       bool* gate_ok) {
+  using namespace gbo;
+  models::MlpConfig mcfg;
+  mcfg.in_features = 64;
+  mcfg.hidden = {128, 128, 128};
+  mcfg.num_classes = 10;
+  models::Mlp model = models::build_mlp(mcfg);
+  model.net->set_training(false);
+
+  data::Dataset test;
+  test.images = random_tensor({hc.eval_samples, mcfg.in_features}, 51);
+  test.labels.resize(hc.eval_samples);
+  Rng lrng(52);
+  for (auto& l : test.labels)
+    l = static_cast<std::size_t>(lrng.uniform_int(0, 9));
+
+  const std::size_t trials = hc.eval_trials;
+  ThreadPool& pool = ThreadPool::instance();
+
+  // Fresh controller per run so every measurement replays trial ids [0, n).
+  auto run = [&](bool sequential) {
+    Rng rng(53);
+    xbar::LayerNoiseController ctrl(model.encoded, 1.0, model.base_pulses(),
+                                    rng);
+    ctrl.attach();
+    ctrl.set_enabled_all(true);
+    const float acc =
+        sequential
+            ? core::evaluate_noisy_sequential(*model.net, ctrl, test, trials)
+            : core::evaluate_noisy(*model.net, ctrl, test, trials);
+    ctrl.detach();
+    return acc;
+  };
+
+  pool.set_num_threads(1);
+  const float acc_seq = run(true);
+  const double t_seq = time_best(hc.reps, [&] { (void)run(true); });
+  const float acc_par_1t = run(false);
+  const double t_par_1t = time_best(hc.reps, [&] { (void)run(false); });
+  pool.set_num_threads(pool_threads);
+  const float acc_par_mt = run(false);
+  const double t_par_mt = time_best(hc.reps, [&] { (void)run(false); });
+
+  const bool match = acc_seq == acc_par_1t && acc_seq == acc_par_mt;
+  if (!match) {
+    std::fprintf(stderr,
+                 "eval_trials GATE FAILURE: parallel evaluator diverged from "
+                 "the sequential oracle (seq=%.9g par_1t=%.9g par_mt=%.9g)\n",
+                 static_cast<double>(acc_seq), static_cast<double>(acc_par_1t),
+                 static_cast<double>(acc_par_mt));
+    *gate_ok = false;
+  }
+
+  Json out = Json::object();
+  out.set("samples", hc.eval_samples);
+  out.set("trials", trials);
+  out.set("accuracy", acc_seq);
+  out.set("bitwise_match", match);
+  out.set("sequential_ms", t_seq * 1e3);
+  out.set("parallel_1t_ms", t_par_1t * 1e3);
+  out.set("parallel_mt_ms", t_par_mt * 1e3);
+  out.set("trials_per_sec_sequential",
+          t_seq > 0.0 ? static_cast<double>(trials) / t_seq : 0.0);
+  out.set("trials_per_sec_mt",
+          t_par_mt > 0.0 ? static_cast<double>(trials) / t_par_mt : 0.0);
+  out.set("speedup_mt_vs_sequential", t_seq / t_par_mt);
+  return out;
+}
+
 int run_harness(const HarnessConfig& hc) {
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t pool_threads = pool.num_threads();
@@ -319,6 +399,17 @@ int run_harness(const HarnessConfig& hc) {
               hc.pulse_out, hc.pulse_in, hc.pulse_batch, hc.pulses);
   doc.set("pulse_mvm", bench_pulse_mvm(hc, /*device_model=*/false));
   doc.set("pulse_mvm_device_model", bench_pulse_mvm(hc, /*device_model=*/true));
+
+  std::printf("[eval trials] %zu samples x %zu trials (sequential oracle vs "
+              "trial-parallel, %zu threads)...\n",
+              hc.eval_samples, hc.eval_trials, pool_threads);
+  bool gate_ok = true;
+  doc.set("eval_trials", bench_eval_trials(hc, pool_threads, &gate_ok));
+  pool.set_num_threads(pool_threads);
+  if (!gate_ok) {
+    std::fprintf(stderr, "eval_trials gate failed; aborting\n");
+    return 1;
+  }
 
   if (!doc.write_file(hc.json_path)) {
     std::fprintf(stderr, "failed to write %s\n", hc.json_path.c_str());
@@ -351,6 +442,8 @@ int main(int argc, char** argv) {
       hc.pulse_out = 32;
       hc.pulse_in = 64;
       hc.pulse_batch = 8;
+      hc.eval_samples = 512;
+      hc.eval_trials = 8;
       hc.reps = 2;
     } else if (arg == "--json" && i + 1 < argc) {
       hc.json_path = argv[++i];

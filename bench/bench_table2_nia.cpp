@@ -99,8 +99,12 @@ int main() {
     nia::NiaConfig ncfg;
     ncfg.sigma = sigma;
     ncfg.epochs = nia_epochs;
+    // Validating overload: per-epoch noisy validation, trials dispatched on
+    // the shared pool, so the log shows whether NIA is still improving.
+    // Scored on the training set — the test set stays held out for the
+    // table rows below.
     nia::nia_finetune(*exp.model.net, exp.model.encoded, exp.model.binary,
-                      exp.train, ncfg);
+                      exp.train, exp.train, ncfg);
     eval_row("NIA", sigma, base_pulses);
     eval_row("NIA + PLA", sigma, pla10);
     const auto nia_gbo_sched = run_gbo(sigma);  // re-optimize λ on NIA weights

@@ -2,6 +2,7 @@
 
 #include "common/artifact_cache.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "quant/binary_weight.hpp"
@@ -10,6 +11,31 @@
 #include <sstream>
 
 namespace gbo::core {
+
+namespace {
+
+/// Fixed-order mean so the parallel and sequential evaluators accumulate
+/// identically (trial results land in per-trial slots first).
+float mean_accuracy(const std::vector<float>& acc) {
+  float sum = 0.0f;
+  for (float a : acc) sum += a;
+  return sum / static_cast<float>(acc.size());
+}
+
+bool degenerate_noisy_inputs(const data::Dataset& test, std::size_t trials,
+                             const char* fn) {
+  if (trials == 0) {
+    log_warn(fn, ": trials == 0, returning 0");
+    return true;
+  }
+  if (test.size() == 0) {
+    log_warn(fn, ": empty test dataset, returning 0");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::string PretrainConfig::fingerprint() const {
   std::ostringstream oss;
@@ -64,33 +90,66 @@ PretrainStats pretrain(nn::Sequential& net,
   return stats;
 }
 
-float evaluate(nn::Sequential& net, const data::Dataset& test,
-               std::size_t batch_size) {
-  const bool was_training = net.training();
-  net.set_training(false);
+float evaluate_trial(const nn::Sequential& net, const data::Dataset& test,
+                     std::size_t batch_size, nn::EvalContext& ctx) {
   Rng rng(0);  // unused (no shuffling)
   data::DataLoader loader(test, batch_size, /*shuffle=*/false, rng);
   std::size_t correct = 0, seen = 0;
   data::Batch batch;
   while (loader.next(batch)) {
-    Tensor logits = net.forward(batch.images);
+    const Tensor logits = net.infer(batch.images, ctx);
     const auto preds = ops::argmax_rows(logits);
     for (std::size_t i = 0; i < preds.size(); ++i)
       if (preds[i] == batch.labels[i]) ++correct;
     seen += preds.size();
   }
-  net.set_training(was_training);
-  return static_cast<float>(correct) / static_cast<float>(seen);
+  return seen == 0 ? 0.0f
+                   : static_cast<float>(correct) / static_cast<float>(seen);
 }
 
-float evaluate_noisy(nn::Sequential& net, xbar::LayerNoiseController& ctrl,
+float evaluate(const nn::Sequential& net, const data::Dataset& test,
+               std::size_t batch_size) {
+  if (test.size() == 0) {
+    log_warn("evaluate: empty test dataset, returning 0");
+    return 0.0f;
+  }
+  // Clean evaluation is deterministic: a fixed-seed context so any enabled
+  // noise hooks draw a reproducible stream.
+  nn::EvalContext ctx(Rng(0));
+  return evaluate_trial(net, test, batch_size, ctx);
+}
+
+float evaluate_noisy(const nn::Sequential& net,
+                     xbar::LayerNoiseController& ctrl,
                      const data::Dataset& test, std::size_t trials,
                      std::size_t batch_size) {
-  (void)ctrl;  // noise flows through the attached hooks during forward
-  float acc = 0.0f;
-  for (std::size_t t = 0; t < trials; ++t)
-    acc += evaluate(net, test, batch_size);
-  return acc / static_cast<float>(trials);
+  if (degenerate_noisy_inputs(test, trials, "evaluate_noisy")) return 0.0f;
+  const std::uint64_t base = ctrl.allocate_trials(trials);
+  std::vector<float> acc(trials, 0.0f);
+  // One pool block per trial: each trial is self-contained (own context,
+  // own loader), so dynamic block claiming cannot change any trial's bits.
+  parallel_for(0, trials, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      nn::EvalContext ctx(ctrl.trial_rng(base + t));
+      acc[t] = evaluate_trial(net, test, batch_size, ctx);
+    }
+  });
+  return mean_accuracy(acc);
+}
+
+float evaluate_noisy_sequential(const nn::Sequential& net,
+                                xbar::LayerNoiseController& ctrl,
+                                const data::Dataset& test, std::size_t trials,
+                                std::size_t batch_size) {
+  if (degenerate_noisy_inputs(test, trials, "evaluate_noisy_sequential"))
+    return 0.0f;
+  const std::uint64_t base = ctrl.allocate_trials(trials);
+  std::vector<float> acc(trials, 0.0f);
+  for (std::size_t t = 0; t < trials; ++t) {
+    nn::EvalContext ctx(ctrl.trial_rng(base + t));
+    acc[t] = evaluate_trial(net, test, batch_size, ctx);
+  }
+  return mean_accuracy(acc);
 }
 
 float load_or_pretrain(models::Vgg9& model, const data::Dataset& train,
@@ -147,6 +206,8 @@ std::vector<double> calibrate_sigmas(nn::Sequential& net,
                                      const std::vector<double>& target_acc,
                                      double sigma_hi, std::size_t iters,
                                      std::size_t trials) {
+  if (degenerate_noisy_inputs(test, trials, "calibrate_sigmas"))
+    return std::vector<double>(target_acc.size(), 0.0);
   ctrl.attach();
   ctrl.set_enabled_all(true);
   ctrl.set_uniform_pulses(ctrl.base_pulses());

@@ -11,11 +11,22 @@
 // load_or_pretrain() adds artifact caching so every benchmark binary shares
 // one pretrained checkpoint per configuration.
 //
-// Threading: the per-batch hot paths (GEMM in linear/conv2d, the im2col
-// lowering, and the fused pulse-level MVM in attached crossbar layers) run
-// on the shared pool (common/thread_pool.hpp, GBO_NUM_THREADS). Results are
-// bitwise reproducible at any thread count, so pretrain/evaluate numbers do
-// not depend on the machine's core count.
+// Threading (two levels, both on the shared pool of common/thread_pool.hpp,
+// sized by GBO_NUM_THREADS):
+//  * per-batch kernels — GEMM in linear/conv2d, the im2col lowering, and
+//    the fused pulse-level MVM in attached crossbar layers;
+//  * per-trial dispatch — evaluate_noisy (and everything built on it:
+//    calibrate_sigmas, the GBO searches, the NIA validation loop) runs its
+//    independent noise-draw trials concurrently, one stateless EvalContext
+//    per trial over the shared frozen weights (nn::Module::infer). While
+//    trials occupy the pool, the kernels inside them run inline — trial
+//    parallelism is the outer, coarser and therefore winning level for the
+//    trial-heavy benches.
+// Trial t draws its noise from the controller's counter-based fork
+// (seed, trial_id) — see LayerNoiseController::trial_rng and DESIGN.md §3 —
+// so results are bitwise identical to the retained sequential oracle
+// (evaluate_noisy_sequential) at any thread count, and pretrain/evaluate
+// numbers do not depend on the machine's core count.
 #pragma once
 
 #include "crossbar/crossbar_layers.hpp"
@@ -55,16 +66,37 @@ PretrainStats pretrain(nn::Sequential& net,
                        const data::Dataset& train, const data::Dataset& test,
                        const PretrainConfig& cfg);
 
-/// Clean test accuracy (eval mode, no hooks touched).
-float evaluate(nn::Sequential& net, const data::Dataset& test,
+/// Clean test accuracy via the stateless inference path (eval-mode
+/// semantics regardless of the network's training flag; no module state
+/// touched). An empty dataset returns 0.0 with a logged warning.
+float evaluate(const nn::Sequential& net, const data::Dataset& test,
                std::size_t batch_size = 64);
 
-/// Noisy test accuracy: evaluates `trials` times with independent noise
-/// draws through the attached controller and returns the mean accuracy.
-/// The controller must already be attached and configured.
-float evaluate_noisy(nn::Sequential& net, xbar::LayerNoiseController& ctrl,
+/// One full pass over `test` in the caller's EvalContext: the unit of work
+/// a noisy-evaluation trial dispatches onto the thread pool. Exposed for
+/// benches/tests that drive their own contexts.
+float evaluate_trial(const nn::Sequential& net, const data::Dataset& test,
+                     std::size_t batch_size, nn::EvalContext& ctx);
+
+/// Noisy test accuracy: mean over `trials` independent noise draws, the
+/// trials dispatched concurrently onto the shared thread pool (one
+/// EvalContext per trial, seeded ctrl.trial_rng(trial_id)). The controller
+/// must already be attached and configured. Bitwise identical to
+/// evaluate_noisy_sequential at any GBO_NUM_THREADS. Degenerate inputs
+/// (trials == 0 or an empty dataset) return 0.0 with a logged warning.
+float evaluate_noisy(const nn::Sequential& net,
+                     xbar::LayerNoiseController& ctrl,
                      const data::Dataset& test, std::size_t trials = 3,
                      std::size_t batch_size = 64);
+
+/// Retained sequential evaluator — the equivalence oracle: same
+/// (seed, trial_id) contract and float accumulation order as
+/// evaluate_noisy, trials run in order on the calling thread.
+float evaluate_noisy_sequential(const nn::Sequential& net,
+                                xbar::LayerNoiseController& ctrl,
+                                const data::Dataset& test,
+                                std::size_t trials = 3,
+                                std::size_t batch_size = 64);
 
 /// Loads the pretrained checkpoint for (model, data, pretrain) fingerprints
 /// if cached, otherwise pretrains and saves it. Returns the clean test
@@ -81,7 +113,9 @@ float load_or_pretrain(models::ResNet& model, const data::Dataset& train,
 /// Finds per-pulse noise σ values such that the *baseline* configuration
 /// (uniform base pulses) degrades to each target accuracy, via bisection on
 /// [0, sigma_hi]. This anchors the paper's σ ∈ {10, 15, 20} operating
-/// points on our fan-in (see DESIGN.md §2).
+/// points on our fan-in (see DESIGN.md §2). Each bisection step's trials
+/// run trial-parallel (evaluate_noisy). Degenerate inputs (trials == 0 or
+/// an empty dataset) yield all-zero sigmas with a logged warning.
 std::vector<double> calibrate_sigmas(nn::Sequential& net,
                                      xbar::LayerNoiseController& ctrl,
                                      const data::Dataset& test,

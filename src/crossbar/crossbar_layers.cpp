@@ -7,7 +7,8 @@ namespace gbo::xbar {
 LayerNoiseController::LayerNoiseController(std::vector<quant::Hookable*> layers,
                                            double sigma, std::size_t base_pulses,
                                            Rng rng)
-    : layers_(std::move(layers)), base_pulses_(base_pulses) {
+    : layers_(std::move(layers)), base_pulses_(base_pulses),
+      trial_root_(rng.fork(500)) {
   hooks_.reserve(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     hooks_.push_back(std::make_unique<GaussianNoiseHook>(
@@ -50,6 +51,12 @@ void LayerNoiseController::set_pulses(const std::vector<std::size_t>& pulses) {
 
 void LayerNoiseController::set_uniform_pulses(std::size_t pulses) {
   set_pulses(std::vector<std::size_t>(hooks_.size(), pulses));
+}
+
+void LayerNoiseController::set_specs(const std::vector<enc::EncodingSpec>& specs) {
+  if (specs.size() != hooks_.size())
+    throw std::invalid_argument("LayerNoiseController::set_specs: size mismatch");
+  for (std::size_t i = 0; i < hooks_.size(); ++i) hooks_[i]->set_spec(specs[i]);
 }
 
 void LayerNoiseController::set_scheme(enc::Scheme scheme) {

@@ -52,6 +52,10 @@ class LayerNoiseController {
   /// Used by the network-level thermometer-vs-bit-slicing comparison.
   void set_scheme(enc::Scheme scheme);
 
+  /// Sets a heterogeneous per-layer (scheme × pulse count) assignment —
+  /// the mixed selections produced by gbo::opt scheme search.
+  void set_specs(const std::vector<enc::EncodingSpec>& specs);
+
   /// Current per-layer pulse counts.
   std::vector<std::size_t> pulses() const;
 
@@ -60,10 +64,32 @@ class LayerNoiseController {
 
   GaussianNoiseHook& hook(std::size_t i) { return *hooks_.at(i); }
 
+  // -- trial-parallel RNG contract (DESIGN.md §3) ---------------------------
+  // Noisy evaluation draws trial t's entire noise stream from
+  // trial_rng(trial_id), a counter-based fork of a controller-owned root
+  // stream: the stream depends only on (construction seed, trial_id), never
+  // on which thread runs the trial or in which order trials complete.
+  // allocate_trials hands out consecutive trial-id windows so back-to-back
+  // evaluations use fresh, still fully reproducible noise.
+
+  /// The deterministic per-trial stream fork (seed, trial_id).
+  Rng trial_rng(std::uint64_t trial_id) const {
+    return trial_root_.fork(trial_id);
+  }
+
+  /// Reserves `n` consecutive trial ids; returns the first.
+  std::uint64_t allocate_trials(std::size_t n) {
+    const std::uint64_t base = next_trial_;
+    next_trial_ += n;
+    return base;
+  }
+
  private:
   std::vector<quant::Hookable*> layers_;
   std::vector<std::unique_ptr<GaussianNoiseHook>> hooks_;
   std::size_t base_pulses_;
+  Rng trial_root_;              // root of the (seed, trial_id) forks
+  std::uint64_t next_trial_ = 0;
 };
 
 /// Inference-only linear layer executed on the simulated crossbar at pulse
@@ -76,6 +102,12 @@ class CrossbarLinear : public nn::Module {
   Tensor forward(const Tensor& x) override { return engine_.run_pulse_level(x); }
   Tensor backward(const Tensor&) override {
     throw std::logic_error("CrossbarLinear is inference-only");
+  }
+  /// Stateless pulse-level inference: read noise, ADC, and Eq. 1 output
+  /// noise all drawn from the per-trial context stream over the frozen
+  /// (read-only) programmed array.
+  Tensor infer(const Tensor& x, nn::EvalContext& ctx) const override {
+    return engine_.run_pulse_level(x, ctx.rng);
   }
   std::string kind() const override { return "CrossbarLinear"; }
 

@@ -48,6 +48,10 @@ std::vector<float> MvmEngine::normalized_pulse_weights() const {
 }
 
 Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
+  return run_pulse_level(activations, rng_);
+}
+
+Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng) const {
   enc::PulseTrain train = encode_train(activations);
   const std::size_t batch = activations.dim(0);
   const std::size_t out_n = array_.rows();
@@ -60,7 +64,7 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
   const bool has_sigma = cfg_.sigma > 0.0;
 
   // Pre-draw every stochastic term in exactly the order the per-pulse
-  // reference path consumes rng_: for each pulse, first the crossbar's
+  // reference path consumes its rng: for each pulse, first the crossbar's
   // read noise, then the Eq. 1 output noise (the latter cast to float at
   // draw time, matching the reference's cast at add time). This frees the
   // fused sweep below to visit pulses in weight-tile order while staying
@@ -70,11 +74,11 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
   std::vector<float> out_noise(has_sigma ? num_pulses * bn : 0);
   for (std::size_t i = 0; i < num_pulses; ++i) {
     if (stride > 0)
-      array_.fill_read_noise(batch, rng_, read_noise.data() + i * stride);
+      array_.fill_read_noise(batch, rng, read_noise.data() + i * stride);
     if (has_sigma) {
       float* sn = out_noise.data() + i * bn;
       for (std::size_t j = 0; j < bn; ++j)
-        sn[j] = static_cast<float>(rng_.normal(0.0, cfg_.sigma));
+        sn[j] = static_cast<float>(rng.normal(0.0, cfg_.sigma));
     }
   }
 
@@ -108,6 +112,11 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
 }
 
 Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations) {
+  return run_pulse_level_reference(activations, rng_);
+}
+
+Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations,
+                                            Rng& rng) const {
   enc::PulseTrain train = encode_train(activations);
   if (train.pulses.empty()) return Tensor({activations.dim(0), array_.rows()});
 
@@ -116,13 +125,13 @@ Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations) {
   Tensor out;
   for (std::size_t i = 0; i < train.pulses.size(); ++i) {
     // One crossbar read per pulse, in sign-current domain.
-    Tensor y = array_.mvm_pulse(train.pulses[i], rng_);
+    Tensor y = array_.mvm_pulse(train.pulses[i], rng);
     // Peripheral scaling back to the weight domain, then the Eq. 1 noise.
     ops::scale_inplace(y, scale_);
     if (cfg_.sigma > 0.0) {
       float* p = y.data();
       for (std::size_t j = 0; j < y.numel(); ++j)
-        p[j] += static_cast<float>(rng_.normal(0.0, cfg_.sigma));
+        p[j] += static_cast<float>(rng.normal(0.0, cfg_.sigma));
     }
     if (i == 0) {
       out = ops::scale(y, w[i]);
@@ -134,6 +143,10 @@ Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations) {
 }
 
 Tensor MvmEngine::run_analytic(const Tensor& activations) {
+  return run_analytic(activations, rng_);
+}
+
+Tensor MvmEngine::run_analytic(const Tensor& activations, Rng& rng) const {
   Tensor snapped = encode_and_snap(activations);
   // Expected MVM uses the *effective* (post-programming) weights so the
   // analytic mode reproduces frozen device variation too, then adds the
@@ -144,7 +157,7 @@ Tensor MvmEngine::run_analytic(const Tensor& activations) {
     const double std = cfg_.sigma * std::sqrt(cfg_.spec.noise_variance_factor());
     float* p = out.data();
     for (std::size_t i = 0; i < out.numel(); ++i)
-      p[i] += static_cast<float>(rng_.normal(0.0, std));
+      p[i] += static_cast<float>(rng.normal(0.0, std));
   }
   return out;
 }

@@ -36,15 +36,24 @@ class MvmEngine {
   /// sweep per batch row for the whole pulse train); bitwise identical to
   /// run_pulse_level_reference for the same seed, at any thread count.
   /// An empty pulse train yields an explicit zero [N, out] result.
+  ///
+  /// Each stochastic mode comes in two flavours: the classic one consuming
+  /// the engine-owned stream (rng_), and a const overload drawing every
+  /// stochastic term from a caller-supplied Rng — the stateless-inference
+  /// variant, safe to call concurrently with distinct generators over one
+  /// programmed array (the frozen device state is read-only).
   Tensor run_pulse_level(const Tensor& activations);
+  Tensor run_pulse_level(const Tensor& activations, Rng& rng) const;
 
   /// Retained pre-fusion scalar path (one crossbar read per pulse). Kept as
   /// the equivalence oracle for tests and as a debugging fallback; consumes
-  /// rng_ in the same order as run_pulse_level.
+  /// its rng in the same order as run_pulse_level.
   Tensor run_pulse_level_reference(const Tensor& activations);
+  Tensor run_pulse_level_reference(const Tensor& activations, Rng& rng) const;
 
   /// Fast path: exact expected MVM + equivalent accumulated Gaussian noise.
   Tensor run_analytic(const Tensor& activations);
+  Tensor run_analytic(const Tensor& activations, Rng& rng) const;
 
   /// Noise-free reference (snapped activations, ideal weights).
   Tensor run_ideal(const Tensor& activations) const;

@@ -2,8 +2,7 @@
 
 namespace gbo::xbar {
 
-void GaussianNoiseHook::on_input(Tensor& x) {
-  if (!enabled_) return;
+void GaussianNoiseHook::snap_input(Tensor& x) const {
   if (spec_.scheme == enc::Scheme::kThermometer) {
     // PLA re-encoding: activations were quantized for base_pulses_ levels;
     // a different pulse count can only realize its own level grid.
@@ -18,12 +17,32 @@ void GaussianNoiseHook::on_input(Tensor& x) {
   }
 }
 
-void GaussianNoiseHook::on_forward(Tensor& out) {
-  if (!enabled_ || sigma_ <= 0.0) return;
+void GaussianNoiseHook::add_output_noise(Tensor& out, Rng& rng) const {
+  if (sigma_ <= 0.0) return;
   const double std = sigma_ * std::sqrt(spec_.noise_variance_factor());
   float* p = out.data();
   for (std::size_t i = 0; i < out.numel(); ++i)
-    p[i] += static_cast<float>(rng_.normal(0.0, std));
+    p[i] += static_cast<float>(rng.normal(0.0, std));
+}
+
+void GaussianNoiseHook::on_input(Tensor& x) {
+  if (!enabled_) return;
+  snap_input(x);
+}
+
+void GaussianNoiseHook::on_forward(Tensor& out) {
+  if (!enabled_) return;
+  add_output_noise(out, rng_);
+}
+
+void GaussianNoiseHook::infer_input(Tensor& x, Rng& /*rng*/) const {
+  if (!enabled_) return;
+  snap_input(x);
+}
+
+void GaussianNoiseHook::infer_output(Tensor& out, Rng& rng) const {
+  if (!enabled_) return;
+  add_output_noise(out, rng);
 }
 
 }  // namespace gbo::xbar

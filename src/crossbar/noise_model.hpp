@@ -44,7 +44,17 @@ class GaussianNoiseHook : public quant::MvmNoiseHook {
   /// Adds N(0, σ² · variance_factor) to every output element.
   void on_forward(Tensor& out) override;
 
+  /// Stateless counterparts (Module::infer path): identical transforms, the
+  /// noise drawn from the per-trial context stream instead of the member
+  /// generator. Const, so one hook serves concurrent trial contexts.
+  void infer_input(Tensor& x, Rng& rng) const override;
+  void infer_output(Tensor& out, Rng& rng) const override;
+
  private:
+  /// Shared bodies; both execution paths run exactly these float ops.
+  void snap_input(Tensor& x) const;
+  void add_output_noise(Tensor& out, Rng& rng) const;
+
   Rng rng_;
   double sigma_;
   enc::EncodingSpec spec_;

@@ -19,7 +19,9 @@
 namespace gbo::opt {
 
 /// Per-layer accuracy drop when noise is isolated at that layer
-/// (clean_accuracy - isolated_accuracy, clamped at >= 0).
+/// (clean_accuracy - isolated_accuracy, clamped at >= 0). Each layer's
+/// noise trials run concurrently on the shared thread pool via
+/// core::evaluate_noisy — bitwise identical at any GBO_NUM_THREADS.
 std::vector<double> layer_sensitivity(nn::Sequential& net,
                                       xbar::LayerNoiseController& ctrl,
                                       const data::Dataset& val, double sigma,

@@ -1,6 +1,7 @@
 #include "gbo/scheme_search.hpp"
 
 #include "common/logging.hpp"
+#include "core/pipeline.hpp"
 #include "nn/loss.hpp"
 #include "tensor/ops.hpp"
 
@@ -35,6 +36,21 @@ std::vector<SchemeCandidate> default_mixed_candidates(std::size_t base_pulses) {
     out.push_back(c);
   }
   return out;
+}
+
+float evaluate_selection(const nn::Sequential& net,
+                         xbar::LayerNoiseController& ctrl,
+                         const std::vector<SchemeCandidate>& selection,
+                         const data::Dataset& test, std::size_t trials,
+                         std::size_t batch_size) {
+  if (selection.size() != ctrl.num_layers())
+    throw std::invalid_argument(
+        "evaluate_selection: selection length does not match the network");
+  std::vector<enc::EncodingSpec> specs;
+  specs.reserve(selection.size());
+  for (const SchemeCandidate& c : selection) specs.push_back(c.spec);
+  ctrl.set_specs(specs);
+  return core::evaluate_noisy(net, ctrl, test, trials, batch_size);
 }
 
 MixedLayerState::MixedLayerState(const MixedGboConfig& cfg, Rng rng)

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "crossbar/crossbar_layers.hpp"
 #include "data/dataloader.hpp"
 #include "encoding/pulse_train.hpp"
 #include "gbo/gbo.hpp"
@@ -48,6 +49,18 @@ struct SchemeCandidate {
 /// plus bit-sliced codes carrying comparable level counts.
 std::vector<SchemeCandidate> default_mixed_candidates(
     std::size_t base_pulses = 8);
+
+/// Applies a per-layer (scheme × pulse-length) selection to `ctrl`'s hooks
+/// and returns the mean noisy accuracy over `trials` independent draws, the
+/// trials dispatched concurrently onto the shared thread pool under the
+/// (seed, trial_id) contract of core::evaluate_noisy (bitwise identical at
+/// any GBO_NUM_THREADS). `ctrl` must already be attached with σ configured;
+/// its per-layer specs are left at `selection` on return.
+float evaluate_selection(const nn::Sequential& net,
+                         xbar::LayerNoiseController& ctrl,
+                         const std::vector<SchemeCandidate>& selection,
+                         const data::Dataset& test, std::size_t trials = 3,
+                         std::size_t batch_size = 64);
 
 struct MixedGboConfig {
   std::vector<SchemeCandidate> candidates;

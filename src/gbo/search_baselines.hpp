@@ -31,6 +31,9 @@ class ScheduleEvaluator {
   /// `ctrl` must already be attached to `net`'s encoded layers and have its
   /// σ configured. Each distinct schedule costs one budget unit (repeat
   /// queries hit the memo and are free — real hardware would also cache).
+  /// The `trials` noise draws of one evaluation run concurrently on the
+  /// shared thread pool (core::evaluate_noisy), so oracle answers are
+  /// bitwise identical at any GBO_NUM_THREADS.
   ScheduleEvaluator(nn::Sequential& net, xbar::LayerNoiseController& ctrl,
                     const data::Dataset& eval_set, double latency_weight,
                     std::size_t trials = 1, std::size_t batch_size = 64);

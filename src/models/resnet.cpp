@@ -102,6 +102,27 @@ Tensor ResidualBlock::forward(const Tensor& x) {
   return act_out_->forward(main);
 }
 
+Tensor ResidualBlock::infer(const Tensor& x, nn::EvalContext& ctx) const {
+  // Branch order matches forward (main, then shortcut) so hooks consume the
+  // context stream identically on both paths.
+  Tensor main = conv1_->infer(x, ctx);
+  main = bn1_->infer(main, ctx);
+  main = act1_->infer(main, ctx);
+  main = conv2_->infer(main, ctx);
+  main = bn2_->infer(main, ctx);
+
+  Tensor shortcut;
+  if (proj_conv_) {
+    shortcut = proj_bn_->infer(proj_conv_->infer(x, ctx), ctx);
+  } else {
+    shortcut = x;
+  }
+
+  Tensor::check_same_shape(main, shortcut, "ResidualBlock::infer");
+  ops::axpy_inplace(main, 1.0f, shortcut);
+  return act_out_->infer(main, ctx);
+}
+
 Tensor ResidualBlock::backward(const Tensor& grad_out) {
   // out = act(main + shortcut): the addition fans the gradient out to both
   // branches unchanged.

@@ -1,6 +1,7 @@
 #include "nia/nia.hpp"
 
 #include "common/logging.hpp"
+#include "core/pipeline.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "quant/binary_weight.hpp"
@@ -8,10 +9,13 @@
 
 namespace gbo::nia {
 
-std::vector<NiaEpochStats> nia_finetune(
+namespace {
+
+std::vector<NiaEpochStats> finetune_impl(
     nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
     const std::vector<quant::Hookable*>& binary_layers,
-    const data::Dataset& train, const NiaConfig& cfg) {
+    const data::Dataset& train, const data::Dataset* val,
+    const NiaConfig& cfg) {
   Rng rng(cfg.seed);
   xbar::LayerNoiseController noise(encoded_layers, cfg.sigma, cfg.base_pulses,
                                    rng.fork(1));
@@ -47,13 +51,43 @@ std::vector<NiaEpochStats> nia_finetune(
     }
     stats.loss /= static_cast<float>(batches);
     stats.train_accuracy = static_cast<float>(correct) / static_cast<float>(seen);
+    if (val) {
+      // Trial-parallel noisy validation through the stateless infer path:
+      // uses the attached training hooks read-only (config shared, noise
+      // per-trial), so the training-mode forward tape is untouched.
+      stats.noisy_val_accuracy =
+          core::evaluate_noisy(net, noise, *val, cfg.val_trials, cfg.batch_size);
+    }
     history.push_back(stats);
-    log_info("NIA epoch ", epoch + 1, "/", cfg.epochs, " loss=", stats.loss,
-             " acc=", stats.train_accuracy);
+    if (val) {
+      log_info("NIA epoch ", epoch + 1, "/", cfg.epochs, " loss=", stats.loss,
+               " acc=", stats.train_accuracy,
+               " noisy_val=", stats.noisy_val_accuracy);
+    } else {
+      log_info("NIA epoch ", epoch + 1, "/", cfg.epochs, " loss=", stats.loss,
+               " acc=", stats.train_accuracy);
+    }
   }
   net.set_training(false);
   noise.detach();
   return history;
+}
+
+}  // namespace
+
+std::vector<NiaEpochStats> nia_finetune(
+    nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
+    const std::vector<quant::Hookable*>& binary_layers,
+    const data::Dataset& train, const NiaConfig& cfg) {
+  return finetune_impl(net, encoded_layers, binary_layers, train, nullptr, cfg);
+}
+
+std::vector<NiaEpochStats> nia_finetune(
+    nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
+    const std::vector<quant::Hookable*>& binary_layers,
+    const data::Dataset& train, const data::Dataset& val,
+    const NiaConfig& cfg) {
+  return finetune_impl(net, encoded_layers, binary_layers, train, &val, cfg);
 }
 
 }  // namespace gbo::nia

@@ -28,11 +28,17 @@ struct NiaConfig {
   float weight_decay = 5e-4f;
   std::size_t batch_size = 32;
   std::uint64_t seed = 33;
+  /// Noise-draw trials per validation point (validating overload only);
+  /// trials are dispatched onto the shared thread pool.
+  std::size_t val_trials = 2;
 };
 
 struct NiaEpochStats {
   float loss = 0.0f;
   float train_accuracy = 0.0f;
+  /// Mean noisy accuracy on the validation set after the epoch (validating
+  /// overload only; -1 when no validation set was supplied).
+  float noisy_val_accuracy = -1.0f;
 };
 
 /// Fine-tunes `net` in place with per-layer noise injection. Hooks are
@@ -43,5 +49,17 @@ std::vector<NiaEpochStats> nia_finetune(
     nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
     const std::vector<quant::Hookable*>& binary_layers,
     const data::Dataset& train, const NiaConfig& cfg);
+
+/// Variant with a per-epoch noisy validation loop: after each epoch the
+/// current weights are scored on `val` under the training noise
+/// configuration (σ, base pulses), `cfg.val_trials` independent draws per
+/// point, the trials running concurrently on the shared thread pool with
+/// the (seed, trial_id) RNG contract of core::evaluate_noisy — so the
+/// curve is bitwise reproducible at any GBO_NUM_THREADS.
+std::vector<NiaEpochStats> nia_finetune(
+    nn::Sequential& net, const std::vector<quant::Hookable*>& encoded_layers,
+    const std::vector<quant::Hookable*>& binary_layers,
+    const data::Dataset& train, const data::Dataset& val,
+    const NiaConfig& cfg);
 
 }  // namespace gbo::nia

@@ -3,14 +3,51 @@
 #include <cmath>
 
 namespace gbo::nn {
+namespace {
 
-Tensor Tanh::forward(const Tensor& x) {
+// Elementwise kernels shared by the caching forward and the stateless
+// infer paths (so the two are bitwise identical by construction).
+Tensor tanh_map(const Tensor& x) {
   Tensor out(x.shape());
   const float* p = x.data();
   float* q = out.data();
   for (std::size_t i = 0; i < x.numel(); ++i) q[i] = std::tanh(p[i]);
+  return out;
+}
+
+Tensor relu_map(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) q[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return out;
+}
+
+Tensor hardtanh_map(const Tensor& x) {
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    q[i] = p[i] > 1.0f ? 1.0f : (p[i] < -1.0f ? -1.0f : p[i]);
+  return out;
+}
+
+Tensor flatten_map(const Tensor& x) {
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < x.ndim(); ++i) rest *= x.dim(i);
+  return x.reshaped({x.dim(0), rest});
+}
+
+}  // namespace
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor out = tanh_map(x);
   cached_output_ = out;
   return out;
+}
+
+Tensor Tanh::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return tanh_map(x);
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
@@ -25,11 +62,11 @@ Tensor Tanh::backward(const Tensor& grad_out) {
 
 Tensor ReLU::forward(const Tensor& x) {
   cached_input_ = x;
-  Tensor out(x.shape());
-  const float* p = x.data();
-  float* q = out.data();
-  for (std::size_t i = 0; i < x.numel(); ++i) q[i] = p[i] > 0.0f ? p[i] : 0.0f;
-  return out;
+  return relu_map(x);
+}
+
+Tensor ReLU::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return relu_map(x);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -44,12 +81,11 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 
 Tensor HardTanh::forward(const Tensor& x) {
   cached_input_ = x;
-  Tensor out(x.shape());
-  const float* p = x.data();
-  float* q = out.data();
-  for (std::size_t i = 0; i < x.numel(); ++i)
-    q[i] = p[i] > 1.0f ? 1.0f : (p[i] < -1.0f ? -1.0f : p[i]);
-  return out;
+  return hardtanh_map(x);
+}
+
+Tensor HardTanh::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return hardtanh_map(x);
 }
 
 Tensor HardTanh::backward(const Tensor& grad_out) {
@@ -65,9 +101,11 @@ Tensor HardTanh::backward(const Tensor& grad_out) {
 
 Tensor Flatten::forward(const Tensor& x) {
   cached_shape_ = x.shape();
-  std::size_t rest = 1;
-  for (std::size_t i = 1; i < x.ndim(); ++i) rest *= x.dim(i);
-  return x.reshaped({x.dim(0), rest});
+  return flatten_map(x);
+}
+
+Tensor Flatten::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return flatten_map(x);
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {

@@ -13,6 +13,7 @@ class Tanh : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "Tanh"; }
 
  private:
@@ -23,6 +24,7 @@ class ReLU : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "ReLU"; }
 
  private:
@@ -34,6 +36,7 @@ class HardTanh : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "HardTanh"; }
 
  private:
@@ -45,6 +48,7 @@ class Flatten : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "Flatten"; }
 
  private:

@@ -80,6 +80,34 @@ Tensor BatchNormBase::forward_ncs(const Tensor& x, std::size_t n, std::size_t s)
   return out;
 }
 
+Tensor BatchNormBase::infer_ncs(const Tensor& x, std::size_t n,
+                                std::size_t s) const {
+  const std::size_t c = features_;
+  if (n * s == 0) throw std::invalid_argument("BatchNorm: empty batch");
+
+  Tensor out(x.shape());
+  const float* in = x.data();
+  float* xo = out.data();
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+  const float* rm = running_mean_.value.data();
+  const float* rv = running_var_.value.data();
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float mean = rm[ch];
+    const float invstd = 1.0f / std::sqrt(rv[ch] + eps_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = in + (i * c + ch) * s;
+      float* orow = xo + (i * c + ch) * s;
+      for (std::size_t j = 0; j < s; ++j) {
+        const float xhat = (row[j] - mean) * invstd;
+        orow[j] = g[ch] * xhat + b[ch];
+      }
+    }
+  }
+  return out;
+}
+
 Tensor BatchNormBase::backward_ncs(const Tensor& grad_out, std::size_t n,
                                    std::size_t s) {
   const std::size_t c = features_;
@@ -140,6 +168,12 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return forward_ncs(x, x.dim(0), x.dim(2) * x.dim(3));
 }
 
+Tensor BatchNorm2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  if (x.ndim() != 4 || x.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm2d: bad input " + x.shape_str());
+  return infer_ncs(x, x.dim(0), x.dim(2) * x.dim(3));
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   if (grad_out.shape() != cached_shape_)
     throw std::invalid_argument("BatchNorm2d::backward: shape mismatch");
@@ -150,6 +184,12 @@ Tensor BatchNorm1d::forward(const Tensor& x) {
   if (x.ndim() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm1d: bad input " + x.shape_str());
   return forward_ncs(x, x.dim(0), 1);
+}
+
+Tensor BatchNorm1d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  if (x.ndim() != 2 || x.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm1d: bad input " + x.shape_str());
+  return infer_ncs(x, x.dim(0), 1);
 }
 
 Tensor BatchNorm1d::backward(const Tensor& grad_out) {

@@ -30,6 +30,10 @@ class BatchNormBase : public Module {
   Tensor forward_ncs(const Tensor& x, std::size_t n, std::size_t s);
   /// grad viewed as [N, C, S]; returns input gradient of the same layout.
   Tensor backward_ncs(const Tensor& grad_out, std::size_t n, std::size_t s);
+  /// Stateless eval-mode body: the running-stats affine map, with exactly
+  /// the per-element arithmetic of forward_ncs in eval mode (bitwise equal)
+  /// but no cache writes.
+  Tensor infer_ncs(const Tensor& x, std::size_t n, std::size_t s) const;
 
   std::size_t features_;
   float eps_;
@@ -50,6 +54,7 @@ class BatchNorm2d : public BatchNormBase {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "BatchNorm2d"; }
 
  private:
@@ -64,6 +69,7 @@ class BatchNorm1d : public BatchNormBase {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "BatchNorm1d"; }
 };
 

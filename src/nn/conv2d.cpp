@@ -49,11 +49,24 @@ Conv2d::Conv2d(std::size_t out_channels, ConvGeom geom, bool bias, Rng& rng)
 
 const Tensor& Conv2d::effective_weight() { return weight_.value; }
 
+Tensor Conv2d::infer_with_weight(const Tensor& x, const Tensor& w,
+                                 bool with_bias) const {
+  Tensor cols = im2col(x, geom_);
+  Tensor rows = ops::matmul_bt(cols, w);  // [N*oh*ow, out_c]
+  if (with_bias) {
+    float* p = rows.data();
+    const float* b = bias_.value.data();
+    for (std::size_t r = 0; r < rows.dim(0); ++r)
+      for (std::size_t c = 0; c < out_c_; ++c) p[r * out_c_ + c] += b[c];
+  }
+  return rows_to_nchw(rows, x.dim(0), out_c_, geom_.out_h(), geom_.out_w());
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
   cached_batch_ = x.dim(0);
   cached_cols_ = im2col(x, geom_);
-  cached_eff_weight_ = effective_weight();
-  Tensor rows = ops::matmul_bt(cached_cols_, cached_eff_weight_);  // [N*oh*ow, out_c]
+  cached_eff_weight_ = &effective_weight();
+  Tensor rows = ops::matmul_bt(cached_cols_, *cached_eff_weight_);
   if (has_bias_) {
     float* p = rows.data();
     const float* b = bias_.value.data();
@@ -61,6 +74,10 @@ Tensor Conv2d::forward(const Tensor& x) {
       for (std::size_t c = 0; c < out_c_; ++c) p[r * out_c_ + c] += b[c];
   }
   return rows_to_nchw(rows, cached_batch_, out_c_, geom_.out_h(), geom_.out_w());
+}
+
+Tensor Conv2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return infer_with_weight(x, weight_.value, has_bias_);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -82,7 +99,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   }
 
   // dCols = grad_rows @ W -> [N*oh*ow, patch_len]; then scatter to input.
-  Tensor grad_cols = ops::matmul(grad_rows, cached_eff_weight_);
+  Tensor grad_cols = ops::matmul(grad_rows, *cached_eff_weight_);
   return col2im(grad_cols, cached_batch_, geom_);
 }
 

@@ -20,6 +20,7 @@ class Conv2d : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "Conv2d"; }
 
@@ -32,13 +33,19 @@ class Conv2d : public Module {
   virtual const Tensor& effective_weight();
   virtual void on_weight_grad(Tensor& /*grad_w*/) {}
 
+  /// Shared const forward body: im2col → GEMM with `w` → NCHW (+ bias when
+  /// `with_bias`).
+  Tensor infer_with_weight(const Tensor& x, const Tensor& w,
+                           bool with_bias) const;
+
   std::size_t out_c_ = 0;
   ConvGeom geom_;
   bool has_bias_ = true;
   Param weight_;  // [out_c, in_c*k*k]
   Param bias_;    // [out_c]
   Tensor cached_cols_;        // [N*oh*ow, in_c*k*k]
-  Tensor cached_eff_weight_;
+  // Borrowed from persistent layer storage (see Linear::cached_eff_weight_).
+  const Tensor* cached_eff_weight_ = nullptr;
   std::size_t cached_batch_ = 0;
 };
 

@@ -1,0 +1,33 @@
+// Per-trial scratch state for the stateless inference path.
+//
+// Module::infer(x, ctx) is const on the module: all shared state (weights,
+// BN running stats, hook configuration) is read-only, and everything a
+// forward pass mutates — above all the randomness consumed by crossbar
+// noise hooks and pulse-level engines — lives in the EvalContext instead.
+// Any number of contexts can therefore run forward passes over the same
+// network concurrently (one context per noise-draw trial on the shared
+// thread pool, see core/pipeline.hpp).
+//
+// RNG-fork contract (DESIGN.md §3): a trial's context is seeded as
+// fork(seed, trial_id) from a controller-owned root stream, so trial t
+// draws an identical noise stream whether trials run sequentially or in
+// parallel, at any thread count. Within one forward pass the layers consume
+// ctx.rng in network order, which is fixed, so a (seed, trial_id) pair
+// fully determines every sample of the trial.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace gbo::nn {
+
+struct EvalContext {
+  /// Deterministic per-context stream; consumed in network order by every
+  /// stochastic component of the inference path (noise hooks, pulse-level
+  /// crossbar reads).
+  Rng rng;
+
+  EvalContext() = default;
+  explicit EvalContext(Rng r) : rng(r) {}
+};
+
+}  // namespace gbo::nn

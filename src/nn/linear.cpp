@@ -16,19 +16,28 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
 
 const Tensor& Linear::effective_weight() { return weight_.value; }
 
-Tensor Linear::forward(const Tensor& x) {
+Tensor Linear::infer_with_weight(const Tensor& x, const Tensor& w,
+                                 bool with_bias) const {
   if (x.ndim() != 2 || x.dim(1) != in_)
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
-  cached_input_ = x;
-  cached_eff_weight_ = effective_weight();
-  Tensor y = ops::matmul_bt(x, cached_eff_weight_);  // [N, out]
-  if (has_bias_) {
+  Tensor y = ops::matmul_bt(x, w);  // [N, out]
+  if (with_bias) {
     float* p = y.data();
     const float* b = bias_.value.data();
     for (std::size_t n = 0; n < y.dim(0); ++n)
       for (std::size_t o = 0; o < out_; ++o) p[n * out_ + o] += b[o];
   }
   return y;
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  cached_input_ = x;
+  cached_eff_weight_ = &effective_weight();
+  return infer_with_weight(x, *cached_eff_weight_, has_bias_);
+}
+
+Tensor Linear::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return infer_with_weight(x, weight_.value, has_bias_);
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
@@ -49,7 +58,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
   }
 
   // dX = grad_out @ W  -> [N, in]
-  return ops::matmul(grad_out, cached_eff_weight_);
+  return ops::matmul(grad_out, *cached_eff_weight_);
 }
 
 std::vector<Param*> Linear::params() {

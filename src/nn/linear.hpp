@@ -13,6 +13,7 @@ class Linear : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::vector<Param*> params() override;
   std::string kind() const override { return "Linear"; }
 
@@ -29,12 +30,20 @@ class Linear : public Module {
   /// Hook to transform the raw weight gradient (e.g. STE clipping).
   virtual void on_weight_grad(Tensor& /*grad_w*/) {}
 
+  /// Shared const forward body: y = x wᵀ (+ bias when `with_bias`).
+  Tensor infer_with_weight(const Tensor& x, const Tensor& w,
+                           bool with_bias) const;
+
   std::size_t in_ = 0, out_ = 0;
   bool has_bias_ = true;
   Param weight_;  // [out, in]
   Param bias_;    // [out]
-  Tensor cached_input_;      // [N, in]
-  Tensor cached_eff_weight_; // weight actually used in the last forward
+  Tensor cached_input_;  // [N, in]
+  // Weight used in the last forward, borrowed from persistent layer storage
+  // (weight_.value, or the subclass's binarized copy) — valid until the next
+  // forward, which is exactly backward's lifetime requirement. A pointer so
+  // pure evaluation never copies the matrix.
+  const Tensor* cached_eff_weight_ = nullptr;
 };
 
 }  // namespace gbo::nn

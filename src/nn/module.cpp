@@ -4,6 +4,10 @@
 
 namespace gbo::nn {
 
+Tensor Module::infer(const Tensor& /*x*/, EvalContext& /*ctx*/) const {
+  throw std::logic_error(kind() + ": stateless infer() not implemented");
+}
+
 void Module::collect_state(const std::string& prefix, StateDict& out) {
   for (Param* p : params())
     out[prefix + p->name] = NamedBlob{p->value.shape(), p->value.vec()};

@@ -11,9 +11,17 @@
 //    accumulates parameter gradients into Param::grad;
 //  * parameter gradients are accumulated (+=) so gradient accumulation over
 //    micro-batches works; Optimizer::zero_grad() clears them.
+//
+// Alongside the training tape there is a stateless inference path:
+// infer(x, ctx) is const, caches nothing, always uses eval-mode semantics
+// (BatchNorm running stats, no backward tape), and draws any randomness
+// from the caller's EvalContext. Concurrent infer calls over the same
+// module are safe as long as each uses its own context; this is what the
+// trial-parallel noisy evaluation in core/pipeline builds on.
 #pragma once
 
 #include "common/serialize.hpp"
+#include "nn/eval_context.hpp"
 #include "tensor/tensor.hpp"
 
 #include <memory>
@@ -45,6 +53,12 @@ class Module {
 
   /// Propagates the loss gradient; accumulates parameter gradients.
   virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Stateless eval-mode forward: mutates neither the module nor any shared
+  /// state, so concurrent calls with distinct contexts are safe. Randomness
+  /// (crossbar noise, pulse-level reads) comes from ctx.rng. Default throws;
+  /// every concrete layer of this library overrides it.
+  virtual Tensor infer(const Tensor& x, EvalContext& ctx) const;
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }

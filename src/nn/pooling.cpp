@@ -5,15 +5,14 @@
 
 namespace gbo::nn {
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+Tensor MaxPool2d::pool(const Tensor& x, std::vector<std::size_t>* argmax) const {
   if (x.ndim() != 4) throw std::invalid_argument("MaxPool2d: expected NCHW");
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % window_ != 0 || w % window_ != 0)
     throw std::invalid_argument("MaxPool2d: size not divisible by window");
   const std::size_t oh = h / window_, ow = w / window_;
-  cached_shape_ = x.shape();
   Tensor out({n, c, oh, ow});
-  cached_argmax_.assign(out.numel(), 0);
+  if (argmax) argmax->assign(out.numel(), 0);
 
   const float* in = x.data();
   float* o = out.data();
@@ -36,10 +35,19 @@ Tensor MaxPool2d::forward(const Tensor& x) {
               }
             }
           o[oidx] = best;
-          cached_argmax_[oidx] = best_idx;
+          if (argmax) (*argmax)[oidx] = best_idx;
         }
     }
   return out;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  return pool(x, &cached_argmax_);
+}
+
+Tensor MaxPool2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return pool(x, nullptr);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
@@ -51,13 +59,12 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor AvgPool2d::forward(const Tensor& x) {
+Tensor AvgPool2d::pool(const Tensor& x) const {
   if (x.ndim() != 4) throw std::invalid_argument("AvgPool2d: expected NCHW");
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % window_ != 0 || w % window_ != 0)
     throw std::invalid_argument("AvgPool2d: size not divisible by window");
   const std::size_t oh = h / window_, ow = w / window_;
-  cached_shape_ = x.shape();
   Tensor out({n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
@@ -77,6 +84,15 @@ Tensor AvgPool2d::forward(const Tensor& x) {
         }
     }
   return out;
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  return pool(x);
+}
+
+Tensor AvgPool2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+  return pool(x);
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {

@@ -11,9 +11,14 @@ class MaxPool2d : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "MaxPool2d"; }
 
  private:
+  /// Shared forward body; records per-cell argmax when `argmax` is non-null
+  /// (the training path needs it for backward, the stateless path does not).
+  Tensor pool(const Tensor& x, std::vector<std::size_t>* argmax) const;
+
   std::size_t window_;
   std::vector<std::size_t> cached_shape_;
   std::vector<std::size_t> cached_argmax_;  // flat input index per output cell
@@ -25,9 +30,12 @@ class AvgPool2d : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, EvalContext& ctx) const override;
   std::string kind() const override { return "AvgPool2d"; }
 
  private:
+  Tensor pool(const Tensor& x) const;
+
   std::size_t window_;
   std::vector<std::size_t> cached_shape_;
 };

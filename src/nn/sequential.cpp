@@ -4,6 +4,12 @@ namespace gbo::nn {
 
 Tensor Sequential::forward(const Tensor& x) { return forward_suffix(x, 0); }
 
+Tensor Sequential::infer(const Tensor& x, EvalContext& ctx) const {
+  Tensor cur = x;
+  for (const auto& m : modules_) cur = m->infer(cur, ctx);
+  return cur;
+}
+
 Tensor Sequential::forward_prefix(const Tensor& x, std::size_t upto) {
   Tensor cur = x;
   for (std::size_t i = 0; i < upto && i < modules_.size(); ++i)

@@ -41,6 +41,15 @@ Tensor QuantTanh::forward(const Tensor& x) {
   return out;
 }
 
+Tensor QuantTanh::infer(const Tensor& x, gbo::nn::EvalContext& /*ctx*/) const {
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    q[i] = quantize_value(std::tanh(p[i]), levels_);
+  return out;
+}
+
 Tensor QuantTanh::backward(const Tensor& grad_out) {
   Tensor::check_same_shape(grad_out, cached_tanh_, "QuantTanh::backward");
   // STE through the quantizer; exact derivative of tanh.

@@ -30,6 +30,7 @@ class QuantTanh : public gbo::nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, gbo::nn::EvalContext& ctx) const override;
   std::string kind() const override { return "QuantTanh"; }
 
   std::size_t levels() const { return levels_; }

@@ -2,7 +2,14 @@
 
 #include "quant/binary_weight.hpp"
 
+#include <stdexcept>
+
 namespace gbo::quant {
+
+void MvmNoiseHook::infer_output(Tensor& /*out*/, Rng& /*rng*/) const {
+  throw std::logic_error(
+      "MvmNoiseHook: this hook does not support stateless inference");
+}
 
 QuantConv2d::QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
                          bool scaled)
@@ -35,6 +42,18 @@ Tensor QuantConv2d::backward(const Tensor& grad_out) {
   return Conv2d::backward(grad_out);
 }
 
+Tensor QuantConv2d::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
+  // Binarize into a local so shared layer state stays untouched; the copy
+  // is the same work the training path spends re-binarizing each forward.
+  const Tensor bw = binarize(weight_.value, scaled_);
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false);
+  Tensor xin = x;
+  hook_->infer_input(xin, ctx.rng);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false);
+  hook_->infer_output(out, ctx.rng);
+  return out;
+}
+
 QuantLinear::QuantLinear(std::size_t in_features, std::size_t out_features,
                          Rng& rng, bool scaled)
     : Linear(in_features, out_features, /*bias=*/false, rng), scaled_(scaled) {}
@@ -64,6 +83,16 @@ Tensor QuantLinear::forward(const Tensor& x) {
 Tensor QuantLinear::backward(const Tensor& grad_out) {
   if (hook_) hook_->on_backward(grad_out);
   return Linear::backward(grad_out);
+}
+
+Tensor QuantLinear::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
+  const Tensor bw = binarize(weight_.value, scaled_);
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false);
+  Tensor xin = x;
+  hook_->infer_input(xin, ctx.rng);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false);
+  hook_->infer_output(out, ctx.rng);
+  return out;
 }
 
 }  // namespace gbo::quant

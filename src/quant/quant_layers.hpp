@@ -38,6 +38,17 @@ class MvmNoiseHook {
   /// the data gradient is unchanged; hooks that own learnable parameters
   /// (GBO's λ) accumulate their gradients here.
   virtual void on_backward(const Tensor& /*grad_out*/) {}
+
+  // -- stateless inference path ---------------------------------------------
+  // Counterparts of on_input/on_forward used by Module::infer: identical
+  // transforms, but const on the hook with every random draw taken from the
+  // caller's per-trial EvalContext stream, so one hook instance can serve
+  // any number of concurrent inference contexts. Training-only hooks (the
+  // GBO λ mixture states) keep the defaults: input pass-through, and a
+  // throwing infer_output — λ training has no stateless evaluation mode.
+
+  virtual void infer_input(Tensor& /*x*/, Rng& /*rng*/) const {}
+  virtual void infer_output(Tensor& out, Rng& rng) const;
 };
 
 /// Common interface of layers that accept a crossbar-noise hook. The VGG9
@@ -64,6 +75,7 @@ class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, gbo::nn::EvalContext& ctx) const override;
   std::string kind() const override { return "QuantConv2d"; }
 
   void set_noise_hook(MvmNoiseHook* hook) override { hook_ = hook; }
@@ -95,6 +107,7 @@ class QuantLinear : public gbo::nn::Linear, public Hookable {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x, gbo::nn::EvalContext& ctx) const override;
   std::string kind() const override { return "QuantLinear"; }
 
   void set_noise_hook(MvmNoiseHook* hook) override { hook_ = hook; }
