@@ -1,0 +1,245 @@
+// Online-serving benchmark: drives the serve/ runtime (seeded traffic ->
+// request queue -> dynamic micro-batcher -> worker pool) against both
+// execution backends and writes BENCH_serve.json.
+//
+// Per scenario it reports request latency (p50/p95/p99/mean), throughput,
+// queue depth, the micro-batch size histogram, and arena accounting — and
+// enforces two hard gates:
+//   * determinism: replaying the identical (seed, trace) pair must produce
+//     bitwise-identical per-request payloads at 1 worker and at --workers
+//     workers (and, for the fused-batching scenario, at max_batch vs
+//     unit batches) on both the analytic and the pulse-level backend;
+//   * zero-alloc steady state: after the warm-up run, a full serving run
+//     must not grow any worker arena (steady_allocs == 0).
+// Any gate failure exits nonzero, so CI can sit on `bench_serve --smoke`.
+//
+// Timing caveat: latency numbers are only meaningful when the thread pool
+// can run the trace producer and at least one worker concurrently
+// (GBO_NUM_THREADS >= 2). At 1 thread the runtime degenerates to
+// replay-then-drain — payloads identical, latencies inflated by design.
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "crossbar/crossbar_layers.hpp"
+#include "crossbar/hw_deploy.hpp"
+#include "models/mlp.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace gbo;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  ops::fill_uniform(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+data::Dataset random_dataset(std::size_t n, std::size_t features,
+                             std::uint64_t seed) {
+  data::Dataset ds;
+  ds.images = random_tensor({n, features}, seed);
+  ds.labels.assign(n, 0);
+  return ds;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+struct GateState {
+  bool ok = true;
+  void fail(const char* scenario, const char* what) {
+    std::fprintf(stderr, "serve GATE FAILURE [%s]: %s\n", scenario, what);
+    ok = false;
+  }
+};
+
+/// Runs one backend through the full ladder: 1 worker, N workers (the
+/// measured configuration, warmed then replayed for steady-state stats),
+/// and — for deterministic backends — a unit-batch server to pin the
+/// batching-boundary invariance.
+Json run_scenario(const char* name, const serve::Backend& backend,
+                  const data::Dataset& ds,
+                  const std::vector<serve::Arrival>& trace,
+                  std::size_t workers, const serve::BatchPolicy& policy,
+                  std::uint64_t seed, GateState* gates) {
+  serve::ServeConfig cfg;
+  cfg.batch = policy;
+  cfg.seed = seed;
+
+  cfg.num_workers = 1;
+  serve::InferenceServer one(backend, ds, cfg);
+  const serve::ServeReport rep1 = one.run(trace);
+
+  cfg.num_workers = workers;
+  serve::InferenceServer many(backend, ds, cfg);
+  many.warmup();
+  (void)many.run(trace);  // warm run: sizes arenas/pools along real paths
+  const serve::ServeReport rep = many.run(trace);
+
+  const bool match = bitwise_equal(rep1.outputs, rep.outputs);
+  if (!match) gates->fail(name, "outputs differ between 1 and N workers");
+  const bool steady = rep.arena.steady_allocs == 0;
+  if (!steady) gates->fail(name, "arena grew during the steady-state run");
+
+  // Batching-boundary invariance is part of the contract for BOTH modes
+  // (fused batches by kernel row-independence, per-request forks by
+  // construction) — replay with unit batches and demand identical payloads.
+  bool batch_invariant = true;
+  if (policy.max_batch > 1) {
+    serve::ServeConfig unit = cfg;
+    unit.batch.max_batch = 1;
+    serve::InferenceServer us(backend, ds, unit);
+    batch_invariant = bitwise_equal(us.run(trace).outputs, rep.outputs);
+    if (!batch_invariant)
+      gates->fail(name, "outputs depend on the batching boundary");
+  }
+
+  std::printf(
+      "  [%s] %zu req, %zu workers: p50=%.0fus p95=%.0fus p99=%.0fus "
+      "tput=%.0f rps mean_batch=%.2f steady_allocs=%zu %s\n",
+      name, rep.completed, workers, rep.latency.p50_us, rep.latency.p95_us,
+      rep.latency.p99_us, rep.throughput_rps, rep.mean_batch,
+      rep.arena.steady_allocs, match && steady ? "OK" : "GATE-FAIL");
+
+  Json j = rep.to_json();
+  j.set("backend", backend.name());
+  j.set("bitwise_1_vs_n_workers", match);
+  j.set("batching_invariant", batch_invariant);
+  j.set("arena_steady_state", steady);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gbo;
+  CliParser cli("bench_serve",
+                "Online micro-batching serving benchmark (BENCH_serve.json).");
+  cli.add_flag("smoke", "Shrink the traces so CI finishes in seconds");
+  cli.add_option("json", "Output JSON path", "BENCH_serve.json");
+  cli.add_option("requests", "Analytic-scenario trace length", "auto");
+  cli.add_option("rate", "Mean arrival rate, requests/s", "auto");
+  cli.add_option("workers", "Serving worker count", "4");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  set_log_level(LogLevel::kWarn);
+
+  const bool smoke = cli.get_bool("smoke");
+  const std::string json_path = cli.get_string("json", "BENCH_serve.json");
+  const auto workers =
+      static_cast<std::size_t>(cli.get_int("workers", 4));
+  const auto requests = static_cast<std::size_t>(
+      cli.get_int("requests", smoke ? 240 : 2000));
+  const double rate = cli.get_double("rate", smoke ? 6000.0 : 10000.0);
+
+  ThreadPool& pool = ThreadPool::instance();
+  std::printf("bench_serve: %zu requests @ %.0f rps, %zu workers, "
+              "%zu pool threads\n",
+              requests, rate, workers, pool.num_threads());
+
+  Json doc = Json::object();
+  doc.set("bench", "serve");
+  doc.set("smoke", smoke);
+  doc.set("num_threads", pool.num_threads());
+  doc.set("workers", workers);
+  GateState gates;
+
+  // -- analytic backends over a binary-weight MLP ---------------------------
+  models::MlpConfig mcfg;
+  mcfg.in_features = smoke ? 32 : 64;
+  mcfg.hidden = smoke ? std::vector<std::size_t>{64, 64}
+                      : std::vector<std::size_t>{128, 128, 128};
+  mcfg.num_classes = 10;
+  models::Mlp model = models::build_mlp(mcfg);
+  model.net->set_training(false);
+  data::Dataset ds = random_dataset(256, mcfg.in_features, 41);
+
+  serve::TrafficConfig tcfg;
+  tcfg.num_requests = requests;
+  tcfg.rate_rps = rate;
+  tcfg.burst_factor = 3.0;
+  tcfg.burst_duty = 0.3;
+  tcfg.burst_period_s = 0.01;
+  tcfg.seed = 5;
+  const auto trace = serve::make_trace(tcfg, ds.size());
+  Json tj = Json::object();
+  tj.set("requests", requests);
+  tj.set("rate_rps", rate);
+  tj.set("burst_factor", tcfg.burst_factor);
+  tj.set("burst_duty", tcfg.burst_duty);
+  doc.set("traffic", tj);
+
+  serve::BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_us = 200;
+
+  {
+    serve::AnalyticBackend clean(*model.net, /*stochastic=*/false);
+    doc.set("analytic_clean",
+            run_scenario("analytic_clean", clean, ds, trace, workers, policy,
+                         /*seed=*/17, &gates));
+  }
+  {
+    Rng crng(53);
+    xbar::LayerNoiseController ctrl(model.encoded, /*sigma=*/1.0,
+                                    model.base_pulses(), crng);
+    ctrl.attach();
+    ctrl.set_enabled_all(true);
+    serve::AnalyticBackend noisy(*model.net, /*stochastic=*/true);
+    doc.set("analytic_noisy",
+            run_scenario("analytic_noisy", noisy, ds, trace, workers, policy,
+                         /*seed=*/17, &gates));
+    ctrl.detach();
+  }
+
+  // -- pulse-level backend over deployed crossbar hardware ------------------
+  {
+    models::MlpConfig pcfg;
+    pcfg.in_features = 24;
+    pcfg.hidden = {32};
+    pcfg.num_classes = 10;
+    pcfg.seed = 21;
+    models::Mlp pulse_model = models::build_mlp(pcfg);
+    pulse_model.net->set_training(false);
+    data::Dataset pds = random_dataset(128, pcfg.in_features, 43);
+
+    xbar::HwDeployConfig hw_cfg;
+    hw_cfg.sigma = 0.5;
+    hw_cfg.device.read_noise_sigma = 0.05;
+    hw_cfg.device.adc_bits = 8;
+    hw_cfg.device.program_variation = 0.05;
+    xbar::HardwareNetwork hw(*pulse_model.net, pulse_model.encoded, hw_cfg);
+
+    serve::TrafficConfig ptraffic = tcfg;
+    ptraffic.num_requests = smoke ? 96 : 400;
+    ptraffic.rate_rps = smoke ? 2000.0 : 4000.0;
+    ptraffic.seed = 7;
+    const auto ptrace = serve::make_trace(ptraffic, pds.size());
+
+    serve::PulseBackend pulse(hw);
+    doc.set("pulse", run_scenario("pulse", pulse, pds, ptrace, workers,
+                                  policy, /*seed=*/29, &gates));
+  }
+
+  doc.set("gates_ok", gates.ok);
+  if (!doc.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  if (!gates.ok) {
+    std::fprintf(stderr, "bench_serve: gate failure\n");
+    return 1;
+  }
+  return 0;
+}

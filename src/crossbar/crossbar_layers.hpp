@@ -105,13 +105,15 @@ class CrossbarLinear : public nn::Module {
   }
   /// Stateless pulse-level inference: read noise, ADC, and Eq. 1 output
   /// noise all drawn from the per-trial context stream over the frozen
-  /// (read-only) programmed array.
+  /// (read-only) programmed array; noise scratch and the output recycle
+  /// through the context's arena when one is attached.
   Tensor infer(const Tensor& x, nn::EvalContext& ctx) const override {
-    return engine_.run_pulse_level(x, ctx.rng);
+    return engine_.run_pulse_level(x, ctx.rng, ctx.arena);
   }
   std::string kind() const override { return "CrossbarLinear"; }
 
   MvmEngine& engine() { return engine_; }
+  const MvmEngine& engine() const { return engine_; }
 
  private:
   MvmEngine engine_;

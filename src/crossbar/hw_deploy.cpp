@@ -1,5 +1,6 @@
 #include "crossbar/hw_deploy.hpp"
 
+#include "common/logging.hpp"
 #include "quant/binary_weight.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
@@ -7,25 +8,6 @@
 #include <stdexcept>
 
 namespace gbo::xbar {
-namespace {
-
-/// [N*oh*ow, out_c] GEMM rows -> NCHW (mirror of the Conv2d lowering).
-Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t out_c,
-                    std::size_t oh, std::size_t ow) {
-  Tensor out({batch, out_c, oh, ow});
-  const float* src = rows.data();
-  float* dst = out.data();
-  for (std::size_t n = 0; n < batch; ++n)
-    for (std::size_t y = 0; y < oh; ++y)
-      for (std::size_t x = 0; x < ow; ++x) {
-        const float* row = src + ((n * oh + y) * ow + x) * out_c;
-        for (std::size_t c = 0; c < out_c; ++c)
-          dst[((n * out_c + c) * oh + y) * ow + x] = row[c];
-      }
-  return out;
-}
-
-}  // namespace
 
 HardwareNetwork::HardwareNetwork(nn::Sequential& net,
                                  const std::vector<quant::Hookable*>& encoded,
@@ -37,6 +19,7 @@ HardwareNetwork::HardwareNetwork(nn::Sequential& net,
     throw std::invalid_argument("HardwareNetwork: pulses/layers mismatch");
 
   Rng rng(cfg_.seed);
+  call_rng_ = rng.fork(999);
   for (std::size_t i = 0; i < encoded.size(); ++i) {
     auto* conv = dynamic_cast<quant::QuantConv2d*>(encoded[i]);
     auto* lin = dynamic_cast<quant::QuantLinear*>(encoded[i]);
@@ -65,34 +48,59 @@ HardwareNetwork::HardwareNetwork(nn::Sequential& net,
 }
 
 Tensor HardwareNetwork::forward(const Tensor& x) {
-  const bool was_training = net_.training();
-  net_.set_training(false);
-  Tensor cur = x;
-  for (std::size_t i = 0; i < net_.size(); ++i) {
-    nn::Module& module = net_.at(i);
+  // Legacy mutable entry point: a counter-based fork per call, so repeated
+  // calls see fresh noise while the whole sequence replays from cfg.seed.
+  nn::EvalContext ctx(call_rng_.fork(call_count_++));
+  return forward(x, ctx);
+}
+
+Tensor HardwareNetwork::forward(const Tensor& x, nn::EvalContext& ctx) const {
+  const nn::Sequential& net = net_;
+  if (net.size() == 0) return x;
+  Tensor cur;
+  const Tensor* in = &x;  // the caller's input is read in place, never copied
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Module& module = net.at(i);
     auto it = engine_index_.find(&module);
+    Tensor next;
     if (it == engine_index_.end()) {
-      // Digital layer (BN, activation, pooling, full-precision ends).
-      cur = module.forward(cur);
-      continue;
-    }
-    MvmEngine& engine = *engines_[it->second];
-    if (const quant::QuantConv2d* conv = conv_of_engine_[it->second]) {
-      const std::size_t batch = cur.dim(0);
-      const ConvGeom& g = conv->geom();
-      Tensor cols = im2col(cur, g);
-      Tensor rows = engine.run_pulse_level(cols);
-      cur = rows_to_nchw(rows, batch, conv->out_channels(), g.out_h(), g.out_w());
+      // Digital layer (BN, activation, pooling, full-precision ends):
+      // stateless infer, eval-mode semantics regardless of training flag.
+      next = module.infer(*in, ctx);
     } else {
-      cur = engine.run_pulse_level(cur);
+      const MvmEngine& engine = *engines_[it->second];
+      if (const quant::QuantConv2d* conv = conv_of_engine_[it->second]) {
+        const std::size_t batch = in->dim(0);
+        const ConvGeom& g = conv->geom();
+        Tensor cols = ctx.make({batch * g.out_h() * g.out_w(), g.patch_len()});
+        im2col_into(*in, g, cols.data());
+        Tensor rows = engine.run_pulse_level(cols, ctx.rng, ctx.arena);
+        ctx.recycle(std::move(cols));
+        next = ctx.make({batch, conv->out_channels(), g.out_h(), g.out_w()});
+        rows_to_nchw_into(rows.data(), batch, conv->out_channels(), g.out_h(),
+                          g.out_w(), next.data());
+        ctx.recycle(std::move(rows));
+      } else {
+        next = engine.run_pulse_level(*in, ctx.rng, ctx.arena);
+      }
     }
+    if (in != &x) ctx.recycle(std::move(cur));
+    cur = std::move(next);
+    in = &cur;
   }
-  net_.set_training(was_training);
   return cur;
 }
 
 float HardwareNetwork::evaluate(const data::Dataset& test,
                                 std::size_t batch_size) {
+  if (test.size() == 0) {
+    log_warn("HardwareNetwork::evaluate: empty test dataset, returning 0");
+    return 0.0f;
+  }
+  if (batch_size == 0) {
+    log_warn("HardwareNetwork::evaluate: batch_size == 0, returning 0");
+    return 0.0f;
+  }
   std::size_t correct = 0, seen = 0;
   const std::size_t len = test.sample_numel();
   for (std::size_t start = 0; start < test.size(); start += batch_size) {

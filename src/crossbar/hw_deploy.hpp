@@ -17,6 +17,7 @@
 
 #include "crossbar/mvm_engine.hpp"
 #include "data/dataset.hpp"
+#include "nn/eval_context.hpp"
 #include "nn/sequential.hpp"
 #include "quant/quant_layers.hpp"
 
@@ -41,6 +42,15 @@ struct HwDeployConfig {
 /// interleaves pulse-level crossbar reads with host execution of the
 /// digital layers. The source network is used in eval mode and is not
 /// modified.
+///
+/// After construction the programmed engines are frozen: the const
+/// forward(x, ctx) overload reads only shared immutable state (weights,
+/// programmed conductances) and draws every stochastic term (read noise,
+/// Eq. 1 output noise) from the caller's EvalContext, so one deployed
+/// network can serve any number of concurrent workers — this is the
+/// backend the serving runtime (serve/backend.hpp) drives. The classic
+/// mutable forward(x) is a thin wrapper that forks a per-call context off
+/// a member stream (fresh noise each call, replayable from cfg.seed).
 class HardwareNetwork {
  public:
   /// `encoded`: the crossbar-mapped layers of `net`, in forward order
@@ -52,8 +62,23 @@ class HardwareNetwork {
   /// Pulse-level inference. Input layout must match the host network's.
   Tensor forward(const Tensor& x);
 
-  /// Classification accuracy over a dataset.
+  /// Const/shared-safe pulse-level inference: digital layers run the
+  /// stateless infer path, crossbar layers the const engine overload; all
+  /// randomness comes from ctx.rng (network order) and scratch recycles
+  /// through ctx.arena when attached.
+  Tensor forward(const Tensor& x, nn::EvalContext& ctx) const;
+
+  /// Classification accuracy over a dataset. Degenerate inputs (empty
+  /// dataset or batch_size == 0) return 0 with a logged warning.
   float evaluate(const data::Dataset& test, std::size_t batch_size = 64);
+
+  /// True when no read-time stochastic term is configured (Eq. 1 sigma and
+  /// device read noise both zero): forward results then depend only on the
+  /// frozen programmed state, never on the context stream. The serving
+  /// runtime uses this to fuse micro-batches into whole-tensor calls.
+  bool deterministic() const {
+    return cfg_.sigma <= 0.0 && cfg_.device.read_noise_sigma <= 0.0;
+  }
 
   std::size_t num_crossbar_layers() const { return engines_.size(); }
 
@@ -67,6 +92,8 @@ class HardwareNetwork {
   std::map<const nn::Module*, std::size_t> engine_index_;
   std::vector<std::unique_ptr<MvmEngine>> engines_;
   std::vector<const quant::QuantConv2d*> conv_of_engine_;  // null for linear
+  Rng call_rng_;                 // root of the mutable API's per-call forks
+  std::uint64_t call_count_ = 0;
 };
 
 }  // namespace gbo::xbar

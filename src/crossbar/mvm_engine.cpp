@@ -51,13 +51,18 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
   return run_pulse_level(activations, rng_);
 }
 
-Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng) const {
+Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
+                                  ScratchArena* arena) const {
   enc::PulseTrain train = encode_train(activations);
   const std::size_t batch = activations.dim(0);
   const std::size_t out_n = array_.rows();
   // An empty pulse train (num_pulses == 0) contributes no current: the
   // decoded result is exactly zero, not a default-constructed tensor.
-  if (train.pulses.empty()) return Tensor({batch, out_n});
+  if (train.pulses.empty()) {
+    Tensor zero = arena ? arena->take({batch, out_n}) : Tensor({batch, out_n});
+    if (arena) zero.fill(0.0f);
+    return zero;
+  }
 
   const std::size_t num_pulses = train.pulses.size();
   const std::size_t bn = batch * out_n;
@@ -69,14 +74,27 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng) const {
   // draw time, matching the reference's cast at add time). This frees the
   // fused sweep below to visit pulses in weight-tile order while staying
   // bitwise identical to run_pulse_level_reference for the same seed.
+  // The draw buffers are the pulse path's largest transients; with an arena
+  // they are bump scratch instead of per-call vectors.
   const std::size_t stride = array_.read_noise_draws(batch);
-  std::vector<double> read_noise(stride * num_pulses);
-  std::vector<float> out_noise(has_sigma ? num_pulses * bn : 0);
+  ArenaFrame frame(arena);
+  std::vector<double> read_noise_own;
+  std::vector<float> out_noise_own;
+  double* read_noise;
+  float* out_noise;
+  if (arena) {
+    read_noise = arena->alloc_doubles(stride * num_pulses);
+    out_noise = arena->alloc_floats(has_sigma ? num_pulses * bn : 0);
+  } else {
+    read_noise_own.resize(stride * num_pulses);
+    out_noise_own.resize(has_sigma ? num_pulses * bn : 0);
+    read_noise = read_noise_own.data();
+    out_noise = out_noise_own.data();
+  }
   for (std::size_t i = 0; i < num_pulses; ++i) {
-    if (stride > 0)
-      array_.fill_read_noise(batch, rng, read_noise.data() + i * stride);
+    if (stride > 0) array_.fill_read_noise(batch, rng, read_noise + i * stride);
     if (has_sigma) {
-      float* sn = out_noise.data() + i * bn;
+      float* sn = out_noise + i * bn;
       for (std::size_t j = 0; j < bn; ++j)
         sn[j] = static_cast<float>(rng.normal(0.0, cfg_.sigma));
     }
@@ -89,11 +107,11 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng) const {
   // weighted pulse sum — the same float operations, in the same order, as
   // the reference path's per-tensor loops), so no per-pulse output tensors
   // are ever materialized.
-  Tensor out({batch, out_n});
+  Tensor out = arena ? arena->take({batch, out_n}) : Tensor({batch, out_n});
   float* po = out.data();
-  const float* on = out_noise.data();
+  const float* on = out_noise;
   array_.mvm_pulse_train(
-      train.pulses, stride > 0 ? read_noise.data() : nullptr,
+      train.pulses, stride > 0 ? read_noise : nullptr,
       [&](std::size_t idx, const float* per_pulse) {
         float acc = 0.0f;
         for (std::size_t p = 0; p < num_pulses; ++p) {

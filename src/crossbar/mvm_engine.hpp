@@ -14,6 +14,7 @@
 #include "crossbar/noise_model.hpp"
 #include "encoding/bit_slicing.hpp"
 #include "encoding/thermometer.hpp"
+#include "tensor/arena.hpp"
 
 namespace gbo::xbar {
 
@@ -41,9 +42,13 @@ class MvmEngine {
   /// the engine-owned stream (rng_), and a const overload drawing every
   /// stochastic term from a caller-supplied Rng — the stateless-inference
   /// variant, safe to call concurrently with distinct generators over one
-  /// programmed array (the frozen device state is read-only).
+  /// programmed array (the frozen device state is read-only). The const
+  /// overload optionally routes its pre-drawn noise buffers and the output
+  /// through a caller-owned scratch arena (serving workers; results are
+  /// bitwise identical with and without one).
   Tensor run_pulse_level(const Tensor& activations);
-  Tensor run_pulse_level(const Tensor& activations, Rng& rng) const;
+  Tensor run_pulse_level(const Tensor& activations, Rng& rng,
+                         ScratchArena* arena = nullptr) const;
 
   /// Retained pre-fusion scalar path (one crossbar read per pulse). Kept as
   /// the equivalence oracle for tests and as a debugging fallback; consumes

@@ -50,6 +50,9 @@ class GaussianNoiseHook : public quant::MvmNoiseHook {
   void infer_input(Tensor& x, Rng& rng) const override;
   void infer_output(Tensor& out, Rng& rng) const override;
 
+  /// Draws from the context stream only when enabled with sigma > 0.
+  bool stochastic() const override { return enabled_ && sigma_ > 0.0; }
+
  private:
   /// Shared bodies; both execution paths run exactly these float ops.
   void snap_input(Tensor& x) const;

@@ -83,6 +83,17 @@ std::vector<nn::Module*> ResidualBlock::submodules() {
   return mods;
 }
 
+std::vector<const nn::Module*> ResidualBlock::children() const {
+  std::vector<const nn::Module*> mods = {conv1_.get(), bn1_.get(), act1_.get(),
+                                         conv2_.get(), bn2_.get(),
+                                         act_out_.get()};
+  if (proj_conv_) {
+    mods.push_back(proj_conv_.get());
+    mods.push_back(proj_bn_.get());
+  }
+  return mods;
+}
+
 Tensor ResidualBlock::forward(const Tensor& x) {
   Tensor main = conv1_->forward(x);
   main = bn1_->forward(main);
@@ -104,23 +115,30 @@ Tensor ResidualBlock::forward(const Tensor& x) {
 
 Tensor ResidualBlock::infer(const Tensor& x, nn::EvalContext& ctx) const {
   // Branch order matches forward (main, then shortcut) so hooks consume the
-  // context stream identically on both paths.
+  // context stream identically on both paths. Intermediates recycle through
+  // the context's arena; the identity shortcut reads x in place (no copy).
+  auto step = [&](const nn::Module& m, Tensor&& in) {
+    Tensor out = m.infer(in, ctx);
+    ctx.recycle(std::move(in));
+    return out;
+  };
   Tensor main = conv1_->infer(x, ctx);
-  main = bn1_->infer(main, ctx);
-  main = act1_->infer(main, ctx);
-  main = conv2_->infer(main, ctx);
-  main = bn2_->infer(main, ctx);
+  main = step(*bn1_, std::move(main));
+  main = step(*act1_, std::move(main));
+  main = step(*conv2_, std::move(main));
+  main = step(*bn2_, std::move(main));
 
-  Tensor shortcut;
+  Tensor proj;
+  const Tensor* shortcut = &x;
   if (proj_conv_) {
-    shortcut = proj_bn_->infer(proj_conv_->infer(x, ctx), ctx);
-  } else {
-    shortcut = x;
+    proj = step(*proj_bn_, proj_conv_->infer(x, ctx));
+    shortcut = &proj;
   }
 
-  Tensor::check_same_shape(main, shortcut, "ResidualBlock::infer");
-  ops::axpy_inplace(main, 1.0f, shortcut);
-  return act_out_->infer(main, ctx);
+  Tensor::check_same_shape(main, *shortcut, "ResidualBlock::infer");
+  ops::axpy_inplace(main, 1.0f, *shortcut);
+  if (proj_conv_) ctx.recycle(std::move(proj));
+  return step(*act_out_, std::move(main));
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_out) {

@@ -48,6 +48,7 @@ class ResidualBlock : public nn::Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x, nn::EvalContext& ctx) const override;
+  std::vector<const nn::Module*> children() const override;
   std::vector<nn::Param*> params() override;
   std::vector<nn::Param*> buffers() override;
   void set_training(bool training) override;

@@ -1,30 +1,37 @@
 #include "nn/activations.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace gbo::nn {
 namespace {
 
 // Elementwise kernels shared by the caching forward and the stateless
-// infer paths (so the two are bitwise identical by construction).
-Tensor tanh_map(const Tensor& x) {
-  Tensor out(x.shape());
+// infer paths (so the two are bitwise identical by construction). The infer
+// path hands in its context so outputs recycle through the worker arena
+// when one is attached; forward passes nullptr (fresh tensor).
+Tensor out_like(const Tensor& x, EvalContext* ctx) {
+  return ctx ? ctx->make(x.shape()) : Tensor(x.shape());
+}
+
+Tensor tanh_map(const Tensor& x, EvalContext* ctx) {
+  Tensor out = out_like(x, ctx);
   const float* p = x.data();
   float* q = out.data();
   for (std::size_t i = 0; i < x.numel(); ++i) q[i] = std::tanh(p[i]);
   return out;
 }
 
-Tensor relu_map(const Tensor& x) {
-  Tensor out(x.shape());
+Tensor relu_map(const Tensor& x, EvalContext* ctx) {
+  Tensor out = out_like(x, ctx);
   const float* p = x.data();
   float* q = out.data();
   for (std::size_t i = 0; i < x.numel(); ++i) q[i] = p[i] > 0.0f ? p[i] : 0.0f;
   return out;
 }
 
-Tensor hardtanh_map(const Tensor& x) {
-  Tensor out(x.shape());
+Tensor hardtanh_map(const Tensor& x, EvalContext* ctx) {
+  Tensor out = out_like(x, ctx);
   const float* p = x.data();
   float* q = out.data();
   for (std::size_t i = 0; i < x.numel(); ++i)
@@ -32,22 +39,25 @@ Tensor hardtanh_map(const Tensor& x) {
   return out;
 }
 
-Tensor flatten_map(const Tensor& x) {
+Tensor flatten_map(const Tensor& x, EvalContext* ctx) {
   std::size_t rest = 1;
   for (std::size_t i = 1; i < x.ndim(); ++i) rest *= x.dim(i);
-  return x.reshaped({x.dim(0), rest});
+  if (!ctx) return x.reshaped({x.dim(0), rest});
+  Tensor out = ctx->make({x.dim(0), rest});
+  std::copy(x.data(), x.data() + x.numel(), out.data());
+  return out;
 }
 
 }  // namespace
 
 Tensor Tanh::forward(const Tensor& x) {
-  Tensor out = tanh_map(x);
+  Tensor out = tanh_map(x, nullptr);
   cached_output_ = out;
   return out;
 }
 
-Tensor Tanh::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return tanh_map(x);
+Tensor Tanh::infer(const Tensor& x, EvalContext& ctx) const {
+  return tanh_map(x, &ctx);
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
@@ -62,11 +72,11 @@ Tensor Tanh::backward(const Tensor& grad_out) {
 
 Tensor ReLU::forward(const Tensor& x) {
   cached_input_ = x;
-  return relu_map(x);
+  return relu_map(x, nullptr);
 }
 
-Tensor ReLU::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return relu_map(x);
+Tensor ReLU::infer(const Tensor& x, EvalContext& ctx) const {
+  return relu_map(x, &ctx);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -81,11 +91,11 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 
 Tensor HardTanh::forward(const Tensor& x) {
   cached_input_ = x;
-  return hardtanh_map(x);
+  return hardtanh_map(x, nullptr);
 }
 
-Tensor HardTanh::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return hardtanh_map(x);
+Tensor HardTanh::infer(const Tensor& x, EvalContext& ctx) const {
+  return hardtanh_map(x, &ctx);
 }
 
 Tensor HardTanh::backward(const Tensor& grad_out) {
@@ -101,11 +111,11 @@ Tensor HardTanh::backward(const Tensor& grad_out) {
 
 Tensor Flatten::forward(const Tensor& x) {
   cached_shape_ = x.shape();
-  return flatten_map(x);
+  return flatten_map(x, nullptr);
 }
 
-Tensor Flatten::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return flatten_map(x);
+Tensor Flatten::infer(const Tensor& x, EvalContext& ctx) const {
+  return flatten_map(x, &ctx);
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {

@@ -81,11 +81,11 @@ Tensor BatchNormBase::forward_ncs(const Tensor& x, std::size_t n, std::size_t s)
 }
 
 Tensor BatchNormBase::infer_ncs(const Tensor& x, std::size_t n,
-                                std::size_t s) const {
+                                std::size_t s, EvalContext& ctx) const {
   const std::size_t c = features_;
   if (n * s == 0) throw std::invalid_argument("BatchNorm: empty batch");
 
-  Tensor out(x.shape());
+  Tensor out = ctx.make(x.shape());
   const float* in = x.data();
   float* xo = out.data();
   const float* g = gamma_.value.data();
@@ -168,10 +168,10 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return forward_ncs(x, x.dim(0), x.dim(2) * x.dim(3));
 }
 
-Tensor BatchNorm2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+Tensor BatchNorm2d::infer(const Tensor& x, EvalContext& ctx) const {
   if (x.ndim() != 4 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm2d: bad input " + x.shape_str());
-  return infer_ncs(x, x.dim(0), x.dim(2) * x.dim(3));
+  return infer_ncs(x, x.dim(0), x.dim(2) * x.dim(3), ctx);
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
@@ -186,10 +186,10 @@ Tensor BatchNorm1d::forward(const Tensor& x) {
   return forward_ncs(x, x.dim(0), 1);
 }
 
-Tensor BatchNorm1d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
+Tensor BatchNorm1d::infer(const Tensor& x, EvalContext& ctx) const {
   if (x.ndim() != 2 || x.dim(1) != features_)
     throw std::invalid_argument("BatchNorm1d: bad input " + x.shape_str());
-  return infer_ncs(x, x.dim(0), 1);
+  return infer_ncs(x, x.dim(0), 1, ctx);
 }
 
 Tensor BatchNorm1d::backward(const Tensor& grad_out) {

@@ -33,7 +33,8 @@ class BatchNormBase : public Module {
   /// Stateless eval-mode body: the running-stats affine map, with exactly
   /// the per-element arithmetic of forward_ncs in eval mode (bitwise equal)
   /// but no cache writes.
-  Tensor infer_ncs(const Tensor& x, std::size_t n, std::size_t s) const;
+  Tensor infer_ncs(const Tensor& x, std::size_t n, std::size_t s,
+                   EvalContext& ctx) const;
 
   std::size_t features_;
   float eps_;

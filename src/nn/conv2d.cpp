@@ -1,6 +1,7 @@
 #include "nn/conv2d.hpp"
 
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace gbo::nn {
@@ -10,15 +11,7 @@ namespace {
 Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t out_c,
                     std::size_t oh, std::size_t ow) {
   Tensor out({batch, out_c, oh, ow});
-  const float* src = rows.data();
-  float* dst = out.data();
-  for (std::size_t n = 0; n < batch; ++n)
-    for (std::size_t y = 0; y < oh; ++y)
-      for (std::size_t x = 0; x < ow; ++x) {
-        const float* row = src + ((n * oh + y) * ow + x) * out_c;
-        for (std::size_t c = 0; c < out_c; ++c)
-          dst[((n * out_c + c) * oh + y) * ow + x] = row[c];
-      }
+  rows_to_nchw_into(rows.data(), batch, out_c, oh, ow, out.data());
   return out;
 }
 
@@ -51,15 +44,46 @@ const Tensor& Conv2d::effective_weight() { return weight_.value; }
 
 Tensor Conv2d::infer_with_weight(const Tensor& x, const Tensor& w,
                                  bool with_bias) const {
-  Tensor cols = im2col(x, geom_);
-  Tensor rows = ops::matmul_bt(cols, w);  // [N*oh*ow, out_c]
-  if (with_bias) {
-    float* p = rows.data();
-    const float* b = bias_.value.data();
-    for (std::size_t r = 0; r < rows.dim(0); ++r)
-      for (std::size_t c = 0; c < out_c_; ++c) p[r * out_c_ + c] += b[c];
+  return infer_with_weight(x, w.data(), with_bias, nullptr);
+}
+
+Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
+                                 bool with_bias, EvalContext* ctx) const {
+  if (x.ndim() != 4)
+    throw std::invalid_argument("Conv2d: expected NCHW input, got " +
+                                x.shape_str());
+  const std::size_t batch = x.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  const std::size_t m = batch * oh * ow;
+  const std::size_t k = geom_.patch_len();
+  ScratchArena* arena = ctx ? ctx->arena : nullptr;
+  ArenaFrame frame(arena);
+  Tensor cols_own, rows_own;  // fallback owners without an arena
+  float* cols;
+  float* rows;
+  float* bt = nullptr;  // gemm_nt's transposed-weight panel (large-m path)
+  if (arena) {
+    cols = arena->alloc_floats(m * k);
+    rows = arena->alloc_floats(m * out_c_);
+    if (gemm::gemm_nt_uses_bt(m, out_c_, k))
+      bt = arena->alloc_floats(k * out_c_);
+  } else {
+    cols_own = Tensor({m, k});
+    rows_own = Tensor({m, out_c_});
+    cols = cols_own.data();
+    rows = rows_own.data();
   }
-  return rows_to_nchw(rows, x.dim(0), out_c_, geom_.out_h(), geom_.out_w());
+  im2col_into(x, geom_, cols);
+  gemm::gemm_nt(m, out_c_, k, cols, k, w, k, rows, out_c_, bt);
+  if (with_bias) {
+    const float* b = bias_.value.data();
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < out_c_; ++c) rows[r * out_c_ + c] += b[c];
+  }
+  Tensor out = ctx ? ctx->make({batch, out_c_, oh, ow})
+                   : Tensor({batch, out_c_, oh, ow});
+  rows_to_nchw_into(rows, batch, out_c_, oh, ow, out.data());
+  return out;
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
@@ -76,8 +100,8 @@ Tensor Conv2d::forward(const Tensor& x) {
   return rows_to_nchw(rows, cached_batch_, out_c_, geom_.out_h(), geom_.out_w());
 }
 
-Tensor Conv2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return infer_with_weight(x, weight_.value, has_bias_);
+Tensor Conv2d::infer(const Tensor& x, EvalContext& ctx) const {
+  return infer_with_weight(x, weight_.value.data(), has_bias_, &ctx);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

@@ -38,6 +38,13 @@ class Conv2d : public Module {
   Tensor infer_with_weight(const Tensor& x, const Tensor& w,
                            bool with_bias) const;
 
+  /// Core of the above over a raw [out_c, patch_len] weight. With a context
+  /// carrying a scratch arena, the patch matrix and the GEMM row buffer are
+  /// bump-allocated and the output tensor is recycled — the conv infer path
+  /// then performs no heap allocation. Bitwise identical either way.
+  Tensor infer_with_weight(const Tensor& x, const float* w, bool with_bias,
+                           EvalContext* ctx) const;
+
   std::size_t out_c_ = 0;
   ConvGeom geom_;
   bool has_bias_ = true;

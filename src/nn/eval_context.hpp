@@ -6,7 +6,8 @@
 // noise hooks and pulse-level engines — lives in the EvalContext instead.
 // Any number of contexts can therefore run forward passes over the same
 // network concurrently (one context per noise-draw trial on the shared
-// thread pool, see core/pipeline.hpp).
+// thread pool, see core/pipeline.hpp, or one per serving worker, see
+// serve/server.hpp).
 //
 // RNG-fork contract (DESIGN.md §3): a trial's context is seeded as
 // fork(seed, trial_id) from a controller-owned root stream, so trial t
@@ -14,9 +15,17 @@
 // parallel, at any thread count. Within one forward pass the layers consume
 // ctx.rng in network order, which is fixed, so a (seed, trial_id) pair
 // fully determines every sample of the trial.
+//
+// Scratch arena (DESIGN.md §4): a long-lived context may attach a
+// worker-owned ScratchArena; the layers then route their temporaries
+// (im2col patch matrices, binarized weights, activation outputs) through
+// it via make()/recycle() and ArenaFrame, making steady-state inference
+// allocation-free. The arena never changes arithmetic — infer results are
+// bitwise identical with and without one.
 #pragma once
 
 #include "common/rng.hpp"
+#include "tensor/arena.hpp"
 
 namespace gbo::nn {
 
@@ -26,8 +35,27 @@ struct EvalContext {
   /// crossbar reads).
   Rng rng;
 
+  /// Optional worker-owned scratch arena (never shared between threads);
+  /// nullptr preserves the plain allocating behaviour exactly.
+  ScratchArena* arena = nullptr;
+
   EvalContext() = default;
   explicit EvalContext(Rng r) : rng(r) {}
+  EvalContext(Rng r, ScratchArena* a) : rng(r), arena(a) {}
+
+  /// An output/temporary tensor of `shape`, recycled from the arena when
+  /// one is attached. Contents are unspecified — callers fully overwrite.
+  Tensor make(const std::vector<std::size_t>& shape) {
+    return arena ? arena->take(shape) : Tensor(shape);
+  }
+  Tensor make(std::initializer_list<std::size_t> shape) {
+    return arena ? arena->take(shape) : Tensor(shape);
+  }
+
+  /// Returns a finished intermediate to the arena (no-op without one).
+  void recycle(Tensor&& t) {
+    if (arena) arena->put(std::move(t));
+  }
 };
 
 }  // namespace gbo::nn

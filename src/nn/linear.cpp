@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace gbo::nn {
@@ -18,13 +19,28 @@ const Tensor& Linear::effective_weight() { return weight_.value; }
 
 Tensor Linear::infer_with_weight(const Tensor& x, const Tensor& w,
                                  bool with_bias) const {
+  return infer_with_weight(x, w.data(), with_bias, nullptr);
+}
+
+Tensor Linear::infer_with_weight(const Tensor& x, const float* w,
+                                 bool with_bias, EvalContext* ctx) const {
   if (x.ndim() != 2 || x.dim(1) != in_)
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
-  Tensor y = ops::matmul_bt(x, w);  // [N, out]
+  const std::size_t batch = x.dim(0);
+  ScratchArena* arena = ctx ? ctx->arena : nullptr;
+  ArenaFrame frame(arena);
+  // Large batches take gemm_nt's transposed-panel path; feed it arena
+  // scratch so the whole MVM stays off the heap. Small (serving-sized)
+  // batches use the direct kernel — don't inflate the arena for those.
+  float* bt = arena && gemm::gemm_nt_uses_bt(batch, out_, in_)
+                  ? arena->alloc_floats(in_ * out_)
+                  : nullptr;
+  Tensor y = ctx ? ctx->make({batch, out_}) : Tensor({batch, out_});
+  gemm::gemm_nt(batch, out_, in_, x.data(), in_, w, in_, y.data(), out_, bt);
   if (with_bias) {
     float* p = y.data();
     const float* b = bias_.value.data();
-    for (std::size_t n = 0; n < y.dim(0); ++n)
+    for (std::size_t n = 0; n < batch; ++n)
       for (std::size_t o = 0; o < out_; ++o) p[n * out_ + o] += b[o];
   }
   return y;
@@ -36,8 +52,8 @@ Tensor Linear::forward(const Tensor& x) {
   return infer_with_weight(x, *cached_eff_weight_, has_bias_);
 }
 
-Tensor Linear::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return infer_with_weight(x, weight_.value, has_bias_);
+Tensor Linear::infer(const Tensor& x, EvalContext& ctx) const {
+  return infer_with_weight(x, weight_.value.data(), has_bias_, &ctx);
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -34,6 +34,13 @@ class Linear : public Module {
   Tensor infer_with_weight(const Tensor& x, const Tensor& w,
                            bool with_bias) const;
 
+  /// Core of the above over a raw [out, in] weight (which may live in the
+  /// context's scratch arena, e.g. an arena-binarized copy); routes the
+  /// output through ctx->make when a context is given. Bitwise identical to
+  /// the Tensor overload.
+  Tensor infer_with_weight(const Tensor& x, const float* w, bool with_bias,
+                           EvalContext* ctx) const;
+
   std::size_t in_ = 0, out_ = 0;
   bool has_bias_ = true;
   Param weight_;  // [out, in]

@@ -60,6 +60,10 @@ class Module {
   /// every concrete layer of this library overrides it.
   virtual Tensor infer(const Tensor& x, EvalContext& ctx) const;
 
+  /// Direct child modules, for read-only tree walks (the serving backend's
+  /// stochastic-hook scan). Containers override; leaf layers return {}.
+  virtual std::vector<const Module*> children() const { return {}; }
+
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
 

@@ -5,13 +5,14 @@
 
 namespace gbo::nn {
 
-Tensor MaxPool2d::pool(const Tensor& x, std::vector<std::size_t>* argmax) const {
+Tensor MaxPool2d::pool(const Tensor& x, std::vector<std::size_t>* argmax,
+                       EvalContext* ctx) const {
   if (x.ndim() != 4) throw std::invalid_argument("MaxPool2d: expected NCHW");
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % window_ != 0 || w % window_ != 0)
     throw std::invalid_argument("MaxPool2d: size not divisible by window");
   const std::size_t oh = h / window_, ow = w / window_;
-  Tensor out({n, c, oh, ow});
+  Tensor out = ctx ? ctx->make({n, c, oh, ow}) : Tensor({n, c, oh, ow});
   if (argmax) argmax->assign(out.numel(), 0);
 
   const float* in = x.data();
@@ -43,11 +44,11 @@ Tensor MaxPool2d::pool(const Tensor& x, std::vector<std::size_t>* argmax) const 
 
 Tensor MaxPool2d::forward(const Tensor& x) {
   cached_shape_ = x.shape();
-  return pool(x, &cached_argmax_);
+  return pool(x, &cached_argmax_, nullptr);
 }
 
-Tensor MaxPool2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return pool(x, nullptr);
+Tensor MaxPool2d::infer(const Tensor& x, EvalContext& ctx) const {
+  return pool(x, nullptr, &ctx);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
@@ -59,13 +60,13 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor AvgPool2d::pool(const Tensor& x) const {
+Tensor AvgPool2d::pool(const Tensor& x, EvalContext* ctx) const {
   if (x.ndim() != 4) throw std::invalid_argument("AvgPool2d: expected NCHW");
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % window_ != 0 || w % window_ != 0)
     throw std::invalid_argument("AvgPool2d: size not divisible by window");
   const std::size_t oh = h / window_, ow = w / window_;
-  Tensor out({n, c, oh, ow});
+  Tensor out = ctx ? ctx->make({n, c, oh, ow}) : Tensor({n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
   const float* in = x.data();
@@ -88,11 +89,11 @@ Tensor AvgPool2d::pool(const Tensor& x) const {
 
 Tensor AvgPool2d::forward(const Tensor& x) {
   cached_shape_ = x.shape();
-  return pool(x);
+  return pool(x, nullptr);
 }
 
-Tensor AvgPool2d::infer(const Tensor& x, EvalContext& /*ctx*/) const {
-  return pool(x);
+Tensor AvgPool2d::infer(const Tensor& x, EvalContext& ctx) const {
+  return pool(x, &ctx);
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {

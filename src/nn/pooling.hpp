@@ -17,7 +17,9 @@ class MaxPool2d : public Module {
  private:
   /// Shared forward body; records per-cell argmax when `argmax` is non-null
   /// (the training path needs it for backward, the stateless path does not).
-  Tensor pool(const Tensor& x, std::vector<std::size_t>* argmax) const;
+  /// A context routes the output through the worker arena when present.
+  Tensor pool(const Tensor& x, std::vector<std::size_t>* argmax,
+              EvalContext* ctx) const;
 
   std::size_t window_;
   std::vector<std::size_t> cached_shape_;
@@ -34,7 +36,7 @@ class AvgPool2d : public Module {
   std::string kind() const override { return "AvgPool2d"; }
 
  private:
-  Tensor pool(const Tensor& x) const;
+  Tensor pool(const Tensor& x, EvalContext* ctx) const;
 
   std::size_t window_;
   std::vector<std::size_t> cached_shape_;

@@ -5,8 +5,16 @@ namespace gbo::nn {
 Tensor Sequential::forward(const Tensor& x) { return forward_suffix(x, 0); }
 
 Tensor Sequential::infer(const Tensor& x, EvalContext& ctx) const {
-  Tensor cur = x;
-  for (const auto& m : modules_) cur = m->infer(cur, ctx);
+  if (modules_.empty()) return x;
+  // First layer reads the caller's input directly (no copy); every finished
+  // intermediate goes back to the context's arena, so a long-lived serving
+  // context replays the whole chain without touching the heap.
+  Tensor cur = modules_.front()->infer(x, ctx);
+  for (std::size_t i = 1; i < modules_.size(); ++i) {
+    Tensor next = modules_[i]->infer(cur, ctx);
+    ctx.recycle(std::move(cur));
+    cur = std::move(next);
+  }
   return cur;
 }
 
@@ -29,6 +37,13 @@ Tensor Sequential::backward(const Tensor& grad_out) {
   for (std::size_t i = modules_.size(); i-- > 0;)
     grad = modules_[i]->backward(grad);
   return grad;
+}
+
+std::vector<const Module*> Sequential::children() const {
+  std::vector<const Module*> out;
+  out.reserve(modules_.size());
+  for (const auto& m : modules_) out.push_back(m.get());
+  return out;
 }
 
 std::vector<Param*> Sequential::params() {

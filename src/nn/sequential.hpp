@@ -26,6 +26,7 @@ class Sequential : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x, EvalContext& ctx) const override;
+  std::vector<const Module*> children() const override;
   std::vector<Param*> params() override;
   std::vector<Param*> buffers() override;
   void set_training(bool training) override;

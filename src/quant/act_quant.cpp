@@ -41,8 +41,8 @@ Tensor QuantTanh::forward(const Tensor& x) {
   return out;
 }
 
-Tensor QuantTanh::infer(const Tensor& x, gbo::nn::EvalContext& /*ctx*/) const {
-  Tensor out(x.shape());
+Tensor QuantTanh::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
+  Tensor out = ctx.make(x.shape());
   const float* p = x.data();
   float* q = out.data();
   for (std::size_t i = 0; i < x.numel(); ++i)

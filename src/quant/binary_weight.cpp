@@ -5,6 +5,13 @@
 namespace gbo::quant {
 
 Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
+  Tensor out(latent.shape());
+  binarize_into(latent, scaled, out.data(), scale_out);
+  return out;
+}
+
+void binarize_into(const Tensor& latent, bool scaled, float* out,
+                   float* scale_out) {
   float scale = 1.0f;
   if (scaled) {
     double acc = 0.0;
@@ -15,12 +22,9 @@ Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
   }
   if (scale_out) *scale_out = scale;
 
-  Tensor out(latent.shape());
   const float* p = latent.data();
-  float* q = out.data();
   for (std::size_t i = 0; i < latent.numel(); ++i)
-    q[i] = p[i] >= 0.0f ? scale : -scale;
-  return out;
+    out[i] = p[i] >= 0.0f ? scale : -scale;
 }
 
 void ste_clip_grad(const Tensor& latent, Tensor& grad) {

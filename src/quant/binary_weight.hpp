@@ -18,6 +18,11 @@ namespace gbo::quant {
 /// crossbar cells.
 Tensor binarize(const Tensor& latent, bool scaled, float* scale_out = nullptr);
 
+/// Same quantization into a caller-provided buffer of latent.numel() floats
+/// (arena scratch in the stateless infer path); bitwise identical.
+void binarize_into(const Tensor& latent, bool scaled, float* out,
+                   float* scale_out = nullptr);
+
 /// STE backward: zeroes gradient entries where the latent weight saturates
 /// (|w| > 1), in place.
 void ste_clip_grad(const Tensor& latent, Tensor& grad);

@@ -2,6 +2,7 @@
 
 #include "quant/binary_weight.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gbo::quant {
@@ -45,11 +46,24 @@ Tensor QuantConv2d::backward(const Tensor& grad_out) {
 Tensor QuantConv2d::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
   // Binarize into a local so shared layer state stays untouched; the copy
   // is the same work the training path spends re-binarizing each forward.
-  const Tensor bw = binarize(weight_.value, scaled_);
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false);
-  Tensor xin = x;
+  // With an arena attached the copy is bump-allocated scratch instead.
+  gbo::ArenaFrame frame(ctx.arena);
+  Tensor bw_own;
+  const float* bw;
+  if (ctx.arena) {
+    float* p = ctx.arena->alloc_floats(weight_.value.numel());
+    binarize_into(weight_.value, scaled_, p);
+    bw = p;
+  } else {
+    bw_own = binarize(weight_.value, scaled_);
+    bw = bw_own.data();
+  }
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx);
+  Tensor xin = ctx.make(x.shape());
+  std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx);
+  ctx.recycle(std::move(xin));
   hook_->infer_output(out, ctx.rng);
   return out;
 }
@@ -86,11 +100,23 @@ Tensor QuantLinear::backward(const Tensor& grad_out) {
 }
 
 Tensor QuantLinear::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
-  const Tensor bw = binarize(weight_.value, scaled_);
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false);
-  Tensor xin = x;
+  gbo::ArenaFrame frame(ctx.arena);
+  Tensor bw_own;
+  const float* bw;
+  if (ctx.arena) {
+    float* p = ctx.arena->alloc_floats(weight_.value.numel());
+    binarize_into(weight_.value, scaled_, p);
+    bw = p;
+  } else {
+    bw_own = binarize(weight_.value, scaled_);
+    bw = bw_own.data();
+  }
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx);
+  Tensor xin = ctx.make(x.shape());
+  std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx);
+  ctx.recycle(std::move(xin));
   hook_->infer_output(out, ctx.rng);
   return out;
 }

@@ -49,6 +49,14 @@ class MvmNoiseHook {
 
   virtual void infer_input(Tensor& /*x*/, Rng& /*rng*/) const {}
   virtual void infer_output(Tensor& out, Rng& rng) const;
+
+  /// True when infer_input/infer_output may draw from the caller's Rng in
+  /// the current configuration. Conservative default: any attached hook is
+  /// assumed stochastic; hooks whose randomness can be switched off (the
+  /// Gaussian hook with noise disabled or sigma == 0) override this. The
+  /// serving runtime consults it before fusing micro-batches
+  /// (serve/backend.hpp).
+  virtual bool stochastic() const { return true; }
 };
 
 /// Common interface of layers that accept a crossbar-noise hook. The VGG9

@@ -1,0 +1,82 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbo::serve {
+namespace {
+
+double nearest_rank(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  // Nearest-rank definition: the ceil(q*n)-th smallest sample (1-based).
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+}  // namespace
+
+LatencyStats LatencyStats::compute(std::vector<std::uint64_t> samples) {
+  LatencyStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.p50_us = nearest_rank(samples, 0.50);
+  s.p95_us = nearest_rank(samples, 0.95);
+  s.p99_us = nearest_rank(samples, 0.99);
+  s.max_us = static_cast<double>(samples.back());
+  double acc = 0.0;
+  for (std::uint64_t v : samples) acc += static_cast<double>(v);
+  s.mean_us = acc / static_cast<double>(samples.size());
+  return s;
+}
+
+Json LatencyStats::to_json() const {
+  Json j = Json::object();
+  j.set("p50_us", p50_us);
+  j.set("p95_us", p95_us);
+  j.set("p99_us", p99_us);
+  j.set("mean_us", mean_us);
+  j.set("max_us", max_us);
+  return j;
+}
+
+Json ArenaSummary::to_json() const {
+  Json j = Json::object();
+  j.set("system_allocs", system_allocs);
+  j.set("steady_allocs", steady_allocs);
+  j.set("high_water_bytes", high_water_bytes);
+  j.set("reserved_bytes", reserved_bytes);
+  return j;
+}
+
+Json ServeReport::to_json() const {
+  Json j = Json::object();
+  j.set("requests", requests);
+  j.set("completed", completed);
+  j.set("workers", workers);
+  j.set("wall_s", wall_s);
+  j.set("throughput_rps", throughput_rps);
+  j.set("latency", latency.to_json());
+  Json q = Json::object();
+  q.set("pushes", queue.pushes);
+  q.set("max_depth", queue.max_depth);
+  q.set("mean_depth", queue.mean_depth);
+  j.set("queue", q);
+  Json hist = Json::array();
+  for (std::size_t b = 0; b < batch_hist.size(); ++b) {
+    if (batch_hist[b] == 0) continue;
+    Json e = Json::object();
+    e.set("batch", b);
+    e.set("count", batch_hist[b]);
+    hist.push_back(e);
+  }
+  j.set("batch_hist", hist);
+  j.set("mean_batch", mean_batch);
+  j.set("arena", arena.to_json());
+  return j;
+}
+
+}  // namespace gbo::serve

@@ -1,0 +1,65 @@
+// Serving metrics: request latency quantiles, queue depth, batch-size
+// histogram, throughput, and per-worker arena accounting — everything
+// bench_serve writes into BENCH_serve.json.
+#pragma once
+
+#include "common/json.hpp"
+#include "serve/queue.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/tensor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gbo::serve {
+
+/// Nearest-rank latency quantiles over a sample set (microseconds).
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+
+  /// Computes from an unsorted sample vector (copied; empty -> all zero).
+  static LatencyStats compute(std::vector<std::uint64_t> samples);
+
+  Json to_json() const;
+};
+
+/// Arena accounting aggregated over the worker pool.
+struct ArenaSummary {
+  std::size_t system_allocs = 0;      // lifetime total across workers
+  std::size_t steady_allocs = 0;      // allocations during the last run()
+  std::size_t high_water_bytes = 0;   // max single-worker bump high water
+  std::size_t reserved_bytes = 0;     // total bytes held across workers
+
+  Json to_json() const;
+};
+
+/// Everything one InferenceServer::run produced.
+struct ServeReport {
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t workers = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  LatencyStats latency;
+  RequestQueue::DepthStats queue;
+  /// batch_hist[b] = number of micro-batches of size b (index 0 unused).
+  std::vector<std::size_t> batch_hist;
+  double mean_batch = 0.0;
+  ArenaSummary arena;
+
+  /// Per-request payloads, [requests, out_dim] — row r is request r's
+  /// logits. Bitwise identical across worker counts and batch policies for
+  /// the same (seed, trace); the determinism gates compare these.
+  Tensor outputs;
+  /// Per-request completion latency (actual enqueue -> completion), us.
+  std::vector<std::uint64_t> latencies_us;
+
+  /// Metrics document (outputs and the raw latency vector are elided).
+  Json to_json() const;
+};
+
+}  // namespace gbo::serve

@@ -1,0 +1,69 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gbo::serve {
+
+void RequestQueue::push(const Request& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(r);
+    ++stats_.pushes;
+    depth_sum_ += q_.size();
+    stats_.max_depth = std::max(stats_.max_depth, q_.size());
+  }
+  cv_.notify_one();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::pop_batch(const BatchPolicy& policy,
+                             std::vector<Request>& out) {
+  out.clear();
+  const std::size_t cap = policy.max_batch == 0 ? 1 : policy.max_batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;  // closed and drained: shutdown
+  auto take = [&] {
+    out.push_back(q_.front());
+    q_.pop_front();
+  };
+  take();
+  if (policy.max_wait_us == 0) {
+    // Greedy flush: whatever is already queued, no waiting for company.
+    while (!q_.empty() && out.size() < cap) take();
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(policy.max_wait_us);
+  while (out.size() < cap) {
+    if (!q_.empty()) {
+      take();
+      continue;
+    }
+    if (closed_) break;
+    if (!cv_.wait_until(lock, deadline,
+                        [&] { return closed_ || !q_.empty(); }))
+      break;  // batching window expired
+  }
+  return true;
+}
+
+RequestQueue::DepthStats RequestQueue::depth_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DepthStats s = stats_;
+  s.mean_depth = s.pushes == 0
+                     ? 0.0
+                     : static_cast<double>(depth_sum_) /
+                           static_cast<double>(s.pushes);
+  return s;
+}
+
+}  // namespace gbo::serve

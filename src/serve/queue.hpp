@@ -1,0 +1,57 @@
+// Thread-safe request queue with a dynamic micro-batcher pop.
+//
+// Producers push requests as they arrive; workers call pop_batch, which
+// implements the classic dynamic-batching tradeoff: return as soon as
+// max_batch requests are in hand, or when the first popped request has
+// waited max_wait_us for company — whichever comes first. A closed, drained
+// queue releases every waiting worker with `false`, which is the workers'
+// shutdown signal.
+//
+// The queue is unbounded: the producer is a trace replayer that must never
+// drop or delay a scheduled arrival (and an unbounded queue is what lets
+// the whole runtime collapse onto a single thread — produce everything,
+// then drain — without deadlocking). Queue depth is instrumented instead of
+// limited; the serving report surfaces it.
+#pragma once
+
+#include "serve/request.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace gbo::serve {
+
+class RequestQueue {
+ public:
+  struct DepthStats {
+    std::size_t pushes = 0;
+    std::size_t max_depth = 0;   // largest depth observed right after a push
+    double mean_depth = 0.0;     // mean post-push depth
+  };
+
+  /// Enqueues one request and wakes one waiting worker.
+  void push(const Request& r);
+
+  /// Marks the end of the trace; wakes every waiting worker.
+  void close();
+
+  /// Pops one micro-batch per the policy. Blocks until at least one request
+  /// is available (or the queue is closed and drained, returning false).
+  /// max_batch == 0 is treated as 1.
+  bool pop_batch(const BatchPolicy& policy, std::vector<Request>& out);
+
+  DepthStats depth_stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+  DepthStats stats_;
+  std::uint64_t depth_sum_ = 0;
+};
+
+}  // namespace gbo::serve

@@ -1,0 +1,41 @@
+// Core value types of the online-serving runtime.
+//
+// The serving subsystem simulates production inference traffic against the
+// repository's networks: a seeded traffic generator produces an arrival
+// trace over a dataset, requests flow through a thread-safe queue into a
+// dynamic micro-batcher, and a worker pool executes them against either the
+// analytic or the pulse-level backend (serve/backend.hpp).
+//
+// Determinism contract (DESIGN.md §4): a request's payload output depends
+// only on (server seed, request id) — never on which worker executes it,
+// how the micro-batcher grouped it, or how many workers exist. Timing
+// (latency, batch composition) is real and therefore run-to-run variable;
+// payloads are bitwise reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbo::serve {
+
+/// One scheduled arrival of a synthetic traffic trace.
+struct Arrival {
+  std::uint64_t t_us = 0;   // arrival offset from trace start
+  std::size_t sample = 0;   // dataset row this request asks for
+};
+
+/// A queued inference request.
+struct Request {
+  std::uint64_t id = 0;         // trace index; also the RNG fork stream
+  std::size_t sample = 0;       // dataset row
+  std::uint64_t enqueue_us = 0; // actual enqueue time (relative clock)
+};
+
+/// Micro-batching policy: a batch flushes as soon as it holds max_batch
+/// requests or the oldest member has waited max_wait_us since its pop.
+struct BatchPolicy {
+  std::size_t max_batch = 8;
+  std::uint64_t max_wait_us = 200;
+};
+
+}  // namespace gbo::serve

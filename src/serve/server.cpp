@@ -1,0 +1,211 @@
+#include "serve/server.hpp"
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace gbo::serve {
+namespace {
+
+std::uint64_t us_since(const std::chrono::steady_clock::time_point& t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const Backend& backend,
+                                 const data::Dataset& dataset, ServeConfig cfg)
+    : backend_(backend), dataset_(dataset), cfg_(cfg), root_(cfg.seed) {
+  if (cfg_.num_workers == 0) {
+    log_warn("serve: num_workers == 0, clamping to 1");
+    cfg_.num_workers = 1;
+  }
+  if (cfg_.batch.max_batch == 0) {
+    log_warn("serve: max_batch == 0, clamping to 1");
+    cfg_.batch.max_batch = 1;
+  }
+  workers_.reserve(cfg_.num_workers);
+  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    if (dataset_.size() > 0) w->in_shape = dataset_.images.shape();
+    workers_.push_back(std::move(w));
+  }
+}
+
+void InferenceServer::warmup() {
+  if (warmed_) return;
+  warmed_ = true;
+  // The execution mode is frozen here: the backend's hook configuration
+  // must not change once the server has warmed up.
+  fused_ = backend_.deterministic();
+  if (dataset_.size() == 0) {
+    log_warn("serve: warmup over an empty dataset skipped");
+    return;
+  }
+  const std::size_t len = dataset_.sample_numel();
+  const float* images = dataset_.images.data();
+  // Stochastic backends only ever see unit batches; deterministic ones get
+  // their arenas and gather buffers sized for the largest fused batch too.
+  std::vector<std::size_t> sizes{1};
+  if (fused_ && cfg_.batch.max_batch > 1)
+    sizes.push_back(cfg_.batch.max_batch);
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    for (std::size_t b : sizes) {
+      w.in_shape[0] = b;
+      w.gather.resize(w.in_shape);
+      float* g = w.gather.data();
+      for (std::size_t i = 0; i < b; ++i) {
+        const std::size_t s = i % dataset_.size();
+        std::copy(images + s * len, images + (s + 1) * len, g + i * len);
+      }
+      // A dedicated stream id far above any request id; draws are discarded.
+      w.ctx.rng = root_.fork(~std::uint64_t{0});
+      Tensor logits = backend_.run(w.gather, w.ctx);
+      out_dim_ = logits.numel() / b;
+      w.ctx.recycle(std::move(logits));
+    }
+  }
+}
+
+void InferenceServer::process_batch(
+    Worker& w, const std::vector<Request>& batch, float* out_rows,
+    std::uint64_t* completion_us,
+    const std::chrono::steady_clock::time_point& t0) {
+  const std::size_t len = dataset_.sample_numel();
+  const float* images = dataset_.images.data();
+  if (fused_) {
+    // Fused whole-tensor execution; row-equal to unit batches by the
+    // kernel row-independence contract (serve/backend.hpp).
+    w.in_shape[0] = batch.size();
+    w.gather.resize(w.in_shape);
+    float* g = w.gather.data();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      std::copy(images + batch[i].sample * len,
+                images + (batch[i].sample + 1) * len, g + i * len);
+    Tensor logits = backend_.run(w.gather, w.ctx);
+    const float* rows = logits.data();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      std::copy(rows + i * out_dim_, rows + (i + 1) * out_dim_,
+                out_rows + batch[i].id * out_dim_);
+    w.ctx.recycle(std::move(logits));
+  } else {
+    // Per-request execution on the (seed, request id) fork: the noise
+    // stream — and therefore the payload — is independent of how the
+    // micro-batcher grouped the requests.
+    w.in_shape[0] = 1;
+    w.gather.resize(w.in_shape);
+    float* g = w.gather.data();
+    for (const Request& r : batch) {
+      std::copy(images + r.sample * len, images + (r.sample + 1) * len, g);
+      w.ctx.rng = root_.fork(r.id);
+      Tensor logits = backend_.run(w.gather, w.ctx);
+      std::copy(logits.data(), logits.data() + out_dim_,
+                out_rows + r.id * out_dim_);
+      w.ctx.recycle(std::move(logits));
+    }
+  }
+  const std::uint64_t done = us_since(t0);
+  for (const Request& r : batch) completion_us[r.id] = done;
+  if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
+  ++w.batch_hist[batch.size()];
+  w.served += batch.size();
+}
+
+ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
+  ServeReport rep;
+  rep.workers = workers_.size();
+  if (trace.empty()) {
+    log_warn("serve: empty request trace, nothing to serve");
+    return rep;
+  }
+  if (dataset_.size() == 0) {
+    log_warn("serve: empty dataset, nothing to serve");
+    return rep;
+  }
+  warmup();
+
+  std::vector<std::size_t> allocs_before;
+  for (auto& w : workers_) {
+    allocs_before.push_back(w->arena.stats().system_allocs);
+    w->batch_hist.clear();
+    w->served = 0;
+  }
+
+  const std::size_t num_requests = trace.size();
+  rep.requests = num_requests;
+  rep.outputs = Tensor({num_requests, out_dim_});
+  std::vector<std::uint64_t> enqueue(num_requests, 0);
+  std::vector<std::uint64_t> completion(num_requests, 0);
+
+  RequestQueue queue;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num_workers = workers_.size();
+
+  // Block 0 replays the trace; blocks 1..W are the worker loops. The pool
+  // claims blocks in order, so the producer always starts first; worker
+  // loops exit when the queue is closed and drained. With a single-thread
+  // pool the blocks simply run back to back (produce all, then drain).
+  ThreadPool::instance().parallel_for(
+      0, num_workers + 1, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t block = lo; block < hi; ++block) {
+          if (block == 0) {
+            for (std::size_t i = 0; i < num_requests; ++i) {
+              std::this_thread::sleep_until(
+                  t0 + std::chrono::microseconds(trace[i].t_us));
+              Request r;
+              r.id = i;
+              r.sample = trace[i].sample;
+              r.enqueue_us = us_since(t0);
+              enqueue[i] = r.enqueue_us;
+              queue.push(r);
+            }
+            queue.close();
+          } else {
+            Worker& w = *workers_[block - 1];
+            std::vector<Request> batch;
+            while (queue.pop_batch(cfg_.batch, batch))
+              process_batch(w, batch, rep.outputs.data(), completion.data(),
+                            t0);
+          }
+        }
+      });
+
+  rep.wall_s = static_cast<double>(us_since(t0)) * 1e-6;
+  rep.latencies_us.resize(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    rep.latencies_us[i] = completion[i] - enqueue[i];
+  rep.latency = LatencyStats::compute(rep.latencies_us);
+  rep.queue = queue.depth_stats();
+
+  std::size_t batches = 0;
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    Worker& w = *workers_[wi];
+    rep.completed += w.served;
+    if (rep.batch_hist.size() < w.batch_hist.size())
+      rep.batch_hist.resize(w.batch_hist.size(), 0);
+    for (std::size_t b = 0; b < w.batch_hist.size(); ++b) {
+      rep.batch_hist[b] += w.batch_hist[b];
+      batches += w.batch_hist[b];
+    }
+    const ScratchArena::Stats st = w.arena.stats();
+    rep.arena.system_allocs += st.system_allocs;
+    rep.arena.steady_allocs += st.system_allocs - allocs_before[wi];
+    rep.arena.high_water_bytes =
+        std::max(rep.arena.high_water_bytes, st.bump_high_water_bytes);
+    rep.arena.reserved_bytes += st.reserved_bytes;
+  }
+  rep.mean_batch = batches == 0 ? 0.0
+                                : static_cast<double>(rep.completed) /
+                                      static_cast<double>(batches);
+  rep.throughput_rps =
+      rep.wall_s > 0.0 ? static_cast<double>(rep.completed) / rep.wall_s : 0.0;
+  return rep;
+}
+
+}  // namespace gbo::serve

@@ -1,0 +1,99 @@
+// The online-inference server: traffic replay -> queue -> micro-batcher ->
+// worker pool -> per-request responses + metrics.
+//
+// Architecture (DESIGN.md §4):
+//
+//   make_trace(cfg)            seeded Poisson/burst arrival trace
+//        |
+//   InferenceServer::run       replays arrivals in real time into a
+//        |                     RequestQueue (one producer)
+//   RequestQueue::pop_batch    dynamic micro-batching (max_batch /
+//        |                     max_wait_us)
+//   worker pool                num_workers long-lived workers on the shared
+//        |                     ThreadPool; each owns an EvalContext with a
+//        |                     ScratchArena, so steady-state request
+//        |                     processing allocates nothing
+//   Backend::run               analytic (host net) or pulse-level
+//                              (HardwareNetwork) execution
+//
+// The worker pool reuses common/thread_pool: one parallel_for dispatches
+// num_workers + 1 blocks (block 0 replays the trace, the rest are worker
+// loops). Because the pool claims blocks in order, the producer always
+// starts first; with a single-thread pool the trace is replayed to
+// completion and then drained sequentially — degenerate latencies, but the
+// same payloads, which is the point: outputs depend only on
+// (seed, request id), never on worker count, pool size, or batching.
+//
+// Stochastic backends run each request as a unit batch under
+// ctx.rng = root.fork(request id); deterministic backends fuse each
+// micro-batch into one whole-tensor call (see serve/backend.hpp for why
+// that is bitwise row-equal to unit execution). Responses land in
+// pre-sized per-request slots, so workers never contend on result storage.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/eval_context.hpp"
+#include "serve/backend.hpp"
+#include "serve/metrics.hpp"
+#include "serve/traffic.hpp"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+namespace gbo::serve {
+
+struct ServeConfig {
+  BatchPolicy batch;
+  std::size_t num_workers = 1;
+  /// Root seed of the per-request noise forks (stochastic backends).
+  std::uint64_t seed = 1;
+};
+
+class InferenceServer {
+ public:
+  /// The backend and dataset must outlive the server. Degenerate config
+  /// values (num_workers == 0, max_batch == 0) are clamped to 1 with a
+  /// logged warning.
+  InferenceServer(const Backend& backend, const data::Dataset& dataset,
+                  ServeConfig cfg);
+
+  /// Sizes every worker's arena and gather buffers by running one maximal
+  /// micro-batch (and one unit batch) through the backend, and freezes the
+  /// backend's deterministic/stochastic execution mode (so the backend's
+  /// hook configuration must be settled by now). Called lazily by run();
+  /// call it explicitly so the first run's arena stats are already
+  /// steady-state.
+  void warmup();
+
+  /// Replays the trace in real time and serves it to completion. An empty
+  /// trace (or empty dataset) returns an empty report with a warning.
+  ServeReport run(const std::vector<Arrival>& trace);
+
+ private:
+  struct Worker {
+    ScratchArena arena;
+    nn::EvalContext ctx;
+    Tensor gather;                        // request-batch input staging
+    std::vector<std::size_t> in_shape;    // [B, sample dims...] template
+    std::vector<std::size_t> batch_hist;  // index = batch size
+    std::size_t served = 0;
+    Worker() { ctx.arena = &arena; }
+  };
+
+  void process_batch(Worker& w, const std::vector<Request>& batch,
+                     float* out_rows, std::uint64_t* completion_us,
+                     const std::chrono::steady_clock::time_point& t0);
+
+  const Backend& backend_;
+  const data::Dataset& dataset_;
+  ServeConfig cfg_;
+  Rng root_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t out_dim_ = 0;
+  bool warmed_ = false;
+  bool fused_ = false;  // backend_.deterministic(), frozen at warmup
+
+};
+
+}  // namespace gbo::serve

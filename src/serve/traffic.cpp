@@ -1,0 +1,48 @@
+#include "serve/traffic.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace gbo::serve {
+
+std::vector<Arrival> make_trace(const TrafficConfig& cfg,
+                                std::size_t dataset_size) {
+  if (cfg.num_requests == 0) {
+    log_warn("serve::make_trace: num_requests == 0, empty trace");
+    return {};
+  }
+  if (dataset_size == 0) {
+    log_warn("serve::make_trace: empty dataset, empty trace");
+    return {};
+  }
+  if (cfg.rate_rps <= 0.0) {
+    log_warn("serve::make_trace: rate_rps <= 0, empty trace");
+    return {};
+  }
+
+  Rng rng(cfg.seed);
+  std::vector<Arrival> trace;
+  trace.reserve(cfg.num_requests);
+  const bool bursty = cfg.burst_factor > 1.0 && cfg.burst_duty > 0.0 &&
+                      cfg.burst_period_s > 0.0;
+  double t = 0.0;  // seconds
+  for (std::size_t i = 0; i < cfg.num_requests; ++i) {
+    double rate = cfg.rate_rps;
+    if (bursty) {
+      const double phase = std::fmod(t, cfg.burst_period_s);
+      if (phase < cfg.burst_duty * cfg.burst_period_s) rate *= cfg.burst_factor;
+    }
+    // Exponential inter-arrival; 1 - u in (0, 1] keeps log finite.
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    Arrival a;
+    a.t_us = static_cast<std::uint64_t>(t * 1e6);
+    a.sample = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(dataset_size) - 1));
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+}  // namespace gbo::serve

@@ -1,0 +1,36 @@
+// Seeded synthetic traffic generation for the serving runtime.
+//
+// Arrivals follow a Poisson process (exponential inter-arrival times) whose
+// rate can be modulated by a square-wave burst profile: for burst_duty of
+// every burst_period the rate is multiplied by burst_factor. This covers
+// the two regimes a serving stack must survive — steady load near capacity
+// and short bursts far above it (queue growth, batch-size inflation).
+//
+// Traces are pure data, deterministic in (config, dataset_size): the same
+// seed always yields the same arrival times and sample picks, which is what
+// makes end-to-end serving runs replayable (DESIGN.md §4).
+#pragma once
+
+#include "serve/request.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gbo::serve {
+
+struct TrafficConfig {
+  std::size_t num_requests = 1000;
+  double rate_rps = 5000.0;      // mean arrival rate (requests/second)
+  double burst_factor = 1.0;     // rate multiplier inside bursts (>= 1)
+  double burst_duty = 0.0;       // fraction of each period spent bursting
+  double burst_period_s = 0.02;  // burst modulation period
+  std::uint64_t seed = 1;
+};
+
+/// Generates the arrival trace; samples are drawn uniformly from
+/// [0, dataset_size). Degenerate inputs (no requests, empty dataset, or a
+/// non-positive rate) return an empty trace with a logged warning.
+std::vector<Arrival> make_trace(const TrafficConfig& cfg,
+                                std::size_t dataset_size);
+
+}  // namespace gbo::serve

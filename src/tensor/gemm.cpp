@@ -236,9 +236,14 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
   });
 }
 
+bool gemm_nt_uses_bt(std::size_t m, std::size_t n, std::size_t k) {
+  return m != 0 && n != 0 && k != 0 && m * n * k > kSmallFlops &&
+         !(kHaveNtDirect && m < 64);
+}
+
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
-             std::size_t ldc) {
+             std::size_t ldc, float* bt_scratch) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
     zero_rows(C, m, n, ldc);
@@ -266,9 +271,14 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
   // B^T materialized once turns the dot-product loop (a serial reduction the
   // compiler cannot vectorize without reassociating) into the streaming nn
   // kernel; the k·n copy is negligible against the m·n·k multiply.
-  std::vector<float> bt(k * n);
-  transpose_into(B, n, k, ldb, bt.data());
-  gemm_nn(m, n, k, A, lda, bt.data(), n, C, ldc, /*accumulate=*/false);
+  std::vector<float> bt_own;
+  float* bt = bt_scratch;
+  if (bt == nullptr) {
+    bt_own.resize(k * n);
+    bt = bt_own.data();
+  }
+  transpose_into(B, n, k, ldb, bt);
+  gemm_nn(m, n, k, A, lda, bt, n, C, ldc, /*accumulate=*/false);
 }
 
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,

@@ -30,10 +30,18 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
              std::size_t ldc, bool accumulate);
 
-/// C = A·Bᵀ: A[m,k] lda, B[n,k] ldb, C[m,n] ldc.
+/// C = A·Bᵀ: A[m,k] lda, B[n,k] ldb, C[m,n] ldc. Large-m shapes stream
+/// through a materialized Bᵀ panel of k·n floats; `bt_scratch` (size k·n),
+/// when given, provides that panel so zero-alloc callers (the arena-backed
+/// serving path) keep the kernel off the heap. nullptr allocates internally.
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
-             std::size_t ldc);
+             std::size_t ldc, float* bt_scratch = nullptr);
+
+/// True when gemm_nt(m, n, k, ...) takes the transposed-panel path and
+/// would therefore use (or allocate) the k·n Bᵀ buffer. Lets zero-alloc
+/// callers reserve scratch only for the shapes that need it.
+bool gemm_nt_uses_bt(std::size_t m, std::size_t n, std::size_t k);
 
 /// C += Aᵀ·B: A[k,m] lda, B[k,n] ldb, C[m,n] ldc.
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,

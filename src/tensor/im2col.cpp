@@ -5,6 +5,13 @@
 namespace gbo {
 
 Tensor im2col(const Tensor& input, const ConvGeom& g) {
+  Tensor cols({input.ndim() == 4 ? input.dim(0) * g.out_h() * g.out_w() : 0,
+               g.patch_len()});
+  im2col_into(input, g, cols.data());
+  return cols;
+}
+
+void im2col_into(const Tensor& input, const ConvGeom& g, float* out) {
   if (input.ndim() != 4)
     throw std::invalid_argument("im2col: expected NCHW input, got " + input.shape_str());
   const std::size_t batch = input.dim(0);
@@ -12,8 +19,6 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
     throw std::invalid_argument("im2col: input does not match geometry");
 
   const std::size_t oh = g.out_h(), ow = g.out_w(), plen = g.patch_len();
-  Tensor cols({batch * oh * ow, plen});
-  float* out = cols.data();
   const float* in = input.data();
   const std::size_t chw = g.in_c * g.in_h * g.in_w;
 
@@ -46,7 +51,17 @@ Tensor im2col(const Tensor& input, const ConvGeom& g) {
       }
     }
   });
-  return cols;
+}
+
+void rows_to_nchw_into(const float* rows, std::size_t batch, std::size_t out_c,
+                       std::size_t oh, std::size_t ow, float* dst) {
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float* row = rows + ((n * oh + y) * ow + x) * out_c;
+        for (std::size_t c = 0; c < out_c; ++c)
+          dst[((n * out_c + c) * oh + y) * ow + x] = row[c];
+      }
 }
 
 Tensor col2im(const Tensor& columns, std::size_t batch, const ConvGeom& g) {

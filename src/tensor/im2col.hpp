@@ -26,8 +26,19 @@ struct ConvGeom {
 /// Each row is one receptive-field patch (zero padded at borders).
 Tensor im2col(const Tensor& input, const ConvGeom& g);
 
+/// Same lowering into a caller-provided buffer of N*out_h*out_w*patch_len
+/// floats (arena scratch in the stateless infer path). Every element is
+/// written, padding included; bitwise identical to im2col.
+void im2col_into(const Tensor& input, const ConvGeom& g, float* out);
+
 /// Inverse scatter-add of im2col: columns [N * out_h * out_w, C*k*k]
 /// -> gradient w.r.t. input [N, C, H, W].
 Tensor col2im(const Tensor& columns, std::size_t batch, const ConvGeom& g);
+
+/// GEMM-result rows [N * oh * ow, out_c] -> NCHW [N, out_c, oh, ow] into a
+/// caller buffer — the output-side counterpart of the lowering, shared by
+/// the host Conv2d and the pulse-level deployment path.
+void rows_to_nchw_into(const float* rows, std::size_t batch, std::size_t out_c,
+                       std::size_t oh, std::size_t ow, float* dst);
 
 }  // namespace gbo

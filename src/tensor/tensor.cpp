@@ -43,6 +43,16 @@ void Tensor::reshape(std::vector<std::size_t> new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(const std::vector<std::size_t>& new_shape) {
+  shape_ = new_shape;  // copy-assign reuses shape_'s capacity
+  data_.resize(shape_numel(shape_));
+}
+
+void Tensor::resize(std::initializer_list<std::size_t> new_shape) {
+  shape_.assign(new_shape);
+  data_.resize(shape_numel(shape_));
+}
+
 std::string Tensor::shape_str() const {
   std::ostringstream oss;
   oss << "[";

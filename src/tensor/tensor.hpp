@@ -85,6 +85,15 @@ class Tensor {
   /// In-place reshape (numel must match).
   void reshape(std::vector<std::size_t> new_shape);
 
+  /// In-place re-dimension: unlike reshape(), numel may change and storage
+  /// is resized to fit. Existing data/shape capacity is reused, so cycling a
+  /// buffer through recurring shapes stops allocating once its capacity has
+  /// converged (the tensor-recycler contract, see tensor/arena.hpp). Grown
+  /// storage is zero-filled by vector::resize; contents are otherwise
+  /// unspecified and callers are expected to overwrite them.
+  void resize(const std::vector<std::size_t>& new_shape);
+  void resize(std::initializer_list<std::size_t> new_shape);
+
   /// True if shapes are identical.
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
