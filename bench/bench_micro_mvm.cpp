@@ -24,6 +24,8 @@
 #include "encoding/bit_slicing.hpp"
 #include "encoding/thermometer.hpp"
 #include "models/mlp.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/eval_context.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
@@ -178,8 +180,146 @@ struct HarnessConfig {
   std::size_t mvm_out = 512, mvm_in = 512, mvm_batch = 16;
   std::size_t pulse_out = 64, pulse_in = 256, pulse_batch = 16, pulses = 8;
   std::size_t eval_samples = 2048, eval_trials = 16;  // noisy-eval throughput
+  // conv_direct section: a VGG9-style 3×3 stride-1 layer.
+  std::size_t conv_in_c = 32, conv_hw = 32, conv_out_c = 64, conv_batch = 8;
   int reps = 5;
 };
+
+/// Packed-panel vs unpacked blocked GEMM at the acceptance size, with the
+/// bitwise-equality gate (the two paths must agree exactly — any mismatch
+/// fails the harness) checked at 1 thread and at the pool width.
+Json bench_gemm_packed(const HarnessConfig& hc, std::size_t pool_threads,
+                       bool* gate_ok) {
+  const std::size_t n = hc.gemm_n;
+  const std::size_t flops = 2 * n * n * n;
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c_packed({n, n}), c_unpacked({n, n});
+  ThreadPool& pool = ThreadPool::instance();
+
+  bool match = true;
+  auto check = [&](const char* when) {
+    gemm::gemm_nn_unpacked(n, n, n, a.data(), n, b.data(), n,
+                           c_unpacked.data(), n, false);
+    gemm::gemm_nn_packed(n, n, n, a.data(), n, b.data(), n, c_packed.data(),
+                         n, false);
+    if (std::memcmp(c_packed.data(), c_unpacked.data(),
+                    n * n * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "gemm_packed GATE FAILURE: packed path diverged from the "
+                   "unpacked path bitwise (%s)\n", when);
+      match = false;
+      *gate_ok = false;
+    }
+  };
+
+  pool.set_num_threads(1);
+  check("1 thread");
+  const double t_unpacked_1t = time_best(hc.reps, [&] {
+    gemm::gemm_nn_unpacked(n, n, n, a.data(), n, b.data(), n,
+                           c_unpacked.data(), n, false);
+  });
+  const double t_packed_1t = time_best(hc.reps, [&] {
+    gemm::gemm_nn_packed(n, n, n, a.data(), n, b.data(), n, c_packed.data(),
+                         n, false);
+  });
+  pool.set_num_threads(pool_threads);
+  check("pool threads");
+  const double t_unpacked_mt = time_best(hc.reps, [&] {
+    gemm::gemm_nn_unpacked(n, n, n, a.data(), n, b.data(), n,
+                           c_unpacked.data(), n, false);
+  });
+  const double t_packed_mt = time_best(hc.reps, [&] {
+    gemm::gemm_nn_packed(n, n, n, a.data(), n, b.data(), n, c_packed.data(),
+                         n, false);
+  });
+
+  Json out = Json::object();
+  out.set("size", n);
+  out.set("bitwise_match", match);
+  out.set("unpacked_1t_ms", t_unpacked_1t * 1e3);
+  out.set("packed_1t_ms", t_packed_1t * 1e3);
+  out.set("unpacked_mt_ms", t_unpacked_mt * 1e3);
+  out.set("packed_mt_ms", t_packed_mt * 1e3);
+  out.set("gflops_unpacked_1t", gflops(flops, t_unpacked_1t));
+  out.set("gflops_packed_1t", gflops(flops, t_packed_1t));
+  out.set("gflops_unpacked_mt", gflops(flops, t_unpacked_mt));
+  out.set("gflops_packed_mt", gflops(flops, t_packed_mt));
+  out.set("speedup_packed_1t", t_unpacked_1t / t_packed_1t);
+  out.set("speedup_packed_mt", t_unpacked_mt / t_packed_mt);
+  return out;
+}
+
+/// Direct 3×3 stride-1 convolution vs the im2col route on a VGG9-style
+/// layer, with the bitwise gate (infer dispatches the direct kernel;
+/// forward runs im2col + GEMM; the NCHW outputs must agree exactly).
+Json bench_conv_direct(const HarnessConfig& hc, std::size_t pool_threads,
+                       bool* gate_ok) {
+  using namespace gbo::nn;
+  ConvGeom g{.in_c = hc.conv_in_c, .in_h = hc.conv_hw, .in_w = hc.conv_hw,
+             .k = 3, .stride = 1, .pad = 1};
+  Rng rng(77);
+  Conv2d conv(hc.conv_out_c, g, /*bias=*/true, rng);
+  const Tensor x =
+      random_tensor({hc.conv_batch, g.in_c, g.in_h, g.in_w}, 78);
+  const std::size_t m = hc.conv_batch * g.out_h() * g.out_w();
+  const std::size_t flops = 2 * m * hc.conv_out_c * g.patch_len();
+  ThreadPool& pool = ThreadPool::instance();
+  EvalContext ctx;
+
+  if (!conv.direct_conv_eligible(m)) {
+    std::fprintf(stderr,
+                 "conv_direct GATE FAILURE: bench shape does not dispatch "
+                 "the direct kernel\n");
+    *gate_ok = false;
+  }
+
+  bool match = true;
+  auto check = [&](const char* when) {
+    Tensor y_direct = conv.infer(x, ctx);
+    Tensor y_im2col = conv.forward(x);
+    if (y_direct.shape() != y_im2col.shape() ||
+        std::memcmp(y_direct.data(), y_im2col.data(),
+                    y_direct.numel() * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "conv_direct GATE FAILURE: direct kernel diverged from "
+                   "the im2col route bitwise (%s)\n", when);
+      match = false;
+      *gate_ok = false;
+    }
+  };
+
+  pool.set_num_threads(1);
+  check("1 thread");
+  const double t_im2col_1t =
+      time_best(hc.reps, [&] { (void)conv.forward(x); });
+  const double t_direct_1t =
+      time_best(hc.reps, [&] { (void)conv.infer(x, ctx); });
+  pool.set_num_threads(pool_threads);
+  check("pool threads");
+  const double t_im2col_mt =
+      time_best(hc.reps, [&] { (void)conv.forward(x); });
+  const double t_direct_mt =
+      time_best(hc.reps, [&] { (void)conv.infer(x, ctx); });
+
+  Json out = Json::object();
+  out.set("batch", hc.conv_batch);
+  out.set("in_c", g.in_c);
+  out.set("image", hc.conv_hw);
+  out.set("out_c", hc.conv_out_c);
+  out.set("bitwise_match", match);
+  out.set("im2col_1t_ms", t_im2col_1t * 1e3);
+  out.set("direct_1t_ms", t_direct_1t * 1e3);
+  out.set("im2col_mt_ms", t_im2col_mt * 1e3);
+  out.set("direct_mt_ms", t_direct_mt * 1e3);
+  out.set("gflops_im2col_1t", gflops(flops, t_im2col_1t));
+  out.set("gflops_direct_1t", gflops(flops, t_direct_1t));
+  out.set("gflops_im2col_mt", gflops(flops, t_im2col_mt));
+  out.set("gflops_direct_mt", gflops(flops, t_direct_mt));
+  out.set("speedup_direct_1t", t_im2col_1t / t_direct_1t);
+  out.set("speedup_direct_mt", t_im2col_mt / t_direct_mt);
+  return out;
+}
 
 Json bench_gemm_paths(const HarnessConfig& hc, std::size_t pool_threads) {
   const std::size_t n = hc.gemm_n;
@@ -264,7 +404,8 @@ Json bench_analytic_mvm(const HarnessConfig& hc) {
   return out;
 }
 
-Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model) {
+Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model,
+                     bool* gate_ok) {
   const Tensor w = random_binary(hc.pulse_out, hc.pulse_in, 6);
   xbar::MvmConfig cfg;
   cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, hc.pulses};
@@ -278,6 +419,27 @@ Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model) {
   const std::size_t flops =
       2 * hc.pulse_batch * hc.pulse_out * hc.pulse_in * hc.pulses;
 
+  // Same construction seed for both engines: the fused batch-major sweep
+  // must replay the per-pulse reference path's noise stream exactly, so a
+  // fresh same-seeded run of each must agree bitwise (hard gate).
+  bool match = true;
+  {
+    xbar::MvmEngine fused_chk(w, cfg, Rng(7));
+    xbar::MvmEngine ref_chk(w, cfg, Rng(7));
+    const Tensor y_fused = fused_chk.run_pulse_level(x);
+    const Tensor y_ref = ref_chk.run_pulse_level_reference(x);
+    if (y_fused.shape() != y_ref.shape() ||
+        std::memcmp(y_fused.data(), y_ref.data(),
+                    y_fused.numel() * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "pulse_mvm GATE FAILURE: fused sweep diverged from the "
+                   "per-pulse reference bitwise (device_model=%d)\n",
+                   device_model ? 1 : 0);
+      match = false;
+      *gate_ok = false;
+    }
+  }
+
   xbar::MvmEngine fused(w, cfg, Rng(7));
   const double t_fused = time_best(hc.reps, [&] {
     Tensor y = fused.run_pulse_level(x);
@@ -290,6 +452,7 @@ Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model) {
   });
 
   Json out = Json::object();
+  out.set("bitwise_match", match);
   out.set("batch", hc.pulse_batch);
   out.set("out", hc.pulse_out);
   out.set("in", hc.pulse_in);
@@ -386,28 +549,43 @@ int run_harness(const HarnessConfig& hc) {
   doc.set("smoke", hc.smoke);
   doc.set("num_threads", pool_threads);
 
+  bool gate_ok = true;
+
   std::printf("[gemm] n=%zu (naive vs blocked, 1 vs %zu threads)...\n",
               hc.gemm_n, pool_threads);
   doc.set("gemm", bench_gemm_paths(hc, pool_threads));
+  pool.set_num_threads(pool_threads);
+
+  std::printf("[gemm packed] n=%zu (packed vs unpacked panels, bitwise "
+              "gate)...\n", hc.gemm_n);
+  doc.set("gemm_packed", bench_gemm_packed(hc, pool_threads, &gate_ok));
+  pool.set_num_threads(pool_threads);
+
+  std::printf("[conv direct] %zux%zux%zux%zu -> %zu channels (direct 3x3 vs "
+              "im2col, bitwise gate)...\n",
+              hc.conv_batch, hc.conv_in_c, hc.conv_hw, hc.conv_hw,
+              hc.conv_out_c);
+  doc.set("conv_direct", bench_conv_direct(hc, pool_threads, &gate_ok));
   pool.set_num_threads(pool_threads);
 
   std::printf("[analytic mvm] %zux%zu batch=%zu...\n", hc.mvm_out, hc.mvm_in,
               hc.mvm_batch);
   doc.set("analytic_mvm", bench_analytic_mvm(hc));
 
-  std::printf("[pulse mvm] %zux%zu batch=%zu pulses=%zu (fused vs reference)...\n",
+  std::printf("[pulse mvm] %zux%zu batch=%zu pulses=%zu (fused vs reference, "
+              "bitwise gate)...\n",
               hc.pulse_out, hc.pulse_in, hc.pulse_batch, hc.pulses);
-  doc.set("pulse_mvm", bench_pulse_mvm(hc, /*device_model=*/false));
-  doc.set("pulse_mvm_device_model", bench_pulse_mvm(hc, /*device_model=*/true));
+  doc.set("pulse_mvm", bench_pulse_mvm(hc, /*device_model=*/false, &gate_ok));
+  doc.set("pulse_mvm_device_model",
+          bench_pulse_mvm(hc, /*device_model=*/true, &gate_ok));
 
   std::printf("[eval trials] %zu samples x %zu trials (sequential oracle vs "
               "trial-parallel, %zu threads)...\n",
               hc.eval_samples, hc.eval_trials, pool_threads);
-  bool gate_ok = true;
   doc.set("eval_trials", bench_eval_trials(hc, pool_threads, &gate_ok));
   pool.set_num_threads(pool_threads);
   if (!gate_ok) {
-    std::fprintf(stderr, "eval_trials gate failed; aborting\n");
+    std::fprintf(stderr, "bench_micro_mvm: bitwise gate failed; aborting\n");
     return 1;
   }
 
@@ -444,6 +622,10 @@ int main(int argc, char** argv) {
       hc.pulse_batch = 8;
       hc.eval_samples = 512;
       hc.eval_trials = 8;
+      hc.conv_in_c = 16;
+      hc.conv_hw = 16;
+      hc.conv_out_c = 32;
+      hc.conv_batch = 4;
       hc.reps = 2;
     } else if (arg == "--json" && i + 1 < argc) {
       hc.json_path = argv[++i];

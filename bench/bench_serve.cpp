@@ -195,6 +195,14 @@ int main(int argc, char** argv) {
                                     model.base_pulses(), crng);
     ctrl.attach();
     ctrl.set_enabled_all(true);
+    // Run at a non-base pulse count so every request crosses the PLA
+    // re-quantization (now snapped in place): the steady-state arena gate
+    // covers the full GBO-optimized serving path, not just the base
+    // encoding.
+    ctrl.set_specs(std::vector<enc::EncodingSpec>(
+        model.encoded.size(),
+        enc::EncodingSpec{enc::Scheme::kThermometer,
+                          model.base_pulses() - 2}));
     serve::AnalyticBackend noisy(*model.net, /*stochastic=*/true);
     doc.set("analytic_noisy",
             run_scenario("analytic_noisy", noisy, ds, trace, workers, policy,

@@ -10,6 +10,7 @@ MvmEngine::MvmEngine(const Tensor& binary_weight, MvmConfig cfg, Rng rng)
       array_(binary_weight, cfg.device, cfg.tile_cols, rng.fork(1)),
       rng_(rng.fork(2)) {
   scale_ = array_.weight_scale();
+  norm_weights_ = normalized_pulse_weights();
 }
 
 Tensor MvmEngine::encode_and_snap(const Tensor& activations) const {
@@ -28,13 +29,23 @@ Tensor MvmEngine::encode_and_snap(const Tensor& activations) const {
   return snapped;
 }
 
-enc::PulseTrain MvmEngine::encode_train(const Tensor& activations) const {
+enc::PulseTrain MvmEngine::encode_train(const Tensor& activations,
+                                        ScratchArena* arena) const {
   if (activations.ndim() != 2)
     throw std::invalid_argument("MvmEngine: expected [N, in] activations, got " +
                                 activations.shape_str());
-  return cfg_.spec.scheme == enc::Scheme::kThermometer
-             ? enc::thermometer_encode(activations, cfg_.spec.num_pulses)
-             : enc::bit_slicing_encode(activations, cfg_.spec.num_pulses);
+  const std::size_t num_pulses = cfg_.spec.num_pulses;
+  enc::PulseTrain train;
+  train.spec = cfg_.spec;
+  train.pulses.reserve(num_pulses);
+  for (std::size_t i = 0; i < num_pulses; ++i)
+    train.pulses.push_back(arena ? arena->take(activations.shape())
+                                 : Tensor(activations.shape()));
+  if (cfg_.spec.scheme == enc::Scheme::kThermometer)
+    enc::thermometer_encode_into(activations, num_pulses, train.pulses);
+  else
+    enc::bit_slicing_encode_into(activations, num_pulses, train.pulses);
+  return train;
 }
 
 std::vector<float> MvmEngine::normalized_pulse_weights() const {
@@ -53,7 +64,7 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
 
 Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
                                   ScratchArena* arena) const {
-  enc::PulseTrain train = encode_train(activations);
+  enc::PulseTrain train = encode_train(activations, arena);
   const std::size_t batch = activations.dim(0);
   const std::size_t out_n = array_.rows();
   // An empty pulse train (num_pulses == 0) contributes no current: the
@@ -100,7 +111,7 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
     }
   }
 
-  const std::vector<float> w = normalized_pulse_weights();
+  const std::vector<float>& w = norm_weights_;
 
   // One fused batch-major sweep of the weight matrix for all pulses; the
   // sink decodes each element in place (peripheral scale, Eq. 1 noise,
@@ -126,6 +137,12 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
         }
         po[idx] = acc;
       });
+  // Return the encode buffers to the worker's pool: after a warm-up
+  // request, the pulse path's tensors — encode buffers, noise pre-draws,
+  // output — come entirely from the arena; the only remaining per-request
+  // heap touch is the few-byte pulse-handle vector header (DESIGN.md §4).
+  if (arena)
+    for (Tensor& p : train.pulses) arena->put(std::move(p));
   return out;
 }
 
@@ -138,7 +155,7 @@ Tensor MvmEngine::run_pulse_level_reference(const Tensor& activations,
   enc::PulseTrain train = encode_train(activations);
   if (train.pulses.empty()) return Tensor({activations.dim(0), array_.rows()});
 
-  const std::vector<float> w = normalized_pulse_weights();
+  const std::vector<float>& w = norm_weights_;
 
   Tensor out;
   for (std::size_t i = 0; i < train.pulses.size(); ++i) {

@@ -68,8 +68,12 @@ class MvmEngine {
 
  private:
   Tensor encode_and_snap(const Tensor& activations) const;
-  /// Validates [N, in] shape and encodes per the configured scheme.
-  enc::PulseTrain encode_train(const Tensor& activations) const;
+  /// Validates [N, in] shape and encodes per the configured scheme. With an
+  /// arena, the pulse tensors are recycled through its pool (run_pulse_level
+  /// puts them back after the fused sweep) — the encode buffers were the
+  /// pulse path's last per-request tensor allocations (DESIGN.md §4).
+  enc::PulseTrain encode_train(const Tensor& activations,
+                               ScratchArena* arena = nullptr) const;
   /// Per-pulse decode weights w_i / Σ w_i as float.
   std::vector<float> normalized_pulse_weights() const;
 
@@ -78,6 +82,9 @@ class MvmEngine {
   float scale_ = 1.0f;
   CrossbarArray array_;
   Rng rng_;
+  // Decode weights cached at construction (cfg_ is frozen after): the
+  // pulse hot path must not re-derive them per request.
+  std::vector<float> norm_weights_;
 };
 
 }  // namespace gbo::xbar

@@ -5,9 +5,10 @@ namespace gbo::xbar {
 void GaussianNoiseHook::snap_input(Tensor& x) const {
   if (spec_.scheme == enc::Scheme::kThermometer) {
     // PLA re-encoding: activations were quantized for base_pulses_ levels;
-    // a different pulse count can only realize its own level grid.
+    // a different pulse count can only realize its own level grid. Snapped
+    // in place — the last per-request temporary on the serving hot path.
     if (spec_.num_pulses != base_pulses_)
-      x = enc::pla_approximate(x, spec_.num_pulses);
+      enc::pla_approximate_inplace(x, spec_.num_pulses);
   } else {
     // Bit slicing realizes a 2^p-level grid, which does not contain the
     // thermometer training grid exactly; snap to the nearest code.

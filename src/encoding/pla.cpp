@@ -19,6 +19,12 @@ Tensor pla_approximate(const Tensor& activations, std::size_t target_pulses) {
   return out;
 }
 
+void pla_approximate_inplace(Tensor& activations, std::size_t target_pulses) {
+  float* a = activations.data();
+  for (std::size_t i = 0; i < activations.numel(); ++i)
+    a[i] = thermometer_snap(a[i], target_pulses);
+}
+
 PlaErrorStats pla_error(const Tensor& activations, std::size_t target_pulses) {
   PlaErrorStats st;
   const float* a = activations.data();

@@ -22,6 +22,10 @@ PulseTrain pla_encode(const Tensor& activations, std::size_t target_pulses);
 /// every value snapped to the nearest of the target_pulses+1 levels.
 Tensor pla_approximate(const Tensor& activations, std::size_t target_pulses);
 
+/// In-place variant: the snap is elementwise, so the serving hot path
+/// re-quantizes without the temporary copy (bitwise identical results).
+void pla_approximate_inplace(Tensor& activations, std::size_t target_pulses);
+
 /// Statistics of the PLA approximation error for a given tensor.
 struct PlaErrorStats {
   double mean_abs_error = 0.0;

@@ -15,6 +15,13 @@ std::size_t thermometer_level(float value, std::size_t num_pulses);
 /// quantizer when num_pulses == 8).
 PulseTrain thermometer_encode(const Tensor& activations, std::size_t num_pulses);
 
+/// Same encoding into caller-provided pulse tensors: `pulses` must already
+/// hold `num_pulses` tensors shaped like `activations` (recycled from a
+/// ScratchArena on the serving hot path); every element is overwritten.
+/// Bitwise identical to thermometer_encode.
+void thermometer_encode_into(const Tensor& activations, std::size_t num_pulses,
+                             std::vector<Tensor>& pulses);
+
 /// The exact value a thermometer train of p pulses can represent closest to
 /// `value` — used to quantify PLA approximation error.
 float thermometer_snap(float value, std::size_t num_pulses);

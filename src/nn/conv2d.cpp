@@ -4,6 +4,8 @@
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
+#include <vector>
+
 namespace gbo::nn {
 namespace {
 
@@ -14,6 +16,62 @@ Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t out_c,
   rows_to_nchw_into(rows.data(), batch, out_c, oh, ow, out.data());
   return out;
 }
+
+/// A-panel packer for the direct 3×3 stride-1 kernel: gathers the
+/// receptive-field patches for output rows [i0, i1) and patch columns
+/// [pc, pc + kc) straight from the NCHW input into gemm's packed MR-strip
+/// layout — exactly the values im2col would have written to those cells,
+/// so the packed multiply is bitwise identical to the im2col route.
+struct DirectConvPacker {
+  const float* src;  // NCHW input
+  ConvGeom g;
+  std::size_t oh, ow;
+
+  void operator()(std::size_t i0, std::size_t i1, std::size_t pc,
+                  std::size_t kc, float* dst) const {
+    const std::size_t H = g.in_h, W = g.in_w;
+    const std::size_t kk = g.k;  // 3 on the dispatched path; kept general
+    const std::size_t ohw = oh * ow;
+    const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.pad);
+    for (std::size_t i = i0; i < i1; i += gemm::kMR) {
+      const std::size_t mr = i + gemm::kMR < i1 ? gemm::kMR : i1 - i;
+      float* strip = dst + ((i - i0) / gemm::kMR) * gemm::kMR * kc;
+      for (std::size_t r = 0; r < mr; ++r) {
+        const std::size_t row = i + r;
+        const std::size_t img = row / ohw, rem = row % ohw;
+        const std::ptrdiff_t iy0 =
+            static_cast<std::ptrdiff_t>((rem / ow) * g.stride) - pad;
+        const std::ptrdiff_t ix0 =
+            static_cast<std::ptrdiff_t>((rem % ow) * g.stride) - pad;
+        const float* base = src + img * g.in_c * H * W;
+        // Walk patch columns [pc, pc+kc) with incremental (c, ky, kx)
+        // counters instead of a div/mod per element.
+        std::size_t c = pc / (kk * kk);
+        std::size_t ky = (pc / kk) % kk;
+        std::size_t kx = pc % kk;
+        const float* plane = base + c * H * W;
+        for (std::size_t p = 0; p < kc; ++p) {
+          const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+          const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+          const bool in =
+              iy >= 0 && ix >= 0 && iy < static_cast<std::ptrdiff_t>(H) &&
+              ix < static_cast<std::ptrdiff_t>(W);
+          strip[p * gemm::kMR + r] = in ? plane[iy * W + ix] : 0.0f;
+          if (++kx == kk) {
+            kx = 0;
+            if (++ky == kk) {
+              ky = 0;
+              plane += H * W;
+            }
+          }
+        }
+      }
+      for (std::size_t r = mr; r < gemm::kMR; ++r)
+        for (std::size_t p = 0; p < kc; ++p)
+          strip[p * gemm::kMR + r] = 0.0f;
+    }
+  }
+};
 
 /// [N, out_c, oh, ow] -> [N*oh*ow, out_c]
 Tensor nchw_to_rows(const Tensor& x) {
@@ -47,6 +105,15 @@ Tensor Conv2d::infer_with_weight(const Tensor& x, const Tensor& w,
   return infer_with_weight(x, w.data(), with_bias, nullptr);
 }
 
+bool Conv2d::direct_conv_eligible(std::size_t m) const {
+  // Only shapes whose im2col route would run the packed-panel GEMM: the
+  // direct kernel is that same packed multiply with the patch gather fused
+  // into the A-panel packer, so restricting dispatch to these shapes keeps
+  // it bitwise equal to the im2col route by construction.
+  return geom_.k == 3 && geom_.stride == 1 &&
+         gemm::gemm_nt_packs_b(m, out_c_, geom_.patch_len());
+}
+
 Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
                                  bool with_bias, EvalContext* ctx) const {
   if (x.ndim() != 4)
@@ -56,25 +123,42 @@ Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
   const std::size_t m = batch * oh * ow;
   const std::size_t k = geom_.patch_len();
+  const bool direct = direct_conv_eligible(m);
+  const std::size_t pack_floats = gemm::gemm_nt_scratch_floats(m, out_c_, k);
   ScratchArena* arena = ctx ? ctx->arena : nullptr;
   ArenaFrame frame(arena);
-  Tensor cols_own, rows_own;  // fallback owners without an arena
-  float* cols;
+  Tensor cols_own, rows_own;       // fallback owners without an arena
+  std::vector<float> pack_own;
+  float* cols = nullptr;           // im2col route only
   float* rows;
-  float* bt = nullptr;  // gemm_nt's transposed-weight panel (large-m path)
+  float* pack = nullptr;           // packed weight panels (large-m path)
   if (arena) {
-    cols = arena->alloc_floats(m * k);
+    if (!direct) cols = arena->alloc_floats(m * k);
     rows = arena->alloc_floats(m * out_c_);
-    if (gemm::gemm_nt_uses_bt(m, out_c_, k))
-      bt = arena->alloc_floats(k * out_c_);
+    if (pack_floats) pack = arena->alloc_floats(pack_floats);
   } else {
-    cols_own = Tensor({m, k});
+    if (!direct) {
+      cols_own = Tensor({m, k});
+      cols = cols_own.data();
+    }
     rows_own = Tensor({m, out_c_});
-    cols = cols_own.data();
     rows = rows_own.data();
+    if (direct) {
+      // The direct path drives the prepacked core itself, so it owns the
+      // weight-panel buffer here; the im2col route lets gemm_nt allocate.
+      pack_own.resize(pack_floats);
+      pack = pack_own.data();
+    }
   }
-  im2col_into(x, geom_, cols);
-  gemm::gemm_nt(m, out_c_, k, cols, k, w, k, rows, out_c_, bt);
+  if (direct) {
+    gemm::pack_b_t(out_c_, k, w, k, pack);
+    gemm::gemm_prepacked_b(
+        m, out_c_, k, DirectConvPacker{x.data(), geom_, oh, ow}, pack, rows,
+        out_c_, /*accumulate=*/false);
+  } else {
+    im2col_into(x, geom_, cols);
+    gemm::gemm_nt(m, out_c_, k, cols, k, w, k, rows, out_c_, pack);
+  }
   if (with_bias) {
     const float* b = bias_.value.data();
     for (std::size_t r = 0; r < m; ++r)

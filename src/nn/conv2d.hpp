@@ -1,8 +1,19 @@
-// 2D convolution (square kernel) via im2col + GEMM.
+// 2D convolution (square kernel) via im2col + GEMM, with a direct
+// packed-panel kernel for the dominant 3×3 stride-1 shape.
 //
 // Weight layout: [out_c, in_c * k * k], i.e. already flattened to the MVM
 // matrix a crossbar tile would store. Forward lowers the input to the patch
 // matrix, multiplies, and reshapes to NCHW.
+//
+// The stateless infer path dispatches by shape: 3×3 stride-1 convolutions
+// big enough for gemm_nt's packed-panel path skip the im2col
+// materialization entirely — the patch gather is fused into the packed
+// GEMM's A-panel packer, so each receptive field is read straight from the
+// NCHW input into a cache-resident panel while the packed weight panels
+// are reused across every output row slab. Because the direct kernel runs
+// the exact packed multiply the im2col route runs (same packed weights,
+// same panel contents, same micro-kernel), its outputs are bitwise equal
+// to the im2col route at any GBO_NUM_THREADS (tests/test_nn_layers.cpp).
 #pragma once
 
 #include "common/rng.hpp"
@@ -28,6 +39,12 @@ class Conv2d : public Module {
   std::size_t out_channels() const { return out_c_; }
   Param& weight() { return weight_; }
 
+  /// True when the `m = N·oh·ow` output-row count routes this layer's infer
+  /// through the direct 3×3 stride-1 kernel (shape-only, so dispatch is
+  /// identical with and without an arena and at any thread count). Public
+  /// so benches/tests can assert which path a shape takes.
+  bool direct_conv_eligible(std::size_t m) const;
+
  protected:
   /// Hooks mirroring Linear's, so the quantized subclass reuses this body.
   virtual const Tensor& effective_weight();
@@ -39,8 +56,9 @@ class Conv2d : public Module {
                            bool with_bias) const;
 
   /// Core of the above over a raw [out_c, patch_len] weight. With a context
-  /// carrying a scratch arena, the patch matrix and the GEMM row buffer are
-  /// bump-allocated and the output tensor is recycled — the conv infer path
+  /// carrying a scratch arena, the scratch (packed weight panels, the GEMM
+  /// row buffer, and — on the im2col route — the patch matrix) is
+  /// bump-allocated and the output tensor is recycled; the conv infer path
   /// then performs no heap allocation. Bitwise identical either way.
   Tensor infer_with_weight(const Tensor& x, const float* w, bool with_bias,
                            EvalContext* ctx) const;

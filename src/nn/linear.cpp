@@ -29,14 +29,13 @@ Tensor Linear::infer_with_weight(const Tensor& x, const float* w,
   const std::size_t batch = x.dim(0);
   ScratchArena* arena = ctx ? ctx->arena : nullptr;
   ArenaFrame frame(arena);
-  // Large batches take gemm_nt's transposed-panel path; feed it arena
-  // scratch so the whole MVM stays off the heap. Small (serving-sized)
-  // batches use the direct kernel — don't inflate the arena for those.
-  float* bt = arena && gemm::gemm_nt_uses_bt(batch, out_, in_)
-                  ? arena->alloc_floats(in_ * out_)
-                  : nullptr;
+  // Large batches take gemm_nt's packed-panel path; feed it arena scratch
+  // so the whole MVM stays off the heap. Small (serving-sized) batches use
+  // the direct kernel — don't inflate the arena for those.
+  const std::size_t pack_floats = gemm::gemm_nt_scratch_floats(batch, out_, in_);
+  float* pack = arena && pack_floats ? arena->alloc_floats(pack_floats) : nullptr;
   Tensor y = ctx ? ctx->make({batch, out_}) : Tensor({batch, out_});
-  gemm::gemm_nt(batch, out_, in_, x.data(), in_, w, in_, y.data(), out_, bt);
+  gemm::gemm_nt(batch, out_, in_, x.data(), in_, w, in_, y.data(), out_, pack);
   if (with_bias) {
     float* p = y.data();
     const float* b = bias_.value.data();

@@ -12,16 +12,25 @@ namespace {
 // Blocking parameters (floats): the KC×NC panel of B (~256 KB) targets L2,
 // the MR×NR register tile targets the FMA register file (12 vector
 // accumulators at AVX2 widths). MC is also the threading slab, so per-slab
-// work stays large enough to amortize dispatch.
+// work stays large enough to amortize dispatch. NC is a whole number of NR
+// strips, so packed strips never straddle an NC block.
 constexpr std::size_t MC = 64;
 constexpr std::size_t KC = 256;
 constexpr std::size_t NC = 256;
-constexpr std::size_t MR = 6;
-constexpr std::size_t NR = 16;
+constexpr std::size_t MR = kMR;
+constexpr std::size_t NR = kNR;
+static_assert(NC % NR == 0, "packed B strips must tile NC blocks exactly");
 
 // Problems below this flop count run the short direct kernels: blocking and
-// scratch buffers only pay off once the operands outgrow L1.
+// packing buffers only pay off once the operands outgrow L1.
 constexpr std::size_t kSmallFlops = 32 * 1024;
+
+// Per-thread A-panel scratch for the packed path: one MC-row slab packed
+// into MR strips over a KC-deep block. A fixed thread_local array (≈66 KB)
+// — never heap-allocated, so the packed kernel adds zero steady-state
+// allocations on any thread, serving workers included.
+constexpr std::size_t kAPanelFloats = ((MC + MR - 1) / MR) * MR * KC;
+alignas(64) thread_local float tl_apanel[kAPanelFloats];
 
 void zero_rows(float* C, std::size_t m, std::size_t n, std::size_t ldc) {
   for (std::size_t i = 0; i < m; ++i)
@@ -79,7 +88,39 @@ void micro_full(const float* __restrict A, std::size_t lda,
   storeu8(C + 5 * ldc, c50); storeu8(C + 5 * ldc + 8, c51);
 }
 
-#else  // portable scalar fallback
+// The same 6×16 register tile streaming from packed panels: A strip element
+// (r, p) at Ap[p*MR + r], B strip row p at Bp[p*NR]. The float operations
+// and their order are identical to micro_full — only the address arithmetic
+// differs — so the packed and unpacked paths agree bitwise.
+void micro_full_packed(const float* __restrict Ap, const float* __restrict Bp,
+                       float* __restrict C, std::size_t ldc, std::size_t kc) {
+  vf8 c00 = loadu8(C + 0 * ldc), c01 = loadu8(C + 0 * ldc + 8);
+  vf8 c10 = loadu8(C + 1 * ldc), c11 = loadu8(C + 1 * ldc + 8);
+  vf8 c20 = loadu8(C + 2 * ldc), c21 = loadu8(C + 2 * ldc + 8);
+  vf8 c30 = loadu8(C + 3 * ldc), c31 = loadu8(C + 3 * ldc + 8);
+  vf8 c40 = loadu8(C + 4 * ldc), c41 = loadu8(C + 4 * ldc + 8);
+  vf8 c50 = loadu8(C + 5 * ldc), c51 = loadu8(C + 5 * ldc + 8);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict b = Bp + p * NR;
+    const float* __restrict a6 = Ap + p * MR;
+    const vf8 b0 = loadu8(b), b1 = loadu8(b + 8);
+    vf8 a;
+    a = splat8(a6[0]); c00 += a * b0; c01 += a * b1;
+    a = splat8(a6[1]); c10 += a * b0; c11 += a * b1;
+    a = splat8(a6[2]); c20 += a * b0; c21 += a * b1;
+    a = splat8(a6[3]); c30 += a * b0; c31 += a * b1;
+    a = splat8(a6[4]); c40 += a * b0; c41 += a * b1;
+    a = splat8(a6[5]); c50 += a * b0; c51 += a * b1;
+  }
+  storeu8(C + 0 * ldc, c00); storeu8(C + 0 * ldc + 8, c01);
+  storeu8(C + 1 * ldc, c10); storeu8(C + 1 * ldc + 8, c11);
+  storeu8(C + 2 * ldc, c20); storeu8(C + 2 * ldc + 8, c21);
+  storeu8(C + 3 * ldc, c30); storeu8(C + 3 * ldc + 8, c31);
+  storeu8(C + 4 * ldc, c40); storeu8(C + 4 * ldc + 8, c41);
+  storeu8(C + 5 * ldc, c50); storeu8(C + 5 * ldc + 8, c51);
+}
+
+#else  // portable scalar fallbacks
 
 void micro_full(const float* __restrict A, std::size_t lda,
                 const float* __restrict B, std::size_t ldb,
@@ -91,6 +132,23 @@ void micro_full(const float* __restrict A, std::size_t lda,
     const float* __restrict b = B + p * ldb;
     for (std::size_t r = 0; r < MR; ++r) {
       const float a = A[r * lda + p];
+      for (std::size_t c = 0; c < NR; ++c) acc[r][c] += a * b[c];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t c = 0; c < NR; ++c) C[r * ldc + c] = acc[r][c];
+}
+
+void micro_full_packed(const float* __restrict Ap, const float* __restrict Bp,
+                       float* __restrict C, std::size_t ldc, std::size_t kc) {
+  float acc[MR][NR];
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t c = 0; c < NR; ++c) acc[r][c] = C[r * ldc + c];
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict b = Bp + p * NR;
+    const float* __restrict a6 = Ap + p * MR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float a = a6[r];
       for (std::size_t c = 0; c < NR; ++c) acc[r][c] += a * b[c];
     }
   }
@@ -118,6 +176,22 @@ void micro_edge(std::size_t mr, std::size_t nr, const float* __restrict A,
     for (std::size_t c = 0; c < nr; ++c) C[r * ldc + c] = acc[r][c];
 }
 
+// Packed-path edge tile: the panels are already zero-padded to MR×NR, so
+// the full register kernel runs into a local tile and only the valid mr×nr
+// region is exchanged with C (masked store). The padded rows/columns feed
+// zeros into lanes that are never written back; valid lanes execute the
+// exact op sequence of the full tile.
+void micro_edge_packed(std::size_t mr, std::size_t nr,
+                       const float* __restrict Ap, const float* __restrict Bp,
+                       float* __restrict C, std::size_t ldc, std::size_t kc) {
+  alignas(64) float ct[MR * NR] = {};
+  for (std::size_t r = 0; r < mr; ++r)
+    for (std::size_t c = 0; c < nr; ++c) ct[r * NR + c] = C[r * ldc + c];
+  micro_full_packed(Ap, Bp, ct, NR, kc);
+  for (std::size_t r = 0; r < mr; ++r)
+    for (std::size_t c = 0; c < nr; ++c) C[r * ldc + c] = ct[r * NR + c];
+}
+
 #if defined(__GNUC__) || defined(__clang__)
 
 inline float hsum8(vf8 v) {
@@ -126,8 +200,8 @@ inline float hsum8(vf8 v) {
   return s;
 }
 
-// Direct A·Bᵀ for small m, where materializing Bᵀ would dominate: each A row
-// is dotted against 4 B rows at a time, vectorized 8-wide along k with two
+// Direct A·Bᵀ for small m, where packing B would dominate: each A row is
+// dotted against 4 B rows at a time, vectorized 8-wide along k with two
 // accumulators per pair (the manual reassociation the compiler may not do).
 void nt_direct(std::size_t m, std::size_t n, std::size_t k,
                const float* __restrict A, std::size_t lda,
@@ -185,7 +259,8 @@ constexpr bool kHaveNtDirect = false;
 
 #endif
 
-// One thread's row slab [i0, i1): full KC/NC blocking over K and N.
+// One thread's row slab [i0, i1), unpacked operands: full KC/NC blocking
+// over K and N with strided panel reads.
 void slab_nn(std::size_t i0, std::size_t i1, std::size_t n, std::size_t k,
              const float* A, std::size_t lda, const float* B, std::size_t ldb,
              float* C, std::size_t ldc) {
@@ -210,25 +285,148 @@ void slab_nn(std::size_t i0, std::size_t i1, std::size_t n, std::size_t k,
   }
 }
 
-// Blocked out-of-place transpose: src[rows, cols] (lds) -> dst[cols, rows].
-void transpose_into(const float* src, std::size_t rows, std::size_t cols,
-                    std::size_t lds, float* dst) {
-  constexpr std::size_t TB = 32;
-  parallel_for(0, rows, TB, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t p0 = 0; p0 < cols; p0 += TB) {
-      const std::size_t p1 = p0 + TB < cols ? p0 + TB : cols;
-      for (std::size_t j = lo; j < hi; ++j)
-        for (std::size_t p = p0; p < p1; ++p)
-          dst[p * rows + j] = src[j * lds + p];
-    }
-  });
+inline std::size_t round_up(std::size_t x, std::size_t to) {
+  return (x + to - 1) / to * to;
+}
+
+// True when this shape runs the packed-panel gemm_nn path: packing costs
+// O(k·(m + n)) data movement against O(m·n·k) flops, so it needs a real
+// blocked problem (and at least one full A strip) to pay off.
+bool nn_packs(std::size_t m, std::size_t n, std::size_t k) {
+  return m != 0 && n != 0 && k != 0 && m * n * k > kSmallFlops && m >= MR;
+}
+
+bool nt_packs(std::size_t m, std::size_t n, std::size_t k) {
+  return m != 0 && n != 0 && k != 0 && m * n * k > kSmallFlops &&
+         !(kHaveNtDirect && m < 64);
 }
 
 }  // namespace
 
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
-             std::size_t lda, const float* B, std::size_t ldb, float* C,
-             std::size_t ldc, bool accumulate) {
+std::size_t packed_b_floats(std::size_t n, std::size_t k) {
+  return round_up(n, NR) * k;
+}
+
+void pack_b(std::size_t k, std::size_t n, const float* B, std::size_t ldb,
+            float* dst) {
+  const std::size_t n_round = round_up(n, NR);
+  // One task per column strip: contiguous reads of up to NR floats per B
+  // row, contiguous writes within the strip. Pure data movement, so the
+  // work partition is free to be anything deterministic-or-not.
+  parallel_for(0, n_round / NR, 1, [&](std::size_t slo, std::size_t shi) {
+    for (std::size_t s = slo; s < shi; ++s) {
+      const std::size_t j0 = s * NR;
+      const std::size_t nr = j0 + NR <= n ? NR : n - j0;
+      for (std::size_t pc = 0; pc < k; pc += KC) {
+        const std::size_t kc = pc + KC < k ? KC : k - pc;
+        float* strip = dst + pc * n_round + s * NR * kc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float* src = B + (pc + p) * ldb + j0;
+          float* row = strip + p * NR;
+          for (std::size_t jj = 0; jj < nr; ++jj) row[jj] = src[jj];
+          for (std::size_t jj = nr; jj < NR; ++jj) row[jj] = 0.0f;
+        }
+      }
+    }
+  });
+}
+
+void pack_b_t(std::size_t n, std::size_t k, const float* B, std::size_t ldb,
+              float* dst) {
+  const std::size_t n_round = round_up(n, NR);
+  // Element (p, j) of the packed panel is B[j, p]: each source row of B is
+  // read contiguously and scattered down one strip column (stride NR, L1-
+  // resident) — the transpose is fused into the pack, no Bᵀ materialized.
+  parallel_for(0, n_round / NR, 1, [&](std::size_t slo, std::size_t shi) {
+    for (std::size_t s = slo; s < shi; ++s) {
+      const std::size_t j0 = s * NR;
+      const std::size_t nr = j0 + NR <= n ? NR : n - j0;
+      for (std::size_t pc = 0; pc < k; pc += KC) {
+        const std::size_t kc = pc + KC < k ? KC : k - pc;
+        float* strip = dst + pc * n_round + s * NR * kc;
+        for (std::size_t jj = 0; jj < nr; ++jj) {
+          const float* src = B + (j0 + jj) * ldb + pc;
+          for (std::size_t p = 0; p < kc; ++p) strip[p * NR + jj] = src[p];
+        }
+        for (std::size_t jj = nr; jj < NR; ++jj)
+          for (std::size_t p = 0; p < kc; ++p) strip[p * NR + jj] = 0.0f;
+      }
+    }
+  });
+}
+
+void pack_a_panel(const float* A, std::size_t lda, std::size_t i0,
+                  std::size_t i1, std::size_t pc, std::size_t kc, float* dst) {
+  for (std::size_t i = i0; i < i1; i += MR) {
+    const std::size_t mr = i + MR < i1 ? MR : i1 - i;
+    float* strip = dst + ((i - i0) / MR) * MR * kc;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float* src = A + (i + r) * lda + pc;
+      for (std::size_t p = 0; p < kc; ++p) strip[p * MR + r] = src[p];
+    }
+    for (std::size_t r = mr; r < MR; ++r)
+      for (std::size_t p = 0; p < kc; ++p) strip[p * MR + r] = 0.0f;
+  }
+}
+
+void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
+                      const PanelPacker& pack_a, const float* packedB,
+                      float* C, std::size_t ldc, bool accumulate) {
+  if (!accumulate) zero_rows(C, m, n, ldc);
+  if (m == 0 || n == 0 || k == 0) return;
+  const std::size_t n_round = round_up(n, NR);
+  parallel_for(0, m, MC, [&](std::size_t i0, std::size_t i1) {
+    float* ap = tl_apanel;
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = pc + KC < k ? KC : k - pc;
+      pack_a(i0, i1, pc, kc, ap);
+      const float* bblock = packedB + pc * n_round;
+      for (std::size_t jc = 0; jc < n; jc += NC) {
+        const std::size_t nc = jc + NC < n ? NC : n - jc;
+        for (std::size_t i = i0; i < i1; i += MR) {
+          const std::size_t mr = i + MR < i1 ? MR : i1 - i;
+          const float* astrip = ap + ((i - i0) / MR) * MR * kc;
+          for (std::size_t j = jc; j < jc + nc; j += NR) {
+            const std::size_t nr = j + NR < jc + nc ? NR : jc + nc - j;
+            const float* bstrip = bblock + (j / NR) * NR * kc;
+            float* Cb = C + i * ldc + j;
+            if (mr == MR && nr == NR)
+              micro_full_packed(astrip, bstrip, Cb, ldc, kc);
+            else
+              micro_edge_packed(mr, nr, astrip, bstrip, Cb, ldc, kc);
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_nn_packed(std::size_t m, std::size_t n, std::size_t k,
+                    const float* A, std::size_t lda, const float* B,
+                    std::size_t ldb, float* C, std::size_t ldc,
+                    bool accumulate, float* pack_scratch) {
+  if (m == 0 || n == 0 || k == 0) {
+    if (!accumulate) zero_rows(C, m, n, ldc);
+    return;
+  }
+  std::vector<float> pb_own;
+  float* pb = pack_scratch;
+  if (pb == nullptr) {
+    pb_own.resize(packed_b_floats(n, k));
+    pb = pb_own.data();
+  }
+  pack_b(k, n, B, ldb, pb);
+  gemm_prepacked_b(
+      m, n, k,
+      [&](std::size_t i0, std::size_t i1, std::size_t pc, std::size_t kc,
+          float* dst) { pack_a_panel(A, lda, i0, i1, pc, kc, dst); },
+      pb, C, ldc, accumulate);
+}
+
+void gemm_nn_unpacked(std::size_t m, std::size_t n, std::size_t k,
+                      const float* A, std::size_t lda, const float* B,
+                      std::size_t ldb, float* C, std::size_t ldc,
+                      bool accumulate) {
   if (!accumulate) zero_rows(C, m, n, ldc);
   if (m == 0 || n == 0 || k == 0) return;
   parallel_for(0, m, MC, [&](std::size_t lo, std::size_t hi) {
@@ -236,14 +434,27 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
   });
 }
 
-bool gemm_nt_uses_bt(std::size_t m, std::size_t n, std::size_t k) {
-  return m != 0 && n != 0 && k != 0 && m * n * k > kSmallFlops &&
-         !(kHaveNtDirect && m < 64);
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate) {
+  if (nn_packs(m, n, k))
+    gemm_nn_packed(m, n, k, A, lda, B, ldb, C, ldc, accumulate);
+  else
+    gemm_nn_unpacked(m, n, k, A, lda, B, ldb, C, ldc, accumulate);
+}
+
+bool gemm_nt_packs_b(std::size_t m, std::size_t n, std::size_t k) {
+  return nt_packs(m, n, k);
+}
+
+std::size_t gemm_nt_scratch_floats(std::size_t m, std::size_t n,
+                                   std::size_t k) {
+  return nt_packs(m, n, k) ? packed_b_floats(n, k) : 0;
 }
 
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
-             std::size_t ldc, float* bt_scratch) {
+             std::size_t ldc, float* pack_scratch) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
     zero_rows(C, m, n, ldc);
@@ -262,23 +473,28 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
     }
     return;
   }
-  // Small m (the analytic-MVM batch case): materializing Bᵀ costs more than
-  // it saves, so dot directly with the vectorized multi-accumulator kernel.
+  // Small m (the analytic-MVM batch case): packing B costs more than it
+  // saves, so dot directly with the vectorized multi-accumulator kernel.
   if (kHaveNtDirect && m < 64) {
     nt_direct(m, n, k, A, lda, B, ldb, C, ldc);
     return;
   }
-  // B^T materialized once turns the dot-product loop (a serial reduction the
-  // compiler cannot vectorize without reassociating) into the streaming nn
-  // kernel; the k·n copy is negligible against the m·n·k multiply.
-  std::vector<float> bt_own;
-  float* bt = bt_scratch;
-  if (bt == nullptr) {
-    bt_own.resize(k * n);
-    bt = bt_own.data();
+  // B packed once, straight from its transposed storage, turns the
+  // dot-product loop (a serial reduction the compiler cannot vectorize
+  // without reassociating) into the streaming packed kernel; the k·n pack
+  // is negligible against the m·n·k multiply.
+  std::vector<float> pb_own;
+  float* pb = pack_scratch;
+  if (pb == nullptr) {
+    pb_own.resize(packed_b_floats(n, k));
+    pb = pb_own.data();
   }
-  transpose_into(B, n, k, ldb, bt);
-  gemm_nn(m, n, k, A, lda, bt, n, C, ldc, /*accumulate=*/false);
+  pack_b_t(n, k, B, ldb, pb);
+  gemm_prepacked_b(
+      m, n, k,
+      [&](std::size_t i0, std::size_t i1, std::size_t pc, std::size_t kc,
+          float* dst) { pack_a_panel(A, lda, i0, i1, pc, kc, dst); },
+      pb, C, ldc, /*accumulate=*/false);
 }
 
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,
@@ -297,8 +513,18 @@ void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,
     }
     return;
   }
+  // Aᵀ materialized row-major, then the (packed) nn kernel accumulates.
   std::vector<float> at(m * k);
-  transpose_into(A, k, m, lda, at.data());
+  constexpr std::size_t TB = 32;
+  parallel_for(0, k, TB, [&](std::size_t lo, std::size_t hi) {
+    float* dst = at.data();
+    for (std::size_t p0 = 0; p0 < m; p0 += TB) {
+      const std::size_t p1 = p0 + TB < m ? p0 + TB : m;
+      for (std::size_t j = lo; j < hi; ++j)
+        for (std::size_t p = p0; p < p1; ++p)
+          dst[p * k + j] = A[j * lda + p];
+    }
+  });
   gemm_nn(m, n, k, at.data(), k, B, ldb, C, ldc, /*accumulate=*/true);
 }
 

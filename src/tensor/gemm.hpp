@@ -1,4 +1,5 @@
-// Cache-blocked, register-tiled, multithreaded GEMM micro-kernels.
+// Cache-blocked, register-tiled, multithreaded GEMM micro-kernels with
+// packed-panel operands.
 //
 // The Goto/van de Geijn decomposition specialized to this project's needs:
 // row-major float32, three transpose variants (the only ones the NN and
@@ -8,9 +9,18 @@
 //     unit); within a slab, K is blocked by KC and columns by NC so the
 //     active B panel stays L2-resident; the innermost tile is an MR×NR
 //     register block accumulated over the K block.
+//   * Panel packing (DESIGN.md §5): above a small-problem cutoff, B is
+//     repacked once into contiguous NR-column strips and each slab packs
+//     its A rows into MR-row strips, so the micro-kernel streams both
+//     operands from dense, 64-byte-aligned panels instead of strided reads.
+//     Ragged edges are zero-padded inside the panels and masked at the C
+//     store, so every shape runs the same register-tiled kernel — nothing
+//     falls back to the naive loops.
 //   * Per-element arithmetic order depends only on the fixed block sizes,
-//     never on the thread count — each C element is produced by exactly one
-//     thread, so results are identical at 1..N threads.
+//     never on the thread count or on packing — each C element is produced
+//     by exactly one thread accumulating k-ascending in KC chunks, so
+//     results are identical at 1..N threads and bitwise identical between
+//     the packed and unpacked paths (tests/test_gemm.cpp).
 //   * Thread count: GBO_NUM_THREADS / ThreadPool (common/thread_pool.hpp).
 //
 // The seed's naive loops are retained below as `naive_*` — they are the
@@ -22,31 +32,125 @@
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 
 namespace gbo::gemm {
 
+/// Register-tile dimensions, exposed because they define the packed panel
+/// layouts below (block sizes MC/KC/NC stay internal).
+inline constexpr std::size_t kMR = 6;   // rows per packed A strip
+inline constexpr std::size_t kNR = 16;  // columns per packed B strip
+
 /// C = A·B (+ C when accumulate): A[m,k] lda, B[k,n] ldb, C[m,n] ldc.
+/// Dispatches to the packed-panel path for non-tiny problems.
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
              std::size_t ldc, bool accumulate);
 
-/// C = A·Bᵀ: A[m,k] lda, B[n,k] ldb, C[m,n] ldc. Large-m shapes stream
-/// through a materialized Bᵀ panel of k·n floats; `bt_scratch` (size k·n),
-/// when given, provides that panel so zero-alloc callers (the arena-backed
-/// serving path) keep the kernel off the heap. nullptr allocates internally.
+/// C = A·Bᵀ: A[m,k] lda, B[n,k] ldb, C[m,n] ldc. Large-m shapes pack B
+/// directly from its transposed storage into column panels and run the
+/// packed kernel; `pack_scratch` (gemm_nt_scratch_floats(m, n, k) floats,
+/// 64-byte aligned), when given, provides the panel buffer so zero-alloc
+/// callers (the arena-backed serving path) keep the kernel off the heap.
+/// nullptr allocates internally.
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
-             std::size_t ldc, float* bt_scratch = nullptr);
+             std::size_t ldc, float* pack_scratch = nullptr);
 
-/// True when gemm_nt(m, n, k, ...) takes the transposed-panel path and
-/// would therefore use (or allocate) the k·n Bᵀ buffer. Lets zero-alloc
-/// callers reserve scratch only for the shapes that need it.
-bool gemm_nt_uses_bt(std::size_t m, std::size_t n, std::size_t k);
+/// True when gemm_nt(m, n, k, ...) takes the packed-panel path and would
+/// therefore use (or allocate) a packed-B buffer. Shape-only predicate:
+/// the conv layer uses it to dispatch its direct kernel onto exactly the
+/// shapes whose im2col route would run the packed kernel.
+bool gemm_nt_packs_b(std::size_t m, std::size_t n, std::size_t k);
+
+/// Floats of pack scratch gemm_nt needs for this shape (0 when the shape
+/// takes a direct path). Lets zero-alloc callers reserve exactly enough.
+std::size_t gemm_nt_scratch_floats(std::size_t m, std::size_t n,
+                                   std::size_t k);
 
 /// C += Aᵀ·B: A[k,m] lda, B[k,n] ldb, C[m,n] ldc.
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,
                  std::size_t lda, const float* B, std::size_t ldb, float* C,
                  std::size_t ldc);
+
+// ---- packed-panel building blocks ----------------------------------------
+//
+// Shared by gemm_nn/gemm_nt and the direct convolution kernel
+// (nn/conv2d.cpp), which fuses its im2col patch gather into the A-panel
+// packer and therefore needs the layouts public.
+
+/// Size in floats of a packed-B buffer for B[k, n]: k rows × n rounded up
+/// to a whole number of kNR-column strips (the padding columns are zero).
+std::size_t packed_b_floats(std::size_t n, std::size_t k);
+
+/// Packs row-major B[k, n] (ldb) into KC-row blocks of kNR-column strips:
+/// element (p, j) of block pc lives at
+///   dst[pc·n_round + (j/kNR)·kNR·kc + (p − pc)·kNR + j%kNR].
+/// Columns past n are zeroed. Threaded; pure data movement.
+void pack_b(std::size_t k, std::size_t n, const float* B, std::size_t ldb,
+            float* dst);
+
+/// Same packed layout, reading B stored transposed as B[n, k] (ldb) — the
+/// weight matrices of the NT product — without materializing Bᵀ first.
+void pack_b_t(std::size_t n, std::size_t k, const float* B, std::size_t ldb,
+              float* dst);
+
+/// Fills `dst` with the A panel for C rows [i0, i1) and the K block
+/// [pc, pc + kc): kMR-row strips, element (r, p) of strip s at
+/// dst[s·kMR·kc + p·kMR + (r − i0 − s·kMR)], rows past i1 zeroed.
+/// `i1 − i0` never exceeds the internal MC slab height.
+void pack_a_panel(const float* A, std::size_t lda, std::size_t i0,
+                  std::size_t i1, std::size_t pc, std::size_t kc, float* dst);
+
+/// Caller-supplied A-panel producer: must fill `dst` exactly as
+/// pack_a_panel would, but may synthesize the values from any source (the
+/// direct conv kernel gathers 3×3 input patches here, skipping im2col).
+///
+/// Non-owning function reference (not std::function): a callable with
+/// capture state would heap-allocate on type erasure, putting one malloc
+/// on every serving-path conv call. The referenced callable only needs to
+/// outlive the gemm_prepacked_b call it is passed to.
+class PanelPacker {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, PanelPacker>>>
+  PanelPacker(const F& f)  // NOLINT: implicit by design, function_ref-style
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* ctx, std::size_t i0, std::size_t i1, std::size_t pc,
+               std::size_t kc, float* dst) {
+          (*static_cast<const F*>(ctx))(i0, i1, pc, kc, dst);
+        }) {}
+
+  void operator()(std::size_t i0, std::size_t i1, std::size_t pc,
+                  std::size_t kc, float* dst) const {
+    fn_(ctx_, i0, i1, pc, kc, dst);
+  }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*, std::size_t, std::size_t, std::size_t, std::size_t,
+              float*);
+};
+
+/// The packed-panel multiply core: C = (packed A)·(packed B) (+ C when
+/// accumulate), with `packedB` laid out by pack_b/pack_b_t and A panels
+/// produced on demand by `pack_a` into per-thread scratch. Bitwise
+/// reproducible at any thread count; bitwise equal to the unpacked path.
+void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
+                      const PanelPacker& pack_a, const float* packedB,
+                      float* C, std::size_t ldc, bool accumulate);
+
+/// Forced-path entry points for tests and benches; `gemm_nn` dispatches
+/// between them by shape. Bitwise equal to each other for every shape.
+void gemm_nn_packed(std::size_t m, std::size_t n, std::size_t k,
+                    const float* A, std::size_t lda, const float* B,
+                    std::size_t ldb, float* C, std::size_t ldc,
+                    bool accumulate, float* pack_scratch = nullptr);
+void gemm_nn_unpacked(std::size_t m, std::size_t n, std::size_t k,
+                      const float* A, std::size_t lda, const float* B,
+                      std::size_t ldb, float* C, std::size_t ldc,
+                      bool accumulate);
 
 // ---- retained naive reference kernels (seed implementations) -------------
 

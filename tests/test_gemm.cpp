@@ -144,6 +144,105 @@ TEST(Gemm, BitwiseReproducibleAcrossThreadCounts) {
                            m * n * sizeof(float)));
 }
 
+// Ragged shapes chosen so the packed path has to mask edges everywhere:
+// non-multiples of MR/NR/KC, tall/skinny and short/wide extremes, and the
+// degenerate k = 1 (a single outer product, every strip one float deep).
+const std::vector<Shape> kRaggedShapes = {
+    {7, 5, 3},      {13, 33, 17},  {65, 67, 63},   {90, 110, 70},
+    {130, 150, 300}, {300, 3, 5},  {1000, 17, 29}, {5, 900, 333},
+    {257, 31, 1},   {6, 16, 8},    {64, 64, 64},   {61, 257, 129},
+};
+
+TEST(Gemm, PackedMatchesUnpackedBitwiseOnRaggedShapes) {
+  for (const Shape& s : kRaggedShapes) {
+    const Tensor a = random_tensor({s.m, s.k}, 101 + s.m);
+    const Tensor b = random_tensor({s.k, s.n}, 103 + s.n);
+    Tensor c_packed({s.m, s.n}), c_unpacked({s.m, s.n});
+    gemm::gemm_nn_packed(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                         c_packed.data(), s.n, /*accumulate=*/false);
+    gemm::gemm_nn_unpacked(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                           c_unpacked.data(), s.n, /*accumulate=*/false);
+    EXPECT_EQ(0, std::memcmp(c_packed.data(), c_unpacked.data(),
+                             s.m * s.n * sizeof(float)))
+        << "packed/unpacked bitwise mismatch at m=" << s.m << " n=" << s.n
+        << " k=" << s.k;
+  }
+}
+
+TEST(Gemm, PackedAccumulateMatchesUnpackedBitwise) {
+  const std::size_t m = 65, n = 67, k = 63;
+  const Tensor a = random_tensor({m, k}, 111);
+  const Tensor b = random_tensor({k, n}, 112);
+  Tensor c_packed({m, n}, 0.75f), c_unpacked({m, n}, 0.75f);
+  gemm::gemm_nn_packed(m, n, k, a.data(), k, b.data(), n, c_packed.data(), n,
+                       /*accumulate=*/true);
+  gemm::gemm_nn_unpacked(m, n, k, a.data(), k, b.data(), n, c_unpacked.data(),
+                         n, /*accumulate=*/true);
+  EXPECT_EQ(0, std::memcmp(c_packed.data(), c_unpacked.data(),
+                           m * n * sizeof(float)));
+}
+
+TEST(Gemm, PackedExternalScratchMatchesOwnAllocation) {
+  const std::size_t m = 130, n = 150, k = 300;
+  const Tensor a = random_tensor({m, k}, 121);
+  const Tensor b = random_tensor({k, n}, 122);
+  Tensor c_own({m, n}), c_scratch({m, n});
+  gemm::gemm_nn_packed(m, n, k, a.data(), k, b.data(), n, c_own.data(), n,
+                       false, nullptr);
+  // Deliberately unaligned caller buffer: the packed kernels use unaligned
+  // loads, so external scratch only needs the documented float count.
+  std::vector<float> scratch(gemm::packed_b_floats(n, k) + 1);
+  gemm::gemm_nn_packed(m, n, k, a.data(), k, b.data(), n, c_scratch.data(), n,
+                       false, scratch.data() + 1);
+  EXPECT_EQ(0,
+            std::memcmp(c_own.data(), c_scratch.data(), m * n * sizeof(float)));
+}
+
+TEST(Gemm, PackedNtMatchesPackedNnBitwise) {
+  // gemm_nt's packed path packs B straight from transposed storage; it must
+  // agree bitwise with gemm_nn over the materialized transpose.
+  const std::size_t m = 150, n = 130, k = 270;
+  const Tensor a = random_tensor({m, k}, 131);
+  const Tensor bt = random_tensor({n, k}, 132);  // B stored [n, k]
+  ASSERT_TRUE(gemm::gemm_nt_packs_b(m, n, k));
+  Tensor c_nt({m, n}), c_nn({m, n});
+  gemm::gemm_nt(m, n, k, a.data(), k, bt.data(), k, c_nt.data(), n);
+  const Tensor b = ops::transpose(bt);  // [k, n]
+  gemm::gemm_nn_packed(m, n, k, a.data(), k, b.data(), n, c_nn.data(), n,
+                       false);
+  EXPECT_EQ(0, std::memcmp(c_nt.data(), c_nn.data(), m * n * sizeof(float)));
+}
+
+TEST(Gemm, PackedBitwiseReproducibleAcrossThreadCounts) {
+  const std::size_t m = 131, n = 149, k = 263;  // ragged in every dimension
+  const Tensor a = random_tensor({m, k}, 141);
+  const Tensor b = random_tensor({k, n}, 142);
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  std::vector<Tensor> results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    pool.set_num_threads(threads);
+    Tensor c({m, n});
+    gemm::gemm_nn_packed(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                         false);
+    results.push_back(std::move(c));
+  }
+  pool.set_num_threads(restore);
+  EXPECT_EQ(0, std::memcmp(results[0].data(), results[1].data(),
+                           m * n * sizeof(float)));
+}
+
+TEST(Gemm, NtScratchFloatsCoversPackedPathOnly) {
+  // Small problems and small-m direct dots need no scratch; the packed
+  // path reports the packed-B footprint (n rounded up to whole strips).
+  EXPECT_EQ(0u, gemm::gemm_nt_scratch_floats(2, 3, 4));
+  EXPECT_EQ(0u, gemm::gemm_nt_scratch_floats(16, 200, 400));  // nt_direct
+  const std::size_t m = 150, n = 130, k = 270;
+  ASSERT_TRUE(gemm::gemm_nt_packs_b(m, n, k));
+  EXPECT_EQ(gemm::packed_b_floats(n, k), gemm::gemm_nt_scratch_floats(m, n, k));
+  EXPECT_GE(gemm::packed_b_floats(n, k), n * k);
+}
+
 TEST(Gemm, OpsWrappersDispatchToBlockedKernels) {
   // ops::matmul* route through the blocked layer; cross-check one odd shape
   // per variant against the naive kernels.

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Structural gate check over bench_micro_mvm's BENCH_mvm.json artifacts.
+
+Machine-independent CI gating: wall-clock numbers vary wildly across
+runners, but the bitwise-equality gates must exist and hold everywhere.
+For every JSON file given, this script fails (exit 1) unless each of the
+following sections is present with "bitwise_match": true:
+
+    gemm_packed             packed-panel GEMM == unpacked blocked GEMM
+    conv_direct             direct 3x3 conv == im2col route
+    eval_trials             trial-parallel noisy eval == sequential oracle
+    pulse_mvm               fused pulse sweep == per-pulse reference
+    pulse_mvm_device_model  same, with read noise / ADC / variation on
+
+It also prints a GFLOP/s trajectory table (markdown, suitable for
+$GITHUB_STEP_SUMMARY) so the perf numbers ride along without gating on
+them.
+
+Usage: check_bench_gates.py BENCH_mvm.json [BENCH_mvm_4t.json ...]
+"""
+import json
+import sys
+
+GATED_SECTIONS = [
+    "gemm_packed",
+    "conv_direct",
+    "eval_trials",
+    "pulse_mvm",
+    "pulse_mvm_device_model",
+]
+
+# (section, key, label) rows for the trajectory table; missing keys are
+# skipped so older artifacts still render.
+TRAJECTORY = [
+    ("gemm", "nn", "gflops_naive", "gemm nn naive"),
+    ("gemm", "nn", "gflops_blocked_1t", "gemm nn dispatch 1t"),
+    ("gemm_packed", None, "gflops_unpacked_1t", "gemm unpacked 1t"),
+    ("gemm_packed", None, "gflops_packed_1t", "gemm packed 1t"),
+    ("gemm_packed", None, "gflops_packed_mt", "gemm packed mt"),
+    ("gemm_packed", None, "speedup_packed_1t", "packed/unpacked 1t (x)"),
+    ("conv_direct", None, "gflops_im2col_1t", "conv im2col 1t"),
+    ("conv_direct", None, "gflops_direct_1t", "conv direct 1t"),
+    ("conv_direct", None, "speedup_direct_1t", "direct/im2col 1t (x)"),
+    ("pulse_mvm", None, "speedup_fused", "pulse fused/reference (x)"),
+    ("eval_trials", None, "trials_per_sec_mt", "eval trials/s mt"),
+]
+
+
+def check_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    failures = []
+    for section in GATED_SECTIONS:
+        node = doc.get(section)
+        if not isinstance(node, dict):
+            failures.append(f"{path}: section '{section}' missing")
+            continue
+        match = node.get("bitwise_match")
+        if match is not True:
+            failures.append(
+                f"{path}: {section}.bitwise_match is {match!r}, expected true")
+    return doc, failures
+
+
+def trajectory_rows(path, doc):
+    rows = []
+    for section, sub, key, label in TRAJECTORY:
+        node = doc.get(section, {})
+        if sub is not None:
+            node = node.get(sub, {}) if isinstance(node, dict) else {}
+        val = node.get(key) if isinstance(node, dict) else None
+        if isinstance(val, (int, float)):
+            rows.append((label, f"{val:.2f}"))
+    return rows
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_failures = []
+    print("## bench_micro_mvm gates and GFLOP/s trajectory\n")
+    for path in argv[1:]:
+        try:
+            doc, failures = check_file(path)
+        except (OSError, ValueError) as e:
+            all_failures.append(f"{path}: unreadable ({e})")
+            continue
+        all_failures.extend(failures)
+        threads = doc.get("num_threads", "?")
+        print(f"### `{path}` (pool={threads} threads)\n")
+        print("| metric | value |\n|---|---|")
+        for label, val in trajectory_rows(path, doc):
+            print(f"| {label} | {val} |")
+        gates = "FAILED" if failures else "all true"
+        print(f"\nbitwise gates: **{gates}**\n")
+    if all_failures:
+        for f in all_failures:
+            print(f"GATE FAILURE: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
