@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 namespace {
 
@@ -247,6 +248,102 @@ Json bench_gemm_packed(const HarnessConfig& hc, std::size_t pool_threads,
   out.set("gflops_packed_mt", gflops(flops, t_packed_mt));
   out.set("speedup_packed_1t", t_unpacked_1t / t_packed_1t);
   out.set("speedup_packed_mt", t_unpacked_mt / t_packed_mt);
+  return out;
+}
+
+/// Cross-request prepacked weight panels (DESIGN.md §6): cold pack (panels
+/// rebuilt every call) vs cached pack (prepack once, kernel only) vs the
+/// unpacked blocked path, at the acceptance size, with two hard gates:
+/// the prepacked result must equal the fresh-pack gemm_nt result bitwise
+/// (cached panels are the same bytes a fresh pack produces), and a
+/// PackedWeightCache must repack exactly once per weight version.
+Json bench_gemm_prepacked(const HarnessConfig& hc, std::size_t pool_threads,
+                          bool* gate_ok) {
+  const std::size_t n = hc.gemm_n;
+  const std::size_t flops = 2 * n * n * n;
+  const Tensor a = random_tensor({n, n}, 1);
+  Tensor w = random_tensor({n, n}, 4);  // A·Bᵀ weight, transposed storage
+  Tensor c_fresh({n, n}), c_pre({n, n});
+  ThreadPool& pool = ThreadPool::instance();
+
+  bool match = true;
+  auto check = [&](const char* when) {
+    gemm::gemm_nt(n, n, n, a.data(), n, std::as_const(w).data(), n,
+                  c_fresh.data(), n);
+    const gemm::PackedB pb =
+        gemm::prepack_b_t(n, n, std::as_const(w).data(), n);
+    gemm::gemm_prepacked(n, n, n, a.data(), n, pb.panels.data(),
+                         c_pre.data(), n);
+    if (std::memcmp(c_pre.data(), c_fresh.data(), n * n * sizeof(float)) !=
+        0) {
+      std::fprintf(stderr,
+                   "gemm_prepacked GATE FAILURE: prepacked panels diverged "
+                   "from the fresh-pack path bitwise (%s)\n", when);
+      match = false;
+      *gate_ok = false;
+    }
+  };
+
+  // Cache semantics gate: one pack per weight version, stable panels on
+  // hits, repack after the version counter moves.
+  {
+    gemm::PackedWeightCache cache;
+    const float* p0 = cache.get(std::as_const(w).data(), n, n, n,
+                                /*transposed=*/true, w.version());
+    const float* p1 = cache.get(std::as_const(w).data(), n, n, n, true,
+                                w.version());
+    bool cache_ok = p0 == p1 && cache.packs() == 1;
+    w.data()[0] += 1.0f;  // mutation bumps the version
+    (void)cache.get(std::as_const(w).data(), n, n, n, true, w.version());
+    cache_ok = cache_ok && cache.packs() == 2;
+    // k == 0 guard: an empty prepack handle is valid and contributes zero.
+    const gemm::PackedB empty = gemm::prepack_b(0, n, nullptr, 0);
+    cache_ok = cache_ok && empty.empty();
+    if (!cache_ok) {
+      std::fprintf(stderr,
+                   "gemm_prepacked GATE FAILURE: PackedWeightCache did not "
+                   "repack exactly once per weight version\n");
+      match = false;
+      *gate_ok = false;
+    }
+  }
+
+  pool.set_num_threads(1);
+  check("1 thread");
+  const double t_fresh_1t = time_best(hc.reps, [&] {
+    gemm::gemm_nt(n, n, n, a.data(), n, std::as_const(w).data(), n,
+                  c_fresh.data(), n);
+  });
+  const double t_cold_1t = time_best(hc.reps, [&] {
+    const gemm::PackedB pb =
+        gemm::prepack_b_t(n, n, std::as_const(w).data(), n);
+    gemm::gemm_prepacked(n, n, n, a.data(), n, pb.panels.data(),
+                         c_pre.data(), n);
+  });
+  const gemm::PackedB cached =
+      gemm::prepack_b_t(n, n, std::as_const(w).data(), n);
+  const double t_cached_1t = time_best(hc.reps, [&] {
+    gemm::gemm_prepacked(n, n, n, a.data(), n, cached.panels.data(),
+                         c_pre.data(), n);
+  });
+  pool.set_num_threads(pool_threads);
+  check("pool threads");
+  const double t_cached_mt = time_best(hc.reps, [&] {
+    gemm::gemm_prepacked(n, n, n, a.data(), n, cached.panels.data(),
+                         c_pre.data(), n);
+  });
+
+  Json out = Json::object();
+  out.set("size", n);
+  out.set("bitwise_match", match);
+  out.set("fresh_pack_1t_ms", t_fresh_1t * 1e3);
+  out.set("cold_pack_1t_ms", t_cold_1t * 1e3);
+  out.set("cached_pack_1t_ms", t_cached_1t * 1e3);
+  out.set("cached_pack_mt_ms", t_cached_mt * 1e3);
+  out.set("gflops_cached_1t", gflops(flops, t_cached_1t));
+  out.set("gflops_cached_mt", gflops(flops, t_cached_mt));
+  out.set("pack_overhead_ms", (t_cold_1t - t_cached_1t) * 1e3);
+  out.set("speedup_cached_vs_cold_1t", t_cold_1t / t_cached_1t);
   return out;
 }
 
@@ -559,6 +656,11 @@ int run_harness(const HarnessConfig& hc) {
   std::printf("[gemm packed] n=%zu (packed vs unpacked panels, bitwise "
               "gate)...\n", hc.gemm_n);
   doc.set("gemm_packed", bench_gemm_packed(hc, pool_threads, &gate_ok));
+  pool.set_num_threads(pool_threads);
+
+  std::printf("[gemm prepacked] n=%zu (cold vs cached weight panels, "
+              "bitwise gate)...\n", hc.gemm_n);
+  doc.set("gemm_prepacked", bench_gemm_prepacked(hc, pool_threads, &gate_ok));
   pool.set_num_threads(pool_threads);
 
   std::printf("[conv direct] %zux%zux%zux%zu -> %zu channels (direct 3x3 vs "

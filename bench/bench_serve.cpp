@@ -3,14 +3,20 @@
 // execution backends and writes BENCH_serve.json.
 //
 // Per scenario it reports request latency (p50/p95/p99/mean), throughput,
-// queue depth, the micro-batch size histogram, and arena accounting — and
-// enforces two hard gates:
+// queue depth, the micro-batch size histogram, arena accounting, and the
+// frozen-weight cache counters — and enforces four hard gates:
 //   * determinism: replaying the identical (seed, trace) pair must produce
 //     bitwise-identical per-request payloads at 1 worker and at --workers
-//     workers (and, for the fused-batching scenario, at max_batch vs
-//     unit batches) on both the analytic and the pulse-level backend;
+//     workers (and at max_batch vs unit batches) on both the analytic and
+//     the pulse-level backend;
 //   * zero-alloc steady state: after the warm-up run, a full serving run
-//     must not grow any worker arena (steady_allocs == 0).
+//     must not grow any worker arena (steady_allocs == 0);
+//   * zero-pack steady state (DESIGN.md §6): a steady-state run must
+//     perform no weight packs and no binarizations — the per-layer caches
+//     stamped with the weight version counters amortize both to the warmup;
+//   * noisy fusion: stochastic scenarios must execute fused
+//     (fusion == "fused_per_sample") with mean exec batch > 1, instead of
+//     degenerating to unit batches.
 // Any gate failure exits nonzero, so CI can sit on `bench_serve --smoke`.
 //
 // Timing caveat: latency numbers are only meaningful when the thread pool
@@ -24,7 +30,10 @@
 #include "crossbar/crossbar_layers.hpp"
 #include "crossbar/hw_deploy.hpp"
 #include "models/mlp.hpp"
+#include "models/vgg9.hpp"
+#include "quant/binary_weight.hpp"
 #include "serve/server.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 #include <cstdio>
@@ -65,14 +74,16 @@ struct GateState {
 };
 
 /// Runs one backend through the full ladder: 1 worker, N workers (the
-/// measured configuration, warmed then replayed for steady-state stats),
-/// and — for deterministic backends — a unit-batch server to pin the
-/// batching-boundary invariance.
+/// measured configuration, warmed then replayed for steady-state stats,
+/// with the frozen-weight cache counters diffed around the steady run),
+/// and a unit-batch server to pin the batching-boundary invariance.
+/// `stochastic` scenarios additionally gate that execution fused on
+/// per-sample streams instead of degenerating to unit batches.
 Json run_scenario(const char* name, const serve::Backend& backend,
                   const data::Dataset& ds,
                   const std::vector<serve::Arrival>& trace,
                   std::size_t workers, const serve::BatchPolicy& policy,
-                  std::uint64_t seed, GateState* gates) {
+                  std::uint64_t seed, bool stochastic, GateState* gates) {
   serve::ServeConfig cfg;
   cfg.batch = policy;
   cfg.seed = seed;
@@ -85,15 +96,39 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   serve::InferenceServer many(backend, ds, cfg);
   many.warmup();
   (void)many.run(trace);  // warm run: sizes arenas/pools along real paths
+  const std::uint64_t packs0 = gemm::b_pack_count();
+  const std::uint64_t bins0 = quant::binarize_count();
   const serve::ServeReport rep = many.run(trace);
+  const std::uint64_t steady_packs = gemm::b_pack_count() - packs0;
+  const std::uint64_t steady_bins = quant::binarize_count() - bins0;
 
   const bool match = bitwise_equal(rep1.outputs, rep.outputs);
   if (!match) gates->fail(name, "outputs differ between 1 and N workers");
   const bool steady = rep.arena.steady_allocs == 0;
   if (!steady) gates->fail(name, "arena grew during the steady-state run");
+  // Zero-pack steady state (DESIGN.md §6): with the version-stamped panel
+  // and binarize caches warm, a steady-state run must touch neither.
+  const bool zero_packs = steady_packs == 0 && steady_bins == 0;
+  if (!zero_packs)
+    gates->fail(name, "steady-state run packed or binarized weights");
+  // Stochastic configs must fuse their micro-batches on per-sample streams
+  // (a regression to unit batches would forfeit the whole batching win).
+  // Queue batch sizes are timing-dependent, so the gate compares execution
+  // to the queue instead of to the wall clock: whatever batches the
+  // micro-batcher formed must have executed as single fused calls
+  // (mean_exec_batch keeps up with mean_batch), under the frozen
+  // fused_per_sample mode. A runner so fast that every queue batch is a
+  // unit batch cannot fail this spuriously.
+  bool noisy_fused = true;
+  if (stochastic) {
+    noisy_fused = rep.fusion == "fused_per_sample" &&
+                  rep.mean_exec_batch + 1e-9 >= rep.mean_batch;
+    if (!noisy_fused)
+      gates->fail(name, "stochastic scenario did not fuse micro-batches");
+  }
 
   // Batching-boundary invariance is part of the contract for BOTH modes
-  // (fused batches by kernel row-independence, per-request forks by
+  // (fused batches by kernel row-independence, per-sample streams by
   // construction) — replay with unit batches and demand identical payloads.
   bool batch_invariant = true;
   if (policy.max_batch > 1) {
@@ -107,16 +142,27 @@ Json run_scenario(const char* name, const serve::Backend& backend,
 
   std::printf(
       "  [%s] %zu req, %zu workers: p50=%.0fus p95=%.0fus p99=%.0fus "
-      "tput=%.0f rps mean_batch=%.2f steady_allocs=%zu %s\n",
+      "tput=%.0f rps exec_batch=%.2f (%s) steady_allocs=%zu "
+      "steady_packs=%zu %s\n",
       name, rep.completed, workers, rep.latency.p50_us, rep.latency.p95_us,
-      rep.latency.p99_us, rep.throughput_rps, rep.mean_batch,
-      rep.arena.steady_allocs, match && steady ? "OK" : "GATE-FAIL");
+      rep.latency.p99_us, rep.throughput_rps, rep.mean_exec_batch,
+      rep.fusion.c_str(), rep.arena.steady_allocs,
+      static_cast<std::size_t>(steady_packs),
+      match && steady && zero_packs && noisy_fused ? "OK" : "GATE-FAIL");
 
   Json j = rep.to_json();
   j.set("backend", backend.name());
   j.set("bitwise_1_vs_n_workers", match);
   j.set("batching_invariant", batch_invariant);
   j.set("arena_steady_state", steady);
+  j.set("steady_weight_packs", steady_packs);
+  j.set("steady_binarizes", steady_bins);
+  j.set("packs_per_request",
+        rep.completed ? static_cast<double>(steady_packs) /
+                            static_cast<double>(rep.completed)
+                      : 0.0);
+  j.set("zero_steady_packs", zero_packs);
+  if (stochastic) j.set("noisy_fused", noisy_fused);
   return j;
 }
 
@@ -187,7 +233,7 @@ int main(int argc, char** argv) {
     serve::AnalyticBackend clean(*model.net, /*stochastic=*/false);
     doc.set("analytic_clean",
             run_scenario("analytic_clean", clean, ds, trace, workers, policy,
-                         /*seed=*/17, &gates));
+                         /*seed=*/17, /*stochastic=*/false, &gates));
   }
   {
     Rng crng(53);
@@ -206,15 +252,59 @@ int main(int argc, char** argv) {
     serve::AnalyticBackend noisy(*model.net, /*stochastic=*/true);
     doc.set("analytic_noisy",
             run_scenario("analytic_noisy", noisy, ds, trace, workers, policy,
-                         /*seed=*/17, &gates));
+                         /*seed=*/17, /*stochastic=*/true, &gates));
     ctrl.detach();
+  }
+
+  // -- conv serving over a reduced VGG9: the scenario whose per-request
+  // weight packing the panel caches amortize to zero (an MLP's weights are
+  // below the panel floor; conv layers always stream packed panels) -------
+  {
+    models::Vgg9Config vcfg;
+    vcfg.in_channels = 3;
+    vcfg.image_size = 8;
+    vcfg.width = 8;
+    vcfg.seed = 11;
+    models::Vgg9 vgg = models::build_vgg9(vcfg);
+    vgg.net->set_training(false);
+    data::Dataset vds;
+    vds.images = random_tensor(
+        {64, vcfg.in_channels, vcfg.image_size, vcfg.image_size}, 47);
+    vds.labels.assign(64, 0);
+
+    serve::TrafficConfig vtraffic = tcfg;
+    vtraffic.num_requests = smoke ? 96 : 400;
+    vtraffic.rate_rps = smoke ? 2000.0 : 4000.0;
+    vtraffic.seed = 9;
+    const auto vtrace = serve::make_trace(vtraffic, vds.size());
+
+    {
+      serve::AnalyticBackend clean(*vgg.net, /*stochastic=*/false);
+      doc.set("conv_clean",
+              run_scenario("conv_clean", clean, vds, vtrace, workers, policy,
+                           /*seed=*/19, /*stochastic=*/false, &gates));
+    }
+    {
+      Rng crng(59);
+      xbar::LayerNoiseController ctrl(vgg.encoded, /*sigma=*/1.0,
+                                      vgg.base_pulses(), crng);
+      ctrl.attach();
+      ctrl.set_enabled_all(true);
+      serve::AnalyticBackend noisy(*vgg.net, /*stochastic=*/true);
+      doc.set("conv_noisy",
+              run_scenario("conv_noisy", noisy, vds, vtrace, workers, policy,
+                           /*seed=*/19, /*stochastic=*/true, &gates));
+      ctrl.detach();
+    }
   }
 
   // -- pulse-level backend over deployed crossbar hardware ------------------
   {
     models::MlpConfig pcfg;
     pcfg.in_features = 24;
-    pcfg.hidden = {32};
+    // Two hidden layers so fc2 is crossbar-encoded: the pulse scenario then
+    // actually streams per-sample read/output noise through an engine.
+    pcfg.hidden = {32, 32};
     pcfg.num_classes = 10;
     pcfg.seed = 21;
     models::Mlp pulse_model = models::build_mlp(pcfg);
@@ -236,7 +326,8 @@ int main(int argc, char** argv) {
 
     serve::PulseBackend pulse(hw);
     doc.set("pulse", run_scenario("pulse", pulse, pds, ptrace, workers,
-                                  policy, /*seed=*/29, &gates));
+                                  policy, /*seed=*/29, /*stochastic=*/true,
+                                  &gates));
   }
 
   doc.set("gates_ok", gates.ok);

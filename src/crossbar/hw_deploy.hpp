@@ -80,6 +80,13 @@ class HardwareNetwork {
     return cfg_.sigma <= 0.0 && cfg_.device.read_noise_sigma <= 0.0;
   }
 
+  /// True when every stochastic site of the const forward supports
+  /// per-sample row streams (DESIGN.md §6): the programmed engines always
+  /// do, so this only rejects a digital layer carrying a live noise hook
+  /// that cannot draw per row. The serving runtime then fuses stochastic
+  /// micro-batches instead of falling back to unit batches.
+  bool per_sample_capable() const;
+
   std::size_t num_crossbar_layers() const { return engines_.size(); }
 
   /// Total crossbar cells programmed (rows x cols summed over layers).

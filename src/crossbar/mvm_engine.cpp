@@ -64,6 +64,24 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations) {
 
 Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
                                   ScratchArena* arena) const {
+  return run_pulse_level_streams(activations, &rng, 1, arena);
+}
+
+Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng* row_rngs,
+                                  std::size_t num_streams,
+                                  ScratchArena* arena) const {
+  if (activations.ndim() != 2)
+    throw std::invalid_argument("MvmEngine: expected [N, in] activations, got " +
+                                activations.shape_str());
+  if (num_streams == 0 || activations.dim(0) % num_streams != 0)
+    throw std::invalid_argument(
+        "MvmEngine: batch must be a whole multiple of num_streams");
+  return run_pulse_level_streams(activations, row_rngs, num_streams, arena);
+}
+
+Tensor MvmEngine::run_pulse_level_streams(const Tensor& activations,
+                                          Rng* rngs, std::size_t num_streams,
+                                          ScratchArena* arena) const {
   enc::PulseTrain train = encode_train(activations, arena);
   const std::size_t batch = activations.dim(0);
   const std::size_t out_n = array_.rows();
@@ -85,9 +103,16 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
   // draw time, matching the reference's cast at add time). This frees the
   // fused sweep below to visit pulses in weight-tile order while staying
   // bitwise identical to run_pulse_level_reference for the same seed.
+  // With per-sample streams (num_streams > 1, DESIGN.md §6) the same order
+  // is replayed per sample group from that sample's own generator — each
+  // group's draws land in its contiguous slice of the pulse-major buffers,
+  // so the sweep below is oblivious to how the noise was drawn.
   // The draw buffers are the pulse path's largest transients; with an arena
   // they are bump scratch instead of per-call vectors.
   const std::size_t stride = array_.read_noise_draws(batch);
+  const std::size_t group = batch / num_streams;
+  const std::size_t group_rn = array_.read_noise_draws(group);
+  const std::size_t group_bn = group * out_n;
   ArenaFrame frame(arena);
   std::vector<double> read_noise_own;
   std::vector<float> out_noise_own;
@@ -102,12 +127,17 @@ Tensor MvmEngine::run_pulse_level(const Tensor& activations, Rng& rng,
     read_noise = read_noise_own.data();
     out_noise = out_noise_own.data();
   }
-  for (std::size_t i = 0; i < num_pulses; ++i) {
-    if (stride > 0) array_.fill_read_noise(batch, rng, read_noise + i * stride);
-    if (has_sigma) {
-      float* sn = out_noise + i * bn;
-      for (std::size_t j = 0; j < bn; ++j)
-        sn[j] = static_cast<float>(rng.normal(0.0, cfg_.sigma));
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    Rng& rng = rngs[s];
+    for (std::size_t i = 0; i < num_pulses; ++i) {
+      if (stride > 0)
+        array_.fill_read_noise(group, rng,
+                               read_noise + i * stride + s * group_rn);
+      if (has_sigma) {
+        float* sn = out_noise + i * bn + s * group_bn;
+        for (std::size_t j = 0; j < group_bn; ++j)
+          sn[j] = static_cast<float>(rng.normal(0.0, cfg_.sigma));
+      }
     }
   }
 

@@ -50,6 +50,18 @@ class MvmEngine {
   Tensor run_pulse_level(const Tensor& activations, Rng& rng,
                          ScratchArena* arena = nullptr) const;
 
+  /// Per-sample stream variant (DESIGN.md §6): activations [N, in] with
+  /// N = num_streams · g for some whole g (g > 1 when a conv layer feeds
+  /// its per-sample patch rows through one call). Sample s's read and
+  /// output noise is drawn from row_rngs[s] in exactly the order the
+  /// single-stream overload draws it for a unit batch holding sample s
+  /// alone, so fused stochastic micro-batches are bitwise row-equal to
+  /// per-request execution at any batch composition. num_streams == 1 with
+  /// rng == &row_rngs[0] degenerates to the overload above.
+  Tensor run_pulse_level(const Tensor& activations, Rng* row_rngs,
+                         std::size_t num_streams,
+                         ScratchArena* arena = nullptr) const;
+
   /// Retained pre-fusion scalar path (one crossbar read per pulse). Kept as
   /// the equivalence oracle for tests and as a debugging fallback; consumes
   /// its rng in the same order as run_pulse_level.
@@ -67,6 +79,14 @@ class MvmEngine {
   const CrossbarArray& array() const { return array_; }
 
  private:
+  /// Shared pulse-level body: draws per-stream noise (stream s covers
+  /// batch/num_streams consecutive rows), then runs the fused batch-major
+  /// sweep. Both public overloads funnel here; num_streams == 1 reproduces
+  /// the historical single-stream draw order exactly.
+  Tensor run_pulse_level_streams(const Tensor& activations, Rng* rngs,
+                                 std::size_t num_streams,
+                                 ScratchArena* arena) const;
+
   Tensor encode_and_snap(const Tensor& activations) const;
   /// Validates [N, in] shape and encodes per the configured scheme. With an
   /// arena, the pulse tensors are recycled through its pool (run_pulse_level

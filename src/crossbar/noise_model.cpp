@@ -46,4 +46,20 @@ void GaussianNoiseHook::infer_output(Tensor& out, Rng& rng) const {
   add_output_noise(out, rng);
 }
 
+void GaussianNoiseHook::infer_output_rows(Tensor& out, Rng* rngs,
+                                          std::size_t num_streams) const {
+  if (!enabled_ || sigma_ <= 0.0) return;  // no draws, matching unit batches
+  if (num_streams == 0 || out.ndim() == 0 || out.dim(0) != num_streams)
+    throw std::invalid_argument(
+        "GaussianNoiseHook::infer_output_rows: stream/batch mismatch");
+  const double std = sigma_ * std::sqrt(spec_.noise_variance_factor());
+  const std::size_t row = out.numel() / num_streams;
+  float* p = out.data();
+  // Row r consumes exactly the `row` normals infer_output would draw for a
+  // unit batch holding row r — same std, same element order.
+  for (std::size_t r = 0; r < num_streams; ++r)
+    for (std::size_t j = 0; j < row; ++j)
+      p[r * row + j] += static_cast<float>(rngs[r].normal(0.0, std));
+}
+
 }  // namespace gbo::xbar

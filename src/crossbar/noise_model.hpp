@@ -50,6 +50,15 @@ class GaussianNoiseHook : public quant::MvmNoiseHook {
   void infer_input(Tensor& x, Rng& rng) const override;
   void infer_output(Tensor& out, Rng& rng) const override;
 
+  /// Per-sample streams (DESIGN.md §6): row r's noise comes from rngs[r] —
+  /// for each row, the same draws infer_output takes for a unit batch.
+  void infer_output_rows(Tensor& out, Rng* rngs,
+                         std::size_t num_streams) const override;
+
+  /// infer_input only snaps (no draws) and infer_output_rows is
+  /// implemented, so stochastic micro-batches may fuse over this hook.
+  bool supports_row_streams() const override { return true; }
+
   /// Draws from the context stream only when enabled with sigma > 0.
   bool stochastic() const override { return enabled_ && sigma_ > 0.0; }
 

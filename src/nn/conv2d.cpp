@@ -4,6 +4,7 @@
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace gbo::nn {
@@ -100,22 +101,23 @@ Conv2d::Conv2d(std::size_t out_channels, ConvGeom geom, bool bias, Rng& rng)
 
 const Tensor& Conv2d::effective_weight() { return weight_.value; }
 
-Tensor Conv2d::infer_with_weight(const Tensor& x, const Tensor& w,
-                                 bool with_bias) const {
-  return infer_with_weight(x, w.data(), with_bias, nullptr);
+bool Conv2d::direct_conv_eligible(std::size_t /*m*/) const {
+  // Geometry-only dispatch: the direct kernel is the im2col route's packed
+  // multiply with the patch gather fused into the A-panel packer, so it is
+  // bitwise equal by construction for every row count — eligibility must
+  // not (and no longer does) depend on the batch.
+  return geom_.k == 3 && geom_.stride == 1;
 }
 
-bool Conv2d::direct_conv_eligible(std::size_t m) const {
-  // Only shapes whose im2col route would run the packed-panel GEMM: the
-  // direct kernel is that same packed multiply with the patch gather fused
-  // into the A-panel packer, so restricting dispatch to these shapes keeps
-  // it bitwise equal to the im2col route by construction.
-  return geom_.k == 3 && geom_.stride == 1 &&
-         gemm::gemm_nt_packs_b(m, out_c_, geom_.patch_len());
+const float* Conv2d::cached_panels() const {
+  const std::size_t k = geom_.patch_len();
+  return wpanels_.get(std::as_const(weight_.value).data(), k, out_c_, k,
+                      /*transposed=*/true, weight_.value.version());
 }
 
 Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
-                                 bool with_bias, EvalContext* ctx) const {
+                                 bool with_bias, EvalContext* ctx,
+                                 const float* panels) const {
   if (x.ndim() != 4)
     throw std::invalid_argument("Conv2d: expected NCHW input, got " +
                                 x.shape_str());
@@ -124,18 +126,15 @@ Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
   const std::size_t m = batch * oh * ow;
   const std::size_t k = geom_.patch_len();
   const bool direct = direct_conv_eligible(m);
-  const std::size_t pack_floats = gemm::gemm_nt_scratch_floats(m, out_c_, k);
   ScratchArena* arena = ctx ? ctx->arena : nullptr;
   ArenaFrame frame(arena);
   Tensor cols_own, rows_own;       // fallback owners without an arena
   std::vector<float> pack_own;
   float* cols = nullptr;           // im2col route only
   float* rows;
-  float* pack = nullptr;           // packed weight panels (large-m path)
   if (arena) {
     if (!direct) cols = arena->alloc_floats(m * k);
     rows = arena->alloc_floats(m * out_c_);
-    if (pack_floats) pack = arena->alloc_floats(pack_floats);
   } else {
     if (!direct) {
       cols_own = Tensor({m, k});
@@ -143,21 +142,18 @@ Tensor Conv2d::infer_with_weight(const Tensor& x, const float* w,
     }
     rows_own = Tensor({m, out_c_});
     rows = rows_own.data();
-    if (direct) {
-      // The direct path drives the prepacked core itself, so it owns the
-      // weight-panel buffer here; the im2col route lets gemm_nt allocate.
-      pack_own.resize(pack_floats);
-      pack = pack_own.data();
-    }
   }
+  if (panels == nullptr)
+    // Uncached caller (a subclass forward over a transient effective
+    // weight): pack fresh, off the heap when an arena is attached.
+    panels = gemm::pack_fresh_b_t(out_c_, k, w, k, arena, &pack_own);
   if (direct) {
-    gemm::pack_b_t(out_c_, k, w, k, pack);
     gemm::gemm_prepacked_b(
-        m, out_c_, k, DirectConvPacker{x.data(), geom_, oh, ow}, pack, rows,
+        m, out_c_, k, DirectConvPacker{x.data(), geom_, oh, ow}, panels, rows,
         out_c_, /*accumulate=*/false);
   } else {
     im2col_into(x, geom_, cols);
-    gemm::gemm_nt(m, out_c_, k, cols, k, w, k, rows, out_c_, pack);
+    gemm::gemm_prepacked(m, out_c_, k, cols, k, panels, rows, out_c_);
   }
   if (with_bias) {
     const float* b = bias_.value.data();
@@ -174,7 +170,21 @@ Tensor Conv2d::forward(const Tensor& x) {
   cached_batch_ = x.dim(0);
   cached_cols_ = im2col(x, geom_);
   cached_eff_weight_ = &effective_weight();
-  Tensor rows = ops::matmul_bt(cached_cols_, *cached_eff_weight_);
+  const std::size_t m = cached_cols_.dim(0);
+  const std::size_t k = geom_.patch_len();
+  // The training path runs the same packed kernel as infer (so
+  // infer == forward stays bitwise), reusing the cached panels whenever the
+  // effective weight is weight_.value itself; a substituted effective
+  // weight (fresh binarization per forward) packs fresh.
+  std::vector<float> pack_own;
+  const float* panels =
+      cached_eff_weight_ == &weight_.value
+          ? cached_panels()
+          : gemm::pack_fresh_b_t(out_c_, k, cached_eff_weight_->data(), k,
+                                 nullptr, &pack_own);
+  Tensor rows({cached_cols_.dim(0), out_c_});
+  gemm::gemm_prepacked(m, out_c_, k, cached_cols_.data(), k, panels,
+                       rows.data(), out_c_);
   if (has_bias_) {
     float* p = rows.data();
     const float* b = bias_.value.data();
@@ -185,7 +195,8 @@ Tensor Conv2d::forward(const Tensor& x) {
 }
 
 Tensor Conv2d::infer(const Tensor& x, EvalContext& ctx) const {
-  return infer_with_weight(x, weight_.value.data(), has_bias_, &ctx);
+  return infer_with_weight(x, std::as_const(weight_.value).data(), has_bias_,
+                           &ctx, cached_panels());
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

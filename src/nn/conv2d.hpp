@@ -5,19 +5,25 @@
 // matrix a crossbar tile would store. Forward lowers the input to the patch
 // matrix, multiplies, and reshapes to NCHW.
 //
-// The stateless infer path dispatches by shape: 3×3 stride-1 convolutions
-// big enough for gemm_nt's packed-panel path skip the im2col
-// materialization entirely — the patch gather is fused into the packed
-// GEMM's A-panel packer, so each receptive field is read straight from the
-// NCHW input into a cache-resident panel while the packed weight panels
-// are reused across every output row slab. Because the direct kernel runs
-// the exact packed multiply the im2col route runs (same packed weights,
-// same panel contents, same micro-kernel), its outputs are bitwise equal
-// to the im2col route at any GBO_NUM_THREADS (tests/test_nn_layers.cpp).
+// Every conv MVM runs the packed-panel kernel (a conv's row count scales
+// with the output image, so panels always pay), over weight panels cached
+// across requests and stamped with the weight's version counter
+// (gemm::PackedWeightCache, DESIGN.md §6) — steady-state serving packs no
+// conv weights. 3×3 stride-1 layers skip the im2col materialization
+// entirely: the patch gather is fused into the packed GEMM's A-panel
+// packer, so each receptive field is read straight from the NCHW input
+// into a cache-resident panel while the packed weight panels are reused
+// across every output row slab. Because the direct kernel runs the exact
+// packed multiply the im2col route runs (same packed weights, same panel
+// contents, same micro-kernel), its outputs are bitwise equal to the
+// im2col route at any GBO_NUM_THREADS (tests/test_nn_layers.cpp). Both
+// dispatch choices depend only on the layer geometry, never on the batch,
+// so fused serving batches stay bitwise row-equal to unit batches.
 #pragma once
 
 #include "common/rng.hpp"
 #include "nn/module.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 
 namespace gbo::nn {
@@ -39,10 +45,11 @@ class Conv2d : public Module {
   std::size_t out_channels() const { return out_c_; }
   Param& weight() { return weight_; }
 
-  /// True when the `m = N·oh·ow` output-row count routes this layer's infer
-  /// through the direct 3×3 stride-1 kernel (shape-only, so dispatch is
-  /// identical with and without an arena and at any thread count). Public
-  /// so benches/tests can assert which path a shape takes.
+  /// True when this layer's infer routes through the direct 3×3 stride-1
+  /// kernel. A function of the layer geometry alone since this PR — the
+  /// historical `m = N·oh·ow` argument is ignored, kept so benches/tests
+  /// keep compiling — which is what makes the dispatch identical at every
+  /// batch size, with and without an arena, and at any thread count.
   bool direct_conv_eligible(std::size_t m) const;
 
  protected:
@@ -50,18 +57,23 @@ class Conv2d : public Module {
   virtual const Tensor& effective_weight();
   virtual void on_weight_grad(Tensor& /*grad_w*/) {}
 
-  /// Shared const forward body: im2col → GEMM with `w` → NCHW (+ bias when
-  /// `with_bias`).
-  Tensor infer_with_weight(const Tensor& x, const Tensor& w,
-                           bool with_bias) const;
-
-  /// Core of the above over a raw [out_c, patch_len] weight. With a context
-  /// carrying a scratch arena, the scratch (packed weight panels, the GEMM
-  /// row buffer, and — on the im2col route — the patch matrix) is
-  /// bump-allocated and the output tensor is recycled; the conv infer path
-  /// then performs no heap allocation. Bitwise identical either way.
+  /// Shared const forward body over a raw [out_c, patch_len] weight:
+  /// (direct gather | im2col) → packed GEMM → NCHW (+ bias when
+  /// `with_bias`). `panels` is the weight's packed panel set (cache hit or
+  /// caller-owned); nullptr packs fresh — bitwise identical either way.
+  /// With a context carrying a scratch arena, all scratch is bump-allocated
+  /// and the output tensor is recycled; the conv infer path then performs
+  /// no heap allocation.
   Tensor infer_with_weight(const Tensor& x, const float* w, bool with_bias,
-                           EvalContext* ctx) const;
+                           EvalContext* ctx, const float* panels) const;
+
+  /// wpanels_ lookup for weight_.value.
+  const float* cached_panels() const;
+
+  /// Cached packed panels of weight_.value, stamped with its version
+  /// counter (DESIGN.md §6). Subclasses substituting an effective weight
+  /// bring their own cache.
+  mutable gemm::PackedWeightCache wpanels_;
 
   std::size_t out_c_ = 0;
   ConvGeom geom_;

@@ -27,6 +27,8 @@
 #include "common/rng.hpp"
 #include "tensor/arena.hpp"
 
+#include <vector>
+
 namespace gbo::nn {
 
 struct EvalContext {
@@ -34,6 +36,20 @@ struct EvalContext {
   /// stochastic component of the inference path (noise hooks, pulse-level
   /// crossbar reads).
   Rng rng;
+
+  /// Per-sample RNG streams (DESIGN.md §6): when non-empty, the batch rows
+  /// of this inference belong to row_rngs.size() independent requests and
+  /// every stochastic site draws row r's noise from row_rngs[r] (each
+  /// stream consumed in network order across sites), never from `rng`. The
+  /// serving runtime populates them as fork(seed, request_id) per row,
+  /// which makes a fused micro-batch bitwise row-equal to per-request
+  /// execution: for a unit batch the single row stream is consumed exactly
+  /// as `rng` would be, so the classic per-request contract is a special
+  /// case. Empty (the default) preserves single-stream behaviour exactly.
+  std::vector<Rng> row_rngs;
+
+  /// True when stochastic sites must use the per-sample streams.
+  bool per_sample() const { return !row_rngs.empty(); }
 
   /// Optional worker-owned scratch arena (never shared between threads);
   /// nullptr preserves the plain allocating behaviour exactly.

@@ -4,6 +4,9 @@
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
+#include <utility>
+#include <vector>
+
 namespace gbo::nn {
 
 Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
@@ -17,25 +20,27 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
 
 const Tensor& Linear::effective_weight() { return weight_.value; }
 
-Tensor Linear::infer_with_weight(const Tensor& x, const Tensor& w,
-                                 bool with_bias) const {
-  return infer_with_weight(x, w.data(), with_bias, nullptr);
-}
-
 Tensor Linear::infer_with_weight(const Tensor& x, const float* w,
-                                 bool with_bias, EvalContext* ctx) const {
+                                 bool with_bias, EvalContext* ctx,
+                                 const float* panels) const {
   if (x.ndim() != 2 || x.dim(1) != in_)
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
   const std::size_t batch = x.dim(0);
   ScratchArena* arena = ctx ? ctx->arena : nullptr;
   ArenaFrame frame(arena);
-  // Large batches take gemm_nt's packed-panel path; feed it arena scratch
-  // so the whole MVM stays off the heap. Small (serving-sized) batches use
-  // the direct kernel — don't inflate the arena for those.
-  const std::size_t pack_floats = gemm::gemm_nt_scratch_floats(batch, out_, in_);
-  float* pack = arena && pack_floats ? arena->alloc_floats(pack_floats) : nullptr;
   Tensor y = ctx ? ctx->make({batch, out_}) : Tensor({batch, out_});
-  gemm::gemm_nt(batch, out_, in_, x.data(), in_, w, in_, y.data(), out_, pack);
+  if (gemm::panels_for_weight(out_, in_)) {
+    std::vector<float> own;
+    if (panels == nullptr)
+      // Uncached caller (a subclass forward over a transient effective
+      // weight): pack fresh, off the heap when an arena is attached.
+      panels = gemm::pack_fresh_b_t(out_, in_, w, in_, arena, &own);
+    gemm::gemm_prepacked(batch, out_, in_, x.data(), in_, panels, y.data(),
+                         out_);
+  } else {
+    gemm::gemm_nt_rowwise(batch, out_, in_, x.data(), in_, w, in_, y.data(),
+                          out_);
+  }
   if (with_bias) {
     float* p = y.data();
     const float* b = bias_.value.data();
@@ -45,14 +50,26 @@ Tensor Linear::infer_with_weight(const Tensor& x, const float* w,
   return y;
 }
 
+const float* Linear::cached_panels() const {
+  if (!gemm::panels_for_weight(out_, in_)) return nullptr;
+  return wpanels_.get(std::as_const(weight_.value).data(), in_, out_, in_,
+                      /*transposed=*/true, weight_.value.version());
+}
+
 Tensor Linear::forward(const Tensor& x) {
   cached_input_ = x;
   cached_eff_weight_ = &effective_weight();
-  return infer_with_weight(x, *cached_eff_weight_, has_bias_);
+  // The cache only ever holds panels of weight_.value; a subclass's
+  // substituted effective weight (fresh binarization per forward) packs
+  // fresh inside the body instead of poisoning the stamp timeline.
+  const bool own_weight = cached_eff_weight_ == &weight_.value;
+  return infer_with_weight(x, cached_eff_weight_->data(), has_bias_, nullptr,
+                           own_weight ? cached_panels() : nullptr);
 }
 
 Tensor Linear::infer(const Tensor& x, EvalContext& ctx) const {
-  return infer_with_weight(x, weight_.value.data(), has_bias_, &ctx);
+  return infer_with_weight(x, std::as_const(weight_.value).data(), has_bias_,
+                           &ctx, cached_panels());
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

@@ -1,8 +1,16 @@
 // Fully connected layer: y = x W^T + b, x: [N, in], W: [out, in].
+//
+// Kernel dispatch (DESIGN.md §6) is a function of the weight shape alone:
+// weights above the panel floor run the packed-panel kernel over panels
+// cached across calls (gemm::PackedWeightCache, stamped with the weight's
+// version counter — steady-state serving packs nothing); smaller weights
+// run the row-stable dot kernel. Neither choice depends on the batch, so
+// every batch row's bit pattern is independent of how requests were fused.
 #pragma once
 
 #include "common/rng.hpp"
 #include "nn/module.hpp"
+#include "tensor/gemm.hpp"
 
 namespace gbo::nn {
 
@@ -30,16 +38,23 @@ class Linear : public Module {
   /// Hook to transform the raw weight gradient (e.g. STE clipping).
   virtual void on_weight_grad(Tensor& /*grad_w*/) {}
 
-  /// Shared const forward body: y = x wᵀ (+ bias when `with_bias`).
-  Tensor infer_with_weight(const Tensor& x, const Tensor& w,
-                           bool with_bias) const;
-
-  /// Core of the above over a raw [out, in] weight (which may live in the
-  /// context's scratch arena, e.g. an arena-binarized copy); routes the
-  /// output through ctx->make when a context is given. Bitwise identical to
-  /// the Tensor overload.
+  /// Shared const forward body over a raw [out, in] weight: y = x wᵀ
+  /// (+ bias when `with_bias`). Routes the output through ctx->make when a
+  /// context is given. `panels`, when non-null, is the weight's packed
+  /// panel set (a cache hit or a caller-owned fresh pack); when null and
+  /// the shape takes the panel route, the body packs fresh — bitwise
+  /// identical either way, since packing is deterministic data movement.
   Tensor infer_with_weight(const Tensor& x, const float* w, bool with_bias,
-                           EvalContext* ctx) const;
+                           EvalContext* ctx, const float* panels) const;
+
+  /// wpanels_ lookup for weight_.value (nullptr on the non-panel route).
+  const float* cached_panels() const;
+
+  /// Cached panels of weight_.value for the panel-route shapes, reused
+  /// across requests and stamped with weight_.value.version() (DESIGN.md
+  /// §6). Only ever fed from weight_.value — subclasses that substitute an
+  /// effective weight (the quant layers) bring their own cache.
+  mutable gemm::PackedWeightCache wpanels_;
 
   std::size_t in_ = 0, out_ = 0;
   bool has_bias_ = true;

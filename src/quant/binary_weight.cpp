@@ -1,8 +1,18 @@
 #include "quant/binary_weight.hpp"
 
+#include <atomic>
 #include <cmath>
 
 namespace gbo::quant {
+namespace {
+
+std::atomic<std::uint64_t> g_binarizes{0};
+
+}  // namespace
+
+std::uint64_t binarize_count() {
+  return g_binarizes.load(std::memory_order_relaxed);
+}
 
 Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
   Tensor out(latent.shape());
@@ -12,6 +22,7 @@ Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
 
 void binarize_into(const Tensor& latent, bool scaled, float* out,
                    float* scale_out) {
+  g_binarizes.fetch_add(1, std::memory_order_relaxed);
   float scale = 1.0f;
   if (scaled) {
     double acc = 0.0;

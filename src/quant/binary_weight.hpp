@@ -23,6 +23,12 @@ Tensor binarize(const Tensor& latent, bool scaled, float* scale_out = nullptr);
 void binarize_into(const Tensor& latent, bool scaled, float* out,
                    float* scale_out = nullptr);
 
+/// Process-wide count of binarizations (binarize / binarize_into). Relaxed
+/// atomic; the serving bench diffs it across a steady-state run to prove
+/// the quant layers' frozen-weight caches (quant_layers.hpp) have
+/// amortized per-request re-binarization to zero.
+std::uint64_t binarize_count();
+
 /// STE backward: zeroes gradient entries where the latent weight saturates
 /// (|w| > 1), in place.
 void ste_clip_grad(const Tensor& latent, Tensor& grad);

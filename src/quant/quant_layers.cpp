@@ -1,15 +1,62 @@
 #include "quant/quant_layers.hpp"
 
 #include "quant/binary_weight.hpp"
+#include "tensor/gemm.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 
 namespace gbo::quant {
+namespace {
+
+/// Hook dispatch shared by both quant layers: per-sample row streams when
+/// the context carries them (fused stochastic serving, DESIGN.md §6), the
+/// classic single-stream draw otherwise.
+void apply_output_hook(const MvmNoiseHook& hook, Tensor& out,
+                       gbo::nn::EvalContext& ctx) {
+  if (ctx.per_sample())
+    hook.infer_output_rows(out, ctx.row_rngs.data(), ctx.row_rngs.size());
+  else
+    hook.infer_output(out, ctx.rng);
+}
+
+}  // namespace
 
 void MvmNoiseHook::infer_output(Tensor& /*out*/, Rng& /*rng*/) const {
   throw std::logic_error(
       "MvmNoiseHook: this hook does not support stateless inference");
+}
+
+void MvmNoiseHook::infer_output_rows(Tensor& /*out*/, Rng* /*rngs*/,
+                                     std::size_t /*num_streams*/) const {
+  throw std::logic_error(
+      "MvmNoiseHook: this hook does not support per-sample row streams");
+}
+
+bool hooks_support_row_streams(const gbo::nn::Module& m) {
+  if (const auto* h = dynamic_cast<const Hookable*>(&m))
+    if (h->noise_hook() != nullptr && h->noise_hook()->stochastic() &&
+        !h->noise_hook()->supports_row_streams())
+      return false;
+  for (const gbo::nn::Module* child : m.children())
+    if (!hooks_support_row_streams(*child)) return false;
+  return true;
+}
+
+void BinaryPanelCache::get(const Tensor& latent, bool scaled, std::size_t n,
+                           std::size_t k, bool want_panels, const float** bw,
+                           const float** panels) const {
+  gate_.ensure(latent.version(), [&] {
+    bw_.resize(latent.numel());
+    binarize_into(latent, scaled, bw_.data());
+    if (want_panels) {
+      panels_.resize(gemm::packed_b_floats(n, k));
+      gemm::pack_b_t(n, k, bw_.data(), k, panels_.data());
+    }
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  *bw = bw_.data();
+  *panels = want_panels ? panels_.data() : nullptr;
 }
 
 QuantConv2d::QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
@@ -44,27 +91,23 @@ Tensor QuantConv2d::backward(const Tensor& grad_out) {
 }
 
 Tensor QuantConv2d::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
-  // Binarize into a local so shared layer state stays untouched; the copy
-  // is the same work the training path spends re-binarizing each forward.
-  // With an arena attached the copy is bump-allocated scratch instead.
-  gbo::ArenaFrame frame(ctx.arena);
-  Tensor bw_own;
+  // Frozen-weight cache (DESIGN.md §6): the binarized copy and its packed
+  // panels are rebuilt only when the latent weight's version moves, so
+  // steady-state serving neither re-binarizes nor re-packs. Binarization
+  // and packing are deterministic, so a cache hit is bitwise identical to
+  // the fresh path (and to forward()).
   const float* bw;
-  if (ctx.arena) {
-    float* p = ctx.arena->alloc_floats(weight_.value.numel());
-    binarize_into(weight_.value, scaled_, p);
-    bw = p;
-  } else {
-    bw_own = binarize(weight_.value, scaled_);
-    bw = bw_own.data();
-  }
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx);
+  const float* panels;
+  cache_.get(weight_.value, scaled_, out_c_, geom_.patch_len(),
+             /*want_panels=*/true, &bw, &panels);
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
+  gbo::ArenaFrame frame(ctx.arena);
   Tensor xin = ctx.make(x.shape());
   std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx, panels);
   ctx.recycle(std::move(xin));
-  hook_->infer_output(out, ctx.rng);
+  apply_output_hook(*hook_, out, ctx);
   return out;
 }
 
@@ -100,24 +143,20 @@ Tensor QuantLinear::backward(const Tensor& grad_out) {
 }
 
 Tensor QuantLinear::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
-  gbo::ArenaFrame frame(ctx.arena);
-  Tensor bw_own;
+  // Same frozen-weight cache as QuantConv2d::infer; panels only for the
+  // shapes the layer's dispatch rule would pack.
   const float* bw;
-  if (ctx.arena) {
-    float* p = ctx.arena->alloc_floats(weight_.value.numel());
-    binarize_into(weight_.value, scaled_, p);
-    bw = p;
-  } else {
-    bw_own = binarize(weight_.value, scaled_);
-    bw = bw_own.data();
-  }
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx);
+  const float* panels;
+  cache_.get(weight_.value, scaled_, out_, in_,
+             gemm::panels_for_weight(out_, in_), &bw, &panels);
+  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
+  gbo::ArenaFrame frame(ctx.arena);
   Tensor xin = ctx.make(x.shape());
   std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx);
+  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx, panels);
   ctx.recycle(std::move(xin));
-  hook_->infer_output(out, ctx.rng);
+  apply_output_hook(*hook_, out, ctx);
   return out;
 }
 

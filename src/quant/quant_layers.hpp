@@ -15,6 +15,10 @@
 
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "tensor/gemm.hpp"
+
+#include <atomic>
+#include <vector>
 
 namespace gbo::quant {
 
@@ -50,6 +54,21 @@ class MvmNoiseHook {
   virtual void infer_input(Tensor& /*x*/, Rng& /*rng*/) const {}
   virtual void infer_output(Tensor& out, Rng& rng) const;
 
+  /// Per-sample-stream counterpart of infer_output (DESIGN.md §6): `out`
+  /// holds one batch row per entry of rngs[0..num_streams); row r's draws
+  /// must come from rngs[r] and be exactly the draws infer_output would
+  /// take for a unit batch holding row r alone, so a fused micro-batch is
+  /// bitwise row-equal to per-request execution. Default throws — a hook
+  /// opts in via supports_row_streams().
+  virtual void infer_output_rows(Tensor& out, Rng* rngs,
+                                 std::size_t num_streams) const;
+
+  /// True when (a) infer_input draws nothing from its Rng and (b)
+  /// infer_output_rows is implemented. The serving runtime fuses stochastic
+  /// micro-batches only when every attached hook agrees
+  /// (serve/backend.hpp).
+  virtual bool supports_row_streams() const { return false; }
+
   /// True when infer_input/infer_output may draw from the caller's Rng in
   /// the current configuration. Conservative default: any attached hook is
   /// assumed stochastic; hooks whose randomness can be switched off (the
@@ -57,6 +76,37 @@ class MvmNoiseHook {
   /// serving runtime consults it before fusing micro-batches
   /// (serve/backend.hpp).
   virtual bool stochastic() const { return true; }
+};
+
+/// Cross-request cache of a quant layer's frozen binarized weight and its
+/// packed panels, stamped with the latent weight's version counter
+/// (DESIGN.md §6): steady-state serving re-binarizes and re-packs nothing.
+/// Concurrency and copy semantics come from gemm::VersionGate (thread-safe
+/// lazy fill; the latent weight must not be mutated concurrently with
+/// readers).
+class BinaryPanelCache {
+ public:
+  BinaryPanelCache() = default;
+  BinaryPanelCache(const BinaryPanelCache&) {}
+  BinaryPanelCache& operator=(const BinaryPanelCache&) { return *this; }
+
+  /// Binarized copy of `latent` in *bw, and — when `want_panels` — its
+  /// packed panels ([n, k] transposed-weight layout) in *panels, rebuilt
+  /// only when latent.version() moved. `want_panels` must be constant per
+  /// cache (it is: the owning layer derives it from its fixed shape).
+  void get(const Tensor& latent, bool scaled, std::size_t n, std::size_t k,
+           bool want_panels, const float** bw, const float** panels) const;
+
+  /// Lifetime rebuild count (1 after warmup for a frozen weight).
+  std::uint64_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  gbo::gemm::VersionGate gate_;
+  mutable std::vector<float> bw_;
+  mutable std::vector<float> panels_;
+  mutable std::atomic<std::uint64_t> rebuilds_{0};
 };
 
 /// Common interface of layers that accept a crossbar-noise hook. The VGG9
@@ -73,6 +123,14 @@ class Hookable {
   /// The latent (pre-binarization) weight parameter, for STE clamping.
   virtual gbo::nn::Param& latent_weight() = 0;
 };
+
+/// True when every live (stochastic) noise hook reachable from `m` — the
+/// module itself and its children, recursively — supports per-sample row
+/// streams. The single capability predicate the serving backends and
+/// HardwareNetwork consult before fusing stochastic micro-batches
+/// (DESIGN.md §6); crossbar engines are always capable, so only an
+/// opted-out hook can veto fusion.
+bool hooks_support_row_streams(const gbo::nn::Module& m);
 
 class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
  public:
@@ -106,6 +164,9 @@ class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
   MvmNoiseHook* hook_ = nullptr;
   Tensor binary_weight_;
   float weight_scale_ = 1.0f;
+  // Frozen binarized weight + packed panels for the stateless infer path,
+  // keyed on weight_.value.version().
+  BinaryPanelCache cache_;
 };
 
 class QuantLinear : public gbo::nn::Linear, public Hookable {
@@ -136,6 +197,9 @@ class QuantLinear : public gbo::nn::Linear, public Hookable {
   MvmNoiseHook* hook_ = nullptr;
   Tensor binary_weight_;
   float weight_scale_ = 1.0f;
+  // Frozen binarized weight + packed panels for the stateless infer path,
+  // keyed on weight_.value.version().
+  BinaryPanelCache cache_;
 };
 
 }  // namespace gbo::quant

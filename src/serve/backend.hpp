@@ -11,15 +11,17 @@
 //   * PulseBackend — a deployed HardwareNetwork at pulse granularity
 //     (device model, ADC, read noise included) via its const forward.
 //
-// deterministic() tells the server whether run() consumes ctx.rng. When it
-// does not, micro-batches can be fused into one whole-tensor call: every
-// kernel in the infer path computes each batch row independently (blocked
-// GEMM rows, per-sample im2col/BN/pooling, elementwise activations), so the
+// fusion_mode() tells the server how run() may execute micro-batches.
+// Deterministic backends fuse into one whole-tensor call: every kernel in
+// the infer path computes each batch row independently (row-stable GEMM
+// dispatch, per-sample im2col/BN/pooling, elementwise activations), so the
 // fused result is bitwise equal row-for-row to unit-batch execution — the
 // batching-boundary half of the serving determinism contract, enforced by
-// tests/test_serve.cpp. Stochastic configurations instead run per request
-// on a (seed, request_id)-forked stream, which makes outputs independent of
-// batch composition by construction.
+// tests/test_serve.cpp. Stochastic configurations fuse too when every
+// noise site supports per-sample row streams (DESIGN.md §6): each batch
+// row draws from its own (seed, request_id) fork, which makes outputs
+// independent of batch composition by construction. Only backends with
+// opaque stochastic state fall back to unit-batch execution.
 #pragma once
 
 #include "crossbar/crossbar_layers.hpp"
@@ -31,6 +33,15 @@
 
 namespace gbo::serve {
 
+/// How the server may execute micro-batches (frozen at warmup):
+///   kFused          — run() draws nothing: whole-tensor fusion, no streams.
+///   kFusedPerSample — run() draws, but every stochastic site supports
+///                     per-sample row streams (DESIGN.md §6): batches fuse
+///                     with ctx.row_rngs = fork(seed, request_id) per row,
+///                     bitwise row-equal to per-request execution.
+///   kPerRequest     — opaque stochastic state: unit batches only.
+enum class FusionMode { kFused, kFusedPerSample, kPerRequest };
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -39,6 +50,13 @@ class Backend {
 
   /// True when run() draws nothing from ctx.rng; enables fused batching.
   virtual bool deterministic() const = 0;
+
+  /// Conservative default: fuse only when fully deterministic. Backends
+  /// whose stochastic sites all honour EvalContext::row_rngs override this
+  /// to kFusedPerSample so noisy configurations batch their GEMMs too.
+  virtual FusionMode fusion_mode() const {
+    return deterministic() ? FusionMode::kFused : FusionMode::kPerRequest;
+  }
 
   /// Logits for a [B, ...] input batch. Must not mutate shared state.
   virtual Tensor run(const Tensor& x, nn::EvalContext& ctx) const = 0;
@@ -61,6 +79,15 @@ class AnalyticBackend : public Backend {
   }
   bool deterministic() const override {
     return !stochastic_ && !module_stochastic(net_);
+  }
+  /// Stochastic configurations still fuse when every live noise hook
+  /// supports per-sample row streams (CrossbarLinear engines always do);
+  /// an opted-out hook falls back to unit batches, never to wrong fusion.
+  FusionMode fusion_mode() const override {
+    if (deterministic()) return FusionMode::kFused;
+    return quant::hooks_support_row_streams(net_)
+               ? FusionMode::kFusedPerSample
+               : FusionMode::kPerRequest;
   }
   Tensor run(const Tensor& x, nn::EvalContext& ctx) const override {
     return net_.infer(x, ctx);
@@ -92,6 +119,11 @@ class PulseBackend : public Backend {
 
   std::string name() const override { return "pulse"; }
   bool deterministic() const override { return hw_.deterministic(); }
+  FusionMode fusion_mode() const override {
+    if (deterministic()) return FusionMode::kFused;
+    return hw_.per_sample_capable() ? FusionMode::kFusedPerSample
+                                    : FusionMode::kPerRequest;
+  }
   Tensor run(const Tensor& x, nn::EvalContext& ctx) const override {
     return hw_.forward(x, ctx);
   }

@@ -75,6 +75,9 @@ Json ServeReport::to_json() const {
   }
   j.set("batch_hist", hist);
   j.set("mean_batch", mean_batch);
+  j.set("exec_calls", exec_calls);
+  j.set("mean_exec_batch", mean_exec_batch);
+  j.set("fusion", fusion);
   j.set("arena", arena.to_json());
   return j;
 }

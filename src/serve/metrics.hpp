@@ -9,6 +9,7 @@
 #include "tensor/tensor.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace gbo::serve {
@@ -49,6 +50,15 @@ struct ServeReport {
   /// batch_hist[b] = number of micro-batches of size b (index 0 unused).
   std::vector<std::size_t> batch_hist;
   double mean_batch = 0.0;
+  /// Backend::run invocations and mean rows per invocation: per-request
+  /// execution pins mean_exec_batch to 1, the fused modes track the
+  /// micro-batcher (mean_batch above counts queue batches in every mode).
+  std::size_t exec_calls = 0;
+  double mean_exec_batch = 0.0;
+  /// Execution mode frozen at warmup: "fused", "fused_per_sample" (noisy
+  /// configs batching on per-sample RNG streams, DESIGN.md §6), or
+  /// "per_request".
+  std::string fusion;
   ArenaSummary arena;
 
   /// Per-request payloads, [requests, out_dim] — row r is request r's

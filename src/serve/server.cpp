@@ -42,17 +42,20 @@ void InferenceServer::warmup() {
   warmed_ = true;
   // The execution mode is frozen here: the backend's hook configuration
   // must not change once the server has warmed up.
-  fused_ = backend_.deterministic();
+  mode_ = backend_.fusion_mode();
   if (dataset_.size() == 0) {
     log_warn("serve: warmup over an empty dataset skipped");
     return;
   }
   const std::size_t len = dataset_.sample_numel();
   const float* images = dataset_.images.data();
-  // Stochastic backends only ever see unit batches; deterministic ones get
-  // their arenas and gather buffers sized for the largest fused batch too.
+  // Opaque stochastic backends only ever see unit batches; both fused
+  // modes get their arenas, gather buffers, and row-stream vectors sized
+  // for the largest fused batch too. Warmup also fills the layers'
+  // frozen-weight panel caches (prepack-at-deploy, DESIGN.md §6), so the
+  // first real request already packs nothing.
   std::vector<std::size_t> sizes{1};
-  if (fused_ && cfg_.batch.max_batch > 1)
+  if (mode_ != FusionMode::kPerRequest && cfg_.batch.max_batch > 1)
     sizes.push_back(cfg_.batch.max_batch);
   for (auto& wp : workers_) {
     Worker& w = *wp;
@@ -66,6 +69,10 @@ void InferenceServer::warmup() {
       }
       // A dedicated stream id far above any request id; draws are discarded.
       w.ctx.rng = root_.fork(~std::uint64_t{0});
+      if (mode_ == FusionMode::kFusedPerSample)
+        w.ctx.row_rngs.assign(b, root_.fork(~std::uint64_t{0}));
+      else
+        w.ctx.row_rngs.clear();
       Tensor logits = backend_.run(w.gather, w.ctx);
       out_dim_ = logits.numel() / b;
       w.ctx.recycle(std::move(logits));
@@ -79,21 +86,30 @@ void InferenceServer::process_batch(
     const std::chrono::steady_clock::time_point& t0) {
   const std::size_t len = dataset_.sample_numel();
   const float* images = dataset_.images.data();
-  if (fused_) {
+  if (mode_ != FusionMode::kPerRequest) {
     // Fused whole-tensor execution; row-equal to unit batches by the
-    // kernel row-independence contract (serve/backend.hpp).
+    // kernel row-independence contract (serve/backend.hpp). Stochastic
+    // configurations ride the same call with one request stream per row
+    // (DESIGN.md §6), so their payloads are likewise independent of how
+    // the micro-batcher grouped the requests.
     w.in_shape[0] = batch.size();
     w.gather.resize(w.in_shape);
     float* g = w.gather.data();
     for (std::size_t i = 0; i < batch.size(); ++i)
       std::copy(images + batch[i].sample * len,
                 images + (batch[i].sample + 1) * len, g + i * len);
+    if (mode_ == FusionMode::kFusedPerSample) {
+      w.ctx.row_rngs.resize(batch.size());  // capacity warmed at max_batch
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        w.ctx.row_rngs[i] = root_.fork(batch[i].id);
+    }
     Tensor logits = backend_.run(w.gather, w.ctx);
     const float* rows = logits.data();
     for (std::size_t i = 0; i < batch.size(); ++i)
       std::copy(rows + i * out_dim_, rows + (i + 1) * out_dim_,
                 out_rows + batch[i].id * out_dim_);
     w.ctx.recycle(std::move(logits));
+    ++w.exec_calls;
   } else {
     // Per-request execution on the (seed, request id) fork: the noise
     // stream — and therefore the payload — is independent of how the
@@ -108,6 +124,7 @@ void InferenceServer::process_batch(
       std::copy(logits.data(), logits.data() + out_dim_,
                 out_rows + r.id * out_dim_);
       w.ctx.recycle(std::move(logits));
+      ++w.exec_calls;
     }
   }
   const std::uint64_t done = us_since(t0);
@@ -135,13 +152,23 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
     allocs_before.push_back(w->arena.stats().system_allocs);
     w->batch_hist.clear();
     w->served = 0;
+    w->exec_calls = 0;
   }
+  rep.fusion = mode_ == FusionMode::kFused
+                   ? "fused"
+                   : mode_ == FusionMode::kFusedPerSample ? "fused_per_sample"
+                                                          : "per_request";
 
   const std::size_t num_requests = trace.size();
   rep.requests = num_requests;
   rep.outputs = Tensor({num_requests, out_dim_});
   std::vector<std::uint64_t> enqueue(num_requests, 0);
   std::vector<std::uint64_t> completion(num_requests, 0);
+  // Taken once, before the workers start: the non-const data() accessor
+  // bumps the tensor's version counter (a plain increment), so it must not
+  // be re-evaluated concurrently from the worker loops.
+  float* const out_rows = rep.outputs.data();
+  std::uint64_t* const completion_us = completion.data();
 
   RequestQueue queue;
   const auto t0 = std::chrono::steady_clock::now();
@@ -170,8 +197,7 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
             Worker& w = *workers_[block - 1];
             std::vector<Request> batch;
             while (queue.pop_batch(cfg_.batch, batch))
-              process_batch(w, batch, rep.outputs.data(), completion.data(),
-                            t0);
+              process_batch(w, batch, out_rows, completion_us, t0);
           }
         }
       });
@@ -187,6 +213,7 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
   for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
     Worker& w = *workers_[wi];
     rep.completed += w.served;
+    rep.exec_calls += w.exec_calls;
     if (rep.batch_hist.size() < w.batch_hist.size())
       rep.batch_hist.resize(w.batch_hist.size(), 0);
     for (std::size_t b = 0; b < w.batch_hist.size(); ++b) {
@@ -203,6 +230,10 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
   rep.mean_batch = batches == 0 ? 0.0
                                 : static_cast<double>(rep.completed) /
                                       static_cast<double>(batches);
+  rep.mean_exec_batch = rep.exec_calls == 0
+                            ? 0.0
+                            : static_cast<double>(rep.completed) /
+                                  static_cast<double>(rep.exec_calls);
   rep.throughput_rps =
       rep.wall_s > 0.0 ? static_cast<double>(rep.completed) / rep.wall_s : 0.0;
   return rep;

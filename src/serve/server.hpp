@@ -24,11 +24,14 @@
 // same payloads, which is the point: outputs depend only on
 // (seed, request id), never on worker count, pool size, or batching.
 //
-// Stochastic backends run each request as a unit batch under
-// ctx.rng = root.fork(request id); deterministic backends fuse each
-// micro-batch into one whole-tensor call (see serve/backend.hpp for why
-// that is bitwise row-equal to unit execution). Responses land in
-// pre-sized per-request slots, so workers never contend on result storage.
+// Execution modes (serve/backend.hpp FusionMode, frozen at warmup):
+// deterministic backends fuse each micro-batch into one whole-tensor call;
+// stochastic backends whose noise sites honour per-sample row streams fuse
+// too, with ctx.row_rngs[i] = root.fork(request id) per row (DESIGN.md §6)
+// — bitwise row-equal to unit execution either way; only opaque stochastic
+// backends fall back to unit batches under ctx.rng = root.fork(request id).
+// Responses land in pre-sized per-request slots, so workers never contend
+// on result storage.
 #pragma once
 
 #include "data/dataset.hpp"
@@ -78,6 +81,7 @@ class InferenceServer {
     std::vector<std::size_t> in_shape;    // [B, sample dims...] template
     std::vector<std::size_t> batch_hist;  // index = batch size
     std::size_t served = 0;
+    std::size_t exec_calls = 0;           // Backend::run invocations
     Worker() { ctx.arena = &arena; }
   };
 
@@ -92,8 +96,8 @@ class InferenceServer {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t out_dim_ = 0;
   bool warmed_ = false;
-  bool fused_ = false;  // backend_.deterministic(), frozen at warmup
-
+  // backend_.fusion_mode(), frozen at warmup.
+  FusionMode mode_ = FusionMode::kPerRequest;
 };
 
 }  // namespace gbo::serve

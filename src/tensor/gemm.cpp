@@ -1,7 +1,9 @@
 #include "tensor/gemm.hpp"
 
 #include "common/thread_pool.hpp"
+#include "tensor/arena.hpp"
 
+#include <cassert>
 #include <cstring>
 #include <vector>
 
@@ -31,6 +33,17 @@ constexpr std::size_t kSmallFlops = 32 * 1024;
 // allocations on any thread, serving workers included.
 constexpr std::size_t kAPanelFloats = ((MC + MR - 1) / MR) * MR * KC;
 alignas(64) thread_local float tl_apanel[kAPanelFloats];
+
+// Retune guards, checked once at build time (NC % NR is asserted above):
+// the buffer's own formula is definitionally self-consistent, so what
+// needs validating is the pair of preconditions the prepacked driver
+// relies on — slabs never exceed MC rows and K blocks never exceed KC —
+// which gemm_prepacked_b asserts per slab in debug builds below.
+static_assert(MR >= 1 && NR % 8 == 0,
+              "register tile must be non-degenerate and vector-lane whole");
+
+// Process-wide B-panel pack counter (see gemm.hpp: b_pack_count).
+std::atomic<std::uint64_t> g_b_packs{0};
 
 void zero_rows(float* C, std::size_t m, std::size_t n, std::size_t ldc) {
   for (std::size_t i = 0; i < m; ++i)
@@ -309,6 +322,7 @@ std::size_t packed_b_floats(std::size_t n, std::size_t k) {
 
 void pack_b(std::size_t k, std::size_t n, const float* B, std::size_t ldb,
             float* dst) {
+  g_b_packs.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n_round = round_up(n, NR);
   // One task per column strip: contiguous reads of up to NR floats per B
   // row, contiguous writes within the strip. Pure data movement, so the
@@ -333,6 +347,7 @@ void pack_b(std::size_t k, std::size_t n, const float* B, std::size_t ldb,
 
 void pack_b_t(std::size_t n, std::size_t k, const float* B, std::size_t ldb,
               float* dst) {
+  g_b_packs.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n_round = round_up(n, NR);
   // Element (p, j) of the packed panel is B[j, p]: each source row of B is
   // read contiguously and scattered down one strip column (stride NR, L1-
@@ -377,8 +392,13 @@ void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
   const std::size_t n_round = round_up(n, NR);
   parallel_for(0, m, MC, [&](std::size_t i0, std::size_t i1) {
     float* ap = tl_apanel;
+    // The fixed thread_local buffer holds exactly one MC-row slab of MR
+    // strips over a KC block; this is the bound every PanelPacker packs
+    // against.
+    assert(i1 - i0 <= MC);
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = pc + KC < k ? KC : k - pc;
+      assert(kc <= KC);
       pack_a(i0, i1, pc, kc, ap);
       const float* bblock = packedB + pc * n_round;
       for (std::size_t jc = 0; jc < n; jc += NC) {
@@ -495,6 +515,104 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* A,
       [&](std::size_t i0, std::size_t i1, std::size_t pc, std::size_t kc,
           float* dst) { pack_a_panel(A, lda, i0, i1, pc, kc, dst); },
       pb, C, ldc, /*accumulate=*/false);
+}
+
+void gemm_nt_rowwise(std::size_t m, std::size_t n, std::size_t k,
+                     const float* A, std::size_t lda, const float* B,
+                     std::size_t ldb, float* C, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    zero_rows(C, m, n, ldc);
+    return;
+  }
+  if (kHaveNtDirect) {
+    nt_direct(m, n, k, A, lda, B, ldb, C, ldc);
+    return;
+  }
+  // Portable fallback: plain k-ascending dots, one row at a time — also
+  // row-stable, just without the manual vector reassociation.
+  parallel_for(0, m, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* Ai = A + i * lda;
+      float* Ci = C + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* Bj = B + j * ldb;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += Ai[p] * Bj[p];
+        Ci[j] = acc;
+      }
+    }
+  });
+}
+
+bool panels_for_weight(std::size_t n, std::size_t k) {
+  return n * k > kSmallFlops;
+}
+
+std::uint64_t b_pack_count() {
+  return g_b_packs.load(std::memory_order_relaxed);
+}
+
+PackedB prepack_b(std::size_t k, std::size_t n, const float* B,
+                  std::size_t ldb) {
+  PackedB pb;
+  pb.n = n;
+  pb.k = k;
+  if (n == 0 || k == 0) return pb;  // empty handle, no pack counted
+  pb.panels.resize(packed_b_floats(n, k));
+  pack_b(k, n, B, ldb, pb.panels.data());
+  return pb;
+}
+
+PackedB prepack_b_t(std::size_t n, std::size_t k, const float* B,
+                    std::size_t ldb) {
+  PackedB pb;
+  pb.n = n;
+  pb.k = k;
+  if (n == 0 || k == 0) return pb;
+  pb.panels.resize(packed_b_floats(n, k));
+  pack_b_t(n, k, B, ldb, pb.panels.data());
+  return pb;
+}
+
+const float* pack_fresh_b_t(std::size_t n, std::size_t k, const float* B,
+                            std::size_t ldb, ScratchArena* arena,
+                            std::vector<float>* own) {
+  const std::size_t pf = packed_b_floats(n, k);
+  float* pb;
+  if (arena) {
+    pb = arena->alloc_floats(pf);
+  } else {
+    own->resize(pf);
+    pb = own->data();
+  }
+  pack_b_t(n, k, B, ldb, pb);
+  return pb;
+}
+
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k,
+                    const float* A, std::size_t lda, const float* packedB,
+                    float* C, std::size_t ldc, bool accumulate) {
+  gemm_prepacked_b(
+      m, n, k,
+      [&](std::size_t i0, std::size_t i1, std::size_t pc, std::size_t kc,
+          float* dst) { pack_a_panel(A, lda, i0, i1, pc, kc, dst); },
+      packedB, C, ldc, accumulate);
+}
+
+const float* PackedWeightCache::get(const float* B, std::size_t ldb,
+                                    std::size_t n, std::size_t k,
+                                    bool transposed,
+                                    std::uint64_t version) const {
+  gate_.ensure(version, [&] {
+    panels_.resize(packed_b_floats(n, k));
+    if (transposed)
+      pack_b_t(n, k, B, ldb, panels_.data());
+    else
+      pack_b(k, n, B, ldb, panels_.data());
+    packs_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return panels_.data();
 }
 
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,

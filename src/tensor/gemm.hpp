@@ -31,8 +31,16 @@
 // not alias. Callers (ops::matmul*) own shape validation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <type_traits>
+#include <vector>
+
+namespace gbo {
+class ScratchArena;
+}
 
 namespace gbo::gemm {
 
@@ -72,6 +80,31 @@ std::size_t gemm_nt_scratch_floats(std::size_t m, std::size_t n,
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const float* A,
                  std::size_t lda, const float* B, std::size_t ldb, float* C,
                  std::size_t ldc);
+
+/// Row-stable C = A·Bᵀ: the per-row multi-accumulator dot kernel for every
+/// m, with no size dispatch at all — row i's float operations (and
+/// therefore its bit pattern) are identical whether it is computed alone or
+/// inside any batch. This is the NN layers' non-panel route (DESIGN.md §6):
+/// unlike gemm_nt, whose small/direct/packed cutoffs depend on m, this
+/// kernel lets the serving runtime fuse micro-batches without moving any
+/// row across a dispatch boundary. No packing, no scratch.
+void gemm_nt_rowwise(std::size_t m, std::size_t n, std::size_t k,
+                     const float* A, std::size_t lda, const float* B,
+                     std::size_t ldb, float* C, std::size_t ldc);
+
+/// m-independent panel dispatch for the NN layers' frozen-weight A·Bᵀ
+/// products (DESIGN.md §6): true when the weight [n, k] is big enough that
+/// streaming cached packed panels beats the per-row dot kernel. A function
+/// of the weight shape alone — never of the batch — so a layer's kernel
+/// cannot change across batching boundaries.
+bool panels_for_weight(std::size_t n, std::size_t k);
+
+/// Process-wide count of B-panel pack operations (pack_b / pack_b_t, which
+/// every packing entry point funnels through). Relaxed atomic; the serving
+/// bench diffs it across a steady-state run to prove that cached panels
+/// have amortized weight packing to zero (A-panel packs are per-request by
+/// design and deliberately not counted).
+std::uint64_t b_pack_count();
 
 // ---- packed-panel building blocks ----------------------------------------
 //
@@ -140,6 +173,101 @@ class PanelPacker {
 void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
                       const PanelPacker& pack_a, const float* packedB,
                       float* C, std::size_t ldc, bool accumulate);
+
+/// Owning handle for a reusable packed-B panel set (DESIGN.md §6). The
+/// panel bytes are exactly what pack_b / pack_b_t produce, so running the
+/// packed kernel over a PackedB is bitwise equal to a fresh-pack call on
+/// the same matrix. Degenerate shapes (n == 0 or k == 0) yield an empty
+/// handle that the kernel entry points treat as "no contribution".
+struct PackedB {
+  std::vector<float> panels;
+  std::size_t n = 0, k = 0;
+  bool empty() const { return panels.empty(); }
+};
+
+/// Packs row-major B[k, n] (ldb) into a reusable panel handle.
+PackedB prepack_b(std::size_t k, std::size_t n, const float* B,
+                  std::size_t ldb);
+
+/// Same from transposed storage B[n, k] (ldb) — the weight matrices of the
+/// A·Bᵀ products — without materializing Bᵀ.
+PackedB prepack_b_t(std::size_t n, std::size_t k, const float* B,
+                    std::size_t ldb);
+
+/// The NN layers' shared fresh-pack fallback for uncached effective
+/// weights: packs B[n, k] (transposed storage, ldb) into arena bump
+/// scratch when `arena` is non-null (the caller's ArenaFrame owns the
+/// lifetime), else into `own`, and returns the panel pointer.
+const float* pack_fresh_b_t(std::size_t n, std::size_t k, const float* B,
+                            std::size_t ldb, ScratchArena* arena,
+                            std::vector<float>* own);
+
+/// C = A·(packed B) (+ C when accumulate): the packed kernel over an
+/// external panel buffer laid out by pack_b/pack_b_t (or held in a
+/// PackedB). A[m, k] lda, C[m, n] ldc. Bitwise equal to gemm_nn_packed /
+/// gemm_nt on the packing path for the same operands, at any thread count.
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k,
+                    const float* A, std::size_t lda, const float* packedB,
+                    float* C, std::size_t ldc, bool accumulate = false);
+
+/// The version-stamped double-checked fill shared by every frozen-weight
+/// cache (DESIGN.md §6): ensure() runs `fill` under the mutex iff
+/// `version` differs from the stamp of the last fill, publishing the
+/// filled buffers with a release store that pairs with the lock-free
+/// acquire fast path. Returns true when it filled. The cached source must
+/// not be mutated concurrently with readers — the const-infer contract.
+/// Copies reset the gate (stamps are per-object timelines and must never
+/// be adopted across objects).
+class VersionGate {
+ public:
+  VersionGate() = default;
+  VersionGate(const VersionGate&) {}
+  VersionGate& operator=(const VersionGate&) { return *this; }
+
+  template <typename Fn>
+  bool ensure(std::uint64_t version, Fn&& fill) const {
+    if (stamp_.load(std::memory_order_acquire) == version) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stamp_.load(std::memory_order_relaxed) == version) return false;
+    fill();
+    stamp_.store(version, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<std::uint64_t> stamp_{0};  // 0 = empty (versions >= 1)
+};
+
+/// Cross-request cache of one frozen weight matrix's packed panels,
+/// stamped with the weight tensor's mutation counter (Tensor::version(),
+/// DESIGN.md §6). get() repacks only when the stamp differs — steady-state
+/// serving therefore performs zero weight packs. Concurrency and copy
+/// semantics come from VersionGate.
+class PackedWeightCache {
+ public:
+  PackedWeightCache() = default;
+  PackedWeightCache(const PackedWeightCache&) {}
+  PackedWeightCache& operator=(const PackedWeightCache&) { return *this; }
+
+  /// Packed panels for the weight `B` — transposed storage [n, k] when
+  /// `transposed` (pack_b_t), row-major [k, n] otherwise (pack_b) —
+  /// repacked only when `version` differs from the stamp of the last pack.
+  /// `version` must come from one tensor object's version() timeline.
+  const float* get(const float* B, std::size_t ldb, std::size_t n,
+                   std::size_t k, bool transposed,
+                   std::uint64_t version) const;
+
+  /// Lifetime repack count (1 after warmup for a frozen weight).
+  std::uint64_t packs() const {
+    return packs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  VersionGate gate_;
+  mutable std::vector<float> panels_;
+  mutable std::atomic<std::uint64_t> packs_{0};
+};
 
 /// Forced-path entry points for tests and benches; `gemm_nn` dispatches
 /// between them by shape. Bitwise equal to each other for every shape.

@@ -26,7 +26,10 @@ Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
     throw std::invalid_argument("Tensor: data size does not match shape");
 }
 
-void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  ++version_;
+}
 
 Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   if (shape_numel(new_shape) != numel())
@@ -41,16 +44,19 @@ void Tensor::reshape(std::vector<std::size_t> new_shape) {
   if (shape_numel(new_shape) != numel())
     throw std::invalid_argument("Tensor::reshape: numel mismatch");
   shape_ = std::move(new_shape);
+  ++version_;
 }
 
 void Tensor::resize(const std::vector<std::size_t>& new_shape) {
   shape_ = new_shape;  // copy-assign reuses shape_'s capacity
   data_.resize(shape_numel(shape_));
+  ++version_;
 }
 
 void Tensor::resize(std::initializer_list<std::size_t> new_shape) {
   shape_.assign(new_shape);
   data_.resize(shape_numel(shape_));
+  ++version_;
 }
 
 std::string Tensor::shape_str() const {

@@ -6,11 +6,14 @@
 //  * value semantics (copy = deep copy) — the framework never shares
 //    mutable buffers, which keeps the backward passes easy to audit;
 //  * shape checked at every access in debug builds, cheap unchecked
-//    data() access for inner loops in release builds.
+//    data() access for inner loops in release builds;
+//  * a per-object mutation counter (version(), DESIGN.md §6) so frozen-
+//    weight caches can detect staleness without hashing contents.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
@@ -33,6 +36,26 @@ class Tensor {
   /// Tensor wrapping a copy of the provided data (size must match shape).
   Tensor(std::vector<std::size_t> shape, std::vector<float> data);
 
+  // Copies and moves preserve value semantics; the assignment operators
+  // additionally bump the *target's* mutation counter (its contents
+  // changed), and deliberately never adopt the source's counter — versions
+  // are per-object timelines, so adopting one could collide with a stamp a
+  // cache already took from this object.
+  Tensor(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(const Tensor& other) {
+    shape_ = other.shape_;
+    data_ = other.data_;
+    ++version_;
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    ++version_;
+    return *this;
+  }
+
   static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
   static Tensor full(std::vector<std::size_t> shape, float v) { return Tensor(std::move(shape), v); }
   static Tensor ones(std::vector<std::size_t> shape) { return full(std::move(shape), 1.0f); }
@@ -43,14 +66,21 @@ class Tensor {
   std::size_t numel() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  float* data() { return data_.data(); }
+  float* data() {
+    ++version_;
+    return data_.data();
+  }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
+  std::vector<float>& vec() {
+    ++version_;
+    return data_;
+  }
   const std::vector<float>& vec() const { return data_; }
 
   /// Flat element access.
   float& operator[](std::size_t i) {
     assert(i < data_.size());
+    ++version_;
     return data_[i];
   }
   float operator[](std::size_t i) const {
@@ -61,6 +91,7 @@ class Tensor {
   /// Multi-dimensional access (2D..4D convenience overloads).
   float& at(std::size_t i, std::size_t j) {
     assert(ndim() == 2);
+    ++version_;
     return data_[i * shape_[1] + j];
   }
   float at(std::size_t i, std::size_t j) const {
@@ -69,6 +100,7 @@ class Tensor {
   }
   float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
     assert(ndim() == 4);
+    ++version_;
     return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
   float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
@@ -103,9 +135,23 @@ class Tensor {
   /// Throws std::invalid_argument unless shapes match; msg names the caller.
   static void check_same_shape(const Tensor& a, const Tensor& b, const char* msg);
 
+  /// Mutation counter (DESIGN.md §6): strictly increases on every mutating
+  /// operation on *this object* — non-const data()/vec()/element access,
+  /// fill/resize/reshape, and both assignment operators (which is how
+  /// optimizer steps and state loading invalidate caches: they mutate
+  /// through these APIs). Frozen-weight caches (gemm::PackedWeightCache)
+  /// stamp their packed panels with it; an equal version therefore implies
+  /// identical contents. Versions are only meaningful per object — never
+  /// compare them across tensors. The counter is bumped when a mutable
+  /// pointer is *handed out*, so a caller that stashes a raw pointer and
+  /// writes through it later must not interleave cache reads in between
+  /// (no code in this repository does).
+  std::uint64_t version() const { return version_; }
+
  private:
   std::vector<std::size_t> shape_;
   std::vector<float> data_;
+  std::uint64_t version_ = 1;
 };
 
 /// Product of dims, with overflow-free semantics for the sizes used here.

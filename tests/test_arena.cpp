@@ -120,7 +120,11 @@ void expect_arena_infer_bitwise(Model& m, const Tensor& x,
   }
   EXPECT_EQ(arena.stats().system_allocs, warm_allocs)
       << "steady-state infer touched the heap";
-  EXPECT_GT(arena.stats().bump_high_water_bytes, 0u);
+  // Small all-linear nets may legitimately never bump-allocate since the
+  // frozen-weight caches took binarized copies and packed panels off the
+  // per-request path (DESIGN.md §6) — the recycler must still have pooled
+  // the inter-layer tensors.
+  EXPECT_GT(arena.stats().reserved_bytes, 0u);
 }
 
 TEST(ScratchArena, InferBitwiseMlp) {

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 namespace gbo {
@@ -241,6 +242,127 @@ TEST(Gemm, NtScratchFloatsCoversPackedPathOnly) {
   ASSERT_TRUE(gemm::gemm_nt_packs_b(m, n, k));
   EXPECT_EQ(gemm::packed_b_floats(n, k), gemm::gemm_nt_scratch_floats(m, n, k));
   EXPECT_GE(gemm::packed_b_floats(n, k), n * k);
+}
+
+TEST(Gemm, PrepackedMatchesFreshPackBitwise) {
+  // The cross-request panel cache contract (DESIGN.md §6): running the
+  // packed kernel over a reusable PackedB must equal the fresh-pack paths
+  // bitwise on every shape, ragged edges included.
+  for (const Shape& s : kRaggedShapes) {
+    const Tensor a = random_tensor({s.m, s.k}, 151 + s.m);
+    const Tensor b = random_tensor({s.k, s.n}, 153 + s.n);
+    Tensor c_fresh({s.m, s.n}), c_pre({s.m, s.n});
+    gemm::gemm_nn_packed(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                         c_fresh.data(), s.n, /*accumulate=*/false);
+    const gemm::PackedB pb = gemm::prepack_b(s.k, s.n, b.data(), s.n);
+    gemm::gemm_prepacked(s.m, s.n, s.k, a.data(), s.k, pb.panels.data(),
+                         c_pre.data(), s.n);
+    EXPECT_EQ(0, std::memcmp(c_fresh.data(), c_pre.data(),
+                             s.m * s.n * sizeof(float)))
+        << "prepacked nn mismatch at m=" << s.m << " n=" << s.n
+        << " k=" << s.k;
+
+    // Transposed-weight orientation against gemm_nt's packing path.
+    const Tensor bt = random_tensor({s.n, s.k}, 155 + s.n);
+    if (gemm::gemm_nt_packs_b(s.m, s.n, s.k)) {
+      Tensor c_nt({s.m, s.n}), c_pre_t({s.m, s.n});
+      gemm::gemm_nt(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k,
+                    c_nt.data(), s.n);
+      const gemm::PackedB pbt = gemm::prepack_b_t(s.n, s.k, bt.data(), s.k);
+      gemm::gemm_prepacked(s.m, s.n, s.k, a.data(), s.k, pbt.panels.data(),
+                           c_pre_t.data(), s.n);
+      EXPECT_EQ(0, std::memcmp(c_nt.data(), c_pre_t.data(),
+                               s.m * s.n * sizeof(float)))
+          << "prepacked nt mismatch at m=" << s.m << " n=" << s.n
+          << " k=" << s.k;
+    }
+  }
+}
+
+TEST(Gemm, PrepackedBitwiseReproducibleAcrossThreadCounts) {
+  const std::size_t m = 131, n = 149, k = 263;  // ragged in every dimension
+  const Tensor a = random_tensor({m, k}, 161);
+  const Tensor bt = random_tensor({n, k}, 162);
+  const gemm::PackedB pb = gemm::prepack_b_t(n, k, bt.data(), k);
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  std::vector<Tensor> results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    pool.set_num_threads(threads);
+    Tensor c({m, n});
+    gemm::gemm_prepacked(m, n, k, a.data(), k, pb.panels.data(), c.data(), n);
+    results.push_back(std::move(c));
+  }
+  pool.set_num_threads(restore);
+  EXPECT_EQ(0, std::memcmp(results[0].data(), results[1].data(),
+                           m * n * sizeof(float)));
+}
+
+TEST(Gemm, PrepackGuardsDegenerateShapes) {
+  // k == 0 (and n == 0) must yield an empty handle, and the kernel must
+  // treat it as a zero contribution instead of reading the missing panels.
+  const gemm::PackedB kzero = gemm::prepack_b(0, 5, nullptr, 5);
+  EXPECT_TRUE(kzero.empty());
+  const gemm::PackedB nzero = gemm::prepack_b_t(0, 5, nullptr, 5);
+  EXPECT_TRUE(nzero.empty());
+  Tensor c({3, 5}, 0.5f);
+  gemm::gemm_prepacked(3, 5, 0, nullptr, 0, kzero.panels.data(), c.data(), 5);
+  for (std::size_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0.0f);
+  Tensor acc({3, 5}, 0.5f);
+  gemm::gemm_prepacked(3, 5, 0, nullptr, 0, kzero.panels.data(), acc.data(),
+                       5, /*accumulate=*/true);
+  for (std::size_t i = 0; i < acc.numel(); ++i) EXPECT_EQ(acc[i], 0.5f);
+}
+
+TEST(Gemm, PackedWeightCacheRepacksOncePerVersion) {
+  const std::size_t n = 40, k = 30;
+  Tensor w = random_tensor({n, k}, 171);
+  gemm::PackedWeightCache cache;
+  const std::uint64_t v0 = w.version();
+  const float* p0 = cache.get(std::as_const(w).data(), k, n, k,
+                              /*transposed=*/true, v0);
+  const float* p1 = cache.get(std::as_const(w).data(), k, n, k, true, v0);
+  EXPECT_EQ(p0, p1);
+  EXPECT_EQ(cache.packs(), 1u);
+  // Cached panels equal a fresh pack bitwise.
+  const gemm::PackedB fresh = gemm::prepack_b_t(n, k, std::as_const(w).data(), k);
+  EXPECT_EQ(0, std::memcmp(p0, fresh.panels.data(),
+                           fresh.panels.size() * sizeof(float)));
+  // Mutation through any non-const accessor bumps the version => repack.
+  w.data()[0] += 2.0f;
+  EXPECT_NE(w.version(), v0);
+  (void)cache.get(std::as_const(w).data(), k, n, k, true, w.version());
+  EXPECT_EQ(cache.packs(), 2u);
+  // Unchanged version afterwards: still no further packs.
+  (void)cache.get(std::as_const(w).data(), k, n, k, true, w.version());
+  EXPECT_EQ(cache.packs(), 2u);
+}
+
+TEST(Gemm, NtRowwiseIsRowStableAcrossBatchSizes) {
+  // The layers' non-panel route: row i of any batch must be bitwise equal
+  // to computing row i alone — the property that lets stochastic serving
+  // fuse micro-batches (DESIGN.md §6). gemm_nt itself has m-dependent
+  // dispatch, so this is gated on the rowwise entry point specifically.
+  const std::size_t n = 24, k = 16;
+  for (std::size_t m : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                        std::size_t{65}}) {
+    const Tensor a = random_tensor({m, k}, 181 + m);
+    const Tensor bt = random_tensor({n, k}, 183);
+    Tensor c({m, n});
+    gemm::gemm_nt_rowwise(m, n, k, a.data(), k, bt.data(), k, c.data(), n);
+    for (std::size_t i = 0; i < m; ++i) {
+      Tensor row({1, n});
+      gemm::gemm_nt_rowwise(1, n, k, a.data() + i * k, k, bt.data(), k,
+                            row.data(), n);
+      EXPECT_EQ(0, std::memcmp(row.data(), c.data() + i * n,
+                               n * sizeof(float)))
+          << "row " << i << " of m=" << m << " not row-stable";
+    }
+    // And it agrees with the naive reference numerically.
+    Tensor ref({m, n});
+    gemm::naive_gemm_nt(m, n, k, a.data(), bt.data(), ref.data());
+    EXPECT_TRUE(ops::allclose(c, ref, 1e-4f, atol_for(k)));
+  }
 }
 
 TEST(Gemm, OpsWrappersDispatchToBlockedKernels) {

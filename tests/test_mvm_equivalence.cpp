@@ -220,6 +220,53 @@ TEST(MvmEngine, FusedPulsePathMatchesReferenceBitwiseAtAnyThreadCount) {
   }
 }
 
+TEST(MvmEngine, PerSampleStreamsMatchPerRequestGroupsBitwise) {
+  // The row-stream contract with group > 1 (DESIGN.md §6) — the fused conv
+  // serving case, where each sample's oh·ow patch rows share one stream:
+  // sample s of a fused batch must be bitwise equal to running its row
+  // group alone under the same stream, for every stochastic term (read
+  // noise, ADC, Eq. 1 output noise) and at any thread count.
+  const Tensor w = random_binary_weight(9, 37, 31);
+  MvmConfig cfg;
+  cfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 6};
+  cfg.sigma = 0.8;
+  cfg.device.read_noise_sigma = 0.05;
+  cfg.device.adc_bits = 8;
+  cfg.tile_cols = 16;
+  const std::size_t group = 3, streams = 4, in = 37;
+  const Tensor x = random_activations(group * streams, in, 32);
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  MvmEngine engine(w, cfg, Rng(33));
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    pool.set_num_threads(threads);
+    Rng root(39);
+    std::vector<Rng> rngs;
+    for (std::size_t s = 0; s < streams; ++s) rngs.push_back(root.fork(s));
+    const Tensor fused =
+        engine.run_pulse_level(x, rngs.data(), rngs.size());
+    ASSERT_EQ(fused.dim(0), group * streams);
+    const std::size_t out = fused.dim(1);
+    for (std::size_t s = 0; s < streams; ++s) {
+      Tensor xs({group, in});
+      std::copy(x.data() + s * group * in, x.data() + (s + 1) * group * in,
+                xs.data());
+      Rng r = root.fork(s);
+      const Tensor alone = engine.run_pulse_level(xs, r);
+      EXPECT_EQ(0, std::memcmp(alone.data(), fused.data() + s * group * out,
+                               group * out * sizeof(float)))
+          << "stream " << s << " at " << threads << " thread(s)";
+    }
+  }
+  pool.set_num_threads(restore);
+
+  // Degenerate-stream guards.
+  Rng r(1);
+  EXPECT_THROW(engine.run_pulse_level(x, &r, 0), std::invalid_argument);
+  EXPECT_THROW(engine.run_pulse_level(x, &r, 5), std::invalid_argument);
+}
+
 TEST(MvmEngine, ZeroRowBatchWorksEvenWithReadNoise) {
   // Regression: the fused path must not reject an empty batch just because
   // read noise is enabled (zero draws are needed for zero rows).

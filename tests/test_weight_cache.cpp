@@ -1,0 +1,183 @@
+// Frozen-weight cache invalidation (DESIGN.md §6): the Tensor version
+// counter, panel-cache staleness after optimizer steps and direct weight
+// mutation, the quant layers' binarize caches, and the HardwareNetwork
+// re-deploy path. Every check is bitwise: a stale panel would reproduce the
+// *old* weights' output exactly, so approximate comparisons could not
+// catch it.
+#include "crossbar/hw_deploy.hpp"
+#include "models/mlp.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/optim.hpp"
+#include "quant/quant_layers.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace gbo {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  ops::fill_uniform(t, rng, -1.0f, 1.0f);
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a[i], b[i]) << "i=" << i;
+}
+
+TEST(TensorVersion, BumpsOnEveryMutationRoute) {
+  Tensor t({2, 3});
+  const std::uint64_t v0 = t.version();
+  (void)t.data();                       // handing out a mutable pointer
+  EXPECT_GT(t.version(), v0);
+  const std::uint64_t v1 = t.version();
+  t.fill(0.5f);
+  EXPECT_GT(t.version(), v1);
+  const std::uint64_t v2 = t.version();
+  t[3] = 1.0f;
+  EXPECT_GT(t.version(), v2);
+  const std::uint64_t v3 = t.version();
+  t = Tensor({2, 3}, 2.0f);             // assignment replaces contents
+  EXPECT_GT(t.version(), v3);
+  const std::uint64_t v4 = t.version();
+  t.resize({3, 2});
+  EXPECT_GT(t.version(), v4);
+
+  // Const access must NOT bump — otherwise caches could never hit.
+  const Tensor& ct = t;
+  const std::uint64_t v5 = t.version();
+  (void)ct.data();
+  (void)ct[0];
+  (void)ct.vec();
+  EXPECT_EQ(t.version(), v5);
+}
+
+// A fresh layer with identical weights is the staleness oracle: its caches
+// are cold, so it always computes from the weights it sees.
+TEST(WeightCache, LinearInvalidatesAfterOptimStep) {
+  Rng rng(3);
+  // Above the panel floor so the layer actually caches packed panels.
+  nn::Linear fc(256, 160, /*bias=*/true, rng);
+  ASSERT_TRUE(gemm::panels_for_weight(160, 256));
+  const Tensor x = random_tensor({4, 256}, 5);
+  nn::EvalContext ctx;
+  (void)fc.infer(x, ctx);  // warm the panel cache
+
+  // A real optimizer step mutates the weights through Param::value.
+  nn::SGD opt(fc.params(), /*lr=*/0.05f, /*momentum=*/0.0f,
+              /*weight_decay=*/0.0f);
+  opt.zero_grad();
+  (void)fc.forward(x);
+  Tensor grad({4, 160}, 1.0f);
+  (void)fc.backward(grad);
+  opt.step();
+
+  Tensor got = fc.infer(x, ctx);
+
+  nn::Linear fresh(256, 160, /*bias=*/true, rng);
+  fresh.weight().value = std::as_const(fc.weight().value);
+  fresh.bias()->value = std::as_const(fc.bias()->value);
+  nn::EvalContext fctx;
+  expect_bitwise_equal(fresh.infer(x, fctx), got);
+}
+
+TEST(WeightCache, QuantLinearInvalidatesAfterWeightMutation) {
+  Rng rng(7);
+  quant::QuantLinear fc(32, 24, rng);
+  const Tensor x = random_tensor({3, 32}, 9);
+  nn::EvalContext ctx;
+  const Tensor before = fc.infer(x, ctx);
+
+  // Flip signs through the raw-pointer mutation route; a stale binarize
+  // cache would keep serving `before`.
+  float* w = fc.weight().value.data();
+  for (std::size_t i = 0; i < fc.weight().value.numel(); ++i) w[i] = -w[i];
+  const Tensor after = fc.infer(x, ctx);
+
+  quant::QuantLinear fresh(32, 24, rng);
+  fresh.weight().value = std::as_const(fc.weight().value);
+  nn::EvalContext fctx;
+  expect_bitwise_equal(fresh.infer(x, fctx), after);
+  // And the mutation must actually have changed the output.
+  bool differs = false;
+  for (std::size_t i = 0; i < after.numel(); ++i)
+    differs = differs || after[i] != before[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(WeightCache, QuantConv2dInvalidatesAfterWeightMutation) {
+  ConvGeom g{.in_c = 4, .in_h = 8, .in_w = 8, .k = 3, .stride = 1, .pad = 1};
+  Rng rng(11);
+  quant::QuantConv2d conv(8, g, rng);
+  const Tensor x = random_tensor({2, 4, 8, 8}, 13);
+  nn::EvalContext ctx;
+  (void)conv.infer(x, ctx);  // warm binarize + panel cache
+
+  float* w = conv.weight().value.data();
+  for (std::size_t i = 0; i < conv.weight().value.numel(); ++i)
+    w[i] = -w[i];
+  const Tensor after = conv.infer(x, ctx);
+
+  quant::QuantConv2d fresh(8, g, rng);
+  fresh.weight().value = std::as_const(conv.weight().value);
+  nn::EvalContext fctx;
+  expect_bitwise_equal(fresh.infer(x, fctx), after);
+  // infer and forward share the kernel path, so they stay bitwise equal
+  // through the cache as well.
+  expect_bitwise_equal(conv.forward(x), after);
+}
+
+// Re-deploy regression: a HardwareNetwork built after a weight update must
+// see the new weights everywhere — its engines re-binarize at programming
+// time, and the *digital* layers it runs on the host must not serve stale
+// packed panels from before the update.
+TEST(WeightCache, HardwareNetworkRedeploySeesUpdatedWeights) {
+  models::MlpConfig cfg;
+  cfg.in_features = 12;
+  cfg.hidden = {16, 16};
+  cfg.num_classes = 4;
+  models::Mlp m = models::build_mlp(cfg);
+  m.net->set_training(false);
+  const Tensor x = random_tensor({3, 12}, 17);
+
+  xbar::HwDeployConfig hw_cfg;
+  hw_cfg.sigma = 0.25;
+  hw_cfg.device.adc_bits = 8;
+  xbar::HardwareNetwork hw1(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c1(Rng(23));
+  const Tensor y1 = hw1.forward(x, c1);
+
+  // Update every parameter (including the full-precision classifier whose
+  // panel cache the host-side infer path warmed above).
+  for (nn::Param* p : m.net->params()) {
+    float* w = p->value.data();
+    for (std::size_t i = 0; i < p->value.numel(); ++i)
+      w[i] = 0.5f * w[i] + 0.01f;
+  }
+
+  xbar::HardwareNetwork hw2(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c2(Rng(23));
+  const Tensor y2 = hw2.forward(x, c2);
+
+  bool differs = false;
+  for (std::size_t i = 0; i < y2.numel(); ++i)
+    differs = differs || y2[i] != y1[i];
+  EXPECT_TRUE(differs) << "re-deployed network reproduced stale outputs";
+
+  // Oracle: an identical deployment of the same (updated) network must
+  // agree bitwise — same seed, same programming, cold caches.
+  xbar::HardwareNetwork hw3(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c3(Rng(23));
+  expect_bitwise_equal(hw3.forward(x, c3), y2);
+}
+
+}  // namespace
+}  // namespace gbo

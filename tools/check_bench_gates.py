@@ -1,36 +1,60 @@
 #!/usr/bin/env python3
-"""Structural gate check over bench_micro_mvm's BENCH_mvm.json artifacts.
+"""Structural gate check over bench JSON artifacts (BENCH_mvm / BENCH_serve).
 
 Machine-independent CI gating: wall-clock numbers vary wildly across
-runners, but the bitwise-equality gates must exist and hold everywhere.
-For every JSON file given, this script fails (exit 1) unless each of the
-following sections is present with "bitwise_match": true:
+runners, but the bitwise-equality and steady-state gates must exist and
+hold everywhere.
+
+For BENCH_mvm*.json files, every section below must be present with
+"bitwise_match": true:
 
     gemm_packed             packed-panel GEMM == unpacked blocked GEMM
+    gemm_prepacked          cached prepacked weight panels == fresh pack,
+                            and one repack per weight version
     conv_direct             direct 3x3 conv == im2col route
     eval_trials             trial-parallel noisy eval == sequential oracle
     pulse_mvm               fused pulse sweep == per-pulse reference
     pulse_mvm_device_model  same, with read noise / ADC / variation on
 
-It also prints a GFLOP/s trajectory table (markdown, suitable for
-$GITHUB_STEP_SUMMARY) so the perf numbers ride along without gating on
-them.
+For BENCH_serve*.json files ("bench": "serve"), the document-level
+"gates_ok" must be true and every scenario (any object carrying a
+"backend" key) must satisfy:
 
-Usage: check_bench_gates.py BENCH_mvm.json [BENCH_mvm_4t.json ...]
+    bitwise_1_vs_n_workers  payloads identical at 1 and N workers
+    batching_invariant      payloads identical at max_batch and unit batches
+    arena_steady_state      zero arena heap allocations in steady state
+    zero_steady_packs       zero weight packs / binarizations in steady
+                            state (the frozen-weight caches, DESIGN.md §6)
+    noisy_fused             stochastic scenarios fused micro-batches on
+                            per-sample RNG streams (where present)
+
+It also prints trajectory tables (markdown, suitable for
+$GITHUB_STEP_SUMMARY) so the perf and prepack numbers ride along without
+gating on them.
+
+Usage: check_bench_gates.py BENCH_mvm.json [BENCH_serve.json ...]
 """
 import json
 import sys
 
 GATED_SECTIONS = [
     "gemm_packed",
+    "gemm_prepacked",
     "conv_direct",
     "eval_trials",
     "pulse_mvm",
     "pulse_mvm_device_model",
 ]
 
-# (section, key, label) rows for the trajectory table; missing keys are
-# skipped so older artifacts still render.
+SERVE_SCENARIO_GATES = [
+    "bitwise_1_vs_n_workers",
+    "batching_invariant",
+    "arena_steady_state",
+    "zero_steady_packs",
+]
+
+# (section, sub, key, label) rows for the kernel trajectory table; missing
+# keys are skipped so older artifacts still render.
 TRAJECTORY = [
     ("gemm", "nn", "gflops_naive", "gemm nn naive"),
     ("gemm", "nn", "gflops_blocked_1t", "gemm nn dispatch 1t"),
@@ -38,6 +62,10 @@ TRAJECTORY = [
     ("gemm_packed", None, "gflops_packed_1t", "gemm packed 1t"),
     ("gemm_packed", None, "gflops_packed_mt", "gemm packed mt"),
     ("gemm_packed", None, "speedup_packed_1t", "packed/unpacked 1t (x)"),
+    ("gemm_prepacked", None, "gflops_cached_1t", "gemm prepacked cached 1t"),
+    ("gemm_prepacked", None, "pack_overhead_ms", "pack overhead (ms)"),
+    ("gemm_prepacked", None, "speedup_cached_vs_cold_1t",
+     "cached/cold pack (x)"),
     ("conv_direct", None, "gflops_im2col_1t", "conv im2col 1t"),
     ("conv_direct", None, "gflops_direct_1t", "conv direct 1t"),
     ("conv_direct", None, "speedup_direct_1t", "direct/im2col 1t (x)"),
@@ -46,9 +74,7 @@ TRAJECTORY = [
 ]
 
 
-def check_file(path):
-    with open(path) as f:
-        doc = json.load(f)
+def check_mvm(path, doc):
     failures = []
     for section in GATED_SECTIONS:
         node = doc.get(section)
@@ -59,10 +85,33 @@ def check_file(path):
         if match is not True:
             failures.append(
                 f"{path}: {section}.bitwise_match is {match!r}, expected true")
-    return doc, failures
+    return failures
 
 
-def trajectory_rows(path, doc):
+def serve_scenarios(doc):
+    return [(name, node) for name, node in doc.items()
+            if isinstance(node, dict) and "backend" in node]
+
+
+def check_serve(path, doc):
+    failures = []
+    if doc.get("gates_ok") is not True:
+        failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
+    scenarios = serve_scenarios(doc)
+    if not scenarios:
+        failures.append(f"{path}: no serve scenarios found")
+    for name, node in scenarios:
+        for gate in SERVE_SCENARIO_GATES:
+            if node.get(gate) is not True:
+                failures.append(
+                    f"{path}: {name}.{gate} is {node.get(gate)!r}, "
+                    "expected true")
+        if "noisy_fused" in node and node["noisy_fused"] is not True:
+            failures.append(f"{path}: {name}.noisy_fused is not true")
+    return failures
+
+
+def mvm_rows(doc):
     rows = []
     for section, sub, key, label in TRAJECTORY:
         node = doc.get(section, {})
@@ -74,26 +123,53 @@ def trajectory_rows(path, doc):
     return rows
 
 
+def serve_rows(doc):
+    rows = []
+    for name, node in serve_scenarios(doc):
+        lat = node.get("latency", {})
+        rows.append((
+            name,
+            f"{lat.get('p50_us', 0):.0f}",
+            f"{lat.get('p95_us', 0):.0f}",
+            f"{node.get('throughput_rps', 0):.0f}",
+            f"{node.get('mean_exec_batch', 0):.2f}",
+            str(node.get("fusion", "?")),
+            str(node.get("steady_weight_packs", "?")),
+            str(node.get("steady_binarizes", "?")),
+        ))
+    return rows
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_failures = []
-    print("## bench_micro_mvm gates and GFLOP/s trajectory\n")
+    print("## bench gates and perf trajectory\n")
     for path in argv[1:]:
         try:
-            doc, failures = check_file(path)
+            with open(path) as f:
+                doc = json.load(f)
         except (OSError, ValueError) as e:
             all_failures.append(f"{path}: unreadable ({e})")
             continue
-        all_failures.extend(failures)
         threads = doc.get("num_threads", "?")
         print(f"### `{path}` (pool={threads} threads)\n")
-        print("| metric | value |\n|---|---|")
-        for label, val in trajectory_rows(path, doc):
-            print(f"| {label} | {val} |")
+        if doc.get("bench") == "serve":
+            failures = check_serve(path, doc)
+            print("| scenario | p50 us | p95 us | rps | exec batch | fusion "
+                  "| steady packs | steady binarizes |")
+            print("|---|---|---|---|---|---|---|---|")
+            for row in serve_rows(doc):
+                print("| " + " | ".join(row) + " |")
+        else:
+            failures = check_mvm(path, doc)
+            print("| metric | value |\n|---|---|")
+            for label, val in mvm_rows(doc):
+                print(f"| {label} | {val} |")
+        all_failures.extend(failures)
         gates = "FAILED" if failures else "all true"
-        print(f"\nbitwise gates: **{gates}**\n")
+        print(f"\ngates: **{gates}**\n")
     if all_failures:
         for f in all_failures:
             print(f"GATE FAILURE: {f}", file=sys.stderr)
