@@ -166,6 +166,101 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   return j;
 }
 
+/// SLO control-plane scenario (DESIGN.md §7): a flash-crowd overload with
+/// deterministic fault injection, served with the pulse backend as primary
+/// and the analytic model as the fidelity-ladder fallback. Runs at 1 worker
+/// and at `workers` workers and enforces the §7 hard gates:
+///   * slo_payload_match      delivered payloads bitwise identical 1 vs N
+///   * shed_set_deterministic runtime shed-set fingerprint == planner's, at
+///                            both worker counts (cross-thread-pool equality
+///                            is checked by tools/check_bench_gates.py over
+///                            the 1t/4t JSON artifacts)
+///   * zero_late_success      no served request past its deadline
+///   * p99_bounded            served virtual p99 <= the deadline
+///   * no_lost_requests       every planned-served request was delivered
+///   * ladder_recovered       back to full fidelity after the burst
+///   * overload_exercised     the burst actually shed + degraded work
+///   * faults_retried         transients retried, the outage fell back and
+///                            tripped the breaker
+/// All gated quantities live on the virtual clock or are bitwise payload
+/// comparisons — machine-independent by construction.
+Json run_slo_scenario(const serve::Backend& primary,
+                      const serve::Backend& degraded,
+                      const data::Dataset& ds,
+                      const std::vector<serve::Arrival>& trace,
+                      std::size_t workers, const serve::ServeConfig& base,
+                      GateState* gates) {
+  const char* name = "slo_flash";
+  const serve::Plan plan = serve::plan(trace, base.slo, base.batch);
+
+  serve::ServeConfig cfg = base;
+  cfg.num_workers = 1;
+  serve::InferenceServer one(primary, degraded, ds, cfg);
+  const serve::ServeReport rep1 = one.run(trace);
+  cfg.num_workers = workers;
+  serve::InferenceServer many(primary, degraded, ds, cfg);
+  const serve::ServeReport rep = many.run(trace);
+
+  const serve::PlanCounters& c = plan.counters;
+  const bool payload_match = bitwise_equal(rep1.outputs, rep.outputs);
+  if (!payload_match)
+    gates->fail(name, "payloads differ between 1 and N workers");
+  const bool shed_match = rep1.slo.exec_shed_set_hash == plan.shed_set_hash &&
+                          rep.slo.exec_shed_set_hash == plan.shed_set_hash;
+  if (!shed_match)
+    gates->fail(name, "runtime shed set diverged from the plan");
+  const bool zero_late = rep.slo.late_virtual == 0;
+  if (!zero_late) gates->fail(name, "a served request missed its deadline");
+  const bool p99_bounded =
+      rep.slo.virtual_latency.p99_us > 0.0 &&
+      rep.slo.virtual_latency.p99_us <=
+          static_cast<double>(base.slo.deadline_us);
+  if (!p99_bounded)
+    gates->fail(name, "served virtual p99 exceeds the deadline");
+  const bool no_lost = rep1.completed == c.served && rep.completed == c.served;
+  if (!no_lost) gates->fail(name, "a planned-served request was not delivered");
+  const bool recovered = rep.slo.final_ladder_level == 0;
+  if (!recovered) gates->fail(name, "ladder did not recover after the burst");
+  const bool overloaded = rep.slo.exec_shed > 0 &&
+                          rep.slo.degraded_ladder > 0 &&
+                          rep.slo.max_ladder_level >= 2;
+  if (!overloaded)
+    gates->fail(name, "flash crowd did not exercise the overload path");
+  const bool faulted = rep.slo.exec_retried > 0 && rep.slo.exec_fallbacks > 0 &&
+                       rep.slo.breaker_opens >= 1 &&
+                       rep.slo.exec_retried == c.retried_requests &&
+                       rep.slo.exec_faults == c.faults_injected;
+  if (!faulted)
+    gates->fail(name, "fault injection / retry accounting diverged");
+
+  std::printf(
+      "  [%s] %zu req: served=%zu shed=%zu (expired=%zu overload=%zu "
+      "rejected=%zu evicted=%zu) degraded=%zu retried=%zu fallback=%zu "
+      "breaker_opens=%zu vp99=%.0fus late=%zu ladder_max=%d->%d %s\n",
+      name, rep.requests, rep.slo.served, rep.slo.exec_shed,
+      rep.slo.shed_expired, rep.slo.shed_overload, rep.slo.rejected_capacity,
+      rep.slo.evicted, rep.slo.exec_degraded, rep.slo.exec_retried,
+      rep.slo.exec_fallbacks, rep.slo.breaker_opens,
+      rep.slo.virtual_latency.p99_us, rep.slo.late_virtual,
+      rep.slo.max_ladder_level, rep.slo.final_ladder_level,
+      payload_match && shed_match && zero_late && p99_bounded && no_lost &&
+              recovered && overloaded && faulted
+          ? "OK"
+          : "GATE-FAIL");
+
+  Json j = rep.to_json();
+  j.set("backend", primary.name() + "+" + degraded.name());
+  j.set("slo_payload_match", payload_match);
+  j.set("shed_set_deterministic", shed_match);
+  j.set("zero_late_success", zero_late);
+  j.set("p99_bounded", p99_bounded);
+  j.set("no_lost_requests", no_lost);
+  j.set("ladder_recovered", recovered);
+  j.set("overload_exercised", overloaded);
+  j.set("faults_retried", faulted);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +269,8 @@ int main(int argc, char** argv) {
                 "Online micro-batching serving benchmark (BENCH_serve.json).");
   cli.add_flag("smoke", "Shrink the traces so CI finishes in seconds");
   cli.add_option("json", "Output JSON path", "BENCH_serve.json");
+  cli.add_option("slo-json", "SLO-scenario output JSON path",
+                 "BENCH_serve_slo.json");
   cli.add_option("requests", "Analytic-scenario trace length", "auto");
   cli.add_option("rate", "Mean arrival rate, requests/s", "auto");
   cli.add_option("workers", "Serving worker count", "4");
@@ -182,6 +279,8 @@ int main(int argc, char** argv) {
 
   const bool smoke = cli.get_bool("smoke");
   const std::string json_path = cli.get_string("json", "BENCH_serve.json");
+  const std::string slo_json_path =
+      cli.get_string("slo-json", "BENCH_serve_slo.json");
   const auto workers =
       static_cast<std::size_t>(cli.get_int("workers", 4));
   const auto requests = static_cast<std::size_t>(
@@ -329,6 +428,95 @@ int main(int argc, char** argv) {
                                   policy, /*seed=*/29, /*stochastic=*/true,
                                   &gates));
   }
+
+  // -- SLO control plane under a flash crowd with injected faults ----------
+  // (DESIGN.md §7): pulse backend as primary, the analytic model over the
+  // same network as the fidelity-ladder fallback. The scenario is fixed by
+  // --smoke alone (independent of --requests/--rate) so the 1t and 4t CI
+  // artifacts describe the identical (seed, trace, policy) tuple and
+  // check_bench_gates.py can demand equal shed-set fingerprints across
+  // them.
+  Json slo_doc = Json::object();
+  slo_doc.set("bench", "serve_slo");
+  slo_doc.set("smoke", smoke);
+  slo_doc.set("num_threads", pool.num_threads());
+  slo_doc.set("workers", workers);
+  {
+    models::MlpConfig scfg;
+    scfg.in_features = 24;
+    scfg.hidden = {32, 32};  // fc2 crossbar-encoded: real pulse execution
+    scfg.num_classes = 10;
+    scfg.seed = 21;
+    models::Mlp slo_model = models::build_mlp(scfg);
+    slo_model.net->set_training(false);
+    data::Dataset sds = random_dataset(128, scfg.in_features, 43);
+
+    xbar::HwDeployConfig hw_cfg;
+    hw_cfg.sigma = 0.5;
+    hw_cfg.device.read_noise_sigma = 0.05;
+    hw_cfg.device.adc_bits = 8;
+    hw_cfg.device.program_variation = 0.05;
+    xbar::HardwareNetwork hw(*slo_model.net, slo_model.encoded, hw_cfg);
+    serve::PulseBackend primary(hw);
+    serve::AnalyticBackend fallback(*slo_model.net, /*stochastic=*/false);
+
+    serve::TrafficConfig straffic;
+    straffic.num_requests = smoke ? 320 : 1200;
+    straffic.rate_rps = 900.0;
+    straffic.shape = serve::TraceShape::kFlashCrowd;
+    straffic.flash_factor = 14.0;
+    straffic.flash_start_s = smoke ? 0.05 : 0.2;
+    straffic.flash_ramp_s = 0.005;
+    straffic.flash_hold_s = smoke ? 0.02 : 0.05;
+    straffic.high_fraction = 0.2;
+    straffic.low_fraction = 0.3;
+    straffic.seed = 101;
+    const auto strace = serve::make_trace(straffic, sds.size());
+    Json stj = Json::object();
+    stj.set("requests", straffic.num_requests);
+    stj.set("rate_rps", straffic.rate_rps);
+    stj.set("flash_factor", straffic.flash_factor);
+    stj.set("shape", "flash_crowd");
+    slo_doc.set("traffic", stj);
+
+    serve::ServeConfig scfg2;
+    scfg2.batch = policy;
+    scfg2.seed = 29;
+    scfg2.slo.enabled = true;
+    scfg2.slo.deadline_us = 15000;
+    // Headroom covers the worst batch cost (50 + 8 * (800 + 100) = 7250),
+    // so pop-time shedding guarantees zero late completions.
+    scfg2.slo.completion_headroom_us = 9000;
+    scfg2.slo.queue.capacity = 64;
+    scfg2.slo.queue.on_full = serve::QueuePolicy::OnFull::kDropOldest;
+    scfg2.slo.cost.batch_fixed_us = 50;
+    scfg2.slo.cost.primary_us = 800;
+    scfg2.slo.cost.degraded_us = 100;
+    scfg2.slo.cost.retry_penalty_us = 100;
+    scfg2.slo.ladder.degrade_depth = 8;
+    scfg2.slo.ladder.shed_depth = 30;
+    scfg2.slo.ladder.recover_depth = 2;
+    scfg2.slo.ladder.shed_floor = serve::Priority::kNormal;
+    scfg2.slo.retry.max_attempts = 2;
+    scfg2.slo.retry.backoff_us = 50;
+    scfg2.slo.breaker.failure_threshold = 3;
+    scfg2.slo.breaker.cooldown_us = 30000;
+    scfg2.slo.fault.enabled = true;
+    scfg2.slo.fault.seed = 555;
+    scfg2.slo.fault.transient_rate = 0.08;
+    scfg2.slo.fault.outage_start_id = 30;  // pre-flash: hits the level-0 path
+    scfg2.slo.fault.outage_len = 12;
+
+    slo_doc.set("slo_flash",
+                run_slo_scenario(primary, fallback, sds, strace, workers,
+                                 scfg2, &gates));
+  }
+  slo_doc.set("gates_ok", gates.ok);
+  if (!slo_doc.write_file(slo_json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", slo_json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", slo_json_path.c_str());
 
   doc.set("gates_ok", gates.ok);
   if (!doc.write_file(json_path)) {

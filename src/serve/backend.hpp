@@ -11,6 +11,13 @@
 //   * PulseBackend — a deployed HardwareNetwork at pulse granularity
 //     (device model, ADC, read noise included) via its const forward.
 //
+// Under the SLO control plane (serve/policy.hpp, DESIGN.md §7) the server
+// holds two backends: the *primary* (typically PulseBackend) serves full-
+// fidelity traffic, and a cheaper *degraded* backend (typically the
+// analytic model) is the fidelity-ladder fallback under overload, breaker
+// quarantine, or exhausted retries. Both are plain Backends — nothing here
+// knows about the ladder; routing is the control plane's job.
+//
 // fusion_mode() tells the server how run() may execute micro-batches.
 // Deterministic backends fuse into one whole-tensor call: every kernel in
 // the infer path computes each batch row independently (row-stable GEMM

@@ -1,0 +1,77 @@
+#include "serve/fault.hpp"
+
+namespace gbo::serve {
+
+bool FaultInjector::fails(std::uint64_t id, std::size_t attempt) const {
+  if (!cfg_.enabled) return false;
+  if (in_outage(id)) return true;  // sustained outage: every attempt fails
+  if (cfg_.transient_rate <= 0.0) return false;
+  // Pure in (seed, id, attempt): fork chains never advance the root, so
+  // the answer is identical from any thread at any point in the run.
+  Rng r = root_.fork(id).fork(attempt);
+  return r.bernoulli(cfg_.transient_rate);
+}
+
+std::size_t FaultInjector::attempts_to_success(
+    std::uint64_t id, std::size_t max_attempts) const {
+  for (std::size_t a = 0; a < max_attempts; ++a)
+    if (!fails(id, a)) return a;
+  return max_attempts;
+}
+
+std::uint64_t FaultInjector::stall_us(std::uint64_t id) const {
+  if (!cfg_.enabled || cfg_.stall_rate <= 0.0 || cfg_.stall_us == 0) return 0;
+  // Distinct sub-stream from the failure draws (stream index past any
+  // realistic attempt count).
+  Rng r = root_.fork(id).fork(~std::uint64_t{0});
+  return r.bernoulli(cfg_.stall_rate) ? cfg_.stall_us : 0;
+}
+
+bool FaultInjector::in_outage(std::uint64_t id) const {
+  return cfg_.enabled && cfg_.outage_len != 0 && id >= cfg_.outage_start_id &&
+         id < cfg_.outage_start_id + cfg_.outage_len;
+}
+
+bool CircuitBreaker::allow(std::uint64_t now_us) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us < open_until_us_) return false;
+      state_ = State::kHalfOpen;
+      probe_outstanding_ = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_outstanding_) return false;  // one probe at a time
+      probe_outstanding_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(std::uint64_t) {
+  consecutive_failures_ = 0;
+  probe_outstanding_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::record_failure(std::uint64_t now_us) {
+  probe_outstanding_ = false;
+  if (state_ == State::kHalfOpen) {
+    open(now_us);  // failed probe: straight back to open
+    return;
+  }
+  if (state_ == State::kOpen) return;  // shouldn't be reached; stay open
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= policy_.failure_threshold) open(now_us);
+}
+
+void CircuitBreaker::open(std::uint64_t now_us) {
+  state_ = State::kOpen;
+  open_until_us_ = now_us + policy_.cooldown_us;
+  consecutive_failures_ = 0;
+  probe_outstanding_ = false;
+  ++opens_;
+}
+
+}  // namespace gbo::serve

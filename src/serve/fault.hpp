@@ -1,0 +1,113 @@
+// Deterministic fault injection for the serving runtime (DESIGN.md §7).
+//
+// Production overload handling is only trustworthy if its failure paths are
+// exercised, and only testable if the failures are reproducible. Every
+// injected fault here is a pure function of (fault seed, request id,
+// attempt) via the repository's counter-fork RNG contract (DESIGN.md §3):
+// the same request fails the same attempts no matter which worker runs it,
+// how batches formed, or whether the decision is evaluated by the
+// virtual-time planner (serve/policy.cpp) or the live worker — which is
+// what lets retry/fallback accounting stay bitwise deterministic at any
+// worker count.
+//
+// Fault classes:
+//   * transient backend failures — attempt k of request id fails with
+//     probability transient_rate (independent per attempt): the worker
+//     retries with bounded backoff and the planner charges the retry cost;
+//   * sustained outage — every primary attempt of request ids in
+//     [outage_start_id, outage_start_id + outage_len) fails, modelling a
+//     persistently faulty crossbar tile / backend replica: retries exhaust,
+//     requests fall back to the degraded backend, and the circuit breaker
+//     opens to quarantine the primary until a half-open probe succeeds;
+//   * worker stalls — request id stalls its worker for stall_us of real
+//     wall time with probability stall_rate: a timing-robustness fault that
+//     must not change payloads or the shed set (and, because decisions live
+//     on the virtual clock, cannot).
+#pragma once
+
+#include "common/rng.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbo::serve {
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0xF417;     // root of the per-request fault forks
+  double transient_rate = 0.0;     // per-attempt failure probability
+  double stall_rate = 0.0;         // per-request worker-stall probability
+  std::uint64_t stall_us = 0;      // stall duration (real wall time)
+  std::uint64_t outage_start_id = 0;  // first request id of the outage
+  std::size_t outage_len = 0;         // 0 = no outage window
+};
+
+/// Pure-function fault oracle; safe to share across threads (every query
+/// forks from the const root, no mutable state).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg), root_(cfg.seed) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// True when primary attempt `attempt` (0-based) of request `id` fails.
+  bool fails(std::uint64_t id, std::size_t attempt) const;
+
+  /// First attempt index that succeeds, or max_attempts when every allowed
+  /// attempt fails (the request must fall back). attempts_to_success(id, m)
+  /// failed attempts precede the success.
+  std::size_t attempts_to_success(std::uint64_t id,
+                                  std::size_t max_attempts) const;
+
+  /// Real-time stall injected before executing request `id`; 0 = none.
+  std::uint64_t stall_us(std::uint64_t id) const;
+
+  /// True when `id` falls inside the sustained-outage window.
+  bool in_outage(std::uint64_t id) const;
+
+ private:
+  FaultConfig cfg_;
+  Rng root_;  // only forked from, never advanced
+};
+
+/// Classic three-state circuit breaker, parameterized on an external clock
+/// so the virtual-time planner can drive it deterministically (DESIGN.md
+/// §7): kClosed counts consecutive primary failures and opens at
+/// failure_threshold; kOpen rejects primaries until cooldown_us has passed,
+/// then admits a single half-open probe; the probe's success closes the
+/// breaker, its failure re-opens it for another cooldown.
+struct BreakerPolicy {
+  std::size_t failure_threshold = 5;
+  std::uint64_t cooldown_us = 5000;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const BreakerPolicy& policy) : policy_(policy) {}
+
+  /// May the next primary attempt proceed at `now_us`? Transitions
+  /// kOpen -> kHalfOpen once the cooldown has elapsed and admits exactly
+  /// one probe until its outcome is recorded.
+  bool allow(std::uint64_t now_us);
+
+  void record_success(std::uint64_t now_us);
+  void record_failure(std::uint64_t now_us);
+
+  State state() const { return state_; }
+  std::size_t opens() const { return opens_; }
+
+ private:
+  void open(std::uint64_t now_us);
+
+  BreakerPolicy policy_;
+  State state_ = State::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::uint64_t open_until_us_ = 0;
+  bool probe_outstanding_ = false;
+  std::size_t opens_ = 0;
+};
+
+}  // namespace gbo::serve

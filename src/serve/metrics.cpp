@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace gbo::serve {
 namespace {
+
+// Json numbers are doubles; a 64-bit fingerprint would lose precision, so
+// hashes are emitted as fixed-width hex strings (what the bench gates
+// compare for equality).
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
 
 double nearest_rank(const std::vector<std::uint64_t>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -21,6 +32,7 @@ double nearest_rank(const std::vector<std::uint64_t>& sorted, double q) {
 
 LatencyStats LatencyStats::compute(std::vector<std::uint64_t> samples) {
   LatencyStats s;
+  s.count = samples.size();
   if (samples.empty()) return s;
   std::sort(samples.begin(), samples.end());
   s.p50_us = nearest_rank(samples, 0.50);
@@ -40,6 +52,7 @@ Json LatencyStats::to_json() const {
   j.set("p99_us", p99_us);
   j.set("mean_us", mean_us);
   j.set("max_us", max_us);
+  j.set("count", count);
   return j;
 }
 
@@ -49,6 +62,51 @@ Json ArenaSummary::to_json() const {
   j.set("steady_allocs", steady_allocs);
   j.set("high_water_bytes", high_water_bytes);
   j.set("reserved_bytes", reserved_bytes);
+  return j;
+}
+
+Json SloSummary::to_json() const {
+  Json j = Json::object();
+  j.set("enabled", enabled);
+  Json plan = Json::object();
+  plan.set("admitted", admitted);
+  plan.set("served", served);
+  plan.set("served_primary", served_primary);
+  plan.set("degraded_ladder", degraded_ladder);
+  plan.set("degraded_breaker", degraded_breaker);
+  plan.set("degraded_fallback", degraded_fallback);
+  plan.set("shed_expired", shed_expired);
+  plan.set("shed_overload", shed_overload);
+  plan.set("rejected_capacity", rejected_capacity);
+  plan.set("evicted", evicted);
+  plan.set("retried_requests", retried_requests);
+  plan.set("faults_injected", faults_injected);
+  plan.set("late_virtual", late_virtual);
+  plan.set("breaker_opens", breaker_opens);
+  plan.set("ladder_transitions", ladder_transitions);
+  plan.set("final_ladder_level", final_ladder_level);
+  plan.set("max_ladder_level", max_ladder_level);
+  plan.set("max_virtual_depth", max_virtual_depth);
+  plan.set("deadline_us", deadline_us);
+  plan.set("shed_set_hash", hex64(shed_set_hash));
+  plan.set("virtual_latency", virtual_latency.to_json());
+  Json vp = Json::array();
+  for (const auto& st : virtual_by_priority) vp.push_back(st.to_json());
+  plan.set("virtual_by_priority", vp);
+  j.set("plan", plan);
+  Json exec = Json::object();
+  exec.set("delivered", exec_delivered);
+  exec.set("shed", exec_shed);
+  exec.set("retried", exec_retried);
+  exec.set("faults", exec_faults);
+  exec.set("fallbacks", exec_fallbacks);
+  exec.set("degraded", exec_degraded);
+  exec.set("stalls", exec_stalls);
+  exec.set("shed_set_hash", hex64(exec_shed_set_hash));
+  Json rp = Json::array();
+  for (const auto& st : real_by_priority) rp.push_back(st.to_json());
+  exec.set("real_by_priority", rp);
+  j.set("exec", exec);
   return j;
 }
 
@@ -64,6 +122,9 @@ Json ServeReport::to_json() const {
   q.set("pushes", queue.pushes);
   q.set("max_depth", queue.max_depth);
   q.set("mean_depth", queue.mean_depth);
+  q.set("rejected", queue.rejected);
+  q.set("evicted", queue.evicted);
+  q.set("sheds", queue.sheds);
   j.set("queue", q);
   Json hist = Json::array();
   for (std::size_t b = 0; b < batch_hist.size(); ++b) {
@@ -79,6 +140,7 @@ Json ServeReport::to_json() const {
   j.set("mean_exec_batch", mean_exec_batch);
   j.set("fusion", fusion);
   j.set("arena", arena.to_json());
+  if (slo.enabled) j.set("slo", slo.to_json());
   return j;
 }
 

@@ -1,6 +1,8 @@
 // Serving metrics: request latency quantiles, queue depth, batch-size
-// histogram, throughput, and per-worker arena accounting — everything
-// bench_serve writes into BENCH_serve.json.
+// histogram, throughput, per-worker arena accounting, and — for SLO runs —
+// the control-plane ledger (shed/degrade/retry counters, per-priority
+// virtual latency percentiles, shed-set fingerprints) that bench_serve
+// writes into BENCH_serve.json / BENCH_serve_slo.json.
 #pragma once
 
 #include "common/json.hpp"
@@ -8,6 +10,7 @@
 #include "tensor/arena.hpp"
 #include "tensor/tensor.hpp"
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +24,7 @@ struct LatencyStats {
   double p99_us = 0.0;
   double mean_us = 0.0;
   double max_us = 0.0;
+  std::size_t count = 0;
 
   /// Computes from an unsorted sample vector (copied; empty -> all zero).
   static LatencyStats compute(std::vector<std::uint64_t> samples);
@@ -38,6 +42,51 @@ struct ArenaSummary {
   Json to_json() const;
 };
 
+/// The SLO control plane's ledger for one run (DESIGN.md §7). The plan-side
+/// fields are deterministic in (trace, policy); the exec-side fields are
+/// what the workers actually did and must mirror the plan — the
+/// `plan_exec_consistent` gate compares them.
+struct SloSummary {
+  bool enabled = false;
+
+  // ---- plan side (virtual clock, deterministic) ----
+  std::size_t admitted = 0;          // pushed into the queue
+  std::size_t served = 0;
+  std::size_t served_primary = 0;
+  std::size_t degraded_ladder = 0;
+  std::size_t degraded_breaker = 0;
+  std::size_t degraded_fallback = 0;
+  std::size_t shed_expired = 0;
+  std::size_t shed_overload = 0;
+  std::size_t rejected_capacity = 0;
+  std::size_t evicted = 0;
+  std::size_t retried_requests = 0;
+  std::size_t faults_injected = 0;
+  std::size_t late_virtual = 0;      // served past deadline (not in-SLO)
+  std::size_t breaker_opens = 0;
+  std::size_t ladder_transitions = 0;
+  int final_ladder_level = 0;
+  int max_ladder_level = 0;
+  std::size_t max_virtual_depth = 0;
+  std::uint64_t deadline_us = 0;
+  std::uint64_t shed_set_hash = 0;   // planner fingerprint
+  LatencyStats virtual_latency;      // served requests, virtual clock
+  std::array<LatencyStats, kNumPriorities> virtual_by_priority;
+
+  // ---- execution side (what the workers actually did) ----
+  std::size_t exec_delivered = 0;    // payload rows written
+  std::size_t exec_shed = 0;         // diverted at pop + skipped at admission
+  std::size_t exec_retried = 0;
+  std::size_t exec_faults = 0;
+  std::size_t exec_fallbacks = 0;
+  std::size_t exec_degraded = 0;     // served on the degraded backend
+  std::size_t exec_stalls = 0;
+  std::uint64_t exec_shed_set_hash = 0;  // runtime fingerprint
+  std::array<LatencyStats, kNumPriorities> real_by_priority;  // delivered
+
+  Json to_json() const;
+};
+
 /// Everything one InferenceServer::run produced.
 struct ServeReport {
   std::size_t requests = 0;
@@ -45,6 +94,8 @@ struct ServeReport {
   std::size_t workers = 0;
   double wall_s = 0.0;
   double throughput_rps = 0.0;
+  /// Wall-clock latency over delivered requests (all requests in non-SLO
+  /// runs; shed/rejected requests have no latency sample).
   LatencyStats latency;
   RequestQueue::DepthStats queue;
   /// batch_hist[b] = number of micro-batches of size b (index 0 unused).
@@ -57,15 +108,19 @@ struct ServeReport {
   double mean_exec_batch = 0.0;
   /// Execution mode frozen at warmup: "fused", "fused_per_sample" (noisy
   /// configs batching on per-sample RNG streams, DESIGN.md §6), or
-  /// "per_request".
+  /// "per_request". For SLO runs this is the primary backend's mode.
   std::string fusion;
   ArenaSummary arena;
+  /// Control-plane ledger; enabled only for SLO runs.
+  SloSummary slo;
 
   /// Per-request payloads, [requests, out_dim] — row r is request r's
-  /// logits. Bitwise identical across worker counts and batch policies for
-  /// the same (seed, trace); the determinism gates compare these.
+  /// logits (all-zero for shed/rejected requests). Bitwise identical across
+  /// worker counts and batch policies for the same (seed, trace, policy);
+  /// the determinism gates compare these.
   Tensor outputs;
-  /// Per-request completion latency (actual enqueue -> completion), us.
+  /// Per-request completion latency (actual enqueue -> completion), us;
+  /// 0 for requests that were never delivered.
   std::vector<std::uint64_t> latencies_us;
 
   /// Metrics document (outputs and the raw latency vector are elided).

@@ -1,0 +1,168 @@
+// The SLO control plane: admission control, deadlines, priority shedding,
+// a fidelity ladder, and fault routing — decided on a virtual clock so the
+// decision ledger is a pure function of (trace, policy), independent of
+// worker count, pool size, and wall-clock jitter (DESIGN.md §7).
+//
+// Why a virtual clock: the serving determinism contract (DESIGN.md §4)
+// promises bitwise-identical payloads at any worker count, and this PR
+// extends it to *which requests were shed or degraded*. Wall-clock shedding
+// can never satisfy that — a 1-worker drain and a 4-worker race see
+// completely different clocks. Instead, `plan()` runs a deterministic
+// discrete-event simulation of the serving loop over the arrival trace:
+// virtual executors ("lanes") with a configured per-mode cost model stand
+// in for the worker pool, and every control decision — bounded-queue
+// admission, deadline shedding, ladder transitions, retry accounting, and
+// circuit-breaker routing — is taken at virtual flush times. The simulation
+// drives the *real* RequestQueue implementation (try_pop_batch under an
+// explicit now), so planner decisions and runtime queue mechanics share one
+// code path. The real server then executes the plan: planned-shed requests
+// are still pushed and diverted at pop time (exercising the shed mechanism),
+// planned-rejected requests are bounced at admission, and fault/retry
+// outcomes are re-derived live from the same seeded FaultInjector — by
+// construction they agree with the plan.
+//
+// The fidelity ladder: level 0 serves every request on the primary backend
+// (e.g. pulse-level hardware); level 1 (queue depth >= degrade_depth) steps
+// every batch down to the degraded backend (e.g. the analytic model);
+// level 2 (depth >= shed_depth) additionally sheds everything below the
+// priority floor at pop time. The ladder steps back down to level 0 when
+// depth recovers to recover_depth (hysteresis, so it cannot flap on every
+// batch). Mode is recorded per request.
+//
+// Deadline semantics: a request's deadline is arrival + deadline_us on the
+// virtual clock. At pop time the planner sheds requests whose deadline
+// falls inside `completion_headroom_us` of the flush instant — requests
+// that could not finish in time are dropped *before* wasting backend work,
+// which is what makes "zero late successes" a policy guarantee rather than
+// an aspiration. Any request that still completes past its deadline
+// (headroom configured too small) is counted late and not reported as an
+// in-SLO success.
+#pragma once
+
+#include "serve/fault.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gbo::serve {
+
+/// Virtual service-cost model (microseconds on the virtual clock). A batch
+/// of n requests in mode m costs batch_fixed_us + n * per-request cost of
+/// m, plus retry_penalty_us per failed primary attempt.
+struct CostModel {
+  std::uint64_t batch_fixed_us = 50;
+  std::uint64_t primary_us = 400;
+  std::uint64_t degraded_us = 80;
+  std::uint64_t retry_penalty_us = 100;
+};
+
+/// Fidelity-ladder thresholds on virtual queue depth, with hysteresis.
+struct LadderPolicy {
+  std::size_t degrade_depth = 16;  // level >= 1 when depth reaches this
+  std::size_t shed_depth = 64;     // level 2 when depth reaches this
+  std::size_t recover_depth = 4;   // back to level 0 at or below this
+  /// Lowest priority still served at ladder level 2 (everything below the
+  /// floor is shed as kOverload).
+  Priority shed_floor = Priority::kHigh;
+};
+
+/// Bounded retry against transient primary faults. backoff_us is real wall
+/// time slept by the worker between attempts; the virtual clock charges
+/// retry_penalty_us per failed attempt instead.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  std::uint64_t backoff_us = 100;
+};
+
+struct SloPolicy {
+  bool enabled = false;
+  /// Per-request deadline (virtual us after arrival); 0 disables deadlines.
+  std::uint64_t deadline_us = 0;
+  /// Shed-at-pop horizon: a request is shed when its deadline is within
+  /// this margin of the virtual flush instant. Set it to at least the worst
+  /// batch cost to guarantee zero late successes.
+  std::uint64_t completion_headroom_us = 0;
+  QueuePolicy queue;          // admission bound (0 = unbounded)
+  std::size_t virtual_lanes = 1;  // virtual executors (NOT the worker count)
+  CostModel cost;
+  LadderPolicy ladder;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  FaultConfig fault;
+};
+
+/// One request's planned outcome.
+struct Decision {
+  enum class Outcome : std::uint8_t {
+    kServed = 0,
+    kRejected = 1,      // admission bound, kRejectNew (or outranked arrival)
+    kEvicted = 2,       // admission bound, kDropOldest victim
+    kShedExpired = 3,   // deadline (un)meetable at pop
+    kShedOverload = 4,  // ladder level 2, below the priority floor
+  };
+  Outcome outcome = Outcome::kServed;
+  ServeMode mode = ServeMode::kPrimary;  // meaningful when served
+  Priority priority = Priority::kNormal;
+  std::uint8_t attempts = 0;   // failed primary attempts before the outcome
+  bool late = false;           // served but past its deadline (counted, not
+                               // an in-SLO success)
+  std::uint64_t v_pop_us = 0;  // virtual flush instant
+  std::uint64_t v_done_us = 0; // virtual completion
+  std::uint64_t deadline_us = 0;
+
+  bool served() const { return outcome == Outcome::kServed; }
+  bool shed() const { return !served(); }
+};
+
+/// Aggregates over a plan; every field is deterministic in (trace, policy).
+struct PlanCounters {
+  std::size_t served = 0;
+  std::size_t served_primary = 0;
+  std::size_t degraded_ladder = 0;
+  std::size_t degraded_breaker = 0;
+  std::size_t degraded_fallback = 0;
+  std::size_t shed_expired = 0;
+  std::size_t shed_overload = 0;
+  std::size_t rejected = 0;
+  std::size_t evicted = 0;
+  std::size_t retried_requests = 0;  // served after >= 1 failed attempt
+  std::size_t faults_injected = 0;   // total failed primary attempts
+  std::size_t late = 0;              // served past deadline
+  std::size_t breaker_opens = 0;
+  std::size_t ladder_transitions = 0;
+  int final_ladder_level = 0;
+  int max_ladder_level = 0;
+  std::size_t max_virtual_depth = 0;
+  std::size_t virtual_batches = 0;
+};
+
+struct Plan {
+  std::vector<Decision> decisions;  // index = request id = trace index
+  PlanCounters counters;
+  LatencyStats virtual_latency;     // served requests, virtual clock
+  std::array<LatencyStats, kNumPriorities> virtual_by_priority;
+  /// FNV-1a over the (id, outcome) pairs of every non-served request in id
+  /// order — the shed-set fingerprint the determinism gates compare.
+  std::uint64_t shed_set_hash = 0;
+};
+
+/// Runs the virtual-time control-plane simulation. Pure: same
+/// (trace, slo, batch) always yields the identical plan.
+Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
+          const BatchPolicy& batch);
+
+/// FNV-1a fingerprint of a shed set given as (id, outcome-code) pairs in
+/// ascending id order; shared by the planner and the runtime's
+/// execution-side accounting.
+std::uint64_t shed_set_fingerprint(
+    const std::vector<std::pair<std::uint64_t, std::uint8_t>>& shed);
+
+/// ShedReason a non-served planned outcome maps to (kNone for kServed);
+/// the server stamps it on the requests it pre-marks for pop-time shedding.
+ShedReason shed_reason(Decision::Outcome outcome);
+
+}  // namespace gbo::serve

@@ -4,13 +4,17 @@
 // repository's networks: a seeded traffic generator produces an arrival
 // trace over a dataset, requests flow through a thread-safe queue into a
 // dynamic micro-batcher, and a worker pool executes them against either the
-// analytic or the pulse-level backend (serve/backend.hpp).
+// analytic or the pulse-level backend (serve/backend.hpp). An optional SLO
+// control plane (serve/policy.hpp) adds admission control, per-request
+// deadlines, priority classes, a fidelity ladder, and fault routing.
 //
-// Determinism contract (DESIGN.md §4): a request's payload output depends
-// only on (server seed, request id) — never on which worker executes it,
-// how the micro-batcher grouped it, or how many workers exist. Timing
+// Determinism contract (DESIGN.md §4, §7): a request's payload output
+// depends only on (server seed, request id, execution mode) — never on
+// which worker executes it, how the micro-batcher grouped it, or how many
+// workers exist — and every control-plane decision (admit / shed / degrade)
+// is a pure function of (trace, policy), decided on a virtual clock. Timing
 // (latency, batch composition) is real and therefore run-to-run variable;
-// payloads are bitwise reproducible.
+// payloads and the shed set are bitwise reproducible.
 #pragma once
 
 #include <cstddef>
@@ -18,10 +22,36 @@
 
 namespace gbo::serve {
 
+/// Priority classes carried on every request. Lower value = more important;
+/// the queue drains higher classes first and the overload ladder sheds from
+/// the bottom up.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// How the control plane routed a served request down the fidelity ladder
+/// (DESIGN.md §7). The payload is produced by the primary backend for
+/// kPrimary and by the degraded backend otherwise.
+enum class ServeMode : std::uint8_t {
+  kPrimary = 0,           // full fidelity
+  kDegradedLadder = 1,    // fidelity ladder stepped down under queue pressure
+  kDegradedBreaker = 2,   // circuit breaker open: primary quarantined
+  kDegradedFallback = 3,  // primary retries exhausted, served degraded
+};
+
+/// Why a request produced no payload.
+enum class ShedReason : std::uint8_t {
+  kNone = 0,      // served
+  kExpired = 1,   // deadline passed (or unmeetable) at pop time
+  kOverload = 2,  // ladder at shed level and priority below the floor
+  kCapacity = 3,  // bounded queue rejected the new arrival
+  kEvicted = 4,   // bounded queue dropped it to admit a newer arrival
+};
+
 /// One scheduled arrival of a synthetic traffic trace.
 struct Arrival {
   std::uint64_t t_us = 0;   // arrival offset from trace start
   std::size_t sample = 0;   // dataset row this request asks for
+  Priority priority = Priority::kNormal;  // seeded class mix (traffic.hpp)
 };
 
 /// A queued inference request.
@@ -29,10 +59,22 @@ struct Request {
   std::uint64_t id = 0;         // trace index; also the RNG fork stream
   std::size_t sample = 0;       // dataset row
   std::uint64_t enqueue_us = 0; // actual enqueue time (relative clock)
+  Priority priority = Priority::kNormal;
+  /// Absolute virtual-time deadline (trace clock), 0 = none. Compared by
+  /// the pop-side shed check against a caller-provided "now".
+  std::uint64_t deadline_us = 0;
+  /// Planned execution route (SLO runs; ignored otherwise).
+  ServeMode mode = ServeMode::kPrimary;
+  /// Control-plane shed mark: pop_batch diverts flagged requests into the
+  /// shed output instead of batching them.
+  bool shed = false;
+  ShedReason reason = ShedReason::kNone;
 };
 
 /// Micro-batching policy: a batch flushes as soon as it holds max_batch
 /// requests or the oldest member has waited max_wait_us since its pop.
+/// max_wait_us == 0 means "no coalescing wait": flush whatever is already
+/// queued immediately (never a busy spin, never an indefinite wait).
 struct BatchPolicy {
   std::size_t max_batch = 8;
   std::uint64_t max_wait_us = 200;

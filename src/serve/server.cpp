@@ -4,6 +4,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <array>
 #include <thread>
 
 namespace gbo::serve {
@@ -14,6 +15,27 @@ std::uint64_t us_since(const std::chrono::steady_clock::time_point& t0) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+}
+
+std::uint8_t outcome_code(Decision::Outcome o) {
+  return static_cast<std::uint8_t>(o);
+}
+
+// ShedReason -> Decision::Outcome code, the inverse of shed_reason(); the
+// runtime logs its shed set in the same encoding the planner fingerprints.
+std::uint8_t reason_code(ShedReason r) {
+  switch (r) {
+    case ShedReason::kCapacity:
+      return outcome_code(Decision::Outcome::kRejected);
+    case ShedReason::kEvicted:
+      return outcome_code(Decision::Outcome::kEvicted);
+    case ShedReason::kExpired:
+      return outcome_code(Decision::Outcome::kShedExpired);
+    case ShedReason::kOverload:
+      return outcome_code(Decision::Outcome::kShedOverload);
+    case ShedReason::kNone: break;
+  }
+  return outcome_code(Decision::Outcome::kServed);
 }
 
 }  // namespace
@@ -37,16 +59,14 @@ InferenceServer::InferenceServer(const Backend& backend,
   }
 }
 
-void InferenceServer::warmup() {
-  if (warmed_) return;
-  warmed_ = true;
-  // The execution mode is frozen here: the backend's hook configuration
-  // must not change once the server has warmed up.
-  mode_ = backend_.fusion_mode();
-  if (dataset_.size() == 0) {
-    log_warn("serve: warmup over an empty dataset skipped");
-    return;
-  }
+InferenceServer::InferenceServer(const Backend& backend,
+                                 const Backend& degraded,
+                                 const data::Dataset& dataset, ServeConfig cfg)
+    : InferenceServer(backend, dataset, cfg) {
+  degraded_ = &degraded;
+}
+
+void InferenceServer::warmup_backend(const Backend& backend, FusionMode mode) {
   const std::size_t len = dataset_.sample_numel();
   const float* images = dataset_.images.data();
   // Opaque stochastic backends only ever see unit batches; both fused
@@ -55,7 +75,7 @@ void InferenceServer::warmup() {
   // frozen-weight panel caches (prepack-at-deploy, DESIGN.md §6), so the
   // first real request already packs nothing.
   std::vector<std::size_t> sizes{1};
-  if (mode_ != FusionMode::kPerRequest && cfg_.batch.max_batch > 1)
+  if (mode != FusionMode::kPerRequest && cfg_.batch.max_batch > 1)
     sizes.push_back(cfg_.batch.max_batch);
   for (auto& wp : workers_) {
     Worker& w = *wp;
@@ -69,45 +89,72 @@ void InferenceServer::warmup() {
       }
       // A dedicated stream id far above any request id; draws are discarded.
       w.ctx.rng = root_.fork(~std::uint64_t{0});
-      if (mode_ == FusionMode::kFusedPerSample)
+      if (mode == FusionMode::kFusedPerSample)
         w.ctx.row_rngs.assign(b, root_.fork(~std::uint64_t{0}));
       else
         w.ctx.row_rngs.clear();
-      Tensor logits = backend_.run(w.gather, w.ctx);
+      Tensor logits = backend.run(w.gather, w.ctx);
       out_dim_ = logits.numel() / b;
       w.ctx.recycle(std::move(logits));
     }
   }
 }
 
-void InferenceServer::process_batch(
-    Worker& w, const std::vector<Request>& batch, float* out_rows,
-    std::uint64_t* completion_us,
-    const std::chrono::steady_clock::time_point& t0) {
+void InferenceServer::warmup() {
+  if (warmed_) return;
+  warmed_ = true;
+  // The execution modes are frozen here: backend hook configuration must
+  // not change once the server has warmed up.
+  mode_ = backend_.fusion_mode();
+  dmode_ = degraded_ != nullptr ? degraded_->fusion_mode() : mode_;
+  if (dataset_.size() == 0) {
+    log_warn("serve: warmup over an empty dataset skipped");
+    return;
+  }
+  warmup_backend(backend_, mode_);
+  const std::size_t primary_dim = out_dim_;
+  if (degraded_ != nullptr) {
+    warmup_backend(*degraded_, dmode_);
+    if (out_dim_ != primary_dim) {
+      log_warn(
+          "serve: degraded backend output dim mismatch, serving degraded "
+          "requests on the primary backend instead");
+      degraded_ = nullptr;
+      dmode_ = mode_;
+      out_dim_ = primary_dim;
+    }
+  }
+}
+
+void InferenceServer::exec_rows(Worker& w, const Backend& backend,
+                                FusionMode mode,
+                                const std::vector<Request>& group,
+                                float* out_rows) {
+  if (group.empty()) return;
   const std::size_t len = dataset_.sample_numel();
   const float* images = dataset_.images.data();
-  if (mode_ != FusionMode::kPerRequest) {
+  if (mode != FusionMode::kPerRequest) {
     // Fused whole-tensor execution; row-equal to unit batches by the
     // kernel row-independence contract (serve/backend.hpp). Stochastic
     // configurations ride the same call with one request stream per row
     // (DESIGN.md §6), so their payloads are likewise independent of how
     // the micro-batcher grouped the requests.
-    w.in_shape[0] = batch.size();
+    w.in_shape[0] = group.size();
     w.gather.resize(w.in_shape);
     float* g = w.gather.data();
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      std::copy(images + batch[i].sample * len,
-                images + (batch[i].sample + 1) * len, g + i * len);
-    if (mode_ == FusionMode::kFusedPerSample) {
-      w.ctx.row_rngs.resize(batch.size());  // capacity warmed at max_batch
-      for (std::size_t i = 0; i < batch.size(); ++i)
-        w.ctx.row_rngs[i] = root_.fork(batch[i].id);
+    for (std::size_t i = 0; i < group.size(); ++i)
+      std::copy(images + group[i].sample * len,
+                images + (group[i].sample + 1) * len, g + i * len);
+    if (mode == FusionMode::kFusedPerSample) {
+      w.ctx.row_rngs.resize(group.size());  // capacity warmed at max_batch
+      for (std::size_t i = 0; i < group.size(); ++i)
+        w.ctx.row_rngs[i] = root_.fork(group[i].id);
     }
-    Tensor logits = backend_.run(w.gather, w.ctx);
+    Tensor logits = backend.run(w.gather, w.ctx);
     const float* rows = logits.data();
-    for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t i = 0; i < group.size(); ++i)
       std::copy(rows + i * out_dim_, rows + (i + 1) * out_dim_,
-                out_rows + batch[i].id * out_dim_);
+                out_rows + group[i].id * out_dim_);
     w.ctx.recycle(std::move(logits));
     ++w.exec_calls;
   } else {
@@ -117,16 +164,82 @@ void InferenceServer::process_batch(
     w.in_shape[0] = 1;
     w.gather.resize(w.in_shape);
     float* g = w.gather.data();
-    for (const Request& r : batch) {
+    for (const Request& r : group) {
       std::copy(images + r.sample * len, images + (r.sample + 1) * len, g);
       w.ctx.rng = root_.fork(r.id);
-      Tensor logits = backend_.run(w.gather, w.ctx);
+      Tensor logits = backend.run(w.gather, w.ctx);
       std::copy(logits.data(), logits.data() + out_dim_,
                 out_rows + r.id * out_dim_);
       w.ctx.recycle(std::move(logits));
       ++w.exec_calls;
     }
   }
+}
+
+void InferenceServer::process_batch(
+    Worker& w, const std::vector<Request>& batch, float* out_rows,
+    std::uint64_t* completion_us,
+    const std::chrono::steady_clock::time_point& t0) {
+  exec_rows(w, backend_, mode_, batch, out_rows);
+  const std::uint64_t done = us_since(t0);
+  for (const Request& r : batch) completion_us[r.id] = done;
+  if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
+  ++w.batch_hist[batch.size()];
+  w.served += batch.size();
+}
+
+void InferenceServer::process_batch_slo(
+    Worker& w, const std::vector<Request>& batch, float* out_rows,
+    std::uint64_t* completion_us,
+    const std::chrono::steady_clock::time_point& t0,
+    const FaultInjector& injector) {
+  const RetryPolicy& retry = cfg_.slo.retry;
+  w.primary_group.clear();
+  w.degraded_group.clear();
+  // Injected stalls and retry backoff are real wall-time sleeps taken
+  // before execution; they stretch latency but cannot change routing or
+  // payloads — those were fixed on the virtual clock.
+  std::uint64_t sleep_us = 0;
+  for (const Request& r : batch) {
+    const std::uint64_t stall = injector.stall_us(r.id);
+    if (stall > 0) {
+      sleep_us += stall;
+      ++w.stalls;
+    }
+    switch (r.mode) {
+      case ServeMode::kPrimary: {
+        // Re-derive the retry ladder live from the same pure injector the
+        // planner consulted: the worker observes exactly the failed
+        // attempts the plan charged for, then the surviving attempt runs.
+        const std::size_t a =
+            injector.attempts_to_success(r.id, retry.max_attempts);
+        if (a > 0) {
+          ++w.retried;
+          w.faults += a;
+          sleep_us += a * retry.backoff_us;
+        }
+        w.primary_group.push_back(r);
+        break;
+      }
+      case ServeMode::kDegradedFallback:
+        // Every allowed attempt fails before the fallback executes.
+        ++w.fallbacks;
+        w.faults += retry.max_attempts;
+        sleep_us += retry.max_attempts * retry.backoff_us;
+        w.degraded_group.push_back(r);
+        break;
+      case ServeMode::kDegradedLadder:
+      case ServeMode::kDegradedBreaker:
+        w.degraded_group.push_back(r);
+        break;
+    }
+  }
+  if (sleep_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  exec_rows(w, backend_, mode_, w.primary_group, out_rows);
+  exec_rows(w, degraded_ != nullptr ? *degraded_ : backend_,
+            degraded_ != nullptr ? dmode_ : mode_, w.degraded_group, out_rows);
+  w.degraded += w.degraded_group.size();
   const std::uint64_t done = us_since(t0);
   for (const Request& r : batch) completion_us[r.id] = done;
   if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
@@ -135,6 +248,7 @@ void InferenceServer::process_batch(
 }
 
 ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
+  if (cfg_.slo.enabled) return run_slo(trace);
   ServeReport rep;
   rep.workers = workers_.size();
   if (trace.empty()) {
@@ -236,6 +350,196 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
                                   static_cast<double>(rep.exec_calls);
   rep.throughput_rps =
       rep.wall_s > 0.0 ? static_cast<double>(rep.completed) / rep.wall_s : 0.0;
+  return rep;
+}
+
+ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
+  ServeReport rep;
+  rep.workers = workers_.size();
+  if (trace.empty()) {
+    log_warn("serve: empty request trace, nothing to serve");
+    return rep;
+  }
+  if (dataset_.size() == 0) {
+    log_warn("serve: empty dataset, nothing to serve");
+    return rep;
+  }
+  warmup();
+
+  // Every control decision is fixed here, on the virtual clock, before a
+  // single wall-clock microsecond elapses (DESIGN.md §7). The replay below
+  // only executes the plan.
+  const Plan p = plan(trace, cfg_.slo, cfg_.batch);
+  const FaultInjector injector(cfg_.slo.fault);
+
+  std::vector<std::size_t> allocs_before;
+  for (auto& w : workers_) {
+    allocs_before.push_back(w->arena.stats().system_allocs);
+    w->batch_hist.clear();
+    w->served = 0;
+    w->exec_calls = 0;
+    w->primary_group.clear();
+    w->primary_group.reserve(cfg_.batch.max_batch);
+    w->degraded_group.clear();
+    w->degraded_group.reserve(cfg_.batch.max_batch);
+    w->shed_log.clear();
+    w->retried = w->faults = w->fallbacks = w->degraded = w->stalls = 0;
+  }
+  rep.fusion = mode_ == FusionMode::kFused
+                   ? "fused"
+                   : mode_ == FusionMode::kFusedPerSample ? "fused_per_sample"
+                                                          : "per_request";
+
+  const std::size_t num_requests = trace.size();
+  rep.requests = num_requests;
+  rep.outputs = Tensor({num_requests, out_dim_});
+  std::vector<std::uint64_t> enqueue(num_requests, 0);
+  std::vector<std::uint64_t> completion(num_requests, 0);
+  float* const out_rows = rep.outputs.data();
+  std::uint64_t* const completion_us = completion.data();
+
+  // The execution queue is unbounded: admission was already decided by the
+  // plan (re-racing a wall-clock bound against it could diverge), and the
+  // bounded-queue mechanics are exercised inside the planner — which drives
+  // this same RequestQueue implementation — and in the queue unit tests.
+  RequestQueue queue;
+  // Planned rejections/evictions never reach the queue; the producer logs
+  // them here (single-writer until the pool joins).
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> admission_shed;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num_workers = workers_.size();
+
+  ThreadPool::instance().parallel_for(
+      0, num_workers + 1, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t block = lo; block < hi; ++block) {
+          if (block == 0) {
+            for (std::size_t i = 0; i < num_requests; ++i) {
+              std::this_thread::sleep_until(
+                  t0 + std::chrono::microseconds(trace[i].t_us));
+              const Decision& d = p.decisions[i];
+              if (d.outcome == Decision::Outcome::kRejected ||
+                  d.outcome == Decision::Outcome::kEvicted) {
+                admission_shed.emplace_back(i, outcome_code(d.outcome));
+                continue;
+              }
+              Request r;
+              r.id = i;
+              r.sample = trace[i].sample;
+              r.priority = trace[i].priority;
+              r.deadline_us = d.deadline_us;
+              r.mode = d.mode;
+              // Planned sheds are still pushed, marked: they flow through
+              // the real queue and are diverted by the pop-side shed path,
+              // so the mechanism itself is exercised every run.
+              r.shed = d.shed();
+              r.reason = shed_reason(d.outcome);
+              r.enqueue_us = us_since(t0);
+              enqueue[i] = r.enqueue_us;
+              queue.push(r);
+            }
+            queue.close();
+          } else {
+            Worker& w = *workers_[block - 1];
+            std::vector<Request> batch, shed;
+            while (queue.pop_batch(cfg_.batch, batch, &shed)) {
+              for (const Request& s : shed)
+                w.shed_log.emplace_back(s.id, reason_code(s.reason));
+              if (!batch.empty())
+                process_batch_slo(w, batch, out_rows, completion_us, t0,
+                                  injector);
+            }
+          }
+        }
+      });
+
+  rep.wall_s = static_cast<double>(us_since(t0)) * 1e-6;
+  rep.queue = queue.depth_stats();
+
+  // Wall-clock latency over delivered requests only; shed requests have no
+  // completion and report latency 0.
+  rep.latencies_us.assign(num_requests, 0);
+  std::vector<std::uint64_t> delivered;
+  std::array<std::vector<std::uint64_t>, kNumPriorities> by_pri;
+  delivered.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    if (completion[i] == 0) continue;
+    const std::uint64_t lat = completion[i] - enqueue[i];
+    rep.latencies_us[i] = lat;
+    delivered.push_back(lat);
+    by_pri[static_cast<std::size_t>(trace[i].priority)].push_back(lat);
+  }
+  rep.latency = LatencyStats::compute(std::move(delivered));
+
+  std::size_t batches = 0;
+  SloSummary& s = rep.slo;
+  // The runtime's own shed record: admission bounces from the producer plus
+  // pop-time diversions from every worker, fingerprinted in the planner's
+  // encoding. The determinism gates require it to equal the plan's hash.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> exec_shed =
+      std::move(admission_shed);
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    Worker& w = *workers_[wi];
+    rep.completed += w.served;
+    rep.exec_calls += w.exec_calls;
+    if (rep.batch_hist.size() < w.batch_hist.size())
+      rep.batch_hist.resize(w.batch_hist.size(), 0);
+    for (std::size_t b = 0; b < w.batch_hist.size(); ++b) {
+      rep.batch_hist[b] += w.batch_hist[b];
+      batches += w.batch_hist[b];
+    }
+    exec_shed.insert(exec_shed.end(), w.shed_log.begin(), w.shed_log.end());
+    s.exec_retried += w.retried;
+    s.exec_faults += w.faults;
+    s.exec_fallbacks += w.fallbacks;
+    s.exec_degraded += w.degraded;
+    s.exec_stalls += w.stalls;
+    const ScratchArena::Stats st = w.arena.stats();
+    rep.arena.system_allocs += st.system_allocs;
+    rep.arena.steady_allocs += st.system_allocs - allocs_before[wi];
+    rep.arena.high_water_bytes =
+        std::max(rep.arena.high_water_bytes, st.bump_high_water_bytes);
+    rep.arena.reserved_bytes += st.reserved_bytes;
+  }
+  rep.mean_batch = batches == 0 ? 0.0
+                                : static_cast<double>(rep.completed) /
+                                      static_cast<double>(batches);
+  rep.mean_exec_batch = rep.exec_calls == 0
+                            ? 0.0
+                            : static_cast<double>(rep.completed) /
+                                  static_cast<double>(rep.exec_calls);
+  rep.throughput_rps =
+      rep.wall_s > 0.0 ? static_cast<double>(rep.completed) / rep.wall_s : 0.0;
+
+  std::sort(exec_shed.begin(), exec_shed.end());
+  const PlanCounters& c = p.counters;
+  s.enabled = true;
+  s.admitted = num_requests - c.rejected;
+  s.served = c.served;
+  s.served_primary = c.served_primary;
+  s.degraded_ladder = c.degraded_ladder;
+  s.degraded_breaker = c.degraded_breaker;
+  s.degraded_fallback = c.degraded_fallback;
+  s.shed_expired = c.shed_expired;
+  s.shed_overload = c.shed_overload;
+  s.rejected_capacity = c.rejected;
+  s.evicted = c.evicted;
+  s.retried_requests = c.retried_requests;
+  s.faults_injected = c.faults_injected;
+  s.late_virtual = c.late;
+  s.breaker_opens = c.breaker_opens;
+  s.ladder_transitions = c.ladder_transitions;
+  s.final_ladder_level = c.final_ladder_level;
+  s.max_ladder_level = c.max_ladder_level;
+  s.max_virtual_depth = c.max_virtual_depth;
+  s.deadline_us = cfg_.slo.deadline_us;
+  s.shed_set_hash = p.shed_set_hash;
+  s.virtual_latency = p.virtual_latency;
+  s.virtual_by_priority = p.virtual_by_priority;
+  s.exec_delivered = rep.completed;
+  s.exec_shed = exec_shed.size();
+  s.exec_shed_set_hash = shed_set_fingerprint(exec_shed);
+  for (std::size_t k = 0; k < kNumPriorities; ++k)
+    s.real_by_priority[k] = LatencyStats::compute(std::move(by_pri[k]));
   return rep;
 }
 

@@ -38,6 +38,7 @@
 #include "nn/eval_context.hpp"
 #include "serve/backend.hpp"
 #include "serve/metrics.hpp"
+#include "serve/policy.hpp"
 #include "serve/traffic.hpp"
 
 #include <chrono>
@@ -51,6 +52,9 @@ struct ServeConfig {
   std::size_t num_workers = 1;
   /// Root seed of the per-request noise forks (stochastic backends).
   std::uint64_t seed = 1;
+  /// SLO control plane (DESIGN.md §7); disabled by default, in which case
+  /// the legacy always-serve path runs unchanged.
+  SloPolicy slo;
 };
 
 class InferenceServer {
@@ -60,6 +64,15 @@ class InferenceServer {
   /// logged warning.
   InferenceServer(const Backend& backend, const data::Dataset& dataset,
                   ServeConfig cfg);
+
+  /// SLO-run constructor: `degraded` is the fidelity-ladder fallback
+  /// backend (e.g. the analytic model standing in for pulse-level
+  /// hardware). It must produce the same output dimension as the primary;
+  /// on mismatch the server logs and serves degraded requests on the
+  /// primary instead. Both backends and the dataset must outlive the
+  /// server.
+  InferenceServer(const Backend& backend, const Backend& degraded,
+                  const data::Dataset& dataset, ServeConfig cfg);
 
   /// Sizes every worker's arena and gather buffers by running one maximal
   /// micro-batch (and one unit batch) through the backend, and freezes the
@@ -71,6 +84,14 @@ class InferenceServer {
 
   /// Replays the trace in real time and serves it to completion. An empty
   /// trace (or empty dataset) returns an empty report with a warning.
+  ///
+  /// With cfg.slo.enabled the run is planned first: policy::plan() decides
+  /// every admit / shed / degrade / retry outcome on the virtual clock
+  /// (DESIGN.md §7), then the real replay executes the plan — planned
+  /// rejections are bounced at admission, planned sheds are pushed marked
+  /// and diverted at pop time, and fault/retry behaviour is re-derived
+  /// live from the same seeded FaultInjector. Payloads and the shed set
+  /// are bitwise identical at any worker count.
   ServeReport run(const std::vector<Arrival>& trace);
 
  private:
@@ -82,22 +103,48 @@ class InferenceServer {
     std::vector<std::size_t> batch_hist;  // index = batch size
     std::size_t served = 0;
     std::size_t exec_calls = 0;           // Backend::run invocations
+    // SLO-run route partitions, reused across batches (capacity settles at
+    // max_batch, so steady-state batches allocate nothing).
+    std::vector<Request> primary_group;
+    std::vector<Request> degraded_group;
+    // SLO-run accounting (merged into SloSummary after the run).
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> shed_log;
+    std::size_t retried = 0;    // requests served after >= 1 failed attempt
+    std::size_t faults = 0;     // failed primary attempts observed
+    std::size_t fallbacks = 0;  // retries exhausted, served degraded
+    std::size_t degraded = 0;   // served on the degraded backend (any mode)
+    std::size_t stalls = 0;     // injected worker stalls
     Worker() { ctx.arena = &arena; }
   };
 
+  void warmup_backend(const Backend& backend, FusionMode mode);
+  /// Executes `group` (all routed to `backend` under `mode`) and writes
+  /// each request's logits row into out_rows[id]. Shared by the legacy
+  /// path and both SLO routes.
+  void exec_rows(Worker& w, const Backend& backend, FusionMode mode,
+                 const std::vector<Request>& group, float* out_rows);
   void process_batch(Worker& w, const std::vector<Request>& batch,
                      float* out_rows, std::uint64_t* completion_us,
                      const std::chrono::steady_clock::time_point& t0);
+  /// SLO-route variant: injects stalls/retry backoff, splits the popped
+  /// batch by planned ServeMode between the primary and degraded backends.
+  void process_batch_slo(Worker& w, const std::vector<Request>& batch,
+                         float* out_rows, std::uint64_t* completion_us,
+                         const std::chrono::steady_clock::time_point& t0,
+                         const FaultInjector& injector);
+  ServeReport run_slo(const std::vector<Arrival>& trace);
 
   const Backend& backend_;
+  const Backend* degraded_ = nullptr;  // SLO fallback; null = use primary
   const data::Dataset& dataset_;
   ServeConfig cfg_;
   Rng root_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t out_dim_ = 0;
   bool warmed_ = false;
-  // backend_.fusion_mode(), frozen at warmup.
+  // Fusion modes frozen at warmup (primary and degraded backends).
   FusionMode mode_ = FusionMode::kPerRequest;
+  FusionMode dmode_ = FusionMode::kPerRequest;
 };
 
 }  // namespace gbo::serve

@@ -3,9 +3,56 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace gbo::serve {
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+}  // namespace
+
+double rate_at(const TrafficConfig& cfg, double t_s) {
+  switch (cfg.shape) {
+    case TraceShape::kPoissonBurst: {
+      double rate = cfg.rate_rps;
+      const bool bursty = cfg.burst_factor > 1.0 && cfg.burst_duty > 0.0 &&
+                          cfg.burst_period_s > 0.0;
+      if (bursty) {
+        const double phase = std::fmod(t_s, cfg.burst_period_s);
+        if (phase < cfg.burst_duty * cfg.burst_period_s)
+          rate *= cfg.burst_factor;
+      }
+      return rate;
+    }
+    case TraceShape::kDiurnal: {
+      if (cfg.diurnal_period_s <= 0.0) return cfg.rate_rps;
+      const double amp = std::clamp(cfg.diurnal_amp, 0.0, 1.0);
+      const double rate =
+          cfg.rate_rps *
+          (1.0 + amp * std::sin(kTwoPi * t_s / cfg.diurnal_period_s));
+      // Floor at 1% of base so a full-amplitude trough cannot stall the
+      // exponential sampler (and the trace always terminates).
+      return std::max(rate, cfg.rate_rps * 0.01);
+    }
+    case TraceShape::kFlashCrowd: {
+      const double factor = std::max(cfg.flash_factor, 1.0);
+      const double ramp = std::max(cfg.flash_ramp_s, 0.0);
+      const double up0 = cfg.flash_start_s;
+      const double up1 = up0 + ramp;
+      const double down0 = up1 + std::max(cfg.flash_hold_s, 0.0);
+      const double down1 = down0 + ramp;
+      double mult = 1.0;
+      if (t_s >= up0 && t_s < up1)
+        mult = 1.0 + (factor - 1.0) * (t_s - up0) / ramp;
+      else if (t_s >= up1 && t_s < down0)
+        mult = factor;
+      else if (t_s >= down0 && t_s < down1)
+        mult = factor - (factor - 1.0) * (t_s - down0) / ramp;
+      return cfg.rate_rps * mult;
+    }
+  }
+  return cfg.rate_rps;
+}
 
 std::vector<Arrival> make_trace(const TrafficConfig& cfg,
                                 std::size_t dataset_size) {
@@ -25,21 +72,28 @@ std::vector<Arrival> make_trace(const TrafficConfig& cfg,
   Rng rng(cfg.seed);
   std::vector<Arrival> trace;
   trace.reserve(cfg.num_requests);
-  const bool bursty = cfg.burst_factor > 1.0 && cfg.burst_duty > 0.0 &&
-                      cfg.burst_period_s > 0.0;
+  const bool classed = cfg.high_fraction > 0.0 || cfg.low_fraction > 0.0;
   double t = 0.0;  // seconds
   for (std::size_t i = 0; i < cfg.num_requests; ++i) {
-    double rate = cfg.rate_rps;
-    if (bursty) {
-      const double phase = std::fmod(t, cfg.burst_period_s);
-      if (phase < cfg.burst_duty * cfg.burst_period_s) rate *= cfg.burst_factor;
-    }
-    // Exponential inter-arrival; 1 - u in (0, 1] keeps log finite.
+    const double rate = rate_at(cfg, t);
+    // Exponential inter-arrival; 1 - u in (0, 1] keeps log finite. Using
+    // the rate at the interval start is the standard piecewise
+    // approximation of the inhomogeneous process — still pure data,
+    // deterministic in (config, dataset_size).
     t += -std::log(1.0 - rng.uniform()) / rate;
     Arrival a;
     a.t_us = static_cast<std::uint64_t>(t * 1e6);
     a.sample = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(dataset_size) - 1));
+    if (classed) {
+      // One extra draw per arrival, consumed only when a class mix is
+      // configured so legacy configs reproduce their old streams exactly.
+      const double u = rng.uniform();
+      if (u < cfg.high_fraction)
+        a.priority = Priority::kHigh;
+      else if (u < cfg.high_fraction + cfg.low_fraction)
+        a.priority = Priority::kLow;
+    }
     trace.push_back(a);
   }
   return trace;

@@ -1,14 +1,29 @@
 // Seeded synthetic traffic generation for the serving runtime.
 //
-// Arrivals follow a Poisson process (exponential inter-arrival times) whose
-// rate can be modulated by a square-wave burst profile: for burst_duty of
-// every burst_period the rate is multiplied by burst_factor. This covers
-// the two regimes a serving stack must survive — steady load near capacity
-// and short bursts far above it (queue growth, batch-size inflation).
+// Arrivals follow an (inhomogeneous) Poisson process — exponential
+// inter-arrival times under a time-varying rate — in one of three shapes:
+//
+//   * kPoissonBurst — square-wave bursts: for burst_duty of every
+//     burst_period the rate is multiplied by burst_factor. Steady load
+//     near capacity plus short bursts far above it.
+//   * kDiurnal — sinusoidal day/night modulation: rate(t) = rate_rps *
+//     (1 + diurnal_amp * sin(2*pi*t / diurnal_period_s)), floored at 1% of
+//     the base rate so the trace always terminates. Capacity policies see
+//     slow swells instead of edges.
+//   * kFlashCrowd — a viral spike: base rate until flash_start_s, a linear
+//     ramp to flash_factor * rate over flash_ramp_s, a hold of
+//     flash_hold_s, and a symmetric ramp back down. The overload scenario
+//     the SLO control plane (DESIGN.md §7) is gated on.
+//
+// Each arrival can carry a seeded priority class: a fraction high_fraction
+// of requests draw Priority::kHigh and low_fraction draw kLow (the rest are
+// kNormal). When both fractions are zero no class draw is consumed, so
+// legacy configs reproduce their PR-3 traces bit-for-bit.
 //
 // Traces are pure data, deterministic in (config, dataset_size): the same
-// seed always yields the same arrival times and sample picks, which is what
-// makes end-to-end serving runs replayable (DESIGN.md §4).
+// seed always yields the same arrival times, sample picks, and priorities,
+// which is what makes end-to-end serving runs — and the SLO planner's
+// decision ledger — replayable (DESIGN.md §4, §7).
 #pragma once
 
 #include "serve/request.hpp"
@@ -18,14 +33,33 @@
 
 namespace gbo::serve {
 
+enum class TraceShape : std::uint8_t { kPoissonBurst, kDiurnal, kFlashCrowd };
+
 struct TrafficConfig {
   std::size_t num_requests = 1000;
-  double rate_rps = 5000.0;      // mean arrival rate (requests/second)
+  double rate_rps = 5000.0;      // mean / base arrival rate (requests/s)
+  TraceShape shape = TraceShape::kPoissonBurst;
+  // kPoissonBurst
   double burst_factor = 1.0;     // rate multiplier inside bursts (>= 1)
   double burst_duty = 0.0;       // fraction of each period spent bursting
   double burst_period_s = 0.02;  // burst modulation period
+  // kDiurnal
+  double diurnal_amp = 0.8;      // modulation amplitude in [0, 1]
+  double diurnal_period_s = 0.2; // one simulated "day"
+  // kFlashCrowd
+  double flash_factor = 10.0;    // peak rate multiplier (>= 1)
+  double flash_start_s = 0.05;   // ramp begins
+  double flash_ramp_s = 0.01;    // up-ramp (and down-ramp) duration
+  double flash_hold_s = 0.05;    // time spent at the peak
+  // priority mix (0 in both => no class draw, legacy streams preserved)
+  double high_fraction = 0.0;
+  double low_fraction = 0.0;
   std::uint64_t seed = 1;
 };
+
+/// Instantaneous arrival rate of `cfg` at time t (seconds). Exposed so the
+/// tests can pin the trace shapes against the closed form.
+double rate_at(const TrafficConfig& cfg, double t_s);
 
 /// Generates the arrival trace; samples are drawn uniformly from
 /// [0, dataset_size). Degenerate inputs (no requests, empty dataset, or a

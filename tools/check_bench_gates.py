@@ -28,6 +28,27 @@ For BENCH_serve*.json files ("bench": "serve"), the document-level
     noisy_fused             stochastic scenarios fused micro-batches on
                             per-sample RNG streams (where present)
 
+For BENCH_serve_slo*.json files ("bench": "serve_slo"), the SLO control
+plane's overload/fault contract (DESIGN.md S7) is gated: every scenario
+must satisfy
+
+    slo_payload_match       delivered payloads bitwise identical 1 vs N
+                            workers
+    shed_set_deterministic  the runtime's shed-set fingerprint equals the
+                            virtual-time planner's, at both worker counts
+    zero_late_success       no served request completed past its deadline
+    p99_bounded             served virtual p99 <= the deadline
+    no_lost_requests        every planned-served request was delivered
+    ladder_recovered        full fidelity restored after the flash crowd
+    overload_exercised      the burst actually shed and degraded work
+    faults_retried          transients retried to success, the outage fell
+                            back and tripped the breaker
+
+and, across ALL serve_slo files passed in one invocation (CI passes the
+1-thread and 4-thread artifacts together), each scenario's plan and exec
+shed-set fingerprints must be identical — the cross-pool half of the
+shed-set determinism contract.
+
 It also prints trajectory tables (markdown, suitable for
 $GITHUB_STEP_SUMMARY) so the perf and prepack numbers ride along without
 gating on them.
@@ -51,6 +72,17 @@ SERVE_SCENARIO_GATES = [
     "batching_invariant",
     "arena_steady_state",
     "zero_steady_packs",
+]
+
+SERVE_SLO_GATES = [
+    "slo_payload_match",
+    "shed_set_deterministic",
+    "zero_late_success",
+    "p99_bounded",
+    "no_lost_requests",
+    "ladder_recovered",
+    "overload_exercised",
+    "faults_retried",
 ]
 
 # (section, sub, key, label) rows for the kernel trajectory table; missing
@@ -111,6 +143,57 @@ def check_serve(path, doc):
     return failures
 
 
+def check_serve_slo(path, doc, fingerprints):
+    failures = []
+    if doc.get("gates_ok") is not True:
+        failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
+    scenarios = serve_scenarios(doc)
+    if not scenarios:
+        failures.append(f"{path}: no serve_slo scenarios found")
+    for name, node in scenarios:
+        for gate in SERVE_SLO_GATES:
+            if node.get(gate) is not True:
+                failures.append(
+                    f"{path}: {name}.{gate} is {node.get(gate)!r}, "
+                    "expected true")
+        slo = node.get("slo", {})
+        plan_hash = slo.get("plan", {}).get("shed_set_hash")
+        exec_hash = slo.get("exec", {}).get("shed_set_hash")
+        if plan_hash is None or exec_hash is None:
+            failures.append(f"{path}: {name} is missing shed-set hashes")
+            continue
+        if plan_hash != exec_hash:
+            failures.append(
+                f"{path}: {name} plan hash {plan_hash} != exec hash "
+                f"{exec_hash}")
+        # Collected for the cross-file (1-thread vs 4-thread pool) equality
+        # check in main(): same scenario name => same fingerprint demanded.
+        fingerprints.setdefault(name, []).append((path, plan_hash))
+    return failures
+
+
+def serve_slo_rows(doc):
+    rows = []
+    for name, node in serve_scenarios(doc):
+        slo = node.get("slo", {})
+        plan = slo.get("plan", {})
+        exec_ = slo.get("exec", {})
+        vlat = plan.get("virtual_latency", {})
+        rows.append((
+            name,
+            str(plan.get("served", "?")),
+            str(exec_.get("shed", "?")),
+            str(exec_.get("degraded", "?")),
+            str(exec_.get("retried", "?")),
+            str(exec_.get("fallbacks", "?")),
+            str(plan.get("breaker_opens", "?")),
+            f"{vlat.get('p99_us', 0):.0f}",
+            str(plan.get("late_virtual", "?")),
+            str(plan.get("shed_set_hash", "?")),
+        ))
+    return rows
+
+
 def mvm_rows(doc):
     rows = []
     for section, sub, key, label in TRAJECTORY:
@@ -145,6 +228,7 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_failures = []
+    slo_fingerprints = {}
     print("## bench gates and perf trajectory\n")
     for path in argv[1:]:
         try:
@@ -162,6 +246,13 @@ def main(argv):
             print("|---|---|---|---|---|---|---|---|")
             for row in serve_rows(doc):
                 print("| " + " | ".join(row) + " |")
+        elif doc.get("bench") == "serve_slo":
+            failures = check_serve_slo(path, doc, slo_fingerprints)
+            print("| scenario | served | shed | degraded | retried "
+                  "| fallbacks | breaker opens | vp99 us | late | shed hash |")
+            print("|---|---|---|---|---|---|---|---|---|---|")
+            for row in serve_slo_rows(doc):
+                print("| " + " | ".join(row) + " |")
         else:
             failures = check_mvm(path, doc)
             print("| metric | value |\n|---|---|")
@@ -170,6 +261,16 @@ def main(argv):
         all_failures.extend(failures)
         gates = "FAILED" if failures else "all true"
         print(f"\ngates: **{gates}**\n")
+    # Cross-file shed-set determinism: the same SLO scenario must carry the
+    # identical fingerprint in every artifact (1-thread and 4-thread pools
+    # run the same (seed, trace, policy) tuple).
+    for name, entries in slo_fingerprints.items():
+        hashes = {h for _, h in entries}
+        if len(hashes) > 1:
+            detail = ", ".join(f"{p}={h}" for p, h in entries)
+            all_failures.append(
+                f"slo scenario '{name}': shed-set fingerprint differs "
+                f"across artifacts ({detail})")
     if all_failures:
         for f in all_failures:
             print(f"GATE FAILURE: {f}", file=sys.stderr)
