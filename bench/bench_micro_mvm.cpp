@@ -26,7 +26,9 @@
 #include "models/mlp.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/eval_context.hpp"
+#include "quant/quant_layers.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_binary.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
 
@@ -179,6 +181,10 @@ struct HarnessConfig {
   std::string json_path = "BENCH_mvm.json";
   std::size_t gemm_n = 512;        // acceptance size: 512×512 GEMM paths
   std::size_t mvm_out = 512, mvm_in = 512, mvm_batch = 16;
+  // gemm_binary section: full acceptance shape even under --smoke (the
+  // XNOR/popcount path is sub-ms there, and the small-k smoke shape would
+  // not exercise the ZMM-resident hot tiers).
+  std::size_t bin_out = 512, bin_in = 512, bin_batch = 16;
   std::size_t pulse_out = 64, pulse_in = 256, pulse_batch = 16, pulses = 8;
   std::size_t eval_samples = 2048, eval_trials = 16;  // noisy-eval throughput
   // conv_direct section: a VGG9-style 3×3 stride-1 layer.
@@ -563,6 +569,147 @@ Json bench_pulse_mvm(const HarnessConfig& hc, bool device_model,
   return out;
 }
 
+/// Bit-packed XNOR/popcount MVM vs the cached float-panel route over the
+/// same ±1 weight and on-grid activations (DESIGN.md §8), with three hard
+/// gates: the binary result must equal the float oracle bitwise, the
+/// dispatched micro-kernel must equal the scalar reference bitwise, and a
+/// BinaryPanelCache must pack exactly once per weight version (the serving
+/// steady state re-packs nothing).
+Json bench_gemm_binary(const HarnessConfig& hc, std::size_t pool_threads,
+                       bool* gate_ok) {
+  const std::size_t m = hc.bin_batch, n = hc.bin_out, k = hc.bin_in;
+  const std::size_t flops = 2 * m * n * k;
+  const Tensor w = random_binary(n, k, 21);
+  // Snap random activations onto the 9-level QuantTanh grid.
+  Tensor a = random_tensor({m, k}, 22);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const int lvl = static_cast<int>((a[i] + 1.0f) * 4.0f + 0.5f);
+    a[i] = static_cast<float>(lvl < 0 ? 0 : (lvl > 8 ? 8 : lvl)) * 0.25f - 1.0f;
+  }
+  Tensor c_float({m, n}), c_bin({m, n});
+  ThreadPool& pool = ThreadPool::instance();
+
+  const gemm::PackedB fpanels =
+      gemm::prepack_b_t(n, k, std::as_const(w).data(), k);
+  const gemm::PackedBinaryB bwords =
+      gemm::prepack_binary_b_t(n, k, std::as_const(w).data(), k);
+  std::vector<std::uint64_t> pa(gemm::packed_binary_a_words(m, k));
+
+  bool match = true;
+  auto check = [&](const char* when) {
+    gemm::gemm_prepacked(m, n, k, a.data(), k, fpanels.panels.data(),
+                         c_float.data(), n);
+    if (!gemm::pack_binary_a(m, k, a.data(), k, pa.data())) {
+      std::fprintf(stderr,
+                   "gemm_binary GATE FAILURE: on-grid activations rejected by "
+                   "pack_binary_a (%s)\n", when);
+      match = false;
+      *gate_ok = false;
+      return;
+    }
+    gemm::gemm_binary(m, n, k, pa.data(), bwords, c_bin.data(), n);
+    if (std::memcmp(c_bin.data(), c_float.data(), m * n * sizeof(float)) !=
+        0) {
+      std::fprintf(stderr,
+                   "gemm_binary GATE FAILURE: XNOR/popcount path diverged "
+                   "from the float oracle bitwise (%s)\n", when);
+      match = false;
+      *gate_ok = false;
+    }
+    Tensor c_scalar({m, n});
+    gemm::gemm_binary_with(gemm::binary_kernel_scalar(), m, n, k, pa.data(),
+                           bwords, c_scalar.data(), n);
+    if (std::memcmp(c_bin.data(), c_scalar.data(), m * n * sizeof(float)) !=
+        0) {
+      std::fprintf(stderr,
+                   "gemm_binary GATE FAILURE: dispatched kernel '%s' diverged "
+                   "from the scalar reference bitwise (%s)\n",
+                   gemm::binary_kernel_name(), when);
+      match = false;
+      *gate_ok = false;
+    }
+  };
+
+  // Cache semantics gate: one binary pack per weight version, zero on hits.
+  bool repack_once = true;
+  {
+    Tensor latent = random_tensor({n, k}, 23);
+    quant::BinaryPanelCache cache;
+    const float* bw;
+    const float* panels;
+    const gemm::PackedBinaryB* pb;
+    float scale;
+    const std::uint64_t packs0 = gemm::binary_pack_count();
+    cache.get(latent, true, n, k, false, &bw, &panels, &pb, &scale);
+    cache.get(latent, true, n, k, false, &bw, &panels, &pb, &scale);
+    repack_once = cache.rebuilds() == 1 &&
+                  gemm::binary_pack_count() == packs0 + 1;
+    latent.data()[0] += 1.0f;  // mutation bumps the version
+    cache.get(latent, true, n, k, false, &bw, &panels, &pb, &scale);
+    repack_once = repack_once && cache.rebuilds() == 2 &&
+                  gemm::binary_pack_count() == packs0 + 2;
+    if (!repack_once) {
+      std::fprintf(stderr,
+                   "gemm_binary GATE FAILURE: BinaryPanelCache did not pack "
+                   "exactly once per weight version\n");
+      *gate_ok = false;
+    }
+  }
+
+  pool.set_num_threads(1);
+  check("1 thread");
+  const double t_float_1t = time_best(hc.reps, [&] {
+    gemm::gemm_prepacked(m, n, k, a.data(), k, fpanels.panels.data(),
+                         c_float.data(), n);
+  });
+  // Cold: weight words re-packed every call (what a cache miss costs).
+  const double t_cold_1t = time_best(hc.reps, [&] {
+    const gemm::PackedBinaryB fresh =
+        gemm::prepack_binary_b_t(n, k, std::as_const(w).data(), k);
+    (void)gemm::pack_binary_a(m, k, a.data(), k, pa.data());
+    gemm::gemm_binary(m, n, k, pa.data(), fresh, c_bin.data(), n);
+  });
+  // Cached: the serving steady state — per-request A encode + kernel only.
+  const double t_cached_1t = time_best(hc.reps, [&] {
+    (void)gemm::pack_binary_a(m, k, a.data(), k, pa.data());
+    gemm::gemm_binary(m, n, k, pa.data(), bwords, c_bin.data(), n);
+  });
+  const double t_kernel_1t = time_best(hc.reps, [&] {
+    gemm::gemm_binary(m, n, k, pa.data(), bwords, c_bin.data(), n);
+  });
+  pool.set_num_threads(pool_threads);
+  check("pool threads");
+  const double t_float_mt = time_best(hc.reps, [&] {
+    gemm::gemm_prepacked(m, n, k, a.data(), k, fpanels.panels.data(),
+                         c_float.data(), n);
+  });
+  const double t_cached_mt = time_best(hc.reps, [&] {
+    (void)gemm::pack_binary_a(m, k, a.data(), k, pa.data());
+    gemm::gemm_binary(m, n, k, pa.data(), bwords, c_bin.data(), n);
+  });
+
+  Json out = Json::object();
+  out.set("batch", m);
+  out.set("out", n);
+  out.set("in", k);
+  out.set("kernel", gemm::binary_kernel_name());
+  out.set("cpu_features", gemm::cpu_features());
+  out.set("bitwise_match", match);
+  out.set("repack_once", repack_once);
+  out.set("float_packed_1t_ms", t_float_1t * 1e3);
+  out.set("binary_cold_1t_ms", t_cold_1t * 1e3);
+  out.set("binary_cached_1t_ms", t_cached_1t * 1e3);
+  out.set("binary_kernel_only_1t_ms", t_kernel_1t * 1e3);
+  out.set("float_packed_mt_ms", t_float_mt * 1e3);
+  out.set("binary_cached_mt_ms", t_cached_mt * 1e3);
+  out.set("gflops_float_1t", gflops(flops, t_float_1t));
+  out.set("gflops_binary_cached_1t", gflops(flops, t_cached_1t));
+  out.set("speedup_binary_vs_float_1t", t_float_1t / t_cached_1t);
+  out.set("speedup_binary_vs_float_mt", t_float_mt / t_cached_mt);
+  out.set("speedup_cached_vs_cold_1t", t_cold_1t / t_cached_1t);
+  return out;
+}
+
 /// Trial-parallel noisy evaluation: sequential oracle vs the pool-dispatched
 /// evaluator, with a correctness gate (the two must be bitwise equal — any
 /// mismatch fails the harness). Records trial throughput so CI tracks the
@@ -670,6 +817,13 @@ int run_harness(const HarnessConfig& hc) {
   doc.set("conv_direct", bench_conv_direct(hc, pool_threads, &gate_ok));
   pool.set_num_threads(pool_threads);
 
+  std::printf("[gemm binary] %zux%zu batch=%zu kernel=%s (xnor/popcount vs "
+              "float panels, bitwise gate)...\n",
+              hc.bin_out, hc.bin_in, hc.bin_batch,
+              gemm::binary_kernel_name());
+  doc.set("gemm_binary", bench_gemm_binary(hc, pool_threads, &gate_ok));
+  pool.set_num_threads(pool_threads);
+
   std::printf("[analytic mvm] %zux%zu batch=%zu...\n", hc.mvm_out, hc.mvm_in,
               hc.mvm_batch);
   doc.set("analytic_mvm", bench_analytic_mvm(hc));
@@ -715,6 +869,13 @@ int main(int argc, char** argv) {
       argv += i;
       break;
     }
+    if (arg == "--cpu-info") {
+      // CI step: document the ISA the runner actually exercises.
+      std::printf("binary_kernel: %s\ncpu_features: %s\n",
+                  gbo::gemm::binary_kernel_name(),
+                  gbo::gemm::cpu_features().c_str());
+      return 0;
+    }
     if (arg == "--smoke") {
       hc.smoke = true;
       hc.gemm_n = 128;
@@ -733,7 +894,8 @@ int main(int argc, char** argv) {
       hc.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--json <path>] | --gbench [...]\n",
+                   "usage: %s [--smoke] [--json <path>] [--cpu-info] | "
+                   "--gbench [...]\n",
                    argv[0]);
       return 2;
     }

@@ -34,6 +34,7 @@
 #include "quant/binary_weight.hpp"
 #include "serve/server.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_binary.hpp"
 #include "tensor/ops.hpp"
 
 #include <cstdio>
@@ -98,9 +99,13 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   (void)many.run(trace);  // warm run: sizes arenas/pools along real paths
   const std::uint64_t packs0 = gemm::b_pack_count();
   const std::uint64_t bins0 = quant::binarize_count();
+  const std::uint64_t bpacks0 = gemm::binary_pack_count();
+  const std::uint64_t bmvms0 = gemm::binary_mvm_count();
   const serve::ServeReport rep = many.run(trace);
   const std::uint64_t steady_packs = gemm::b_pack_count() - packs0;
   const std::uint64_t steady_bins = quant::binarize_count() - bins0;
+  const std::uint64_t steady_bpacks = gemm::binary_pack_count() - bpacks0;
+  const std::uint64_t binary_mvms = gemm::binary_mvm_count() - bmvms0;
 
   const bool match = bitwise_equal(rep1.outputs, rep.outputs);
   if (!match) gates->fail(name, "outputs differ between 1 and N workers");
@@ -111,6 +116,12 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   const bool zero_packs = steady_packs == 0 && steady_bins == 0;
   if (!zero_packs)
     gates->fail(name, "steady-state run packed or binarized weights");
+  // Same amortization contract for the binary sign words (DESIGN.md §8):
+  // A-side encodes are per-request by design, but the cached weight words
+  // must never be rebuilt in steady state.
+  const bool zero_bpacks = steady_bpacks == 0;
+  if (!zero_bpacks)
+    gates->fail(name, "steady-state run re-packed binary sign words");
   // Stochastic configs must fuse their micro-batches on per-sample streams
   // (a regression to unit batches would forfeit the whole batching win).
   // Queue batch sizes are timing-dependent, so the gate compares execution
@@ -148,7 +159,8 @@ Json run_scenario(const char* name, const serve::Backend& backend,
       rep.latency.p99_us, rep.throughput_rps, rep.mean_exec_batch,
       rep.fusion.c_str(), rep.arena.steady_allocs,
       static_cast<std::size_t>(steady_packs),
-      match && steady && zero_packs && noisy_fused ? "OK" : "GATE-FAIL");
+      match && steady && zero_packs && zero_bpacks && noisy_fused
+          ? "OK" : "GATE-FAIL");
 
   Json j = rep.to_json();
   j.set("backend", backend.name());
@@ -157,6 +169,9 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   j.set("arena_steady_state", steady);
   j.set("steady_weight_packs", steady_packs);
   j.set("steady_binarizes", steady_bins);
+  j.set("steady_binary_packs", steady_bpacks);
+  j.set("zero_steady_binary_packs", zero_bpacks);
+  j.set("binary_mvms", binary_mvms);
   j.set("packs_per_request",
         rep.completed ? static_cast<double>(steady_packs) /
                             static_cast<double>(rep.completed)
@@ -297,6 +312,7 @@ int main(int argc, char** argv) {
   doc.set("smoke", smoke);
   doc.set("num_threads", pool.num_threads());
   doc.set("workers", workers);
+  doc.set("binary_kernel", gemm::binary_kernel_name());
   GateState gates;
 
   // -- analytic backends over a binary-weight MLP ---------------------------

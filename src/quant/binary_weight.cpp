@@ -20,17 +20,18 @@ Tensor binarize(const Tensor& latent, bool scaled, float* scale_out) {
   return out;
 }
 
+float binarize_scale(const Tensor& latent) {
+  double acc = 0.0;
+  const float* p = latent.data();
+  for (std::size_t i = 0; i < latent.numel(); ++i) acc += std::fabs(p[i]);
+  float scale = latent.numel() ? static_cast<float>(acc / latent.numel()) : 1.0f;
+  return scale == 0.0f ? 1.0f : scale;
+}
+
 void binarize_into(const Tensor& latent, bool scaled, float* out,
                    float* scale_out) {
   g_binarizes.fetch_add(1, std::memory_order_relaxed);
-  float scale = 1.0f;
-  if (scaled) {
-    double acc = 0.0;
-    const float* p = latent.data();
-    for (std::size_t i = 0; i < latent.numel(); ++i) acc += std::fabs(p[i]);
-    scale = latent.numel() ? static_cast<float>(acc / latent.numel()) : 1.0f;
-    if (scale == 0.0f) scale = 1.0f;
-  }
+  const float scale = scaled ? binarize_scale(latent) : 1.0f;
   if (scale_out) *scale_out = scale;
 
   const float* p = latent.data();

@@ -23,6 +23,14 @@ Tensor binarize(const Tensor& latent, bool scaled, float* scale_out = nullptr);
 void binarize_into(const Tensor& latent, bool scaled, float* out,
                    float* scale_out = nullptr);
 
+/// The digital scale binarize uses when `scaled`: mean |w| over the layer
+/// (double accumulation; 1 for empty or all-zero weights). Exposed so the
+/// quant layers can run the MVM over the unscaled ±1 matrix and apply the
+/// scale as a separate epilogue — the factorization the XNOR/popcount
+/// kernel path requires (DESIGN.md §8) — while computing the identical
+/// scale value everywhere.
+float binarize_scale(const Tensor& latent);
+
 /// Process-wide count of binarizations (binarize / binarize_into). Relaxed
 /// atomic; the serving bench diffs it across a steady-state run to prove
 /// the quant layers' frozen-weight caches (quant_layers.hpp) have

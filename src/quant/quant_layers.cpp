@@ -2,9 +2,11 @@
 
 #include "quant/binary_weight.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_binary.hpp"
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace gbo::quant {
 namespace {
@@ -18,6 +20,16 @@ void apply_output_hook(const MvmNoiseHook& hook, Tensor& out,
     hook.infer_output_rows(out, ctx.row_rngs.data(), ctx.row_rngs.size());
   else
     hook.infer_output(out, ctx.rng);
+}
+
+/// The digital-scale epilogue (DESIGN.md §8): one elementwise multiply after
+/// the unscaled ±1 MVM. Shared verbatim by forward and infer — the multiply
+/// is per-element, so the two paths (and the binary/float MVM routes
+/// beneath them) stay bitwise equal.
+void scale_output(Tensor& out, bool scaled, float scale) {
+  if (!scaled) return;
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) p[i] *= scale;
 }
 
 }  // namespace
@@ -45,18 +57,27 @@ bool hooks_support_row_streams(const gbo::nn::Module& m) {
 
 void BinaryPanelCache::get(const Tensor& latent, bool scaled, std::size_t n,
                            std::size_t k, bool want_panels, const float** bw,
-                           const float** panels) const {
+                           const float** panels,
+                           const gbo::gemm::PackedBinaryB** bwords,
+                           float* scale) const {
   gate_.ensure(latent.version(), [&] {
     bw_.resize(latent.numel());
-    binarize_into(latent, scaled, bw_.data());
+    // Unscaled ±1 signs: the MVM runs over these (float panels and binary
+    // words alike) and the digital scale is applied as an epilogue, so the
+    // XNOR/popcount route stays bitwise equal to the float route.
+    binarize_into(latent, /*scaled=*/false, bw_.data());
+    scale_ = scaled ? binarize_scale(latent) : 1.0f;
     if (want_panels) {
       panels_.resize(gemm::packed_b_floats(n, k));
       gemm::pack_b_t(n, k, bw_.data(), k, panels_.data());
     }
+    bwords_ = gemm::prepack_binary_b_t(n, k, bw_.data(), k);
     rebuilds_.fetch_add(1, std::memory_order_relaxed);
   });
   *bw = bw_.data();
   *panels = want_panels ? panels_.data() : nullptr;
+  *bwords = &bwords_;
+  *scale = scale_;
 }
 
 QuantConv2d::QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
@@ -64,7 +85,8 @@ QuantConv2d::QuantConv2d(std::size_t out_channels, gbo::ConvGeom geom, Rng& rng,
     : Conv2d(out_channels, geom, /*bias=*/false, rng), scaled_(scaled) {}
 
 const Tensor& QuantConv2d::effective_weight() {
-  binary_weight_ = binarize(weight_.value, scaled_, &weight_scale_);
+  weight_scale_ = scaled_ ? binarize_scale(weight_.value) : 1.0f;
+  binary_weight_ = binarize(weight_.value, /*scaled=*/false);
   return binary_weight_;
 }
 
@@ -78,35 +100,97 @@ Tensor QuantConv2d::forward(const Tensor& x) {
     Tensor xin = x;
     hook_->on_input(xin);
     out = Conv2d::forward(xin);
+    scale_output(out, scaled_, weight_scale_);
     hook_->on_forward(out);
   } else {
     out = Conv2d::forward(x);
+    scale_output(out, scaled_, weight_scale_);
   }
   return out;
 }
 
 Tensor QuantConv2d::backward(const Tensor& grad_out) {
   if (hook_) hook_->on_backward(grad_out);
-  return Conv2d::backward(grad_out);
+  // Base backward computes dW from the raw grad (the STE convention: the
+  // latent weight's gradient is taken w.r.t. the stored ±1 matrix, exactly
+  // as when the scale was folded into the effective weight) and dX over the
+  // ±1 signs; the epilogue's scale factor then lands on dX.
+  Tensor dx = Conv2d::backward(grad_out);
+  scale_output(dx, scaled_, weight_scale_);
+  return dx;
+}
+
+Tensor QuantConv2d::infer_mvm(const Tensor& x, gbo::nn::EvalContext& ctx,
+                              const float* bw, const float* panels,
+                              const gbo::gemm::PackedBinaryB& bwords) const {
+  // XNOR/popcount route (DESIGN.md §8): every im2col patch value is either
+  // an input element or zero padding (on-grid), so a scan of the NCHW input
+  // decides the route before any patch matrix is materialized. Off-grid
+  // inputs (the raw-image stem, PLA-requantized activations) take the float
+  // panel route — bitwise equal for on-grid data, so the dispatch can never
+  // change an output bit.
+  if (x.ndim() == 4 && !bwords.empty() &&
+      gemm::binary_grid_check(x.data(), x.numel())) {
+    const std::size_t batch = x.dim(0);
+    const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+    const std::size_t m = batch * oh * ow;
+    const std::size_t k = geom_.patch_len();
+    gbo::ArenaFrame frame(ctx.arena);
+    Tensor cols_own, rows_own;
+    std::vector<std::uint64_t> pa_own;
+    float* cols;
+    float* rows;
+    std::uint64_t* pa;
+    if (ctx.arena) {
+      cols = ctx.arena->alloc_floats(m * k);
+      rows = ctx.arena->alloc_floats(m * out_c_);
+      pa = ctx.arena->alloc_words(gemm::packed_binary_a_words(m, k));
+    } else {
+      cols_own = Tensor({m, k});
+      cols = cols_own.data();
+      rows_own = Tensor({m, out_c_});
+      rows = rows_own.data();
+      pa_own.resize(gemm::packed_binary_a_words(m, k));
+      pa = pa_own.data();
+    }
+    im2col_into(x, geom_, cols);
+    // The grid check covered every patch source value, so the fused
+    // validate+encode cannot fail here.
+    if (gemm::pack_binary_a(m, k, cols, k, pa)) {
+      gemm::gemm_binary(m, out_c_, k, pa, bwords, rows, out_c_);
+      Tensor out = ctx.make({batch, out_c_, oh, ow});
+      gbo::rows_to_nchw_into(rows, batch, out_c_, oh, ow, out.data());
+      return out;
+    }
+  }
+  return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
 }
 
 Tensor QuantConv2d::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
-  // Frozen-weight cache (DESIGN.md §6): the binarized copy and its packed
-  // panels are rebuilt only when the latent weight's version moves, so
-  // steady-state serving neither re-binarizes nor re-packs. Binarization
-  // and packing are deterministic, so a cache hit is bitwise identical to
-  // the fresh path (and to forward()).
+  // Frozen-weight cache (DESIGN.md §6): the binarized copy, its packed
+  // float panels, and its packed binary sign words are rebuilt only when
+  // the latent weight's version moves, so steady-state serving neither
+  // re-binarizes nor re-packs. Binarization and packing are deterministic,
+  // so a cache hit is bitwise identical to the fresh path (and to
+  // forward()).
   const float* bw;
   const float* panels;
+  const gemm::PackedBinaryB* bwords;
+  float scale;
   cache_.get(weight_.value, scaled_, out_c_, geom_.patch_len(),
-             /*want_panels=*/true, &bw, &panels);
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
+             /*want_panels=*/true, &bw, &panels, &bwords, &scale);
+  if (!hook_) {
+    Tensor out = infer_mvm(x, ctx, bw, panels, *bwords);
+    scale_output(out, scaled_, scale);
+    return out;
+  }
   gbo::ArenaFrame frame(ctx.arena);
   Tensor xin = ctx.make(x.shape());
   std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx, panels);
+  Tensor out = infer_mvm(xin, ctx, bw, panels, *bwords);
   ctx.recycle(std::move(xin));
+  scale_output(out, scaled_, scale);
   apply_output_hook(*hook_, out, ctx);
   return out;
 }
@@ -116,7 +200,8 @@ QuantLinear::QuantLinear(std::size_t in_features, std::size_t out_features,
     : Linear(in_features, out_features, /*bias=*/false, rng), scaled_(scaled) {}
 
 const Tensor& QuantLinear::effective_weight() {
-  binary_weight_ = binarize(weight_.value, scaled_, &weight_scale_);
+  weight_scale_ = scaled_ ? binarize_scale(weight_.value) : 1.0f;
+  binary_weight_ = binarize(weight_.value, /*scaled=*/false);
   return binary_weight_;
 }
 
@@ -130,32 +215,73 @@ Tensor QuantLinear::forward(const Tensor& x) {
     Tensor xin = x;
     hook_->on_input(xin);
     out = Linear::forward(xin);
+    scale_output(out, scaled_, weight_scale_);
     hook_->on_forward(out);
   } else {
     out = Linear::forward(x);
+    scale_output(out, scaled_, weight_scale_);
   }
   return out;
 }
 
 Tensor QuantLinear::backward(const Tensor& grad_out) {
   if (hook_) hook_->on_backward(grad_out);
-  return Linear::backward(grad_out);
+  // dW stays unscaled (STE over the stored signs, see QuantConv2d); the
+  // epilogue's scale lands on dX.
+  Tensor dx = Linear::backward(grad_out);
+  scale_output(dx, scaled_, weight_scale_);
+  return dx;
+}
+
+Tensor QuantLinear::infer_mvm(const Tensor& x, gbo::nn::EvalContext& ctx,
+                              const float* bw, const float* panels,
+                              const gbo::gemm::PackedBinaryB& bwords) const {
+  // XNOR/popcount route (DESIGN.md §8): the activation matrix IS the A
+  // operand, so the on-grid check is fused into the bit-plane encode; an
+  // off-grid value aborts the encode and falls back to the float route.
+  if (x.ndim() == 2 && x.dim(1) == in_ && !bwords.empty()) {
+    const std::size_t batch = x.dim(0);
+    gbo::ArenaFrame frame(ctx.arena);
+    std::vector<std::uint64_t> pa_own;
+    std::uint64_t* pa;
+    const std::size_t words = gemm::packed_binary_a_words(batch, in_);
+    if (ctx.arena) {
+      pa = ctx.arena->alloc_words(words);
+    } else {
+      pa_own.resize(words);
+      pa = pa_own.data();
+    }
+    if (gemm::pack_binary_a(batch, in_, x.data(), in_, pa)) {
+      Tensor y = ctx.make({batch, out_});
+      gemm::gemm_binary(batch, out_, in_, pa, bwords, y.data(), out_);
+      return y;
+    }
+  }
+  return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
 }
 
 Tensor QuantLinear::infer(const Tensor& x, gbo::nn::EvalContext& ctx) const {
-  // Same frozen-weight cache as QuantConv2d::infer; panels only for the
-  // shapes the layer's dispatch rule would pack.
+  // Same frozen-weight cache as QuantConv2d::infer; float panels only for
+  // the shapes the layer's dispatch rule would pack.
   const float* bw;
   const float* panels;
+  const gemm::PackedBinaryB* bwords;
+  float scale;
   cache_.get(weight_.value, scaled_, out_, in_,
-             gemm::panels_for_weight(out_, in_), &bw, &panels);
-  if (!hook_) return infer_with_weight(x, bw, /*with_bias=*/false, &ctx, panels);
+             gemm::panels_for_weight(out_, in_), &bw, &panels, &bwords,
+             &scale);
+  if (!hook_) {
+    Tensor out = infer_mvm(x, ctx, bw, panels, *bwords);
+    scale_output(out, scaled_, scale);
+    return out;
+  }
   gbo::ArenaFrame frame(ctx.arena);
   Tensor xin = ctx.make(x.shape());
   std::copy(x.data(), x.data() + x.numel(), xin.data());
   hook_->infer_input(xin, ctx.rng);
-  Tensor out = infer_with_weight(xin, bw, /*with_bias=*/false, &ctx, panels);
+  Tensor out = infer_mvm(xin, ctx, bw, panels, *bwords);
   ctx.recycle(std::move(xin));
+  scale_output(out, scaled_, scale);
   apply_output_hook(*hook_, out, ctx);
   return out;
 }

@@ -1,8 +1,13 @@
 // Binary-weight layers with a crossbar noise attachment point.
 //
 // QuantConv2d / QuantLinear behave exactly like Conv2d / Linear except that
-// the forward pass uses the binarized weight (the matrix a binary crossbar
-// would physically store) and the backward pass applies the STE.
+// the forward pass uses the binarized weight (the ±1 sign matrix a binary
+// crossbar would physically store), the per-layer digital scale is applied
+// as a separate output epilogue, and the backward pass applies the STE.
+// Factoring the scale out of the MVM is what lets the stateless infer path
+// route on-grid activations through the bit-packed XNOR/popcount kernels
+// (tensor/gemm_binary.hpp) while staying bitwise equal to forward()
+// (DESIGN.md §8).
 //
 // Each layer exposes an MvmNoiseHook slot. The hook is invoked on the MVM
 // output (Eq. 1: o = Wx + noise) and observes the output gradient in
@@ -16,6 +21,7 @@
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_binary.hpp"
 
 #include <atomic>
 #include <vector>
@@ -78,24 +84,34 @@ class MvmNoiseHook {
   virtual bool stochastic() const { return true; }
 };
 
-/// Cross-request cache of a quant layer's frozen binarized weight and its
-/// packed panels, stamped with the latent weight's version counter
-/// (DESIGN.md §6): steady-state serving re-binarizes and re-packs nothing.
-/// Concurrency and copy semantics come from gemm::VersionGate (thread-safe
-/// lazy fill; the latent weight must not be mutated concurrently with
-/// readers).
+/// Cross-request cache of a quant layer's frozen binarized weight, its
+/// packed float panels, and its packed binary sign words, all stamped with
+/// the latent weight's version counter (DESIGN.md §6): steady-state serving
+/// re-binarizes and re-packs nothing, float or binary. Concurrency comes
+/// from gemm::VersionGate (thread-safe lazy fill; the latent weight must not
+/// be mutated concurrently with readers).
 class BinaryPanelCache {
  public:
   BinaryPanelCache() = default;
+  // Copies start cold ON PURPOSE (empty bodies, nothing adopted): the gate's
+  // stamp belongs to the source object's version timeline, and the cached
+  // buffers were derived from the source layer's latent weight — adopting
+  // either would let a copied layer silently serve another layer's panels
+  // (float or binary) after its own weights diverge. A copy re-binarizes
+  // and re-packs on first use instead (tests/test_gemm_binary.cpp pins
+  // this).
   BinaryPanelCache(const BinaryPanelCache&) {}
   BinaryPanelCache& operator=(const BinaryPanelCache&) { return *this; }
 
-  /// Binarized copy of `latent` in *bw, and — when `want_panels` — its
-  /// packed panels ([n, k] transposed-weight layout) in *panels, rebuilt
-  /// only when latent.version() moved. `want_panels` must be constant per
-  /// cache (it is: the owning layer derives it from its fixed shape).
+  /// Unscaled (±1) binarized copy of `latent` in *bw, its digital scale in
+  /// *scale (1 when !scaled), its packed binary sign words in *bwords, and —
+  /// when `want_panels` — its packed float panels ([n, k] transposed-weight
+  /// layout) in *panels; all rebuilt only when latent.version() moved.
+  /// `want_panels` must be constant per cache (it is: the owning layer
+  /// derives it from its fixed shape).
   void get(const Tensor& latent, bool scaled, std::size_t n, std::size_t k,
-           bool want_panels, const float** bw, const float** panels) const;
+           bool want_panels, const float** bw, const float** panels,
+           const gbo::gemm::PackedBinaryB** bwords, float* scale) const;
 
   /// Lifetime rebuild count (1 after warmup for a frozen weight).
   std::uint64_t rebuilds() const {
@@ -106,6 +122,8 @@ class BinaryPanelCache {
   gbo::gemm::VersionGate gate_;
   mutable std::vector<float> bw_;
   mutable std::vector<float> panels_;
+  mutable gbo::gemm::PackedBinaryB bwords_;
+  mutable float scale_ = 1.0f;
   mutable std::atomic<std::uint64_t> rebuilds_{0};
 };
 
@@ -150,8 +168,12 @@ class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
   std::size_t crossbar_cols() const override { return geom().patch_len(); }
   gbo::nn::Param& latent_weight() override { return weight_; }
 
-  /// The binarized weight from the most recent forward (what the crossbar
-  /// stores), and its digital scale.
+  /// The ±1 sign matrix from the most recent forward (what the crossbar
+  /// cells physically store), and the digital scale applied as a separate
+  /// output epilogue (folded into the ADC reference / following BN on real
+  /// hardware). Since the XNOR/popcount PR the scale is NOT folded into
+  /// binary_weight() — the MVM runs over ±1 so the bit-packed and float
+  /// kernels agree bitwise (DESIGN.md §8).
   const Tensor& binary_weight() const { return binary_weight_; }
   float weight_scale() const { return weight_scale_; }
 
@@ -160,12 +182,19 @@ class QuantConv2d : public gbo::nn::Conv2d, public Hookable {
   void on_weight_grad(Tensor& grad_w) override;
 
  private:
+  /// Unscaled MVM for the stateless path: XNOR/popcount packed kernel when
+  /// every patch value is on the 9-level grid (DESIGN.md §8), the cached
+  /// float panels otherwise — bitwise-identical routes.
+  Tensor infer_mvm(const Tensor& x, gbo::nn::EvalContext& ctx,
+                   const float* bw, const float* panels,
+                   const gbo::gemm::PackedBinaryB& bwords) const;
+
   bool scaled_;
   MvmNoiseHook* hook_ = nullptr;
   Tensor binary_weight_;
   float weight_scale_ = 1.0f;
-  // Frozen binarized weight + packed panels for the stateless infer path,
-  // keyed on weight_.value.version().
+  // Frozen binarized weight + packed float/binary panels for the stateless
+  // infer path, keyed on weight_.value.version().
   BinaryPanelCache cache_;
 };
 
@@ -185,6 +214,8 @@ class QuantLinear : public gbo::nn::Linear, public Hookable {
   std::size_t crossbar_cols() const override { return in_features(); }
   gbo::nn::Param& latent_weight() override { return weight_; }
 
+  /// See QuantConv2d::binary_weight — ±1 signs; the digital scale is a
+  /// separate epilogue since the XNOR/popcount PR.
   const Tensor& binary_weight() const { return binary_weight_; }
   float weight_scale() const { return weight_scale_; }
 
@@ -193,12 +224,17 @@ class QuantLinear : public gbo::nn::Linear, public Hookable {
   void on_weight_grad(Tensor& grad_w) override;
 
  private:
+  /// See QuantConv2d::infer_mvm.
+  Tensor infer_mvm(const Tensor& x, gbo::nn::EvalContext& ctx,
+                   const float* bw, const float* panels,
+                   const gbo::gemm::PackedBinaryB& bwords) const;
+
   bool scaled_;
   MvmNoiseHook* hook_ = nullptr;
   Tensor binary_weight_;
   float weight_scale_ = 1.0f;
-  // Frozen binarized weight + packed panels for the stateless infer path,
-  // keyed on weight_.value.version().
+  // Frozen binarized weight + packed float/binary panels for the stateless
+  // infer path, keyed on weight_.value.version().
   BinaryPanelCache cache_;
 };
 

@@ -47,6 +47,12 @@ double* ScratchArena::alloc_doubles(std::size_t n) {
   return reinterpret_cast<double*>(alloc_bytes(n * sizeof(double)));
 }
 
+std::uint64_t* ScratchArena::alloc_words(std::size_t n) {
+  if (n == 0) return nullptr;
+  return reinterpret_cast<std::uint64_t*>(
+      alloc_bytes(n * sizeof(std::uint64_t)));
+}
+
 Tensor ScratchArena::take_pooled(std::size_t numel) {
   if (pool_.empty()) {
     ++stats_.system_allocs;

@@ -28,6 +28,7 @@
 #include "tensor/tensor.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <vector>
@@ -57,6 +58,7 @@ class ScratchArena {
   /// enclosing ArenaFrame pops (or reset()). n == 0 returns nullptr.
   float* alloc_floats(std::size_t n);
   double* alloc_doubles(std::size_t n);
+  std::uint64_t* alloc_words(std::size_t n);  // bit-packed kernel operands
 
   /// Rewinds the bump region to empty (no frames may be live). Keeps all
   /// memory for reuse.

@@ -207,6 +207,63 @@ void micro_edge_packed(std::size_t mr, std::size_t nr,
 
 #if defined(__GNUC__) || defined(__clang__)
 
+// Skinny mr<MR tile at full NR width — the unit-batch serving linears,
+// where the bottom row strip is 1-5 live rows and micro_edge_packed would
+// burn MR/mr of its flops on the panel's zero-padded rows. Accumulates only
+// the live rows, straight into C (no local-tile copy: nr == NR means no
+// column mask is needed). Each live (r, lane) element runs the identical
+// k-ascending op chain as the full tile, so outputs are bitwise unchanged.
+template <std::size_t R>
+void micro_skinny_packed_r(const float* __restrict Ap,
+                           const float* __restrict Bp, float* __restrict C,
+                           std::size_t ldc, std::size_t kc) {
+  vf8 c0[R], c1[R];
+  for (std::size_t r = 0; r < R; ++r) {
+    c0[r] = loadu8(C + r * ldc);
+    c1[r] = loadu8(C + r * ldc + 8);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict b = Bp + p * NR;
+    const float* __restrict a6 = Ap + p * MR;
+    const vf8 b0 = loadu8(b), b1 = loadu8(b + 8);
+    for (std::size_t r = 0; r < R; ++r) {
+      const vf8 a = splat8(a6[r]);
+      c0[r] += a * b0;
+      c1[r] += a * b1;
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    storeu8(C + r * ldc, c0[r]);
+    storeu8(C + r * ldc + 8, c1[r]);
+  }
+}
+
+void micro_skinny_packed(std::size_t mr, const float* __restrict Ap,
+                         const float* __restrict Bp, float* __restrict C,
+                         std::size_t ldc, std::size_t kc) {
+  switch (mr) {
+    case 1: micro_skinny_packed_r<1>(Ap, Bp, C, ldc, kc); break;
+    case 2: micro_skinny_packed_r<2>(Ap, Bp, C, ldc, kc); break;
+    case 3: micro_skinny_packed_r<3>(Ap, Bp, C, ldc, kc); break;
+    case 4: micro_skinny_packed_r<4>(Ap, Bp, C, ldc, kc); break;
+    default: micro_skinny_packed_r<5>(Ap, Bp, C, ldc, kc); break;
+  }
+}
+
+#else
+
+// Portable build: the edge tile already handles mr<MR correctly; the skinny
+// specialization is a pure perf shortcut.
+void micro_skinny_packed(std::size_t mr, const float* __restrict Ap,
+                         const float* __restrict Bp, float* __restrict C,
+                         std::size_t ldc, std::size_t kc) {
+  micro_edge_packed(mr, NR, Ap, Bp, C, ldc, kc);
+}
+
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+
 inline float hsum8(vf8 v) {
   float s = 0.0f;
   for (int l = 0; l < 8; ++l) s += v[l];
@@ -412,6 +469,8 @@ void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
             float* Cb = C + i * ldc + j;
             if (mr == MR && nr == NR)
               micro_full_packed(astrip, bstrip, Cb, ldc, kc);
+            else if (nr == NR)
+              micro_skinny_packed(mr, astrip, bstrip, Cb, ldc, kc);
             else
               micro_edge_packed(mr, nr, astrip, bstrip, Cb, ldc, kc);
           }

@@ -1,0 +1,459 @@
+#include "tensor/gemm_binary.hpp"
+
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GBO_BINARY_X86 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace gbo::gemm {
+namespace {
+
+std::atomic<std::uint64_t> g_binary_packs{0};
+std::atomic<std::uint64_t> g_binary_mvms{0};
+
+// ---- registry kernels ----------------------------------------------------
+//
+// Every kernel computes the same value — the total popcount of a XOR w over
+// kBinaryPlanes planes — as a sum of per-word integer popcounts, which is
+// associative and overflow-free (P <= 8·k <= 2^40 for any realistic k), so
+// the variants are bitwise interchangeable by construction.
+
+std::uint64_t xp1_scalar(const std::uint64_t* a, const std::uint64_t* w,
+                         std::size_t kw) {
+  std::uint64_t p = 0;
+  for (std::size_t t = 0; t < kBinaryPlanes; ++t) {
+    const std::uint64_t* at = a + t * kw;
+    for (std::size_t i = 0; i < kw; ++i)
+      p += static_cast<std::uint64_t>(std::popcount(at[i] ^ w[i]));
+  }
+  return p;
+}
+
+void xpr_scalar(const std::uint64_t* a, const std::uint64_t* W, std::size_t n,
+                std::size_t kw, std::uint64_t* pops) {
+  for (std::size_t j = 0; j < n; ++j) pops[j] = xp1_scalar(a, W + j * kw, kw);
+}
+
+#if defined(GBO_BINARY_X86)
+
+// AVX2 has no vector popcount; the classic vpshufb nibble LUT counts bits in
+// each byte, then _mm256_sad_epu8 horizontally folds bytes into four 64-bit
+// lanes per 256-bit chunk.
+__attribute__((target("avx2"))) inline __m256i popcnt256(__m256i x) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum256(__m256i acc) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                  _mm256_extracti128_si256(acc, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+__attribute__((target("avx2"))) void xpr_avx2(const std::uint64_t* a,
+                                              const std::uint64_t* W,
+                                              std::size_t n, std::size_t kw,
+                                              std::uint64_t* pops) {
+  if (kw <= 4) {
+    // Hot path (k <= 256): all 8 activation planes live in YMM registers
+    // across the whole weight panel; each weight row is one masked load.
+    // Masked-out lanes are zero on both operands, so they XOR to zero.
+    __m256i mask;
+    {
+      const long long kOn = -1;
+      alignas(32) long long lanes[4] = {0, 0, 0, 0};
+      for (std::size_t i = 0; i < kw; ++i) lanes[i] = kOn;
+      mask = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    }
+    __m256i av[kBinaryPlanes];
+    for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+      av[t] = _mm256_maskload_epi64(
+          reinterpret_cast<const long long*>(a + t * kw), mask);
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m256i wv = _mm256_maskload_epi64(
+          reinterpret_cast<const long long*>(W + j * kw), mask);
+      __m256i acc = popcnt256(_mm256_xor_si256(av[0], wv));
+      for (std::size_t t = 1; t < kBinaryPlanes; ++t)
+        acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(av[t], wv)));
+      pops[j] = hsum256(acc);
+    }
+    return;
+  }
+  // General shape: chunk the k dimension; each weight chunk is loaded once
+  // and XORed against all 8 planes (8x fewer weight loads than per-plane).
+  const std::size_t kw4 = kw - kw % 4;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t* w = W + j * kw;
+    __m256i acc = _mm256_setzero_si256();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kw4; i += 4) {
+      const __m256i wv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t) {
+        const __m256i atv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + t * kw + i));
+        acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(atv, wv)));
+      }
+    }
+    for (std::size_t i = kw4; i < kw; ++i)
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+        total += static_cast<std::uint64_t>(std::popcount(a[t * kw + i] ^ w[i]));
+    pops[j] = total + hsum256(acc);
+  }
+}
+
+// AVX-512 VPOPCNTDQ: native 64-bit-lane popcount; ragged tails are masked
+// edge tiles — zero-masked loads on both operands XOR to zero, so the dead
+// lanes contribute nothing.
+__attribute__((target("avx512f,avx512vpopcntdq"))) void xpr_avx512(
+    const std::uint64_t* a, const std::uint64_t* W, std::size_t n,
+    std::size_t kw, std::uint64_t* pops) {
+  if (kw <= 8) {
+    // Hot path (k <= 512, every layer of the paper's models): all 8
+    // activation planes live in ZMM registers across the whole weight
+    // panel; each weight row is one masked load + 8 XOR/VPOPCNTQ pairs.
+    const __mmask8 mask =
+        kw == 8 ? static_cast<__mmask8>(0xff)
+                : static_cast<__mmask8>((1u << kw) - 1u);
+    __m512i av[kBinaryPlanes];
+    for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+      av[t] = _mm512_maskz_loadu_epi64(mask, a + t * kw);
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m512i wv = _mm512_maskz_loadu_epi64(mask, W + j * kw);
+      __m512i acc = _mm512_popcnt_epi64(_mm512_xor_si512(av[0], wv));
+      for (std::size_t t = 1; t < kBinaryPlanes; ++t)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(av[t], wv)));
+      pops[j] = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+    }
+    return;
+  }
+  if (kw <= 16) {
+    // Two-vector tier (k <= 1024, covers the VGG 3x3 conv patches, k = 576):
+    // 16 ZMM hold the planes, each weight row is two masked loads.
+    const __mmask8 m1 = kw >= 16 ? static_cast<__mmask8>(0xff)
+                                 : static_cast<__mmask8>((1u << (kw - 8)) - 1u);
+    __m512i av0[kBinaryPlanes], av1[kBinaryPlanes];
+    for (std::size_t t = 0; t < kBinaryPlanes; ++t) {
+      av0[t] = _mm512_loadu_si512(a + t * kw);
+      av1[t] = _mm512_maskz_loadu_epi64(m1, a + t * kw + 8);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const __m512i wv0 = _mm512_loadu_si512(W + j * kw);
+      const __m512i wv1 = _mm512_maskz_loadu_epi64(m1, W + j * kw + 8);
+      __m512i acc = _mm512_add_epi64(
+          _mm512_popcnt_epi64(_mm512_xor_si512(av0[0], wv0)),
+          _mm512_popcnt_epi64(_mm512_xor_si512(av1[0], wv1)));
+      for (std::size_t t = 1; t < kBinaryPlanes; ++t) {
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(av0[t], wv0)));
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(av1[t], wv1)));
+      }
+      pops[j] = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+    }
+    return;
+  }
+  // General shape: each weight chunk loaded once, XORed against all planes.
+  const std::size_t kw8 = kw - kw % 8;
+  const __mmask8 edge = static_cast<__mmask8>((1u << (kw - kw8)) - 1u);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t* w = W + j * kw;
+    __m512i acc = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < kw8; i += 8) {
+      const __m512i wv = _mm512_loadu_si512(w + i);
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(
+                     _mm512_loadu_si512(a + t * kw + i), wv)));
+    }
+    if (kw8 < kw) {
+      const __m512i wv = _mm512_maskz_loadu_epi64(edge, w + kw8);
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_xor_si512(
+                     _mm512_maskz_loadu_epi64(edge, a + t * kw + kw8), wv)));
+    }
+    pops[j] = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  }
+}
+
+#endif  // GBO_BINARY_X86
+
+#if defined(__ARM_NEON)
+
+void xpr_neon(const std::uint64_t* a, const std::uint64_t* W, std::size_t n,
+              std::size_t kw, std::uint64_t* pops) {
+  const std::size_t kw2 = kw - kw % 2;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t* w = W + j * kw;
+    std::uint64_t total = 0;
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (std::size_t i = 0; i < kw2; i += 2) {
+      const uint64x2_t wv = vld1q_u64(w + i);
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t) {
+        const uint8x16_t x =
+            veorq_u8(vreinterpretq_u8_u64(vld1q_u64(a + t * kw + i)),
+                     vreinterpretq_u8_u64(wv));
+        acc = vaddq_u64(acc,
+                        vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(x)))));
+      }
+    }
+    total += vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+    for (std::size_t i = kw2; i < kw; ++i)
+      for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+        total += static_cast<std::uint64_t>(std::popcount(a[t * kw + i] ^ w[i]));
+    pops[j] = total;
+  }
+}
+
+#endif  // __ARM_NEON
+
+constexpr BinaryKernel kScalarKernel{"scalar", &xpr_scalar};
+#if defined(GBO_BINARY_X86)
+constexpr BinaryKernel kAvx2Kernel{"avx2", &xpr_avx2};
+constexpr BinaryKernel kAvx512Kernel{"avx512_vpopcntdq", &xpr_avx512};
+#endif
+#if defined(__ARM_NEON)
+constexpr BinaryKernel kNeonKernel{"neon", &xpr_neon};
+#endif
+
+// ---- CPUID feature probe -------------------------------------------------
+//
+// Raw CPUID + XGETBV rather than __builtin_cpu_supports: the vpopcntdq
+// string is not recognized by every toolchain this repo supports, and the
+// OS-enablement half (XCR0) must be checked explicitly anyway.
+
+#if defined(GBO_BINARY_X86)
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512vpopcntdq = false;
+};
+
+std::uint64_t read_xcr0() {
+  std::uint32_t lo, hi;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+CpuFeatures probe_cpu() {
+  CpuFeatures f;
+  unsigned eax, ebx, ecx, edx;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  const bool osxsave = (ecx >> 27) & 1;  // OS uses XSAVE: XCR0 is readable
+  if (!osxsave) return f;
+  const std::uint64_t xcr0 = read_xcr0();
+  const bool os_avx = (xcr0 & 0x6) == 0x6;       // XMM + YMM state saved
+  const bool os_avx512 = (xcr0 & 0xe6) == 0xe6;  // + opmask, ZMM hi state
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = os_avx && ((ebx >> 5) & 1);
+    f.avx512f = os_avx512 && ((ebx >> 16) & 1);
+    f.avx512vpopcntdq = f.avx512f && ((ecx >> 14) & 1);
+  }
+  return f;
+}
+
+const CpuFeatures& cpu() {
+  static const CpuFeatures f = probe_cpu();
+  return f;
+}
+
+#endif  // GBO_BINARY_X86
+
+bool force_scalar() {
+  const char* e = std::getenv("GBO_FORCE_SCALAR_KERNELS");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}
+
+const BinaryKernel* select_kernel() {
+  if (force_scalar()) return &kScalarKernel;
+#if defined(GBO_BINARY_X86)
+  if (cpu().avx512vpopcntdq) return &kAvx512Kernel;
+  if (cpu().avx2) return &kAvx2Kernel;
+#endif
+#if defined(__ARM_NEON)
+  return &kNeonKernel;
+#endif
+  return &kScalarKernel;
+}
+
+}  // namespace
+
+const BinaryKernel& binary_kernel() {
+  static const BinaryKernel* k = select_kernel();
+  return *k;
+}
+
+const BinaryKernel& binary_kernel_scalar() { return kScalarKernel; }
+
+const char* binary_kernel_name() { return binary_kernel().name; }
+
+std::string cpu_features() {
+  std::string s;
+#if defined(GBO_BINARY_X86)
+  if (cpu().avx2) s += "avx2 ";
+  if (cpu().avx512f) s += "avx512f ";
+  if (cpu().avx512vpopcntdq) s += "avx512vpopcntdq ";
+#endif
+#if defined(__ARM_NEON)
+  s += "neon ";
+#endif
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+std::uint64_t binary_pack_count() {
+  return g_binary_packs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t binary_mvm_count() {
+  return g_binary_mvms.load(std::memory_order_relaxed);
+}
+
+PackedBinaryB prepack_binary_b_t(std::size_t n, std::size_t k, const float* B,
+                                 std::size_t ldb) {
+  PackedBinaryB pb;
+  pb.n = n;
+  pb.k = k;
+  pb.kw = binary_words(k);
+  if (n == 0 || k == 0) return pb;  // empty handle, no pack counted
+  g_binary_packs.fetch_add(1, std::memory_order_relaxed);
+  pb.words.assign(n * pb.kw, 0);
+  std::uint64_t* words = pb.words.data();
+  const std::size_t kw = pb.kw;
+  parallel_for(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* src = B + j * ldb;
+      std::uint64_t* row = words + j * kw;
+      for (std::size_t p = 0; p < k; ++p)
+        if (src[p] >= 0.0f) row[p / 64] |= 1ull << (p % 64);
+    }
+  });
+  return pb;
+}
+
+namespace {
+
+/// Level 0..8 of an on-grid value, -1 otherwise. (x + 1)·4 alone is not a
+/// sufficient test: the addition ROUNDS, so a tiny off-grid value (e.g.
+/// 1e-8) lands on an integer — the reconstruction comparison is what makes
+/// the test exact (grid values round-trip exactly; NaN fails the range
+/// comparison).
+int grid_level(float x) {
+  const float lf = (x + 1.0f) * 4.0f;
+  if (!(lf >= 0.0f && lf <= 8.0f)) return -1;
+  const int lvl = static_cast<int>(lf);
+  if (static_cast<float>(lvl) != lf) return -1;
+  if (static_cast<float>(lvl) * 0.25f - 1.0f != x) return -1;
+  return lvl;
+}
+
+}  // namespace
+
+bool binary_grid_check(const float* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (grid_level(p[i]) < 0) return false;
+  return true;
+}
+
+bool pack_binary_a(std::size_t m, std::size_t k, const float* A,
+                   std::size_t lda, std::uint64_t* dst) {
+  const std::size_t kw = binary_words(k);
+  std::atomic<bool> ok{true};
+  parallel_for(0, m, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!ok.load(std::memory_order_relaxed)) return;
+      const float* src = A + i * lda;
+      std::uint64_t* row = dst + i * kBinaryPlanes * kw;
+      // Accumulate each 64-lane chunk's plane words in registers — one
+      // store per plane per word instead of a read-modify-write per
+      // element — then spill to the strided plane layout.
+      for (std::size_t word = 0; word < kw; ++word) {
+        std::uint64_t pl[kBinaryPlanes] = {0};
+        const std::size_t p_end = std::min(k, (word + 1) * 64);
+        for (std::size_t p = word * 64; p < p_end; ++p) {
+          const int lvl = grid_level(src[p]);
+          if (lvl < 0) {
+            ok.store(false, std::memory_order_relaxed);
+            return;
+          }
+          // Thermometer code: level l sets planes 0..l-1 (+1 pulses), the
+          // remaining planes read as -1 through the XOR identity.
+          const std::uint64_t bit = 1ull << (p % 64);
+          for (int t = 0; t < lvl; ++t) pl[t] |= bit;
+        }
+        for (std::size_t t = 0; t < kBinaryPlanes; ++t)
+          row[t * kw + word] = pl[t];
+      }
+    }
+  });
+  return ok.load(std::memory_order_relaxed);
+}
+
+void gemm_binary_with(const BinaryKernel& kern, std::size_t m, std::size_t n,
+                      std::size_t k, const std::uint64_t* packedA,
+                      const PackedBinaryB& B, float* C, std::size_t ldc) {
+  assert(B.n == n && B.k == k);
+  if (m == 0 || n == 0) return;
+  g_binary_mvms.fetch_add(1, std::memory_order_relaxed);
+  if (k == 0) {
+    for (std::size_t i = 0; i < m; ++i)
+      std::memset(C + i * ldc, 0, n * sizeof(float));
+    return;
+  }
+  const std::size_t kw = B.kw;
+  const std::uint64_t* wwords = B.words.data();
+  auto* fn = kern.xor_popcount_row;
+  const std::int64_t mk =
+      static_cast<std::int64_t>(kBinaryPlanes) * static_cast<std::int64_t>(k);
+  // (8k - 2P)/8 is an integer multiple of 1/4 below 2^24: the int->float
+  // conversion and the 0.125f (power of two) multiply are both exact, which
+  // is what makes this equal to the float kernels bit for bit.
+  parallel_for(0, m, 4, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint64_t> pops(n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t* ai = packedA + i * kBinaryPlanes * kw;
+      float* Ci = C + i * ldc;
+      fn(ai, wwords, n, kw, pops.data());
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::int64_t pop = static_cast<std::int64_t>(pops[j]);
+        Ci[j] = static_cast<float>(mk - 2 * pop) * 0.125f;
+      }
+    }
+  });
+}
+
+void gemm_binary(std::size_t m, std::size_t n, std::size_t k,
+                 const std::uint64_t* packedA, const PackedBinaryB& B, float* C,
+                 std::size_t ldc) {
+  gemm_binary_with(binary_kernel(), m, n, k, packedA, B, C, ldc);
+}
+
+}  // namespace gbo::gemm

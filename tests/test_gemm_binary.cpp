@@ -1,0 +1,227 @@
+// Bitwise contract of the bit-packed XNOR/popcount path (DESIGN.md §8):
+// over ±1 weights and on-grid 9-level activations, gemm_binary must equal
+// the float A·Bᵀ kernels bit for bit — every shape, every thread count,
+// every registry micro-kernel.
+#include "tensor/gemm_binary.hpp"
+
+#include "common/thread_pool.hpp"
+#include "quant/binary_weight.hpp"
+#include "quant/quant_layers.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gbo::gemm {
+namespace {
+
+/// Deterministic ±1 sign matrix (what quant::binarize produces).
+std::vector<float> make_signs(std::size_t n, std::size_t k) {
+  std::vector<float> b(n * k);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = ((i * 2654435761u) >> 7) & 1 ? 1.0f : -1.0f;
+  return b;
+}
+
+/// Deterministic on-grid activations: levels 0..8 map to (2l - 8) / 8.
+std::vector<float> make_grid(std::size_t m, std::size_t k) {
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int level = static_cast<int>((i * 40503u) >> 3) % 9;
+    a[i] = static_cast<float>(level) * 0.25f - 1.0f;
+  }
+  return a;
+}
+
+/// Runs the packed path for one shape and checks it bitwise against three
+/// independent float oracles (naive, row-stable, packed-panel).
+void check_shape(std::size_t m, std::size_t n, std::size_t k) {
+  SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n << " k=" << k);
+  const std::vector<float> A = make_grid(m, k);
+  const std::vector<float> B = make_signs(n, k);
+
+  PackedBinaryB pb = prepack_binary_b_t(n, k, B.data(), k);
+  ASSERT_FALSE(pb.empty());
+  std::vector<std::uint64_t> pa(packed_binary_a_words(m, k));
+  ASSERT_TRUE(pack_binary_a(m, k, A.data(), k, pa.data()));
+  std::vector<float> c_bin(m * n, -1.0f);
+  gemm_binary(m, n, k, pa.data(), pb, c_bin.data(), n);
+
+  std::vector<float> c_naive(m * n);
+  naive_gemm_nt(m, n, k, A.data(), B.data(), c_naive.data());
+  std::vector<float> c_row(m * n);
+  gemm_nt_rowwise(m, n, k, A.data(), k, B.data(), k, c_row.data(), n);
+  PackedB fb = prepack_b_t(n, k, B.data(), k);
+  std::vector<float> c_panel(m * n);
+  gemm_prepacked(m, n, k, A.data(), k, fb.panels.data(), c_panel.data(), n);
+
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(c_bin[i], c_naive[i]) << "i=" << i;
+    EXPECT_EQ(c_bin[i], c_row[i]) << "i=" << i;
+    EXPECT_EQ(c_bin[i], c_panel[i]) << "i=" << i;
+  }
+}
+
+TEST(GemmBinary, BitwiseEqualToFloatOraclesAcrossShapes) {
+  check_shape(1, 1, 1);      // minimal
+  check_shape(1, 16, 64);    // one word exactly, unit batch (skinny tile)
+  check_shape(3, 5, 65);     // one bit past a word boundary
+  check_shape(2, 3, 1);      // k = 1: 63 padding bits per word
+  check_shape(7, 33, 63);    // ragged everywhere
+  check_shape(129, 33, 257); // tall + ragged, crosses every blocking edge
+  check_shape(5, 16, 576);   // conv-like fan-in (64·3·3), multiple words
+}
+
+TEST(GemmBinary, BitwiseAcrossThreadCounts) {
+  const std::size_t m = 67, n = 29, k = 193;
+  const std::vector<float> A = make_grid(m, k);
+  const std::vector<float> B = make_signs(n, k);
+  PackedBinaryB pb = prepack_binary_b_t(n, k, B.data(), k);
+  std::vector<std::uint64_t> pa(packed_binary_a_words(m, k));
+  ASSERT_TRUE(pack_binary_a(m, k, A.data(), k, pa.data()));
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t restore = pool.num_threads();
+  pool.set_num_threads(1);
+  std::vector<float> c1(m * n);
+  gemm_binary(m, n, k, pa.data(), pb, c1.data(), n);
+  pool.set_num_threads(4);
+  std::vector<float> c4(m * n);
+  gemm_binary(m, n, k, pa.data(), pb, c4.data(), n);
+  pool.set_num_threads(restore);
+
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_EQ(c1[i], c4[i]);
+}
+
+TEST(GemmBinary, EveryRegistryKernelMatchesScalar) {
+  // The dispatch can never change an output bit: the best-ISA kernel the
+  // CPUID probe selected must agree with the scalar reference exactly.
+  // (The CI fallback leg runs the whole suite under
+  // GBO_FORCE_SCALAR_KERNELS=1, which makes binary_kernel() itself scalar.)
+  const std::size_t m = 13, n = 21, k = 517;  // kw = 9: exercises edge masks
+  const std::vector<float> A = make_grid(m, k);
+  const std::vector<float> B = make_signs(n, k);
+  PackedBinaryB pb = prepack_binary_b_t(n, k, B.data(), k);
+  std::vector<std::uint64_t> pa(packed_binary_a_words(m, k));
+  ASSERT_TRUE(pack_binary_a(m, k, A.data(), k, pa.data()));
+
+  std::vector<float> c_scalar(m * n), c_best(m * n);
+  gemm_binary_with(binary_kernel_scalar(), m, n, k, pa.data(), pb,
+                   c_scalar.data(), n);
+  gemm_binary_with(binary_kernel(), m, n, k, pa.data(), pb, c_best.data(), n);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_EQ(c_scalar[i], c_best[i]);
+
+  EXPECT_STREQ(binary_kernel_scalar().name, "scalar");
+  EXPECT_NE(binary_kernel_name(), nullptr);
+  EXPECT_FALSE(cpu_features().empty());
+}
+
+TEST(GemmBinary, OffGridInputAbortsPack) {
+  std::vector<float> a = {0.25f, -0.5f, 0.3f, 1.0f};  // 0.3 is off-grid
+  std::vector<std::uint64_t> dst(packed_binary_a_words(1, 4));
+  EXPECT_FALSE(pack_binary_a(1, 4, a.data(), 4, dst.data()));
+  a[2] = 0.75f;
+  EXPECT_TRUE(pack_binary_a(1, 4, a.data(), 4, dst.data()));
+}
+
+TEST(GemmBinary, GridCheckAcceptsExactlyTheNineLevels) {
+  for (int l = 0; l <= 8; ++l) {
+    const float v = static_cast<float>(l) * 0.25f - 1.0f;
+    EXPECT_TRUE(binary_grid_check(&v, 1)) << v;
+  }
+  const float bad[] = {1.25f, -1.25f, 0.1f, 1e-8f,
+                       std::numeric_limits<float>::quiet_NaN()};
+  for (float v : bad) EXPECT_FALSE(binary_grid_check(&v, 1)) << v;
+}
+
+TEST(GemmBinary, ZeroDotProducesPositiveZero) {
+  // The float path's accumulators start at +0.0 and never produce -0.0 for
+  // on-grid operands; the recombination (8k - 2P)·0.125 must match, or the
+  // "bitwise" contract silently breaks on exact cancellation.
+  const std::vector<float> A = {1.0f, -1.0f};  // levels 8 and 0
+  const std::vector<float> B = {1.0f, 1.0f};
+  PackedBinaryB pb = prepack_binary_b_t(1, 2, B.data(), 2);
+  std::vector<std::uint64_t> pa(packed_binary_a_words(1, 2));
+  ASSERT_TRUE(pack_binary_a(1, 2, A.data(), 2, pa.data()));
+  float c = -7.0f;
+  gemm_binary(1, 1, 2, pa.data(), pb, &c, 1);
+  EXPECT_EQ(c, 0.0f);
+  EXPECT_FALSE(std::signbit(c));
+}
+
+TEST(GemmBinary, DegenerateShapesYieldEmptyHandle) {
+  const float one = 1.0f;
+  EXPECT_TRUE(prepack_binary_b_t(0, 4, &one, 4).empty());
+  EXPECT_TRUE(prepack_binary_b_t(4, 0, &one, 0).empty());
+}
+
+TEST(GemmBinary, PrepackCountsOnePackPerCall) {
+  const std::vector<float> B = make_signs(3, 40);
+  const std::uint64_t before = binary_pack_count();
+  PackedBinaryB pb = prepack_binary_b_t(3, 40, B.data(), 40);
+  EXPECT_EQ(binary_pack_count(), before + 1);
+  EXPECT_EQ(pb.n, 3u);
+  EXPECT_EQ(pb.kw, 1u);
+}
+
+TEST(BinaryPanelCache, RepacksExactlyOncePerWeightVersion) {
+  Tensor latent({4, 24});
+  for (std::size_t i = 0; i < latent.numel(); ++i)
+    latent[i] = (i % 3 == 0) ? -0.4f : 0.7f;
+
+  quant::BinaryPanelCache cache;
+  const float* bw;
+  const float* panels;
+  const PackedBinaryB* pb;
+  float scale;
+  const std::uint64_t packs0 = binary_pack_count();
+  cache.get(latent, /*scaled=*/true, 4, 24, /*want_panels=*/false, &bw,
+            &panels, &pb, &scale);
+  EXPECT_EQ(cache.rebuilds(), 1u);
+  cache.get(latent, true, 4, 24, false, &bw, &panels, &pb, &scale);
+  cache.get(latent, true, 4, 24, false, &bw, &panels, &pb, &scale);
+  EXPECT_EQ(cache.rebuilds(), 1u);  // steady state: zero re-packs
+  EXPECT_EQ(binary_pack_count(), packs0 + 1);
+
+  latent[0] = 0.9f;  // non-const access bumps the version
+  cache.get(latent, true, 4, 24, false, &bw, &panels, &pb, &scale);
+  EXPECT_EQ(cache.rebuilds(), 2u);
+  EXPECT_EQ(binary_pack_count(), packs0 + 2);
+  EXPECT_FLOAT_EQ(scale, quant::binarize_scale(latent));
+}
+
+TEST(BinaryPanelCache, CopiesStartCold) {
+  // Regression for the copy ctor/assignment: a copied cache must NOT adopt
+  // the source's version stamp or buffers (it may belong to a layer whose
+  // weights diverge), so it re-binarizes and re-packs on first use.
+  Tensor latent({2, 8});
+  for (std::size_t i = 0; i < latent.numel(); ++i)
+    latent[i] = (i & 1) ? 0.5f : -0.25f;
+  quant::BinaryPanelCache cache;
+  const float* bw;
+  const float* panels;
+  const PackedBinaryB* pb;
+  float scale;
+  cache.get(latent, true, 2, 8, false, &bw, &panels, &pb, &scale);
+  ASSERT_EQ(cache.rebuilds(), 1u);
+
+  quant::BinaryPanelCache copied(cache);
+  EXPECT_EQ(copied.rebuilds(), 0u);  // cold: nothing adopted
+  copied.get(latent, true, 2, 8, false, &bw, &panels, &pb, &scale);
+  EXPECT_EQ(copied.rebuilds(), 1u);  // refilled fresh, and usable
+  EXPECT_EQ(pb->n, 2u);
+
+  quant::BinaryPanelCache assigned;
+  assigned.get(latent, true, 2, 8, false, &bw, &panels, &pb, &scale);
+  ASSERT_EQ(assigned.rebuilds(), 1u);
+  assigned = cache;
+  EXPECT_EQ(assigned.rebuilds(), 1u);  // assignment adopts nothing either
+}
+
+}  // namespace
+}  // namespace gbo::gemm

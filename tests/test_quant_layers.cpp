@@ -39,12 +39,66 @@ TEST(QuantLinear, ForwardUsesBinarizedWeight) {
   Tensor x({2, 4});
   ops::fill_uniform(x, rng, -1.0f, 1.0f);
   Tensor y = fc.forward(x);
-  Tensor expected = ops::matmul_bt(x, binarize(fc.weight().value, true));
-  EXPECT_TRUE(ops::allclose(y, expected, 1e-5f, 1e-6f));
-  // The stored binary weight is ±scale.
+  // Scale-epilogue semantics (DESIGN.md §8): the MVM runs over the ±1 sign
+  // matrix and the digital scale multiplies the output afterwards.
+  Tensor expected = ops::matmul_bt(x, binarize(fc.weight().value, false));
   const float s = fc.weight_scale();
+  for (std::size_t i = 0; i < expected.numel(); ++i) expected[i] *= s;
+  EXPECT_TRUE(ops::allclose(y, expected, 1e-5f, 1e-6f));
+  // Equivalent (up to rounding) to the folded ±scale product.
+  Tensor folded = ops::matmul_bt(x, binarize(fc.weight().value, true));
+  EXPECT_TRUE(ops::allclose(y, folded, 1e-5f, 1e-6f));
+  // The stored binary weight is the ±1 sign matrix a crossbar cell holds;
+  // the scale is reported separately.
+  EXPECT_GT(s, 0.0f);
   for (std::size_t i = 0; i < fc.binary_weight().numel(); ++i)
-    EXPECT_NEAR(std::fabs(fc.binary_weight()[i]), s, 1e-6f);
+    EXPECT_NEAR(std::fabs(fc.binary_weight()[i]), 1.0f, 1e-6f);
+}
+
+TEST(QuantLinear, InferRoutesOnGridInputThroughBinaryKernel) {
+  Rng rng(21);
+  QuantLinear fc(9, 5, rng, /*scaled=*/true);
+  // Every value on the 9-level QuantTanh grid (multiples of 1/4 in [-1, 1]).
+  Tensor x({3, 9});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(static_cast<int>(i * 5 % 9) - 4) * 0.25f;
+  Tensor ref = fc.forward(x);
+  gbo::nn::EvalContext ctx;
+  const std::uint64_t mvms_before = gemm::binary_mvm_count();
+  Tensor y = fc.infer(x, ctx);
+  EXPECT_EQ(gemm::binary_mvm_count(), mvms_before + 1);
+  // The XNOR/popcount route must be bitwise equal to the float forward.
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], ref[i]);
+}
+
+TEST(QuantLinear, InferFallsBackToFloatForOffGridInput) {
+  Rng rng(22);
+  QuantLinear fc(4, 3, rng, /*scaled=*/true);
+  Tensor x({2, 4});
+  ops::fill_uniform(x, rng, -1.0f, 1.0f);  // almost surely off-grid
+  Tensor ref = fc.forward(x);
+  gbo::nn::EvalContext ctx;
+  const std::uint64_t mvms_before = gemm::binary_mvm_count();
+  Tensor y = fc.infer(x, ctx);
+  EXPECT_EQ(gemm::binary_mvm_count(), mvms_before);  // float route taken
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], ref[i]);
+}
+
+TEST(QuantConv2d, InferRoutesOnGridInputThroughBinaryKernel) {
+  Rng rng(23);
+  ConvGeom g{.in_c = 2, .in_h = 5, .in_w = 5, .k = 3, .stride = 1, .pad = 1};
+  QuantConv2d conv(4, g, rng, /*scaled=*/true);
+  Tensor x({2, 2, 5, 5});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(static_cast<int>(i * 3 % 9) - 4) * 0.25f;
+  Tensor ref = conv.forward(x);
+  gbo::nn::EvalContext ctx;
+  const std::uint64_t mvms_before = gemm::binary_mvm_count();
+  Tensor y = conv.infer(x, ctx);
+  EXPECT_EQ(gemm::binary_mvm_count(), mvms_before + 1);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], ref[i]);
 }
 
 TEST(QuantLinear, NoBiasParameter) {
@@ -107,9 +161,11 @@ TEST(QuantConv2d, ForwardUsesBinarizedWeight) {
   ops::fill_uniform(x, rng, -1.0f, 1.0f);
   Tensor y = conv.forward(x);
   EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 3, 4, 4}));
+  // ±1 signs stored, digital scale separate (see the Linear test).
   const float s = conv.weight_scale();
+  EXPECT_GT(s, 0.0f);
   for (std::size_t i = 0; i < conv.binary_weight().numel(); ++i)
-    EXPECT_NEAR(std::fabs(conv.binary_weight()[i]), s, 1e-6f);
+    EXPECT_NEAR(std::fabs(conv.binary_weight()[i]), 1.0f, 1e-6f);
 }
 
 TEST(QuantConv2d, HookSeesMvmOutput) {

@@ -15,6 +15,9 @@ For BENCH_mvm*.json files, every section below must be present with
     eval_trials             trial-parallel noisy eval == sequential oracle
     pulse_mvm               fused pulse sweep == per-pulse reference
     pulse_mvm_device_model  same, with read noise / ADC / variation on
+    gemm_binary             XNOR/popcount MVM == float oracle, dispatched
+                            micro-kernel == scalar, and one sign-word
+                            repack per weight version (repack_once)
 
 For BENCH_serve*.json files ("bench": "serve"), the document-level
 "gates_ok" must be true and every scenario (any object carrying a
@@ -25,6 +28,8 @@ For BENCH_serve*.json files ("bench": "serve"), the document-level
     arena_steady_state      zero arena heap allocations in steady state
     zero_steady_packs       zero weight packs / binarizations in steady
                             state (the frozen-weight caches, DESIGN.md §6)
+    zero_steady_binary_packs  zero binary sign-word repacks in steady
+                            state (the version-stamped panel cache, §8)
     noisy_fused             stochastic scenarios fused micro-batches on
                             per-sample RNG streams (where present)
 
@@ -65,13 +70,27 @@ GATED_SECTIONS = [
     "eval_trials",
     "pulse_mvm",
     "pulse_mvm_device_model",
+    "gemm_binary",
 ]
+
+# Extra boolean gates demanded of specific BENCH_mvm sections beyond
+# bitwise_match.
+SECTION_EXTRA_GATES = {
+    "gemm_binary": ["repack_once"],
+}
+
+# Non-boolean keys that must be present (documenting what ran), e.g. the
+# dispatched micro-kernel name in the CI artifact.
+SECTION_REQUIRED_KEYS = {
+    "gemm_binary": ["kernel", "cpu_features"],
+}
 
 SERVE_SCENARIO_GATES = [
     "bitwise_1_vs_n_workers",
     "batching_invariant",
     "arena_steady_state",
     "zero_steady_packs",
+    "zero_steady_binary_packs",
 ]
 
 SERVE_SLO_GATES = [
@@ -101,6 +120,11 @@ TRAJECTORY = [
     ("conv_direct", None, "gflops_im2col_1t", "conv im2col 1t"),
     ("conv_direct", None, "gflops_direct_1t", "conv direct 1t"),
     ("conv_direct", None, "speedup_direct_1t", "direct/im2col 1t (x)"),
+    ("gemm_binary", None, "gflops_binary_cached_1t", "binary mvm cached 1t"),
+    ("gemm_binary", None, "speedup_binary_vs_float_1t",
+     "binary/float packed 1t (x)"),
+    ("gemm_binary", None, "speedup_cached_vs_cold_1t",
+     "binary cached/cold pack (x)"),
     ("pulse_mvm", None, "speedup_fused", "pulse fused/reference (x)"),
     ("eval_trials", None, "trials_per_sec_mt", "eval trials/s mt"),
 ]
@@ -117,6 +141,14 @@ def check_mvm(path, doc):
         if match is not True:
             failures.append(
                 f"{path}: {section}.bitwise_match is {match!r}, expected true")
+        for gate in SECTION_EXTRA_GATES.get(section, []):
+            if node.get(gate) is not True:
+                failures.append(
+                    f"{path}: {section}.{gate} is {node.get(gate)!r}, "
+                    "expected true")
+        for key in SECTION_REQUIRED_KEYS.get(section, []):
+            if not node.get(key):
+                failures.append(f"{path}: {section}.{key} missing or empty")
     return failures
 
 
@@ -219,6 +251,8 @@ def serve_rows(doc):
             str(node.get("fusion", "?")),
             str(node.get("steady_weight_packs", "?")),
             str(node.get("steady_binarizes", "?")),
+            str(node.get("steady_binary_packs", "?")),
+            str(node.get("binary_mvms", "?")),
         ))
     return rows
 
@@ -241,9 +275,12 @@ def main(argv):
         print(f"### `{path}` (pool={threads} threads)\n")
         if doc.get("bench") == "serve":
             failures = check_serve(path, doc)
+            kernel = doc.get("binary_kernel", "?")
+            print(f"binary micro-kernel: `{kernel}`\n")
             print("| scenario | p50 us | p95 us | rps | exec batch | fusion "
-                  "| steady packs | steady binarizes |")
-            print("|---|---|---|---|---|---|---|---|")
+                  "| steady packs | steady binarizes | steady bin packs "
+                  "| binary mvms |")
+            print("|---|---|---|---|---|---|---|---|---|---|")
             for row in serve_rows(doc):
                 print("| " + " | ".join(row) + " |")
         elif doc.get("bench") == "serve_slo":
