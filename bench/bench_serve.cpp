@@ -31,7 +31,10 @@
 #include "crossbar/hw_deploy.hpp"
 #include "models/mlp.hpp"
 #include "models/vgg9.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "quant/binary_weight.hpp"
+#include "serve/policy.hpp"
 #include "serve/server.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/gemm_binary.hpp"
@@ -74,6 +77,58 @@ struct GateState {
   }
 };
 
+/// Folds the 1-worker and measured N-worker trace snapshots into the
+/// scenario's "trace" JSON section and enforces the DESIGN.md §9 gates:
+/// no ring overflow, no steady-state ring allocations, and a causal
+/// fingerprint that is bitwise identical across worker counts AND equal to
+/// the planner-derived oracle. Timing fields stay out of the fingerprint,
+/// so every gated quantity is machine-independent. With tracing compiled
+/// out (GBO_TRACE=0) or env-disabled the section records enabled=false and
+/// no gate fires.
+Json trace_section(const char* name, const obs::TraceSnapshot& snap1,
+                   const obs::TraceSnapshot& snapN,
+                   std::uint64_t expected_fp, std::size_t expected_events,
+                   std::uint64_t steady_ring_allocs,
+                   const std::string& trace_out, GateState* gates) {
+  Json tr = obs::trace_summary(snapN);
+  const bool enabled = obs::runtime_enabled();
+  tr.set("enabled", enabled);
+  if (!enabled) return tr;
+
+  const std::uint64_t fp1 = obs::causal_fingerprint(snap1.events);
+  const std::uint64_t fpN = obs::causal_fingerprint(snapN.events);
+  tr.set("causal_fingerprint_1w", serve::hex64(fp1));
+  tr.set("expected_causal_fingerprint", serve::hex64(expected_fp));
+  tr.set("expected_causal_events", expected_events);
+  tr.set("steady_ring_allocs", steady_ring_allocs);
+
+  const bool match_workers = fp1 == fpN;
+  if (!match_workers)
+    gates->fail(name, "causal fingerprint differs between 1 and N workers");
+  const bool match_oracle = fpN == expected_fp;
+  if (!match_oracle)
+    gates->fail(name, "causal fingerprint diverged from the plan oracle");
+  const bool no_drops = snap1.dropped == 0 && snapN.dropped == 0;
+  if (!no_drops) gates->fail(name, "trace ring overflowed (events dropped)");
+  const bool no_ring_allocs = steady_ring_allocs == 0;
+  if (!no_ring_allocs)
+    gates->fail(name, "tracing allocated ring memory during the measured run");
+  tr.set("causal_match_1_vs_n", match_workers);
+  tr.set("causal_matches_oracle", match_oracle);
+  tr.set("no_drops", no_drops);
+  tr.set("zero_steady_ring_allocs", no_ring_allocs);
+
+  if (!trace_out.empty()) {
+    const std::string path = trace_out + name + ".json";
+    if (obs::write_chrome_trace(snapN, path,
+                                std::string("bench_serve ") + name))
+      std::printf("  [%s] wrote %s\n", name, path.c_str());
+    else
+      std::fprintf(stderr, "  [%s] failed to write %s\n", name, path.c_str());
+  }
+  return tr;
+}
+
 /// Runs one backend through the full ladder: 1 worker, N workers (the
 /// measured configuration, warmed then replayed for steady-state stats,
 /// with the frozen-weight cache counters diffed around the steady run),
@@ -84,14 +139,17 @@ Json run_scenario(const char* name, const serve::Backend& backend,
                   const data::Dataset& ds,
                   const std::vector<serve::Arrival>& trace,
                   std::size_t workers, const serve::BatchPolicy& policy,
-                  std::uint64_t seed, bool stochastic, GateState* gates) {
+                  std::uint64_t seed, bool stochastic,
+                  const std::string& trace_out, GateState* gates) {
   serve::ServeConfig cfg;
   cfg.batch = policy;
   cfg.seed = seed;
 
   cfg.num_workers = 1;
   serve::InferenceServer one(backend, ds, cfg);
+  obs::begin_session();
   const serve::ServeReport rep1 = one.run(trace);
+  const obs::TraceSnapshot snap1 = obs::end_session();
 
   cfg.num_workers = workers;
   serve::InferenceServer many(backend, ds, cfg);
@@ -101,7 +159,13 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   const std::uint64_t bins0 = quant::binarize_count();
   const std::uint64_t bpacks0 = gemm::binary_pack_count();
   const std::uint64_t bmvms0 = gemm::binary_mvm_count();
+  // The warm run also minted every worker's trace ring; the measured run
+  // must not allocate any (the zero_steady_ring_allocs gate).
+  obs::begin_session();
+  const std::uint64_t rings0 = obs::ring_allocs();
   const serve::ServeReport rep = many.run(trace);
+  const obs::TraceSnapshot snapN = obs::end_session();
+  const std::uint64_t steady_rings = obs::ring_allocs() - rings0;
   const std::uint64_t steady_packs = gemm::b_pack_count() - packs0;
   const std::uint64_t steady_bins = quant::binarize_count() - bins0;
   const std::uint64_t steady_bpacks = gemm::binary_pack_count() - bpacks0;
@@ -178,6 +242,13 @@ Json run_scenario(const char* name, const serve::Backend& backend,
                       : 0.0);
   j.set("zero_steady_packs", zero_packs);
   if (stochastic) j.set("noisy_fused", noisy_fused);
+  // Legacy (non-SLO) runs admit and deliver every request exactly once, so
+  // the oracle is a pure function of the trace length.
+  j.set("trace",
+        trace_section(name, snap1, snapN,
+                      serve::expected_causal_fingerprint(trace.size()),
+                      serve::expected_causal_event_count(trace.size()),
+                      steady_rings, trace_out, gates));
   return j;
 }
 
@@ -204,17 +275,24 @@ Json run_slo_scenario(const serve::Backend& primary,
                       const data::Dataset& ds,
                       const std::vector<serve::Arrival>& trace,
                       std::size_t workers, const serve::ServeConfig& base,
-                      GateState* gates) {
+                      const std::string& trace_out, GateState* gates) {
   const char* name = "slo_flash";
   const serve::Plan plan = serve::plan(trace, base.slo, base.batch);
 
   serve::ServeConfig cfg = base;
   cfg.num_workers = 1;
   serve::InferenceServer one(primary, degraded, ds, cfg);
+  obs::begin_session();
   const serve::ServeReport rep1 = one.run(trace);
+  const obs::TraceSnapshot snap1 = obs::end_session();
   cfg.num_workers = workers;
   serve::InferenceServer many(primary, degraded, ds, cfg);
+  (void)many.run(trace);  // warm run: mints arenas + every worker trace ring
+  obs::begin_session();
+  const std::uint64_t rings0 = obs::ring_allocs();
   const serve::ServeReport rep = many.run(trace);
+  const obs::TraceSnapshot snapN = obs::end_session();
+  const std::uint64_t steady_rings = obs::ring_allocs() - rings0;
 
   const serve::PlanCounters& c = plan.counters;
   const bool payload_match = bitwise_equal(rep1.outputs, rep.outputs);
@@ -273,6 +351,13 @@ Json run_slo_scenario(const serve::Backend& primary,
   j.set("ladder_recovered", recovered);
   j.set("overload_exercised", overloaded);
   j.set("faults_retried", faulted);
+  // SLO oracle: the full causal stream (admission verdicts, sheds, retries,
+  // deliveries with virtual completion times, ladder/breaker transitions)
+  // reconstructed from the Plan alone.
+  j.set("trace", trace_section(name, snap1, snapN,
+                               serve::expected_causal_fingerprint(plan),
+                               serve::expected_causal_event_count(plan),
+                               steady_rings, trace_out, gates));
   return j;
 }
 
@@ -289,6 +374,10 @@ int main(int argc, char** argv) {
   cli.add_option("requests", "Analytic-scenario trace length", "auto");
   cli.add_option("rate", "Mean arrival rate, requests/s", "auto");
   cli.add_option("workers", "Serving worker count", "4");
+  cli.add_option("trace-out",
+                 "Chrome trace-event JSON path prefix; writes "
+                 "<prefix><scenario>.json per scenario (empty disables)",
+                 "");
   if (!cli.parse(argc, argv)) return cli.exit_code();
   set_log_level(LogLevel::kWarn);
 
@@ -301,6 +390,7 @@ int main(int argc, char** argv) {
   const auto requests = static_cast<std::size_t>(
       cli.get_int("requests", smoke ? 240 : 2000));
   const double rate = cli.get_double("rate", smoke ? 6000.0 : 10000.0);
+  const std::string trace_out = cli.get_string("trace-out", "");
 
   ThreadPool& pool = ThreadPool::instance();
   std::printf("bench_serve: %zu requests @ %.0f rps, %zu workers, "
@@ -313,6 +403,8 @@ int main(int argc, char** argv) {
   doc.set("num_threads", pool.num_threads());
   doc.set("workers", workers);
   doc.set("binary_kernel", gemm::binary_kernel_name());
+  doc.set("cpu_features", gemm::cpu_features());
+  doc.set("trace_enabled", obs::runtime_enabled());
   GateState gates;
 
   // -- analytic backends over a binary-weight MLP ---------------------------
@@ -348,7 +440,8 @@ int main(int argc, char** argv) {
     serve::AnalyticBackend clean(*model.net, /*stochastic=*/false);
     doc.set("analytic_clean",
             run_scenario("analytic_clean", clean, ds, trace, workers, policy,
-                         /*seed=*/17, /*stochastic=*/false, &gates));
+                         /*seed=*/17, /*stochastic=*/false, trace_out,
+                         &gates));
   }
   {
     Rng crng(53);
@@ -367,7 +460,8 @@ int main(int argc, char** argv) {
     serve::AnalyticBackend noisy(*model.net, /*stochastic=*/true);
     doc.set("analytic_noisy",
             run_scenario("analytic_noisy", noisy, ds, trace, workers, policy,
-                         /*seed=*/17, /*stochastic=*/true, &gates));
+                         /*seed=*/17, /*stochastic=*/true, trace_out,
+                         &gates));
     ctrl.detach();
   }
 
@@ -397,7 +491,8 @@ int main(int argc, char** argv) {
       serve::AnalyticBackend clean(*vgg.net, /*stochastic=*/false);
       doc.set("conv_clean",
               run_scenario("conv_clean", clean, vds, vtrace, workers, policy,
-                           /*seed=*/19, /*stochastic=*/false, &gates));
+                           /*seed=*/19, /*stochastic=*/false, trace_out,
+                           &gates));
     }
     {
       Rng crng(59);
@@ -408,7 +503,8 @@ int main(int argc, char** argv) {
       serve::AnalyticBackend noisy(*vgg.net, /*stochastic=*/true);
       doc.set("conv_noisy",
               run_scenario("conv_noisy", noisy, vds, vtrace, workers, policy,
-                           /*seed=*/19, /*stochastic=*/true, &gates));
+                           /*seed=*/19, /*stochastic=*/true, trace_out,
+                           &gates));
       ctrl.detach();
     }
   }
@@ -442,7 +538,7 @@ int main(int argc, char** argv) {
     serve::PulseBackend pulse(hw);
     doc.set("pulse", run_scenario("pulse", pulse, pds, ptrace, workers,
                                   policy, /*seed=*/29, /*stochastic=*/true,
-                                  &gates));
+                                  trace_out, &gates));
   }
 
   // -- SLO control plane under a flash crowd with injected faults ----------
@@ -457,6 +553,9 @@ int main(int argc, char** argv) {
   slo_doc.set("smoke", smoke);
   slo_doc.set("num_threads", pool.num_threads());
   slo_doc.set("workers", workers);
+  slo_doc.set("binary_kernel", gemm::binary_kernel_name());
+  slo_doc.set("cpu_features", gemm::cpu_features());
+  slo_doc.set("trace_enabled", obs::runtime_enabled());
   {
     models::MlpConfig scfg;
     scfg.in_features = 24;
@@ -525,7 +624,7 @@ int main(int argc, char** argv) {
 
     slo_doc.set("slo_flash",
                 run_slo_scenario(primary, fallback, sds, strace, workers,
-                                 scfg2, &gates));
+                                 scfg2, trace_out, &gates));
   }
   slo_doc.set("gates_ok", gates.ok);
   if (!slo_doc.write_file(slo_json_path)) {

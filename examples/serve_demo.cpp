@@ -3,20 +3,33 @@
 // traffic — first the clean analytic backend (fused batches), then the
 // same requests against the pulse-level deployed crossbar.
 //
-//   ./serve_demo
+//   ./serve_demo [--trace-out PREFIX]
+//
+// With --trace-out, each backend's measured run is exported as a Chrome
+// trace-event JSON (<prefix><backend>.json) loadable in chrome://tracing
+// or Perfetto.
+#include "common/cli.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "crossbar/crossbar_layers.hpp"
 #include "crossbar/hw_deploy.hpp"
 #include "models/mlp.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "tensor/ops.hpp"
 
 #include <cstdio>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gbo;
+  CliParser cli("serve_demo", "Dynamic micro-batching serving demo.");
+  cli.add_option("trace-out",
+                 "Chrome trace JSON path prefix (empty disables)", "");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const std::string trace_out = cli.get_string("trace-out", "");
   set_log_level(LogLevel::kWarn);
 
   models::MlpConfig mcfg;
@@ -49,16 +62,21 @@ int main() {
               trace.size(), scfg.num_workers,
               ThreadPool::instance().num_threads());
 
-  Table table({"backend", "p50 us", "p95 us", "p99 us", "tput rps",
-               "mean batch", "max queue", "steady allocs"});
-  auto row = [&](const char* name, const serve::ServeReport& r) {
-    table.add_row({name, Table::fmt(r.latency.p50_us, 0),
-                   Table::fmt(r.latency.p95_us, 0),
-                   Table::fmt(r.latency.p99_us, 0),
-                   Table::fmt(r.throughput_rps, 0),
-                   Table::fmt(r.mean_batch, 2),
-                   std::to_string(r.queue.max_depth),
-                   std::to_string(r.arena.steady_allocs)});
+  // Shared report printer (serve/metrics.hpp): the same column schema the
+  // SLO demo and any future tool render, so demos cannot drift.
+  Table table(serve::report_header());
+  auto row = [&](const char* name, const char* slug,
+                 serve::InferenceServer& server,
+                 const std::vector<serve::Arrival>& tr) {
+    obs::begin_session();
+    const serve::ServeReport r = server.run(tr);
+    const obs::TraceSnapshot snap = obs::end_session();
+    table.add_row(serve::report_row(name, r));
+    if (!trace_out.empty() && obs::runtime_enabled()) {
+      const std::string path = trace_out + slug + ".json";
+      if (obs::write_chrome_trace(snap, path, std::string("serve_demo ") + name))
+        std::printf("wrote %s\n", path.c_str());
+    }
   };
 
   {
@@ -66,7 +84,7 @@ int main() {
     serve::InferenceServer server(clean, ds, scfg);
     server.warmup();
     (void)server.run(trace);  // warm run sizes the arenas
-    row("analytic clean", server.run(trace));
+    row("analytic clean", "analytic_clean", server, trace);
   }
   {
     Rng crng(11);
@@ -78,7 +96,7 @@ int main() {
     serve::InferenceServer server(noisy, ds, scfg);
     server.warmup();
     (void)server.run(trace);
-    row("analytic noisy", server.run(trace));
+    row("analytic noisy", "analytic_noisy", server, trace);
     ctrl.detach();
   }
   {
@@ -95,7 +113,7 @@ int main() {
     server.warmup();
     const auto strace = serve::make_trace(slow, ds.size());
     (void)server.run(strace);
-    row("pulse hardware", server.run(strace));
+    row("pulse hardware", "pulse", server, strace);
   }
 
   std::printf("%s", table.to_text().c_str());

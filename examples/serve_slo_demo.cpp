@@ -10,21 +10,33 @@
 // request runs, then execute it at two worker counts and show that the
 // shed-set fingerprints and delivered payloads are bitwise identical.
 //
-//   ./serve_slo_demo
+//   ./serve_slo_demo [--trace-out PREFIX]
+//
+// With --trace-out, the 4-worker run is exported as a Chrome trace-event
+// JSON (<prefix>slo.json) loadable in chrome://tracing or Perfetto.
+#include "common/cli.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "crossbar/hw_deploy.hpp"
 #include "models/mlp.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "serve/policy.hpp"
 #include "serve/server.hpp"
 #include "tensor/ops.hpp"
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gbo;
+  CliParser cli("serve_slo_demo", "SLO control-plane serving demo.");
+  cli.add_option("trace-out",
+                 "Chrome trace JSON path prefix (empty disables)", "");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  const std::string trace_out = cli.get_string("trace-out", "");
   set_log_level(LogLevel::kWarn);
 
   // Small binary-weight MLP; the pulse-level deployed crossbar is the
@@ -131,24 +143,41 @@ int main() {
               ThreadPool::instance().num_threads());
   cfg.num_workers = 1;
   serve::InferenceServer one(primary, fallback, ds, cfg);
+  obs::begin_session();
   const serve::ServeReport r1 = one.run(trace);
+  const obs::TraceSnapshot s1 = obs::end_session();
   cfg.num_workers = 4;
   serve::InferenceServer four(primary, fallback, ds, cfg);
+  obs::begin_session();
   const serve::ServeReport r4 = four.run(trace);
+  const obs::TraceSnapshot s4 = obs::end_session();
 
   const Tensor& o1 = r1.outputs;
   const Tensor& o4 = r4.outputs;
   const bool payloads_equal =
       o1.numel() == o4.numel() &&
       std::memcmp(o1.data(), o4.data(), o1.numel() * sizeof(float)) == 0;
-  std::printf("  1 worker : delivered %zu, shed %zu, fingerprint 0x%016llx\n",
-              r1.completed, r1.slo.exec_shed,
-              static_cast<unsigned long long>(r1.slo.exec_shed_set_hash));
-  std::printf("  4 workers: delivered %zu, shed %zu, fingerprint 0x%016llx\n",
-              r4.completed, r4.slo.exec_shed,
-              static_cast<unsigned long long>(r4.slo.exec_shed_set_hash));
+  std::printf("%s", serve::slo_exec_summary("1 worker", r1).c_str());
+  std::printf("%s", serve::slo_exec_summary("4 workers", r4).c_str());
   std::printf("  payloads bitwise identical: %s\n",
               payloads_equal ? "yes" : "NO");
+  if (obs::runtime_enabled()) {
+    // The causal half of the trace stream (admissions, sheds, retries,
+    // deliveries, ladder/breaker transitions on the virtual clock) hashes
+    // identically at any worker count and matches the plan-derived oracle.
+    const std::uint64_t fp1 = obs::causal_fingerprint(s1.events);
+    const std::uint64_t fp4 = obs::causal_fingerprint(s4.events);
+    const std::uint64_t want = serve::expected_causal_fingerprint(plan);
+    std::printf("  causal trace fingerprint:   %s (same at 1w/4w: %s, "
+                "matches plan oracle: %s)\n",
+                serve::hex64(fp4).c_str(), fp1 == fp4 ? "yes" : "NO",
+                fp4 == want ? "yes" : "NO");
+    if (!trace_out.empty()) {
+      const std::string path = trace_out + "slo.json";
+      if (obs::write_chrome_trace(s4, path, "serve_slo_demo"))
+        std::printf("  wrote %s\n", path.c_str());
+    }
+  }
   std::printf("  fingerprints match plan:    %s\n",
               r1.slo.exec_shed_set_hash == plan.shed_set_hash &&
                       r4.slo.exec_shed_set_hash == plan.shed_set_hash

@@ -3,12 +3,17 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace gbo {
 
@@ -17,6 +22,20 @@ namespace {
 // True while the current thread is executing blocks of a parallel_for;
 // nested calls run inline to avoid deadlocking on the single shared job.
 thread_local bool in_parallel_region = false;
+
+// Stable id of this thread within the pool: 0 for the caller/main thread,
+// 1..n-1 for spawned workers (assigned at spawn, reassigned on resize).
+thread_local unsigned pool_worker_id = 0;
+
+void name_current_thread(unsigned id) {
+#if defined(__linux__)
+  char name[16];  // pthread limit incl. NUL
+  std::snprintf(name, sizeof(name), "gbo-pool-%u", id);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)id;
+#endif
+}
 
 std::size_t default_num_threads() {
   if (const char* env = std::getenv("GBO_NUM_THREADS")) {
@@ -151,8 +170,14 @@ void ThreadPool::set_num_threads(std::size_t n) {
   num_threads_ = n;
   impl_->workers.reserve(n - 1);
   for (std::size_t i = 0; i + 1 < n; ++i)
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    impl_->workers.emplace_back([this, i] {
+      pool_worker_id = static_cast<unsigned>(i + 1);
+      name_current_thread(pool_worker_id);
+      impl_->worker_loop();
+    });
 }
+
+unsigned ThreadPool::current_worker_id() { return pool_worker_id; }
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end, std::size_t grain,

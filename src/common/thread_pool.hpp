@@ -40,6 +40,13 @@ class ThreadPool {
   /// tests and benches; callers must not race this with parallel_for.
   void set_num_threads(std::size_t n);
 
+  /// Stable integer id of the calling thread within the pool: 0 for the
+  /// main/calling thread (which participates in every job) and any thread
+  /// the pool does not own, 1..n-1 for the spawned workers. Ids survive
+  /// parking between jobs; set_num_threads reassigns them. Trace events
+  /// and the Perfetto export use this as the thread track.
+  static unsigned current_worker_id();
+
   /// Runs fn(lo, hi) over a deterministic partition of [begin, end) into
   /// blocks of `grain` (the final block may be short). Blocks are claimed
   /// dynamically by the workers and the calling thread; the call returns

@@ -1,5 +1,6 @@
 #include "crossbar/mvm_engine.hpp"
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace gbo::xbar {
@@ -35,6 +36,9 @@ enc::PulseTrain MvmEngine::encode_train(const Tensor& activations,
     throw std::invalid_argument("MvmEngine: expected [N, in] activations, got " +
                                 activations.shape_str());
   const std::size_t num_pulses = cfg_.spec.num_pulses;
+  GBO_TRACE_SPAN(obs::EventType::kPulseEncode, activations.dim(0),
+                 static_cast<std::uint16_t>(num_pulses),
+                 num_pulses * activations.numel());
   enc::PulseTrain train;
   train.spec = cfg_.spec;
   train.pulses.reserve(num_pulses);

@@ -1,0 +1,38 @@
+// Trace exporters (DESIGN.md §9).
+//
+// Two consumers, two shapes:
+//   * chrome_trace() — the full event stream as a Chrome trace-event /
+//     Perfetto JSON document (wall-clock timestamps, one thread track per
+//     pool worker). Load in chrome://tracing or ui.perfetto.dev. This is
+//     the "where did the p99 request spend its time?" view; bench_serve
+//     and the serve demos write it behind --trace-out.
+//   * trace_summary() — the aggregation pass: folds the same events into
+//     per-stage span-duration stats and a kernel-time breakdown, plus the
+//     causal fingerprint and drop counter, for embedding in the existing
+//     BENCH_serve*.json (where tools/check_bench_gates.py gates it).
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+
+namespace gbo::obs {
+
+/// Chrome trace-event JSON for the snapshot: ph:"X" spans, ph:"i"
+/// instants, ph:"M" thread-name metadata. `process_name` labels the pid-0
+/// track (e.g. the bench scenario name).
+Json chrome_trace(const TraceSnapshot& snap, const std::string& process_name);
+
+/// Writes chrome_trace() to `path` (pretty-printed); false on I/O failure.
+bool write_chrome_trace(const TraceSnapshot& snap, const std::string& path,
+                        const std::string& process_name);
+
+/// Aggregated trace section for bench JSON: causal fingerprint (hex) and
+/// causal event count, total events, ring drop counter, per-stage
+/// span-duration stats ("stages"), and kernel-time breakdown ("kernels").
+/// Callers append their own gate fields (fingerprint equality vs the
+/// 1-worker run / planner oracle, steady-state ring-alloc delta).
+Json trace_summary(const TraceSnapshot& snap);
+
+}  // namespace gbo::obs

@@ -4,18 +4,18 @@
 #include <cmath>
 #include <cstdio>
 
-namespace gbo::serve {
-namespace {
+#include "common/table.hpp"
 
-// Json numbers are doubles; a 64-bit fingerprint would lose precision, so
-// hashes are emitted as fixed-width hex strings (what the bench gates
-// compare for equality).
+namespace gbo::serve {
+
 std::string hex64(std::uint64_t v) {
   char buf[19];
   std::snprintf(buf, sizeof buf, "0x%016llx",
                 static_cast<unsigned long long>(v));
   return std::string(buf);
 }
+
+namespace {
 
 double nearest_rank(const std::vector<std::uint64_t>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -142,6 +142,32 @@ Json ServeReport::to_json() const {
   j.set("arena", arena.to_json());
   if (slo.enabled) j.set("slo", slo.to_json());
   return j;
+}
+
+std::vector<std::string> report_header() {
+  return {"backend",    "p50 us",    "p95 us",    "p99 us",
+          "tput rps",   "mean batch", "max queue", "steady allocs"};
+}
+
+std::vector<std::string> report_row(const std::string& label,
+                                    const ServeReport& r) {
+  return {label,
+          Table::fmt(r.latency.p50_us, 0),
+          Table::fmt(r.latency.p95_us, 0),
+          Table::fmt(r.latency.p99_us, 0),
+          Table::fmt(r.throughput_rps, 0),
+          Table::fmt(r.mean_batch, 2),
+          std::to_string(r.queue.max_depth),
+          std::to_string(r.arena.steady_allocs)};
+}
+
+std::string slo_exec_summary(const std::string& label, const ServeReport& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  %-9s: delivered %zu, shed %zu, fingerprint %s\n",
+                label.c_str(), r.completed, r.slo.exec_shed,
+                hex64(r.slo.exec_shed_set_hash).c_str());
+  return std::string(buf);
 }
 
 }  // namespace gbo::serve

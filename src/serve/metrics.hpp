@@ -17,6 +17,11 @@
 
 namespace gbo::serve {
 
+/// Fixed-width hex rendering ("0x%016llx") of a 64-bit fingerprint. Json
+/// numbers are doubles, so every hash in the bench artifacts and demo
+/// output travels as this string form; the gates compare them verbatim.
+std::string hex64(std::uint64_t v);
+
 /// Nearest-rank latency quantiles over a sample set (microseconds).
 struct LatencyStats {
   double p50_us = 0.0;
@@ -126,5 +131,17 @@ struct ServeReport {
   /// Metrics document (outputs and the raw latency vector are elided).
   Json to_json() const;
 };
+
+/// Shared human-readable rendering of ServeReport. The serve demos route
+/// their report printing through these (one fixed column schema) instead of
+/// hand-rolled printf blocks, so the text output cannot drift between
+/// binaries or from the JSON schema above.
+std::vector<std::string> report_header();
+std::vector<std::string> report_row(const std::string& label,
+                                    const ServeReport& r);
+
+/// One-line execution summary for an SLO run: delivered/shed counts plus
+/// the runtime shed-set fingerprint (newline-terminated).
+std::string slo_exec_summary(const std::string& label, const ServeReport& r);
 
 }  // namespace gbo::serve

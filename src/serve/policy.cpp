@@ -1,5 +1,7 @@
 #include "serve/policy.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 
 namespace gbo::serve {
@@ -62,6 +64,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
   std::vector<std::uint64_t> lanes(n_lanes, 0);  // lane free-at times
   const std::size_t max_batch = std::max<std::size_t>(1, batch.max_batch);
   int level = 0;
+  std::size_t logged_opens = 0;  // breaker opens already in the transition log
 
   PlanCounters& c = p.counters;
 
@@ -124,7 +127,11 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
     const std::uint64_t vnow = flush_t;
     const int prev_level = level;
     level = ladder_step(slo.ladder, level, vq.size());
-    if (level != prev_level) ++c.ladder_transitions;
+    if (level != prev_level) {
+      ++c.ladder_transitions;
+      p.transitions.push_back(
+          {ControlTransition::Kind::kLadder, level, vnow});
+    }
     c.max_ladder_level = std::max(c.max_ladder_level, level);
 
     const Priority floor = level >= 2 ? slo.ladder.shed_floor : Priority::kLow;
@@ -179,6 +186,11 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
           d.mode = ServeMode::kDegradedFallback;
           cost += slo.cost.degraded_us;
           breaker.record_failure(vnow);
+          if (breaker.opens() > logged_opens) {
+            ++logged_opens;
+            p.transitions.push_back(
+                {ControlTransition::Kind::kBreakerOpen, 0, vnow});
+          }
           ++c.degraded_fallback;
           c.faults_injected += a;
         }
@@ -202,7 +214,11 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
   // recovery — without this tick the level would freeze at whatever the
   // last mid-drain flush saw.
   const int drained = ladder_step(slo.ladder, level, 0);
-  if (drained != level) ++c.ladder_transitions;
+  if (drained != level) {
+    ++c.ladder_transitions;
+    p.transitions.push_back({ControlTransition::Kind::kLadder, drained,
+                             *std::max_element(lanes.begin(), lanes.end())});
+  }
   level = drained;
   c.breaker_opens = breaker.opens();
   c.final_ladder_level = level;
@@ -227,6 +243,80 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
     p.virtual_by_priority[k] = LatencyStats::compute(std::move(by_pri[k]));
   p.shed_set_hash = shed_set_fingerprint(shed_set);
   return p;
+}
+
+namespace {
+
+// The causal events the runtime emits while executing a plan, rebuilt from
+// the decision ledger. Must mirror InferenceServer::run_slo exactly: admit
+// verdict per request (with deadline), pop-time shed per non-served
+// decision, one retry record per served request with failed primary
+// attempts, delivery (mode, virtual completion) per served request, and
+// the control-transition log.
+std::vector<obs::CausalTuple> plan_causal_tuples(const Plan& p) {
+  using obs::EventType;
+  std::vector<obs::CausalTuple> tuples;
+  tuples.reserve(2 * p.decisions.size() + p.transitions.size());
+  for (std::size_t id = 0; id < p.decisions.size(); ++id) {
+    const Decision& d = p.decisions[id];
+    const bool bounced = d.outcome == Decision::Outcome::kRejected ||
+                         d.outcome == Decision::Outcome::kEvicted;
+    tuples.push_back({id, static_cast<std::uint8_t>(EventType::kAdmit),
+                      bounced ? static_cast<std::uint16_t>(d.outcome)
+                              : std::uint16_t{0},
+                      d.deadline_us});
+    if (d.served()) {
+      if (d.attempts > 0)
+        tuples.push_back({id, static_cast<std::uint8_t>(EventType::kRetry),
+                          d.attempts, 0});
+      tuples.push_back({id, static_cast<std::uint8_t>(EventType::kDeliver),
+                        static_cast<std::uint16_t>(d.mode), d.v_done_us});
+    } else if (!bounced) {
+      tuples.push_back({id, static_cast<std::uint8_t>(EventType::kShed),
+                        static_cast<std::uint16_t>(d.outcome), 0});
+    }
+  }
+  for (std::size_t seq = 0; seq < p.transitions.size(); ++seq) {
+    const ControlTransition& t = p.transitions[seq];
+    if (t.kind == ControlTransition::Kind::kLadder)
+      tuples.push_back({seq, static_cast<std::uint8_t>(EventType::kLadder),
+                        static_cast<std::uint16_t>(t.level), t.v_us});
+    else
+      tuples.push_back({seq, static_cast<std::uint8_t>(EventType::kBreaker),
+                        1, t.v_us});
+  }
+  return tuples;
+}
+
+std::vector<obs::CausalTuple> legacy_causal_tuples(std::size_t n) {
+  using obs::EventType;
+  std::vector<obs::CausalTuple> tuples;
+  tuples.reserve(2 * n);
+  for (std::size_t id = 0; id < n; ++id) {
+    tuples.push_back(
+        {id, static_cast<std::uint8_t>(EventType::kAdmit), 0, 0});
+    tuples.push_back(
+        {id, static_cast<std::uint8_t>(EventType::kDeliver), 0, 0});
+  }
+  return tuples;
+}
+
+}  // namespace
+
+std::uint64_t expected_causal_fingerprint(const Plan& p) {
+  return obs::fingerprint_tuples(plan_causal_tuples(p));
+}
+
+std::size_t expected_causal_event_count(const Plan& p) {
+  return plan_causal_tuples(p).size();
+}
+
+std::uint64_t expected_causal_fingerprint(std::size_t n_requests) {
+  return obs::fingerprint_tuples(legacy_causal_tuples(n_requests));
+}
+
+std::size_t expected_causal_event_count(std::size_t n_requests) {
+  return legacy_causal_tuples(n_requests).size();
 }
 
 }  // namespace gbo::serve

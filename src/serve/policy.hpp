@@ -140,9 +140,22 @@ struct PlanCounters {
   std::size_t virtual_batches = 0;
 };
 
+/// One control-plane state change on the virtual clock, in occurrence
+/// order. The runtime replays these as causal trace events (DESIGN.md §9)
+/// and the trajectory is part of the plan's decision ledger.
+struct ControlTransition {
+  enum class Kind : std::uint8_t { kLadder = 0, kBreakerOpen = 1 };
+  Kind kind = Kind::kLadder;
+  int level = 0;          // new ladder level (kLadder only)
+  std::uint64_t v_us = 0; // virtual instant of the transition
+};
+
 struct Plan {
   std::vector<Decision> decisions;  // index = request id = trace index
   PlanCounters counters;
+  /// Ladder level changes and breaker opens in virtual-time order;
+  /// counters.ladder_transitions / breaker_opens are its per-kind sizes.
+  std::vector<ControlTransition> transitions;
   LatencyStats virtual_latency;     // served requests, virtual clock
   std::array<LatencyStats, kNumPriorities> virtual_by_priority;
   /// FNV-1a over the (id, outcome) pairs of every non-served request in id
@@ -164,5 +177,20 @@ std::uint64_t shed_set_fingerprint(
 /// ShedReason a non-served planned outcome maps to (kNone for kServed);
 /// the server stamps it on the requests it pre-marks for pop-time shedding.
 ShedReason shed_reason(Decision::Outcome outcome);
+
+/// The causal-trace oracle (DESIGN.md §9): the exact fingerprint / event
+/// count the runtime's causal event stream must reproduce when executing
+/// this plan. Derived from the decision ledger alone — admission verdicts,
+/// pop-time sheds, retry attempts, delivery modes with virtual completion
+/// times, and the control-transition log — never from anything the workers
+/// did, which is what gives the trace gate independent teeth.
+std::uint64_t expected_causal_fingerprint(const Plan& p);
+std::size_t expected_causal_event_count(const Plan& p);
+
+/// Oracle for a legacy (non-SLO) run: every request is admitted and
+/// delivered at full fidelity, with no deadline, virtual clock, or
+/// control-plane transitions.
+std::uint64_t expected_causal_fingerprint(std::size_t n_requests);
+std::size_t expected_causal_event_count(std::size_t n_requests);
 
 }  // namespace gbo::serve

@@ -1,5 +1,7 @@
 #include "serve/queue.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <chrono>
 
@@ -102,6 +104,7 @@ bool RequestQueue::pop_batch(const BatchPolicy& policy,
   cv_.wait(lock, [&] { return closed_ || size_ > 0; });
   if (size_ == 0) return false;  // closed and drained: shutdown
   collect_locked(cap, /*now_us=*/0, Priority::kLow, out, shed);
+  GBO_TRACE_EVENT(obs::EventType::kQueuePop, pop_seq_++, 0, size_);
   // A pure shed flush made progress: report it without forming a batch so
   // the caller can account the sheds and come straight back.
   if (out.empty()) return true;

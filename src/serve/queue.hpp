@@ -117,6 +117,7 @@ class RequestQueue {
   bool closed_ = false;
   DepthStats stats_;
   std::uint64_t depth_sum_ = 0;
+  std::uint64_t pop_seq_ = 0;  // trace id of kQueuePop events
 };
 
 }  // namespace gbo::serve

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <array>
@@ -180,9 +181,18 @@ void InferenceServer::process_batch(
     Worker& w, const std::vector<Request>& batch, float* out_rows,
     std::uint64_t* completion_us,
     const std::chrono::steady_clock::time_point& t0) {
+  [[maybe_unused]] const std::uint64_t seq =
+      batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  GBO_TRACE_SPAN(obs::EventType::kBatch, seq, 0, batch.size());
+  for ([[maybe_unused]] const Request& r : batch)
+    GBO_TRACE_EVENT(obs::EventType::kBatchMember, r.id, 0, seq);
   exec_rows(w, backend_, mode_, batch, out_rows);
   const std::uint64_t done = us_since(t0);
-  for (const Request& r : batch) completion_us[r.id] = done;
+  for (const Request& r : batch) {
+    completion_us[r.id] = done;
+    GBO_TRACE_EVENT(obs::EventType::kDeliver, r.id,
+                    static_cast<std::uint16_t>(r.mode), 0);
+  }
   if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
   ++w.batch_hist[batch.size()];
   w.served += batch.size();
@@ -192,8 +202,11 @@ void InferenceServer::process_batch_slo(
     Worker& w, const std::vector<Request>& batch, float* out_rows,
     std::uint64_t* completion_us,
     const std::chrono::steady_clock::time_point& t0,
-    const FaultInjector& injector) {
+    const FaultInjector& injector, [[maybe_unused]] const Plan& plan) {
   const RetryPolicy& retry = cfg_.slo.retry;
+  [[maybe_unused]] const std::uint64_t seq =
+      batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  GBO_TRACE_SPAN(obs::EventType::kBatch, seq, 1, batch.size());
   w.primary_group.clear();
   w.degraded_group.clear();
   // Injected stalls and retry backoff are real wall-time sleeps taken
@@ -201,6 +214,7 @@ void InferenceServer::process_batch_slo(
   // payloads — those were fixed on the virtual clock.
   std::uint64_t sleep_us = 0;
   for (const Request& r : batch) {
+    GBO_TRACE_EVENT(obs::EventType::kBatchMember, r.id, 0, seq);
     const std::uint64_t stall = injector.stall_us(r.id);
     if (stall > 0) {
       sleep_us += stall;
@@ -217,6 +231,8 @@ void InferenceServer::process_batch_slo(
           ++w.retried;
           w.faults += a;
           sleep_us += a * retry.backoff_us;
+          GBO_TRACE_EVENT(obs::EventType::kRetry, r.id,
+                          static_cast<std::uint16_t>(a), 0);
         }
         w.primary_group.push_back(r);
         break;
@@ -226,6 +242,9 @@ void InferenceServer::process_batch_slo(
         ++w.fallbacks;
         w.faults += retry.max_attempts;
         sleep_us += retry.max_attempts * retry.backoff_us;
+        if (retry.max_attempts > 0)
+          GBO_TRACE_EVENT(obs::EventType::kRetry, r.id,
+                          static_cast<std::uint16_t>(retry.max_attempts), 0);
         w.degraded_group.push_back(r);
         break;
       case ServeMode::kDegradedLadder:
@@ -234,14 +253,21 @@ void InferenceServer::process_batch_slo(
         break;
     }
   }
-  if (sleep_us > 0)
+  if (sleep_us > 0) {
+    GBO_TRACE_SPAN(obs::EventType::kStall, seq, 0, sleep_us);
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
   exec_rows(w, backend_, mode_, w.primary_group, out_rows);
   exec_rows(w, degraded_ != nullptr ? *degraded_ : backend_,
             degraded_ != nullptr ? dmode_ : mode_, w.degraded_group, out_rows);
   w.degraded += w.degraded_group.size();
   const std::uint64_t done = us_since(t0);
-  for (const Request& r : batch) completion_us[r.id] = done;
+  for (const Request& r : batch) {
+    completion_us[r.id] = done;
+    GBO_TRACE_EVENT(obs::EventType::kDeliver, r.id,
+                    static_cast<std::uint16_t>(r.mode),
+                    plan.decisions[r.id].v_done_us);
+  }
   if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
   ++w.batch_hist[batch.size()];
   w.served += batch.size();
@@ -295,6 +321,7 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
   ThreadPool::instance().parallel_for(
       0, num_workers + 1, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t block = lo; block < hi; ++block) {
+          obs::prime();
           if (block == 0) {
             for (std::size_t i = 0; i < num_requests; ++i) {
               std::this_thread::sleep_until(
@@ -305,6 +332,7 @@ ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
               r.enqueue_us = us_since(t0);
               enqueue[i] = r.enqueue_us;
               queue.push(r);
+              GBO_TRACE_EVENT(obs::EventType::kAdmit, i, 0, 0);
             }
             queue.close();
           } else {
@@ -412,7 +440,19 @@ ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
   ThreadPool::instance().parallel_for(
       0, num_workers + 1, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t block = lo; block < hi; ++block) {
+          obs::prime();
           if (block == 0) {
+            // The control-plane trajectory (ladder levels, breaker opens)
+            // is part of the decision ledger the runtime executes; replay
+            // it onto the trace as causal events (DESIGN.md §9).
+            for (std::size_t seq = 0; seq < p.transitions.size(); ++seq) {
+              const ControlTransition& t = p.transitions[seq];
+              if (t.kind == ControlTransition::Kind::kLadder)
+                GBO_TRACE_EVENT(obs::EventType::kLadder, seq,
+                                static_cast<std::uint16_t>(t.level), t.v_us);
+              else
+                GBO_TRACE_EVENT(obs::EventType::kBreaker, seq, 1, t.v_us);
+            }
             for (std::size_t i = 0; i < num_requests; ++i) {
               std::this_thread::sleep_until(
                   t0 + std::chrono::microseconds(trace[i].t_us));
@@ -420,8 +460,11 @@ ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
               if (d.outcome == Decision::Outcome::kRejected ||
                   d.outcome == Decision::Outcome::kEvicted) {
                 admission_shed.emplace_back(i, outcome_code(d.outcome));
+                GBO_TRACE_EVENT(obs::EventType::kAdmit, i,
+                                outcome_code(d.outcome), d.deadline_us);
                 continue;
               }
+              GBO_TRACE_EVENT(obs::EventType::kAdmit, i, 0, d.deadline_us);
               Request r;
               r.id = i;
               r.sample = trace[i].sample;
@@ -442,11 +485,14 @@ ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
             Worker& w = *workers_[block - 1];
             std::vector<Request> batch, shed;
             while (queue.pop_batch(cfg_.batch, batch, &shed)) {
-              for (const Request& s : shed)
+              for (const Request& s : shed) {
                 w.shed_log.emplace_back(s.id, reason_code(s.reason));
+                GBO_TRACE_EVENT(obs::EventType::kShed, s.id,
+                                reason_code(s.reason), 0);
+              }
               if (!batch.empty())
                 process_batch_slo(w, batch, out_rows, completion_us, t0,
-                                  injector);
+                                  injector, p);
             }
           }
         }

@@ -41,6 +41,7 @@
 #include "serve/policy.hpp"
 #include "serve/traffic.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <vector>
@@ -128,10 +129,12 @@ class InferenceServer {
                      const std::chrono::steady_clock::time_point& t0);
   /// SLO-route variant: injects stalls/retry backoff, splits the popped
   /// batch by planned ServeMode between the primary and degraded backends.
+  /// `plan` supplies each delivery's virtual completion time for the causal
+  /// trace (DESIGN.md §9).
   void process_batch_slo(Worker& w, const std::vector<Request>& batch,
                          float* out_rows, std::uint64_t* completion_us,
                          const std::chrono::steady_clock::time_point& t0,
-                         const FaultInjector& injector);
+                         const FaultInjector& injector, const Plan& plan);
   ServeReport run_slo(const std::vector<Arrival>& trace);
 
   const Backend& backend_;
@@ -140,6 +143,9 @@ class InferenceServer {
   ServeConfig cfg_;
   Rng root_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Process-order sequence of popped batches; the trace id of kBatch
+  /// spans and kBatchMember events (timing-class, worker-count dependent).
+  std::atomic<std::uint64_t> batch_seq_{0};
   std::size_t out_dim_ = 0;
   bool warmed_ = false;
   // Fusion modes frozen at warmup (primary and degraded backends).

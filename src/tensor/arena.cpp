@@ -1,5 +1,7 @@
 #include "tensor/arena.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cstdint>
 
@@ -34,6 +36,7 @@ std::byte* ScratchArena::alloc_bytes(std::size_t n) {
     chunks_.push_back(std::move(c));
     ++stats_.system_allocs;
     stats_.reserved_bytes += cap;
+    GBO_TRACE_EVENT(obs::EventType::kArenaAlloc, stats_.system_allocs, 0, cap);
   }
 }
 
@@ -57,6 +60,8 @@ Tensor ScratchArena::take_pooled(std::size_t numel) {
   if (pool_.empty()) {
     ++stats_.system_allocs;
     stats_.reserved_bytes += numel * sizeof(float);
+    GBO_TRACE_EVENT(obs::EventType::kArenaAlloc, stats_.system_allocs, 0,
+                    numel * sizeof(float));
     return Tensor();
   }
   Tensor t = std::move(pool_.back());
@@ -65,6 +70,8 @@ Tensor ScratchArena::take_pooled(std::size_t numel) {
   if (cap < numel) {
     ++stats_.system_allocs;
     stats_.reserved_bytes += (numel - cap) * sizeof(float);
+    GBO_TRACE_EVENT(obs::EventType::kArenaAlloc, stats_.system_allocs, 0,
+                    (numel - cap) * sizeof(float));
   }
   return t;
 }

@@ -1,6 +1,7 @@
 #include "tensor/gemm.hpp"
 
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "tensor/arena.hpp"
 
 #include <cassert>
@@ -446,6 +447,9 @@ void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
                       float* C, std::size_t ldc, bool accumulate) {
   if (!accumulate) zero_rows(C, m, n, ldc);
   if (m == 0 || n == 0 || k == 0) return;
+  GBO_TRACE_SPAN(obs::EventType::kGemm, m,
+                 static_cast<std::uint16_t>(n < 65535 ? n : 65535),
+                 2ull * m * n * k);
   const std::size_t n_round = round_up(n, NR);
   parallel_for(0, m, MC, [&](std::size_t i0, std::size_t i1) {
     float* ap = tl_apanel;
@@ -584,6 +588,9 @@ void gemm_nt_rowwise(std::size_t m, std::size_t n, std::size_t k,
     zero_rows(C, m, n, ldc);
     return;
   }
+  GBO_TRACE_SPAN(obs::EventType::kGemm, m,
+                 static_cast<std::uint16_t>(n < 65535 ? n : 65535),
+                 2ull * m * n * k);
   if (kHaveNtDirect) {
     nt_direct(m, n, k, A, lda, B, ldb, C, ldc);
     return;

@@ -1,6 +1,7 @@
 #include "tensor/gemm_binary.hpp"
 
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -428,6 +429,9 @@ void gemm_binary_with(const BinaryKernel& kern, std::size_t m, std::size_t n,
       std::memset(C + i * ldc, 0, n * sizeof(float));
     return;
   }
+  GBO_TRACE_SPAN(obs::EventType::kBinaryMvm, m,
+                 static_cast<std::uint16_t>(n < 65535 ? n : 65535),
+                 2ull * m * n * k);
   const std::size_t kw = B.kw;
   const std::uint64_t* wwords = B.words.data();
   auto* fn = kern.xor_popcount_row;

@@ -1,0 +1,133 @@
+// Serving metrics: nearest-rank percentile edge cases (empty, single
+// sample, all-equal, exact rank boundaries), the batch-size histogram's
+// sparse JSON encoding, hex64 formatting, and the shared report printer
+// the serve demos render through.
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gbo {
+namespace {
+
+TEST(LatencyStats, EmptySampleSetIsAllZero) {
+  const serve::LatencyStats s = serve::LatencyStats::compute({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p95_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+  EXPECT_EQ(s.mean_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencyStats, SingleSampleIsEveryQuantile) {
+  const serve::LatencyStats s = serve::LatencyStats::compute({42});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.p50_us, 42.0);
+  EXPECT_EQ(s.p95_us, 42.0);
+  EXPECT_EQ(s.p99_us, 42.0);
+  EXPECT_EQ(s.mean_us, 42.0);
+  EXPECT_EQ(s.max_us, 42.0);
+}
+
+TEST(LatencyStats, AllEqualSamplesCollapseToThatValue) {
+  const serve::LatencyStats s =
+      serve::LatencyStats::compute(std::vector<std::uint64_t>(1000, 7));
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.p50_us, 7.0);
+  EXPECT_EQ(s.p95_us, 7.0);
+  EXPECT_EQ(s.p99_us, 7.0);
+  EXPECT_EQ(s.mean_us, 7.0);
+  EXPECT_EQ(s.max_us, 7.0);
+}
+
+TEST(LatencyStats, NearestRankOnKnownSamples) {
+  // 1..100 shuffled: nearest-rank pq = ceil(q*100)-th smallest = q*100.
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t i = 100; i >= 1; --i) v.push_back(i);
+  const serve::LatencyStats s = serve::LatencyStats::compute(std::move(v));
+  EXPECT_EQ(s.p50_us, 50.0);
+  EXPECT_EQ(s.p95_us, 95.0);
+  EXPECT_EQ(s.p99_us, 99.0);
+  EXPECT_EQ(s.max_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.5);
+}
+
+TEST(LatencyStats, TwoSamplesTakeUpperForHighQuantiles) {
+  // n=2: ceil(0.5*2)=1 -> first; ceil(0.95*2)=2 -> second.
+  const serve::LatencyStats s = serve::LatencyStats::compute({10, 20});
+  EXPECT_EQ(s.p50_us, 10.0);
+  EXPECT_EQ(s.p95_us, 20.0);
+  EXPECT_EQ(s.p99_us, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 15.0);
+}
+
+TEST(Hex64, FixedWidthLowercase) {
+  EXPECT_EQ(serve::hex64(0), "0x0000000000000000");
+  EXPECT_EQ(serve::hex64(0xdeadbeefULL), "0x00000000deadbeef");
+  EXPECT_EQ(serve::hex64(~0ULL), "0xffffffffffffffff");
+}
+
+TEST(ServeReport, BatchHistSkipsEmptyBucketsAndKeepsIndices) {
+  serve::ServeReport rep;
+  // batch_hist[b] = number of micro-batches of size b (index 0 unused).
+  rep.batch_hist = {0, 3, 0, 0, 5, 0, 0, 0, 2};
+  const Json j = rep.to_json();
+  ASSERT_TRUE(j.contains("batch_hist"));
+  const Json& hist = j.at("batch_hist");
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist.at(std::size_t{0}).at("batch").as_number(), 1.0);
+  EXPECT_EQ(hist.at(std::size_t{0}).at("count").as_number(), 3.0);
+  EXPECT_EQ(hist.at(std::size_t{1}).at("batch").as_number(), 4.0);
+  EXPECT_EQ(hist.at(std::size_t{1}).at("count").as_number(), 5.0);
+  EXPECT_EQ(hist.at(std::size_t{2}).at("batch").as_number(), 8.0);
+  EXPECT_EQ(hist.at(std::size_t{2}).at("count").as_number(), 2.0);
+}
+
+TEST(ServeReport, SloSectionOnlyWhenEnabled) {
+  serve::ServeReport rep;
+  EXPECT_FALSE(rep.to_json().contains("slo"));
+  rep.slo.enabled = true;
+  rep.slo.shed_set_hash = 0xabcULL;
+  const Json j = rep.to_json();
+  ASSERT_TRUE(j.contains("slo"));
+  const Json& plan = j.at("slo").at("plan");
+  EXPECT_EQ(plan.at("shed_set_hash").as_string(), "0x0000000000000abc");
+}
+
+TEST(ReportPrinter, RowMatchesHeaderSchema) {
+  serve::ServeReport rep;
+  rep.latency.p50_us = 100.0;
+  rep.latency.p95_us = 200.0;
+  rep.latency.p99_us = 300.0;
+  rep.throughput_rps = 5000.0;
+  rep.mean_batch = 4.5;
+  rep.queue.max_depth = 17;
+  rep.arena.steady_allocs = 0;
+  const auto header = serve::report_header();
+  const auto row = serve::report_row("demo", rep);
+  ASSERT_EQ(row.size(), header.size());
+  EXPECT_EQ(row[0], "demo");
+  EXPECT_EQ(row[1], "100");
+  EXPECT_EQ(row[4], "5000");
+  EXPECT_EQ(row[5], "4.50");
+  EXPECT_EQ(row[6], "17");
+  EXPECT_EQ(row[7], "0");
+}
+
+TEST(ReportPrinter, SloExecSummaryCarriesFingerprint) {
+  serve::ServeReport rep;
+  rep.completed = 12;
+  rep.slo.exec_shed = 3;
+  rep.slo.exec_shed_set_hash = 0x1234ULL;
+  const std::string line = serve::slo_exec_summary("1 worker", rep);
+  EXPECT_NE(line.find("delivered 12"), std::string::npos);
+  EXPECT_NE(line.find("shed 3"), std::string::npos);
+  EXPECT_NE(line.find("0x0000000000001234"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+}  // namespace
+}  // namespace gbo

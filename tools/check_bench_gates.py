@@ -33,6 +33,22 @@ For BENCH_serve*.json files ("bench": "serve"), the document-level
     noisy_fused             stochastic scenarios fused micro-batches on
                             per-sample RNG streams (where present)
 
+Every serve and serve_slo scenario must additionally carry a "trace"
+section (DESIGN.md S9) with enabled=true and:
+
+    causal_match_1_vs_n     the causal event fingerprint is identical at 1
+                            and N workers
+    causal_matches_oracle   ... and equals the planner-derived oracle
+    no_drops                no trace ring overflowed (dropped == 0)
+    zero_steady_ring_allocs tracing allocated no ring memory during the
+                            measured steady-state run
+
+and its causal_fingerprint must be identical for the same scenario across
+ALL artifacts passed in one invocation (the cross-pool half of the causal
+determinism contract, exactly like the shed-set fingerprints). Serve
+documents must also record the dispatched binary kernel and the CPUID
+feature string (binary_kernel / cpu_features) like BENCH_mvm.json.
+
 For BENCH_serve_slo*.json files ("bench": "serve_slo"), the SLO control
 plane's overload/fault contract (DESIGN.md S7) is gated: every scenario
 must satisfy
@@ -92,6 +108,17 @@ SERVE_SCENARIO_GATES = [
     "zero_steady_packs",
     "zero_steady_binary_packs",
 ]
+
+TRACE_GATES = [
+    "causal_match_1_vs_n",
+    "causal_matches_oracle",
+    "no_drops",
+    "zero_steady_ring_allocs",
+]
+
+# Doc-level keys every serve/serve_slo artifact must record (what hardware
+# path actually ran), mirroring SECTION_REQUIRED_KEYS for gemm_binary.
+SERVE_REQUIRED_DOC_KEYS = ["binary_kernel", "cpu_features"]
 
 SERVE_SLO_GATES = [
     "slo_payload_match",
@@ -157,8 +184,48 @@ def serve_scenarios(doc):
             if isinstance(node, dict) and "backend" in node]
 
 
-def check_serve(path, doc):
+def check_trace(path, name, node, trace_fingerprints):
+    """Gates one scenario's "trace" section (DESIGN.md S9)."""
     failures = []
+    tr = node.get("trace")
+    if not isinstance(tr, dict):
+        failures.append(f"{path}: {name}.trace section missing")
+        return failures
+    if tr.get("enabled") is not True:
+        failures.append(
+            f"{path}: {name}.trace.enabled is {tr.get('enabled')!r} "
+            "(artifact produced without tracing; CI artifacts must trace)")
+        return failures
+    for gate in TRACE_GATES:
+        if tr.get(gate) is not True:
+            failures.append(
+                f"{path}: {name}.trace.{gate} is {tr.get(gate)!r}, "
+                "expected true")
+    if tr.get("dropped") != 0:
+        failures.append(
+            f"{path}: {name}.trace.dropped is {tr.get('dropped')!r}, "
+            "expected 0")
+    if tr.get("steady_ring_allocs") != 0:
+        failures.append(
+            f"{path}: {name}.trace.steady_ring_allocs is "
+            f"{tr.get('steady_ring_allocs')!r}, expected 0")
+    fp = tr.get("causal_fingerprint")
+    if not fp:
+        failures.append(f"{path}: {name}.trace.causal_fingerprint missing")
+    else:
+        # Cross-file equality demanded in main(): the same scenario must
+        # hash identically in every artifact (1t and 4t pools).
+        trace_fingerprints.setdefault(name, []).append((path, fp))
+    return failures
+
+
+def check_serve_doc_keys(path, doc):
+    return [f"{path}: doc.{key} missing or empty"
+            for key in SERVE_REQUIRED_DOC_KEYS if not doc.get(key)]
+
+
+def check_serve(path, doc, trace_fingerprints):
+    failures = check_serve_doc_keys(path, doc)
     if doc.get("gates_ok") is not True:
         failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
     scenarios = serve_scenarios(doc)
@@ -172,11 +239,12 @@ def check_serve(path, doc):
                     "expected true")
         if "noisy_fused" in node and node["noisy_fused"] is not True:
             failures.append(f"{path}: {name}.noisy_fused is not true")
+        failures.extend(check_trace(path, name, node, trace_fingerprints))
     return failures
 
 
-def check_serve_slo(path, doc, fingerprints):
-    failures = []
+def check_serve_slo(path, doc, fingerprints, trace_fingerprints):
+    failures = check_serve_doc_keys(path, doc)
     if doc.get("gates_ok") is not True:
         failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
     scenarios = serve_scenarios(doc)
@@ -201,6 +269,7 @@ def check_serve_slo(path, doc, fingerprints):
         # Collected for the cross-file (1-thread vs 4-thread pool) equality
         # check in main(): same scenario name => same fingerprint demanded.
         fingerprints.setdefault(name, []).append((path, plan_hash))
+        failures.extend(check_trace(path, name, node, trace_fingerprints))
     return failures
 
 
@@ -263,6 +332,7 @@ def main(argv):
         return 2
     all_failures = []
     slo_fingerprints = {}
+    trace_fingerprints = {}
     print("## bench gates and perf trajectory\n")
     for path in argv[1:]:
         try:
@@ -274,7 +344,7 @@ def main(argv):
         threads = doc.get("num_threads", "?")
         print(f"### `{path}` (pool={threads} threads)\n")
         if doc.get("bench") == "serve":
-            failures = check_serve(path, doc)
+            failures = check_serve(path, doc, trace_fingerprints)
             kernel = doc.get("binary_kernel", "?")
             print(f"binary micro-kernel: `{kernel}`\n")
             print("| scenario | p50 us | p95 us | rps | exec batch | fusion "
@@ -284,7 +354,8 @@ def main(argv):
             for row in serve_rows(doc):
                 print("| " + " | ".join(row) + " |")
         elif doc.get("bench") == "serve_slo":
-            failures = check_serve_slo(path, doc, slo_fingerprints)
+            failures = check_serve_slo(path, doc, slo_fingerprints,
+                                       trace_fingerprints)
             print("| scenario | served | shed | degraded | retried "
                   "| fallbacks | breaker opens | vp99 us | late | shed hash |")
             print("|---|---|---|---|---|---|---|---|---|---|")
@@ -307,6 +378,16 @@ def main(argv):
             detail = ", ".join(f"{p}={h}" for p, h in entries)
             all_failures.append(
                 f"slo scenario '{name}': shed-set fingerprint differs "
+                f"across artifacts ({detail})")
+    # Cross-file causal-trace determinism (DESIGN.md S9): same scenario,
+    # same (seed, trace, policy) => the identical causal event fingerprint
+    # in every artifact, whatever the pool size or machine.
+    for name, entries in trace_fingerprints.items():
+        hashes = {h for _, h in entries}
+        if len(hashes) > 1:
+            detail = ", ".join(f"{p}={h}" for p, h in entries)
+            all_failures.append(
+                f"scenario '{name}': causal trace fingerprint differs "
                 f"across artifacts ({detail})")
     if all_failures:
         for f in all_failures:
