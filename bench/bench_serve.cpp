@@ -29,12 +29,15 @@
 #include "common/thread_pool.hpp"
 #include "crossbar/crossbar_layers.hpp"
 #include "crossbar/hw_deploy.hpp"
+#include "crossbar/mapper.hpp"
+#include "crossbar/mvm_engine.hpp"
 #include "models/mlp.hpp"
 #include "models/vgg9.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "quant/binary_weight.hpp"
 #include "serve/policy.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/gemm_binary.hpp"
@@ -146,13 +149,15 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   cfg.seed = seed;
 
   cfg.num_workers = 1;
-  serve::InferenceServer one(backend, ds, cfg);
+  serve::InferenceServer one(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   obs::begin_session();
   const serve::ServeReport rep1 = one.run(trace);
   const obs::TraceSnapshot snap1 = obs::end_session();
 
   cfg.num_workers = workers;
-  serve::InferenceServer many(backend, ds, cfg);
+  serve::InferenceServer many(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   many.warmup();
   (void)many.run(trace);  // warm run: sizes arenas/pools along real paths
   const std::uint64_t packs0 = gemm::b_pack_count();
@@ -209,7 +214,8 @@ Json run_scenario(const char* name, const serve::Backend& backend,
   if (policy.max_batch > 1) {
     serve::ServeConfig unit = cfg;
     unit.batch.max_batch = 1;
-    serve::InferenceServer us(backend, ds, unit);
+    serve::InferenceServer us(
+        serve::ServerSpec{}.primary(backend).dataset(ds).config(unit));
     batch_invariant = bitwise_equal(us.run(trace).outputs, rep.outputs);
     if (!batch_invariant)
       gates->fail(name, "outputs depend on the batching boundary");
@@ -281,12 +287,20 @@ Json run_slo_scenario(const serve::Backend& primary,
 
   serve::ServeConfig cfg = base;
   cfg.num_workers = 1;
-  serve::InferenceServer one(primary, degraded, ds, cfg);
+  serve::InferenceServer one(serve::ServerSpec{}
+                                 .primary(primary)
+                                 .degraded(degraded)
+                                 .dataset(ds)
+                                 .config(cfg));
   obs::begin_session();
   const serve::ServeReport rep1 = one.run(trace);
   const obs::TraceSnapshot snap1 = obs::end_session();
   cfg.num_workers = workers;
-  serve::InferenceServer many(primary, degraded, ds, cfg);
+  serve::InferenceServer many(serve::ServerSpec{}
+                                  .primary(primary)
+                                  .degraded(degraded)
+                                  .dataset(ds)
+                                  .config(cfg));
   (void)many.run(trace);  // warm run: mints arenas + every worker trace ring
   obs::begin_session();
   const std::uint64_t rings0 = obs::ring_allocs();
@@ -361,6 +375,221 @@ Json run_slo_scenario(const serve::Backend& primary,
   return j;
 }
 
+/// Column-sharded crossbar gate (DESIGN.md §10): the mapper-defined shard
+/// sweep of one programmed array must be bitwise identical to the unsharded
+/// sweep — at the engine level (noisy pulse path, where the global-
+/// coordinate noise indexing carries the proof) and at the deployed-network
+/// level (HwDeployConfig::shard_cols threaded through every engine).
+Json run_sharded_section(GateState* gates) {
+  const char* name = "sharded_mvm";
+
+  // Engine level: a +/-0.5 binary weight, noisy pulse config, identical
+  // seeds; only shard_cols differs between the two engines.
+  Tensor w = random_tensor({40, 24}, 61);
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w.data()[i] = w.data()[i] >= 0.0f ? 0.5f : -0.5f;
+  xbar::MvmConfig mcfg;
+  mcfg.spec = enc::EncodingSpec{enc::Scheme::kThermometer, 8};
+  mcfg.sigma = 0.5;
+  mcfg.device.read_noise_sigma = 0.05;
+  mcfg.device.adc_bits = 8;
+  mcfg.device.program_variation = 0.05;
+  xbar::MvmEngine plain(w, mcfg, Rng(77));
+  xbar::MvmConfig shard_cfg = mcfg;
+  shard_cfg.shard_cols = 16;
+  xbar::MvmEngine sharded(w, shard_cfg, Rng(77));
+  const Tensor x = random_tensor({6, 24}, 63);
+  Rng r1(5), r2(5);
+  const bool engine_match =
+      bitwise_equal(plain.run_pulse_level(x, r1),
+                    sharded.run_pulse_level(x, r2));
+  if (!engine_match)
+    gates->fail(name, "sharded engine sweep is not bitwise unsharded");
+  xbar::TileShape tile;
+  tile.cols = shard_cfg.shard_cols;
+  const std::size_t num_shards = xbar::column_shards(w.dim(0), tile).size();
+
+  // Deployed-network level: two HardwareNetworks programmed from the same
+  // seed, one sharded, one not; same EvalContext seed per forward.
+  models::MlpConfig ncfg;
+  ncfg.in_features = 24;
+  ncfg.hidden = {32, 32};
+  ncfg.num_classes = 10;
+  ncfg.seed = 21;
+  models::Mlp net_a = models::build_mlp(ncfg);
+  net_a.net->set_training(false);
+  models::Mlp net_b = models::build_mlp(ncfg);
+  net_b.net->set_training(false);
+  xbar::HwDeployConfig hcfg;
+  hcfg.sigma = 0.5;
+  hcfg.device.read_noise_sigma = 0.05;
+  hcfg.device.adc_bits = 8;
+  hcfg.device.program_variation = 0.05;
+  xbar::HardwareNetwork hw_plain(*net_a.net, net_a.encoded, hcfg);
+  xbar::HwDeployConfig scfg = hcfg;
+  scfg.shard_cols = 16;
+  xbar::HardwareNetwork hw_sharded(*net_b.net, net_b.encoded, scfg);
+  const Tensor batch = random_tensor({8, ncfg.in_features}, 65);
+  nn::EvalContext ctx_a(Rng(9)), ctx_b(Rng(9));
+  const bool network_match = bitwise_equal(hw_plain.forward(batch, ctx_a),
+                                           hw_sharded.forward(batch, ctx_b));
+  if (!network_match)
+    gates->fail(name, "sharded deployed network is not bitwise unsharded");
+
+  std::printf("  [%s] shards=%zu engine_bitwise=%s network_bitwise=%s %s\n",
+              name, num_shards, engine_match ? "yes" : "no",
+              network_match ? "yes" : "no",
+              engine_match && network_match ? "OK" : "GATE-FAIL");
+
+  Json j = Json::object();
+  j.set("shard_cols", shard_cfg.shard_cols);
+  j.set("num_shards", num_shards);
+  j.set("engine_bitwise_sharded_vs_unsharded", engine_match);
+  j.set("network_bitwise_sharded_vs_unsharded", network_match);
+  return j;
+}
+
+/// Multi-replica router scenario (DESIGN.md §10): N replicas of a sharded
+/// pulse backend behind the deterministic router, flash-crowd overload, one
+/// replica down for the whole run. Gates, at 1 worker/replica and at
+/// --workers workers/replica:
+///   * router_payload_match   payloads bitwise identical 1 vs N workers
+///   * routing_deterministic  runtime routing hash == route_plan()'s, both
+///                            runs (1t/4t cross-artifact equality is checked
+///                            by tools/check_bench_gates.py)
+///   * replica_sheds_match    every replica's executed shed set == its §7
+///                            sub-plan's fingerprint
+///   * fleet_shed_match       fleet shed-set union == the plan's
+///   * no_lost_requests       delivered == planned served, both runs
+///   * replica_zero_allocs    no replica arena grew during the measured run
+///   * outage_rerouted        the downed replica got zero traffic and the
+///                            active set shrank below the deployment
+///   * autoscale_bounded      active count within [min_replicas, alive]
+///   * overload_exercised     the flash actually shed work fleet-wide
+Json run_router_scenario(const serve::Backend& primary,
+                         const serve::Backend& degraded,
+                         const data::Dataset& ds,
+                         const std::vector<serve::Arrival>& trace,
+                         std::size_t workers, const serve::ServeConfig& base,
+                         const serve::RouterPolicy& router,
+                         std::size_t replicas, const std::string& trace_out,
+                         GateState* gates) {
+  const char* name = "router_flash";
+  const serve::RouterPlan plan =
+      serve::route_plan(trace, base.slo, base.batch, router, replicas);
+
+  serve::ServeConfig cfg = base;
+  cfg.num_workers = 1;
+  serve::ReplicaGroup one(serve::ServerSpec{}
+                              .primary(primary)
+                              .degraded(degraded)
+                              .dataset(ds)
+                              .config(cfg)
+                              .replicas(replicas)
+                              .router(router));
+  obs::begin_session();
+  const serve::RouterReport rep1 = one.run(trace);
+  const obs::TraceSnapshot snap1 = obs::end_session();
+
+  cfg.num_workers = workers;
+  serve::ReplicaGroup many(serve::ServerSpec{}
+                               .primary(primary)
+                               .degraded(degraded)
+                               .dataset(ds)
+                               .config(cfg)
+                               .replicas(replicas)
+                               .router(router));
+  (void)many.run(trace);  // warm run: mints every replica's arenas + rings
+  obs::begin_session();
+  const std::uint64_t rings0 = obs::ring_allocs();
+  const serve::RouterReport rep = many.run(trace);
+  const obs::TraceSnapshot snapN = obs::end_session();
+  const std::uint64_t steady_rings = obs::ring_allocs() - rings0;
+
+  const bool payload_match =
+      bitwise_equal(rep1.serve.outputs, rep.serve.outputs);
+  if (!payload_match)
+    gates->fail(name, "payloads differ between 1 and N workers per replica");
+  const bool routing_match = rep1.routing_hash == plan.routing_hash &&
+                             rep.routing_hash == plan.routing_hash;
+  if (!routing_match)
+    gates->fail(name, "runtime routing hash diverged from the plan");
+  bool replica_sheds = true, replica_steady = true;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    replica_sheds = replica_sheds &&
+                    rep1.replicas[r].exec_shed_set_hash ==
+                        rep1.replicas[r].plan_shed_set_hash &&
+                    rep.replicas[r].exec_shed_set_hash ==
+                        rep.replicas[r].plan_shed_set_hash;
+    replica_steady = replica_steady && rep.replicas[r].steady_allocs == 0;
+  }
+  if (!replica_sheds)
+    gates->fail(name, "a replica's shed set diverged from its sub-plan");
+  if (!replica_steady)
+    gates->fail(name, "a replica arena grew during the measured run");
+  const bool fleet_shed =
+      rep1.serve.slo.exec_shed_set_hash == plan.shed_set_hash &&
+      rep.serve.slo.exec_shed_set_hash == plan.shed_set_hash;
+  if (!fleet_shed)
+    gates->fail(name, "fleet shed-set union diverged from the plan");
+  const bool no_lost = rep1.serve.completed == plan.counters.served &&
+                       rep.serve.completed == plan.counters.served;
+  if (!no_lost) gates->fail(name, "a planned-served request was not delivered");
+  std::size_t n_alive = 0, down_assigned = 0, downed = 0;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    if (plan.alive[r]) {
+      ++n_alive;
+    } else {
+      ++downed;
+      down_assigned += rep.replicas[r].assigned;
+    }
+  }
+  const bool rerouted = downed > 0 && down_assigned == 0 &&
+                        plan.active_replicas < plan.total_replicas;
+  if (!rerouted)
+    gates->fail(name, "the outage did not reroute around the downed replica");
+  const bool autoscaled = plan.active_replicas >= router.min_replicas &&
+                          plan.active_replicas <= n_alive;
+  if (!autoscaled)
+    gates->fail(name, "autoscaler activated an out-of-bounds replica count");
+  const bool overloaded = rep.serve.slo.exec_shed > 0;
+  if (!overloaded)
+    gates->fail(name, "flash crowd did not shed any work fleet-wide");
+
+  std::printf(
+      "  [%s] %zu req, %zu replicas (%zu alive, %zu active), %zu "
+      "workers/replica: served=%zu shed=%zu routing=%s vp99=%.0fus %s\n",
+      name, rep.serve.requests, plan.total_replicas, n_alive,
+      plan.active_replicas, workers, rep.serve.slo.served,
+      rep.serve.slo.exec_shed, serve::hex64(rep.routing_hash).c_str(),
+      rep.serve.slo.virtual_latency.p99_us,
+      payload_match && routing_match && replica_sheds && replica_steady &&
+              fleet_shed && no_lost && rerouted && autoscaled && overloaded
+          ? "OK"
+          : "GATE-FAIL");
+
+  Json j = rep.to_json();
+  j.set("backend", primary.name() + "+" + degraded.name());
+  j.set("plan_routing_hash", serve::hex64(plan.routing_hash));
+  j.set("plan_shed_set_hash", serve::hex64(plan.shed_set_hash));
+  j.set("router_payload_match", payload_match);
+  j.set("routing_deterministic", routing_match);
+  j.set("replica_sheds_match", replica_sheds);
+  j.set("replica_zero_allocs", replica_steady);
+  j.set("fleet_shed_match", fleet_shed);
+  j.set("no_lost_requests", no_lost);
+  j.set("outage_rerouted", rerouted);
+  j.set("autoscale_bounded", autoscaled);
+  j.set("overload_exercised", overloaded);
+  // Fleet causal oracle: kRoute per request + per-replica ledgers with
+  // replica-major renumbered transitions, reconstructed from the plan.
+  j.set("trace", trace_section(name, snap1, snapN,
+                               serve::expected_causal_fingerprint(plan),
+                               serve::expected_causal_event_count(plan),
+                               steady_rings, trace_out, gates));
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -371,6 +600,8 @@ int main(int argc, char** argv) {
   cli.add_option("json", "Output JSON path", "BENCH_serve.json");
   cli.add_option("slo-json", "SLO-scenario output JSON path",
                  "BENCH_serve_slo.json");
+  cli.add_option("router-json", "Router-scenario output JSON path",
+                 "BENCH_serve_router.json");
   cli.add_option("requests", "Analytic-scenario trace length", "auto");
   cli.add_option("rate", "Mean arrival rate, requests/s", "auto");
   cli.add_option("workers", "Serving worker count", "4");
@@ -385,6 +616,8 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get_string("json", "BENCH_serve.json");
   const std::string slo_json_path =
       cli.get_string("slo-json", "BENCH_serve_slo.json");
+  const std::string router_json_path =
+      cli.get_string("router-json", "BENCH_serve_router.json");
   const auto workers =
       static_cast<std::size_t>(cli.get_int("workers", 4));
   const auto requests = static_cast<std::size_t>(
@@ -626,12 +859,111 @@ int main(int argc, char** argv) {
                 run_slo_scenario(primary, fallback, sds, strace, workers,
                                  scfg2, trace_out, &gates));
   }
+
+  // -- sharded multi-replica serving behind the deterministic router -------
+  // (DESIGN.md §10): the slo_flash model deployed as N sharded-crossbar
+  // replicas, flash crowd + one replica in outage. Like the SLO scenario the
+  // shape is fixed by --smoke alone, so the 1t and 4t artifacts describe
+  // the identical (seed, trace, policy, replicas) tuple and
+  // check_bench_gates.py can demand equal routing and shed fingerprints
+  // across them.
+  Json router_doc = Json::object();
+  router_doc.set("bench", "serve_router");
+  router_doc.set("smoke", smoke);
+  router_doc.set("num_threads", pool.num_threads());
+  router_doc.set("workers", workers);
+  router_doc.set("binary_kernel", gemm::binary_kernel_name());
+  router_doc.set("cpu_features", gemm::cpu_features());
+  router_doc.set("trace_enabled", obs::runtime_enabled());
+  router_doc.set("sharded_mvm", run_sharded_section(&gates));
+  {
+    models::MlpConfig rcfg;
+    rcfg.in_features = 24;
+    rcfg.hidden = {32, 32};
+    rcfg.num_classes = 10;
+    rcfg.seed = 21;
+    models::Mlp router_model = models::build_mlp(rcfg);
+    router_model.net->set_training(false);
+    data::Dataset rds = random_dataset(128, rcfg.in_features, 43);
+
+    // Every replica serves through the column-sharded pulse path: the
+    // engines execute mapper-defined shards, the payload gates pin the
+    // result to the unsharded bits (run_sharded_section above).
+    xbar::HwDeployConfig hw_cfg;
+    hw_cfg.sigma = 0.5;
+    hw_cfg.device.read_noise_sigma = 0.05;
+    hw_cfg.device.adc_bits = 8;
+    hw_cfg.device.program_variation = 0.05;
+    hw_cfg.shard_cols = 16;
+    xbar::HardwareNetwork hw(*router_model.net, router_model.encoded, hw_cfg);
+    serve::PulseBackend primary(hw);
+    serve::AnalyticBackend fallback(*router_model.net, /*stochastic=*/false);
+
+    serve::TrafficConfig rtraffic;
+    rtraffic.num_requests = smoke ? 320 : 1200;
+    rtraffic.rate_rps = 1600.0;
+    rtraffic.shape = serve::TraceShape::kFlashCrowd;
+    rtraffic.flash_factor = 14.0;
+    rtraffic.flash_start_s = smoke ? 0.05 : 0.2;
+    rtraffic.flash_ramp_s = 0.005;
+    rtraffic.flash_hold_s = smoke ? 0.02 : 0.05;
+    rtraffic.high_fraction = 0.2;
+    rtraffic.low_fraction = 0.3;
+    rtraffic.seed = 101;
+    const auto rtrace = serve::make_trace(rtraffic, rds.size());
+    Json rtj = Json::object();
+    rtj.set("requests", rtraffic.num_requests);
+    rtj.set("rate_rps", rtraffic.rate_rps);
+    rtj.set("flash_factor", rtraffic.flash_factor);
+    rtj.set("shape", "flash_crowd");
+    router_doc.set("traffic", rtj);
+
+    serve::ServeConfig rcfg2;
+    rcfg2.batch = policy;
+    rcfg2.seed = 29;
+    rcfg2.slo.enabled = true;
+    rcfg2.slo.deadline_us = 15000;
+    rcfg2.slo.completion_headroom_us = 9000;
+    rcfg2.slo.queue.capacity = 64;
+    rcfg2.slo.queue.on_full = serve::QueuePolicy::OnFull::kDropOldest;
+    rcfg2.slo.cost.batch_fixed_us = 50;
+    rcfg2.slo.cost.primary_us = 800;
+    rcfg2.slo.cost.degraded_us = 100;
+    rcfg2.slo.ladder.degrade_depth = 8;
+    rcfg2.slo.ladder.shed_depth = 30;
+    rcfg2.slo.ladder.recover_depth = 2;
+    rcfg2.slo.ladder.shed_floor = serve::Priority::kNormal;
+
+    serve::RouterPolicy router;
+    router.strategy = serve::RouterPolicy::Strategy::kHash;
+    router.seed = 71;
+    router.min_replicas = 1;
+    router.scale_depth = 24;  // autoscale off the planned queue depth
+    // Replica 1 is down for the whole run (fault id == replica index).
+    router.fault.enabled = true;
+    router.fault.outage_start_id = 1;
+    router.fault.outage_len = 1;
+
+    router_doc.set("replicas", std::size_t{3});
+    router_doc.set("strategy", "hash");
+    router_doc.set("router_flash",
+                   run_router_scenario(primary, fallback, rds, rtrace,
+                                       workers, rcfg2, router, /*replicas=*/3,
+                                       trace_out, &gates));
+  }
   slo_doc.set("gates_ok", gates.ok);
   if (!slo_doc.write_file(slo_json_path)) {
     std::fprintf(stderr, "failed to write %s\n", slo_json_path.c_str());
     return 1;
   }
   std::printf("wrote %s\n", slo_json_path.c_str());
+
+  router_doc.set("gates_ok", gates.ok);
+  if (!router_doc.write_file(router_json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", router_json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", router_json_path.c_str());
 
   doc.set("gates_ok", gates.ok);
   if (!doc.write_file(json_path)) {

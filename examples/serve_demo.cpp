@@ -26,8 +26,7 @@
 int main(int argc, char** argv) {
   using namespace gbo;
   CliParser cli("serve_demo", "Dynamic micro-batching serving demo.");
-  cli.add_option("trace-out",
-                 "Chrome trace JSON path prefix (empty disables)", "");
+  add_serve_trace_flags(cli);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   const std::string trace_out = cli.get_string("trace-out", "");
   set_log_level(LogLevel::kWarn);
@@ -81,7 +80,8 @@ int main(int argc, char** argv) {
 
   {
     serve::AnalyticBackend clean(*model.net, /*stochastic=*/false);
-    serve::InferenceServer server(clean, ds, scfg);
+    serve::InferenceServer server(
+        serve::ServerSpec{}.primary(clean).dataset(ds).config(scfg));
     server.warmup();
     (void)server.run(trace);  // warm run sizes the arenas
     row("analytic clean", "analytic_clean", server, trace);
@@ -93,7 +93,8 @@ int main(int argc, char** argv) {
     ctrl.attach();
     ctrl.set_enabled_all(true);
     serve::AnalyticBackend noisy(*model.net, /*stochastic=*/true);
-    serve::InferenceServer server(noisy, ds, scfg);
+    serve::InferenceServer server(
+        serve::ServerSpec{}.primary(noisy).dataset(ds).config(scfg));
     server.warmup();
     (void)server.run(trace);
     row("analytic noisy", "analytic_noisy", server, trace);
@@ -109,7 +110,8 @@ int main(int argc, char** argv) {
     serve::TrafficConfig slow = tcfg;  // pulse sim is ~10x heavier per req
     slow.num_requests = 400;
     slow.rate_rps = 2000.0;
-    serve::InferenceServer server(pulse, ds, scfg);
+    serve::InferenceServer server(
+        serve::ServerSpec{}.primary(pulse).dataset(ds).config(scfg));
     server.warmup();
     const auto strace = serve::make_trace(slow, ds.size());
     (void)server.run(strace);

@@ -33,8 +33,7 @@
 int main(int argc, char** argv) {
   using namespace gbo;
   CliParser cli("serve_slo_demo", "SLO control-plane serving demo.");
-  cli.add_option("trace-out",
-                 "Chrome trace JSON path prefix (empty disables)", "");
+  add_serve_trace_flags(cli);
   if (!cli.parse(argc, argv)) return cli.exit_code();
   const std::string trace_out = cli.get_string("trace-out", "");
   set_log_level(LogLevel::kWarn);
@@ -142,12 +141,20 @@ int main(int argc, char** argv) {
   std::printf("Executing on %zu pool threads...\n",
               ThreadPool::instance().num_threads());
   cfg.num_workers = 1;
-  serve::InferenceServer one(primary, fallback, ds, cfg);
+  serve::InferenceServer one(serve::ServerSpec{}
+                                 .primary(primary)
+                                 .degraded(fallback)
+                                 .dataset(ds)
+                                 .config(cfg));
   obs::begin_session();
   const serve::ServeReport r1 = one.run(trace);
   const obs::TraceSnapshot s1 = obs::end_session();
   cfg.num_workers = 4;
-  serve::InferenceServer four(primary, fallback, ds, cfg);
+  serve::InferenceServer four(serve::ServerSpec{}
+                                  .primary(primary)
+                                  .degraded(fallback)
+                                  .dataset(ds)
+                                  .config(cfg));
   obs::begin_session();
   const serve::ServeReport r4 = four.run(trace);
   const obs::TraceSnapshot s4 = obs::end_session();

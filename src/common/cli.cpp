@@ -135,4 +135,9 @@ bool CliParser::has(const std::string& name) const {
   return raw_value(name).has_value();
 }
 
+void add_serve_trace_flags(CliParser& cli) {
+  cli.add_option("trace-out", "Chrome trace JSON path prefix (empty disables)",
+                 "");
+}
+
 }  // namespace gbo

@@ -80,4 +80,10 @@ class CliParser {
   int exit_code_ = 0;
 };
 
+/// Registers the serving binaries' shared observability flags (currently
+/// `--trace-out`, the Chrome trace JSON path prefix). The serve demos and
+/// benches all export traces the same way; registering the flag here keeps
+/// its name and help text in exactly one place.
+void add_serve_trace_flags(CliParser& cli);
+
 }  // namespace gbo

@@ -212,6 +212,17 @@ void CrossbarArray::fill_read_noise(std::size_t batch, Rng& rng,
 void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
                                     const double* read_noise,
                                     const PulseSink& sink) const {
+  mvm_pulse_train(pulses, read_noise, sink, 0, out_);
+}
+
+void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
+                                    const double* read_noise,
+                                    const PulseSink& sink, std::size_t o_begin,
+                                    std::size_t o_end) const {
+  if (o_begin >= o_end || o_end > out_)
+    throw std::invalid_argument(
+        "CrossbarArray::mvm_pulse_train: bad output range");
+  const std::size_t span = o_end - o_begin;
   const std::size_t num_pulses = pulses.size();
   if (num_pulses == 0) return;
   const std::size_t batch = pulses[0].ndim() == 2 ? pulses[0].dim(0) : 0;
@@ -239,10 +250,12 @@ void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
     const double auto_fs = static_cast<double>(tile_cols_) * cfg_.g_on;
     parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
       std::vector<double> ref_current(num_pulses);
-      // Per-row float accumulators [out_][num_pulses]: the reference path
+      // Per-row float accumulators [span][num_pulses]: the reference path
       // accumulates each output in float across tiles, so the scratch must
-      // too for bitwise agreement.
-      std::vector<float> row_acc(out_ * num_pulses);
+      // too for bitwise agreement. A shard recomputes the tile's shared
+      // reference read (same inputs, same noise slot) rather than sharing
+      // it across shards — identical values either way.
+      std::vector<float> row_acc(span * num_pulses);
       for (std::size_t n = lo; n < hi; ++n) {
         std::fill(row_acc.begin(), row_acc.end(), 0.0f);
         for (std::size_t t = 0; t < num_tiles_; ++t) {
@@ -258,7 +271,7 @@ void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
             if (noisy) rc += read_noise[p * stride + noise_base];
             ref_current[p] = adc_quantize(cfg_, rc, auto_fs);
           }
-          for (std::size_t o = 0; o < out_; ++o) {
+          for (std::size_t o = o_begin; o < o_end; ++o) {
             const float* grow = raw_g_.data() + o * in_;
             for (std::size_t p = 0; p < num_pulses; ++p) {
               const float* xv = xs[p] + n * in_;
@@ -268,13 +281,13 @@ void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
               if (noisy)
                 current += read_noise[p * stride + noise_base + 1 + o];
               current = adc_quantize(cfg_, current, auto_fs);
-              row_acc[o * num_pulses + p] +=
+              row_acc[(o - o_begin) * num_pulses + p] +=
                   static_cast<float>((current - ref_current[p]) * k);
             }
           }
         }
-        for (std::size_t o = 0; o < out_; ++o)
-          sink(n * out_ + o, row_acc.data() + o * num_pulses);
+        for (std::size_t o = o_begin; o < o_end; ++o)
+          sink(n * out_ + o, row_acc.data() + (o - o_begin) * num_pulses);
       }
     });
     return;
@@ -288,12 +301,13 @@ void CrossbarArray::mvm_pulse_train(const std::vector<Tensor>& pulses,
       static_cast<double>(tile_cols_) * (cfg_.g_on - cfg_.g_off);
   const std::size_t work = in_ * num_pulses;  // flops per (row, output) pair
   const std::size_t grain = std::max<std::size_t>(1, 16384 / std::max<std::size_t>(work, 1));
-  parallel_for(0, batch * out_, grain, [&](std::size_t lo, std::size_t hi) {
+  parallel_for(0, batch * span, grain, [&](std::size_t lo, std::size_t hi) {
     std::vector<double> total(num_pulses);
     std::vector<float> element(num_pulses);
-    for (std::size_t idx = lo; idx < hi; ++idx) {
-      const std::size_t n = idx / out_;
-      const std::size_t o = idx % out_;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t n = i / span;
+      const std::size_t o = o_begin + i % span;
+      const std::size_t idx = n * out_ + o;
       const float* wrow = eff_weight_.data() + o * in_;
       std::fill(total.begin(), total.end(), 0.0);
       for (std::size_t t = 0; t < num_tiles_; ++t) {

@@ -70,6 +70,17 @@ class CrossbarArray {
   void mvm_pulse_train(const std::vector<Tensor>& pulses,
                        const double* read_noise, const PulseSink& sink) const;
 
+  /// Output-range (bit-line shard) variant: computes only output lines in
+  /// [o_begin, o_end) and hands the sink the same global element indices.
+  /// `read_noise` still spans the FULL (row, output, tile) index space —
+  /// every element's computation and noise lookup is keyed by its global
+  /// coordinates, which is what makes a sharded sweep (ascending disjoint
+  /// ranges, see xbar::column_shards) bitwise identical to the unsharded
+  /// call above. The full-range call delegates here.
+  void mvm_pulse_train(const std::vector<Tensor>& pulses,
+                       const double* read_noise, const PulseSink& sink,
+                       std::size_t o_begin, std::size_t o_end) const;
+
   /// The effective (post-programming) weight the array realizes in the
   /// sign domain: (G+ − G−) for differential mapping, (G − G_ref) ·
   /// 2/(g_on − g_off) for offset mapping, with IR-drop folded in. Equals

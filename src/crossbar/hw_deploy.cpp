@@ -40,6 +40,7 @@ HardwareNetwork::HardwareNetwork(nn::Sequential& net,
     mcfg.sigma = cfg_.sigma;
     mcfg.device = cfg_.device;
     mcfg.tile_cols = cfg_.tile_cols;
+    mcfg.shard_cols = cfg_.shard_cols;
     engine_index_[module] = engines_.size();
     engines_.push_back(
         std::make_unique<MvmEngine>(binary, mcfg, rng.fork(1000 + i)));

@@ -33,6 +33,11 @@ struct HwDeployConfig {
   enc::Scheme scheme = enc::Scheme::kThermometer;
   std::vector<std::size_t> pulses;  // per encoded layer; empty = uniform 8
   std::size_t tile_cols = 128;
+  /// Output-axis shard width for every programmed engine (MvmConfig::
+  /// shard_cols): wide layers execute as mapper-defined column shards with
+  /// a deterministic ascending reduce, bitwise equal to the unsharded
+  /// sweep. 0 disables sharding.
+  std::size_t shard_cols = 0;
   std::uint64_t seed = 1;
 };
 

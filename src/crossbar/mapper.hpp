@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gbo::xbar {
@@ -75,6 +76,17 @@ struct NetworkMapping {
 /// on zero-sized dimensions.
 LayerMapping map_layer(const std::string& name, std::size_t fan_in,
                        std::size_t fan_out, std::size_t mvms, TileShape tile);
+
+/// Output-axis (bit-line) shard ranges of a mapped layer: one contiguous
+/// [begin, end) range per column-tile of `tile`, ascending, covering
+/// [0, fan_out). The sharded MVM path (crossbar/mvm_engine.hpp) executes one
+/// range per shard in exactly this order — the deterministic reduce is the
+/// fixed ascending concatenation of disjoint output slices, so the sharded
+/// result is bitwise identical to the unsharded sweep. tile.cols == 0 (or
+/// >= fan_out) yields the single full-width shard. Throws
+/// std::invalid_argument on fan_out == 0.
+std::vector<std::pair<std::size_t, std::size_t>> column_shards(
+    std::size_t fan_out, TileShape tile);
 
 /// Maps every crossbar-encoded layer of a network. `names` must parallel
 /// `layers` (the model builders provide both). `spatial_mvms[i]` is the

@@ -1,5 +1,6 @@
 #include "crossbar/mvm_engine.hpp"
 
+#include "crossbar/mapper.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -155,8 +156,7 @@ Tensor MvmEngine::run_pulse_level_streams(const Tensor& activations,
   Tensor out = arena ? arena->take({batch, out_n}) : Tensor({batch, out_n});
   float* po = out.data();
   const float* on = out_noise;
-  array_.mvm_pulse_train(
-      train.pulses, stride > 0 ? read_noise : nullptr,
+  const CrossbarArray::PulseSink decode =
       [&](std::size_t idx, const float* per_pulse) {
         float acc = 0.0f;
         for (std::size_t p = 0; p < num_pulses; ++p) {
@@ -170,7 +170,21 @@ Tensor MvmEngine::run_pulse_level_streams(const Tensor& activations,
           }
         }
         po[idx] = acc;
-      });
+      };
+  const double* rn = stride > 0 ? read_noise : nullptr;
+  if (cfg_.shard_cols == 0 || cfg_.shard_cols >= out_n) {
+    array_.mvm_pulse_train(train.pulses, rn, decode);
+  } else {
+    // Column-sharded execution (DESIGN.md §10): the mapper fixes the shard
+    // geometry, each shard is a range-restricted sweep of the same
+    // programmed array, and the reduce is the ascending concatenation of
+    // disjoint output slices — bitwise equal to the single sweep above.
+    TileShape tile;
+    tile.cols = cfg_.shard_cols;
+    for (const auto& shard : column_shards(out_n, tile))
+      array_.mvm_pulse_train(train.pulses, rn, decode, shard.first,
+                             shard.second);
+  }
   // Return the encode buffers to the worker's pool: after a warm-up
   // request, the pulse path's tensors — encode buffers, noise pre-draws,
   // output — come entirely from the arena; the only remaining per-request

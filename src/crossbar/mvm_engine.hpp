@@ -23,6 +23,13 @@ struct MvmConfig {
   double sigma = 0.0;             // per-pulse output noise std (Eq. 1)
   DeviceConfig device;            // device non-idealities (default ideal)
   std::size_t tile_cols = 128;    // crossbar tile width
+  /// Output-axis (bit-line) shard width for the pulse path: layers wider
+  /// than this run as a fixed ascending sequence of column shards (one per
+  /// mapper column-tile, xbar::column_shards), each a range-restricted
+  /// crossbar sweep writing its disjoint output slice. Bitwise identical to
+  /// the unsharded sweep — every element's arithmetic and noise lookup is
+  /// keyed by global coordinates. 0 disables sharding.
+  std::size_t shard_cols = 0;
 };
 
 class MvmEngine {

@@ -20,6 +20,7 @@ const char* event_name(EventType t) {
     case EventType::kDeliver: return "deliver";
     case EventType::kLadder: return "ladder";
     case EventType::kBreaker: return "breaker";
+    case EventType::kRoute: return "route";
     case EventType::kBatch: return "batch";
     case EventType::kBatchMember: return "batch_member";
     case EventType::kQueuePop: return "queue_pop";

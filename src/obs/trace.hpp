@@ -55,17 +55,19 @@ enum class EventType : std::uint8_t {
   // ---- causal: control-plane transitions (virtual clock) --------------
   kLadder = 4,   // id=transition seq, a=new level, arg=virtual us
   kBreaker = 5,  // id=transition seq, a=1 (opened), arg=virtual us
+  // ---- causal: replica routing (DESIGN.md §10) -------------------------
+  kRoute = 6,    // id=request, a=replica index, arg=active replica count
   // ---- timing: serving pipeline ---------------------------------------
-  kBatch = 6,        // span: id=batch seq, a=route (0 primary, 1 degraded),
+  kBatch = 7,        // span: id=batch seq, a=route (0 primary, 1 degraded),
                      // arg=rows executed
-  kBatchMember = 7,  // instant: id=request, arg=batch seq
-  kQueuePop = 8,     // instant: id=batch seq, arg=queue depth after the pop
-  kStall = 9,        // span: injected stall + retry backoff, arg=slept us
+  kBatchMember = 8,  // instant: id=request, arg=batch seq
+  kQueuePop = 9,     // instant: id=batch seq, arg=queue depth after the pop
+  kStall = 10,       // span: injected stall + retry backoff, arg=slept us
   // ---- timing: kernel profiling ---------------------------------------
-  kGemm = 10,         // span: packed-panel GEMM, arg=2*m*n*k
-  kBinaryMvm = 11,    // span: XNOR/popcount MVM, arg=2*m*n*k
-  kPulseEncode = 12,  // span: pulse-train encode, arg=pulses encoded
-  kArenaAlloc = 13,   // instant: arena system alloc, arg=bytes
+  kGemm = 11,         // span: packed-panel GEMM, arg=2*m*n*k
+  kBinaryMvm = 12,    // span: XNOR/popcount MVM, arg=2*m*n*k
+  kPulseEncode = 13,  // span: pulse-train encode, arg=pulses encoded
+  kArenaAlloc = 14,   // instant: arena system alloc, arg=bytes
   kCount
 };
 
@@ -73,7 +75,7 @@ enum class EventType : std::uint8_t {
 /// fingerprint.
 constexpr bool is_causal(EventType t) {
   return static_cast<std::uint8_t>(t) <=
-         static_cast<std::uint8_t>(EventType::kBreaker);
+         static_cast<std::uint8_t>(EventType::kRoute);
 }
 
 const char* event_name(EventType t);

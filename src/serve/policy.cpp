@@ -50,12 +50,28 @@ std::uint64_t shed_set_fingerprint(
 
 Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
           const BatchPolicy& batch) {
+  return plan(trace, slo, batch, {});
+}
+
+Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
+          const BatchPolicy& batch,
+          std::vector<std::uint64_t> request_ids) {
   Plan p;
   p.decisions.resize(trace.size());
+  p.request_ids = std::move(request_ids);
   if (trace.empty()) {
     p.shed_set_hash = shed_set_fingerprint({});
     return p;
   }
+  // Requests travel the queue under their global id; decisions are indexed
+  // by sub-trace position. Global ids are strictly ascending, so the
+  // inverse map is a binary search.
+  const auto local = [&p](std::uint64_t gid) -> std::size_t {
+    if (p.request_ids.empty()) return static_cast<std::size_t>(gid);
+    return static_cast<std::size_t>(
+        std::lower_bound(p.request_ids.begin(), p.request_ids.end(), gid) -
+        p.request_ids.begin());
+  };
 
   RequestQueue vq(slo.queue);
   const FaultInjector injector(slo.fault);
@@ -71,7 +87,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
   const auto ingest = [&](std::size_t i) {
     const Arrival& a = trace[i];
     Request r;
-    r.id = i;
+    r.id = p.id_of(i);
     r.sample = a.sample;
     r.enqueue_us = a.t_us;  // virtual clock: enqueue == arrival
     r.priority = a.priority;
@@ -89,7 +105,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
         ++c.rejected;
         break;
       case RequestQueue::PushResult::kAcceptedEvicted: {
-        Decision& ev = p.decisions[victim.id];
+        Decision& ev = p.decisions[local(victim.id)];
         ev.outcome = Decision::Outcome::kEvicted;
         ev.v_pop_us = a.t_us;
         ++c.evicted;
@@ -143,7 +159,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
     vq.try_pop_batch(batch, horizon, floor, out, shed);
 
     for (const Request& r : shed) {
-      Decision& d = p.decisions[r.id];
+      Decision& d = p.decisions[local(r.id)];
       d.outcome = r.reason == ShedReason::kOverload
                       ? Decision::Outcome::kShedOverload
                       : Decision::Outcome::kShedExpired;
@@ -157,7 +173,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
 
     std::uint64_t cost = slo.cost.batch_fixed_us;
     for (const Request& r : out) {
-      Decision& d = p.decisions[r.id];
+      Decision& d = p.decisions[local(r.id)];
       d.outcome = Decision::Outcome::kServed;
       d.v_pop_us = vnow;
       if (level >= 1) {
@@ -198,7 +214,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
     }
     const std::uint64_t v_done = vnow + cost;
     for (const Request& r : out) {
-      Decision& d = p.decisions[r.id];
+      Decision& d = p.decisions[local(r.id)];
       d.v_done_us = v_done;
       if (d.deadline_us != 0 && v_done > d.deadline_us) {
         d.late = true;
@@ -235,7 +251,7 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
       all.push_back(lat);
       by_pri[static_cast<std::size_t>(d.priority)].push_back(lat);
     } else {
-      shed_set.emplace_back(id, static_cast<std::uint8_t>(d.outcome));
+      shed_set.emplace_back(p.id_of(id), static_cast<std::uint8_t>(d.outcome));
     }
   }
   p.virtual_latency = LatencyStats::compute(std::move(all));
@@ -245,20 +261,20 @@ Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
   return p;
 }
 
-namespace {
-
 // The causal events the runtime emits while executing a plan, rebuilt from
 // the decision ledger. Must mirror InferenceServer::run_slo exactly: admit
 // verdict per request (with deadline), pop-time shed per non-served
 // decision, one retry record per served request with failed primary
 // attempts, delivery (mode, virtual completion) per served request, and
-// the control-transition log.
-std::vector<obs::CausalTuple> plan_causal_tuples(const Plan& p) {
+// the control-transition log. Decision tuples are keyed by the global id
+// (Plan::id_of) so per-replica sub-plans compose into a fleet oracle.
+void append_causal_decision_tuples(const Plan& p,
+                                   std::vector<obs::CausalTuple>& tuples) {
   using obs::EventType;
-  std::vector<obs::CausalTuple> tuples;
-  tuples.reserve(2 * p.decisions.size() + p.transitions.size());
-  for (std::size_t id = 0; id < p.decisions.size(); ++id) {
-    const Decision& d = p.decisions[id];
+  tuples.reserve(tuples.size() + 2 * p.decisions.size());
+  for (std::size_t i = 0; i < p.decisions.size(); ++i) {
+    const Decision& d = p.decisions[i];
+    const std::uint64_t id = p.id_of(i);
     const bool bounced = d.outcome == Decision::Outcome::kRejected ||
                          d.outcome == Decision::Outcome::kEvicted;
     tuples.push_back({id, static_cast<std::uint8_t>(EventType::kAdmit),
@@ -276,15 +292,29 @@ std::vector<obs::CausalTuple> plan_causal_tuples(const Plan& p) {
                         static_cast<std::uint16_t>(d.outcome), 0});
     }
   }
+}
+
+void append_causal_transition_tuples(const Plan& p, std::size_t seq_offset,
+                                     std::vector<obs::CausalTuple>& tuples) {
+  using obs::EventType;
   for (std::size_t seq = 0; seq < p.transitions.size(); ++seq) {
     const ControlTransition& t = p.transitions[seq];
+    const std::uint64_t gseq = seq_offset + seq;
     if (t.kind == ControlTransition::Kind::kLadder)
-      tuples.push_back({seq, static_cast<std::uint8_t>(EventType::kLadder),
+      tuples.push_back({gseq, static_cast<std::uint8_t>(EventType::kLadder),
                         static_cast<std::uint16_t>(t.level), t.v_us});
     else
-      tuples.push_back({seq, static_cast<std::uint8_t>(EventType::kBreaker),
+      tuples.push_back({gseq, static_cast<std::uint8_t>(EventType::kBreaker),
                         1, t.v_us});
   }
+}
+
+namespace {
+
+std::vector<obs::CausalTuple> plan_causal_tuples(const Plan& p) {
+  std::vector<obs::CausalTuple> tuples;
+  append_causal_decision_tuples(p, tuples);
+  append_causal_transition_tuples(p, 0, tuples);
   return tuples;
 }
 

@@ -39,6 +39,7 @@
 // in-SLO success.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
@@ -92,6 +93,29 @@ struct SloPolicy {
   LadderPolicy ladder;
   RetryPolicy retry;
   BreakerPolicy breaker;
+  FaultConfig fault;
+};
+
+/// Deterministic replica routing (DESIGN.md §10). The routing function is
+/// pure in (seed, request id, policy, active-replica set): kRoundRobin
+/// striping or seeded hashing over the active replicas. Replica liveness
+/// comes from the PR 6 fault injector with the replica index as the fault
+/// id, so outages — and the reroute they force — are part of the plan, not
+/// a runtime race.
+struct RouterPolicy {
+  enum class Strategy : std::uint8_t { kRoundRobin = 0, kHash = 1 };
+  Strategy strategy = Strategy::kRoundRobin;
+  /// Autoscale floor: never activate fewer than this many replicas.
+  std::size_t min_replicas = 1;
+  /// Queue-depth autoscale target: the router activates the smallest
+  /// replica count whose planned per-replica max_virtual_depth stays at or
+  /// below this (and whose ladder never sheds). 0 disables autoscaling —
+  /// every alive replica stays active.
+  std::size_t scale_depth = 0;
+  /// Seed of the kHash routing stream (independent of the payload seed).
+  std::uint64_t seed = 1;
+  /// Replica-outage model: replica r is down when
+  /// FaultInjector(fault).in_outage(r). Disabled by default.
   FaultConfig fault;
 };
 
@@ -151,7 +175,12 @@ struct ControlTransition {
 };
 
 struct Plan {
-  std::vector<Decision> decisions;  // index = request id = trace index
+  std::vector<Decision> decisions;  // index = trace index
+  /// Global request id per trace index. Empty means id == index (the
+  /// single-replica case); the router passes each replica's sub-trace with
+  /// the original trace indices so fault streams, payload RNG forks, and
+  /// shed-set fingerprints stay keyed by the global id (DESIGN.md §10).
+  std::vector<std::uint64_t> request_ids;
   PlanCounters counters;
   /// Ladder level changes and breaker opens in virtual-time order;
   /// counters.ladder_transitions / breaker_opens are its per-kind sizes.
@@ -161,12 +190,26 @@ struct Plan {
   /// FNV-1a over the (id, outcome) pairs of every non-served request in id
   /// order — the shed-set fingerprint the determinism gates compare.
   std::uint64_t shed_set_hash = 0;
+
+  /// Global id of trace index i (identity when request_ids is empty).
+  std::uint64_t id_of(std::size_t i) const {
+    return request_ids.empty() ? i : request_ids[i];
+  }
 };
 
 /// Runs the virtual-time control-plane simulation. Pure: same
 /// (trace, slo, batch) always yields the identical plan.
 Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
           const BatchPolicy& batch);
+
+/// Same simulation over a sub-trace carrying global request ids (strictly
+/// ascending, one per arrival). Decisions stay indexed by sub-trace
+/// position, but every id-keyed effect — fault injection, the shed-set
+/// fingerprint, the causal oracle — uses the global id, so a replica's
+/// sub-plan composes with its siblings (DESIGN.md §10).
+Plan plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
+          const BatchPolicy& batch,
+          std::vector<std::uint64_t> request_ids);
 
 /// FNV-1a fingerprint of a shed set given as (id, outcome-code) pairs in
 /// ascending id order; shared by the planner and the runtime's
@@ -186,6 +229,16 @@ ShedReason shed_reason(Decision::Outcome outcome);
 /// did, which is what gives the trace gate independent teeth.
 std::uint64_t expected_causal_fingerprint(const Plan& p);
 std::size_t expected_causal_event_count(const Plan& p);
+
+/// Building blocks of the oracle above, exposed so the router can compose
+/// a fleet-wide fingerprint out of per-replica sub-plans (DESIGN.md §10):
+/// per-decision tuples are keyed by Plan::id_of, and each replica's
+/// control transitions are renumbered with a sequence offset so the
+/// fleet-wide transition log stays collision-free.
+void append_causal_decision_tuples(const Plan& p,
+                                   std::vector<obs::CausalTuple>& tuples);
+void append_causal_transition_tuples(const Plan& p, std::size_t seq_offset,
+                                     std::vector<obs::CausalTuple>& tuples);
 
 /// Oracle for a legacy (non-SLO) run: every request is admitted and
 /// delivered at full fidelity, with no deadline, virtual clock, or

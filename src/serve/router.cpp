@@ -1,0 +1,516 @@
+#include "serve/router.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <thread>
+
+namespace gbo::serve {
+namespace {
+
+std::uint64_t us_since(const std::chrono::steady_clock::time_point& t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// Liveness under the outage model: replica r is down when the router's
+// fault injector places r inside its outage window. A fleet with every
+// replica down cannot route at all; replica 0 is kept up with a warning so
+// the plan stays total (the SLO ladder still sheds what one replica cannot
+// absorb).
+std::vector<std::uint8_t> alive_mask(const RouterPolicy& router,
+                                     std::size_t n) {
+  std::vector<std::uint8_t> alive(n, 1);
+  const FaultInjector injector(router.fault);
+  bool any = false;
+  for (std::size_t r = 0; r < n; ++r) {
+    alive[r] = injector.in_outage(r) ? 0 : 1;
+    any = any || alive[r] != 0;
+  }
+  if (!any) {
+    log_warn("serve: router outage model downs every replica; keeping "
+             "replica 0 up");
+    alive[0] = 1;
+  }
+  return alive;
+}
+
+// The transition sequence offset of replica r in the fleet-wide causal
+// trace: transitions are renumbered replica-major so two replicas' ladder
+// logs cannot collide on (seq, level, v_us).
+std::vector<std::size_t> transition_offsets(const RouterPlan& rp) {
+  std::vector<std::size_t> off(rp.per_replica.size() + 1, 0);
+  for (std::size_t r = 0; r < rp.per_replica.size(); ++r)
+    off[r + 1] = off[r] + rp.per_replica[r].transitions.size();
+  return off;
+}
+
+const data::Dataset& checked_group_dataset(const ServerSpec& spec) {
+  ServerSpec::Validation v = spec.validate();
+  if (!spec.config_ref().slo.enabled)
+    v.errors.push_back(
+        "ReplicaGroup requires the SLO control plane (cfg.slo.enabled): "
+        "routing decisions live on the virtual clock");
+  if (spec.num_replicas() > 255)
+    v.errors.push_back("replicas > 255 (assignment is a byte per request)");
+  if (!v.ok()) {
+    std::string msg = "serve: invalid ServerSpec:";
+    for (const std::string& e : v.errors) msg += " [" + e + "]";
+    throw std::invalid_argument(msg);
+  }
+  for (const std::string& w : v.warnings) log_warn("serve: ", w);
+  return *spec.dataset_ref();
+}
+
+}  // namespace
+
+std::uint8_t route_replica(const RouterPolicy& router, std::uint64_t id,
+                           const std::vector<std::uint8_t>& active) {
+  const std::size_t k = active.size();
+  if (router.strategy == RouterPolicy::Strategy::kRoundRobin)
+    return active[static_cast<std::size_t>(id % k)];
+  // Seeded hash routing on the counter-fork contract (DESIGN.md §3): the
+  // stream depends only on (router seed, request id), never on arrival
+  // order or the worker observing it.
+  Rng h = Rng(router.seed).fork(id);
+  return active[static_cast<std::size_t>(h() % k)];
+}
+
+RouterPlan route_plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
+                      const BatchPolicy& batch, const RouterPolicy& router,
+                      std::size_t replicas) {
+  RouterPlan rp;
+  rp.total_replicas = std::max<std::size_t>(1, replicas);
+  rp.alive = alive_mask(router, rp.total_replicas);
+
+  std::vector<std::uint8_t> alive_list;
+  for (std::size_t r = 0; r < rp.total_replicas; ++r)
+    if (rp.alive[r] != 0) alive_list.push_back(static_cast<std::uint8_t>(r));
+  const std::size_t n_alive = alive_list.size();
+  const std::size_t min_k =
+      std::min(std::max<std::size_t>(1, router.min_replicas), n_alive);
+
+  // Queue-depth autoscaling off the planner's own metrics: activate the
+  // smallest replica count whose planned per-replica max_virtual_depth
+  // stays within scale_depth and whose ladder never reaches the shed
+  // level. scale_depth == 0 disables scaling (all alive replicas active).
+  // Candidates grow the active set as a prefix of the alive list, so the
+  // chosen assignment is reproducible from (trace, policy) alone.
+  for (std::size_t k = router.scale_depth == 0 ? n_alive : min_k;; ++k) {
+    rp.active.assign(alive_list.begin(),
+                     alive_list.begin() + static_cast<std::ptrdiff_t>(k));
+    rp.active_replicas = k;
+
+    rp.assignment.resize(trace.size());
+    std::vector<std::vector<Arrival>> sub(rp.total_replicas);
+    std::vector<std::vector<std::uint64_t>> ids(rp.total_replicas);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const std::uint8_t r = route_replica(router, i, rp.active);
+      rp.assignment[i] = r;
+      sub[r].push_back(trace[i]);
+      ids[r].push_back(i);
+    }
+    rp.per_replica.clear();
+    rp.per_replica.reserve(rp.total_replicas);
+    bool fits = true;
+    for (std::size_t r = 0; r < rp.total_replicas; ++r) {
+      rp.per_replica.push_back(plan(sub[r], slo, batch, std::move(ids[r])));
+      const PlanCounters& c = rp.per_replica.back().counters;
+      fits = fits && c.max_virtual_depth <= router.scale_depth &&
+             c.max_ladder_level < 2;
+    }
+    if (router.scale_depth == 0 || fits || k == n_alive) break;
+  }
+
+  // Merge the per-replica ledgers back into global-id order.
+  rp.decisions.resize(trace.size());
+  rp.counters = PlanCounters{};
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> routing, shed_set;
+  routing.reserve(trace.size());
+  for (std::size_t r = 0; r < rp.per_replica.size(); ++r) {
+    const Plan& p = rp.per_replica[r];
+    for (std::size_t j = 0; j < p.decisions.size(); ++j)
+      rp.decisions[p.id_of(j)] = p.decisions[j];
+    const PlanCounters& c = p.counters;
+    rp.counters.served += c.served;
+    rp.counters.served_primary += c.served_primary;
+    rp.counters.degraded_ladder += c.degraded_ladder;
+    rp.counters.degraded_breaker += c.degraded_breaker;
+    rp.counters.degraded_fallback += c.degraded_fallback;
+    rp.counters.shed_expired += c.shed_expired;
+    rp.counters.shed_overload += c.shed_overload;
+    rp.counters.rejected += c.rejected;
+    rp.counters.evicted += c.evicted;
+    rp.counters.retried_requests += c.retried_requests;
+    rp.counters.faults_injected += c.faults_injected;
+    rp.counters.late += c.late;
+    rp.counters.breaker_opens += c.breaker_opens;
+    rp.counters.ladder_transitions += c.ladder_transitions;
+    rp.counters.virtual_batches += c.virtual_batches;
+    rp.counters.final_ladder_level =
+        std::max(rp.counters.final_ladder_level, c.final_ladder_level);
+    rp.counters.max_ladder_level =
+        std::max(rp.counters.max_ladder_level, c.max_ladder_level);
+    rp.counters.max_virtual_depth =
+        std::max(rp.counters.max_virtual_depth, c.max_virtual_depth);
+  }
+  std::vector<std::uint64_t> vlat;
+  std::array<std::vector<std::uint64_t>, kNumPriorities> by_pri;
+  vlat.reserve(rp.counters.served);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    routing.emplace_back(i, rp.assignment[i]);
+    const Decision& d = rp.decisions[i];
+    if (d.served()) {
+      const std::uint64_t lat = d.v_done_us - trace[i].t_us;
+      vlat.push_back(lat);
+      by_pri[static_cast<std::size_t>(d.priority)].push_back(lat);
+    } else {
+      shed_set.emplace_back(i, static_cast<std::uint8_t>(d.outcome));
+    }
+  }
+  rp.virtual_latency = LatencyStats::compute(std::move(vlat));
+  for (std::size_t k = 0; k < kNumPriorities; ++k)
+    rp.virtual_by_priority[k] = LatencyStats::compute(std::move(by_pri[k]));
+  rp.routing_hash = shed_set_fingerprint(routing);
+  rp.shed_set_hash = shed_set_fingerprint(shed_set);
+  return rp;
+}
+
+namespace {
+
+std::vector<obs::CausalTuple> router_causal_tuples(const RouterPlan& rp) {
+  using obs::EventType;
+  std::vector<obs::CausalTuple> tuples;
+  tuples.reserve(3 * rp.assignment.size());
+  for (std::size_t i = 0; i < rp.assignment.size(); ++i)
+    tuples.push_back({i, static_cast<std::uint8_t>(EventType::kRoute),
+                      rp.assignment[i], rp.active_replicas});
+  const std::vector<std::size_t> off = transition_offsets(rp);
+  for (std::size_t r = 0; r < rp.per_replica.size(); ++r) {
+    append_causal_decision_tuples(rp.per_replica[r], tuples);
+    append_causal_transition_tuples(rp.per_replica[r], off[r], tuples);
+  }
+  return tuples;
+}
+
+}  // namespace
+
+std::uint64_t expected_causal_fingerprint(const RouterPlan& rp) {
+  return obs::fingerprint_tuples(router_causal_tuples(rp));
+}
+
+std::size_t expected_causal_event_count(const RouterPlan& rp) {
+  return router_causal_tuples(rp).size();
+}
+
+ReplicaGroup::ReplicaGroup(const ServerSpec& spec)
+    : dataset_(checked_group_dataset(spec)),
+      cfg_(spec.normalized_config()),
+      router_(spec.router_policy()) {
+  const std::size_t n = spec.normalized_replicas();
+  replicas_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ServerSpec one;
+    one.primary(*spec.primary_backend()).dataset(dataset_).config(cfg_);
+    if (spec.degraded_backend() != nullptr)
+      one.degraded(*spec.degraded_backend());
+    replicas_.push_back(std::make_unique<InferenceServer>(one));
+  }
+}
+
+void ReplicaGroup::warmup() {
+  for (auto& s : replicas_) s->warmup();
+}
+
+RouterPlan ReplicaGroup::plan_trace(const std::vector<Arrival>& trace) const {
+  return route_plan(trace, cfg_.slo, cfg_.batch, router_, replicas_.size());
+}
+
+RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
+  RouterReport rep;
+  rep.total_replicas = replicas_.size();
+  rep.serve.workers = replicas_.size() * cfg_.num_workers;
+  if (trace.empty()) {
+    log_warn("serve: empty request trace, nothing to route");
+    return rep;
+  }
+  if (dataset_.size() == 0) {
+    log_warn("serve: empty dataset, nothing to route");
+    return rep;
+  }
+  warmup();
+
+  // The full fleet ledger — routing, autoscale, every per-replica control
+  // decision — is fixed here on the virtual clock; the replay executes it.
+  const RouterPlan rp = plan_trace(trace);
+  rep.active_replicas = rp.active_replicas;
+  rep.routing_hash = rp.routing_hash;
+  const FaultInjector injector(cfg_.slo.fault);
+
+  const std::size_t R = replicas_.size();
+  const std::size_t W = cfg_.num_workers;
+  std::vector<std::vector<std::size_t>> allocs_before(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (auto& wp : replicas_[r]->workers_) {
+      allocs_before[r].push_back(wp->arena.stats().system_allocs);
+      wp->batch_hist.clear();
+      wp->served = 0;
+      wp->exec_calls = 0;
+      wp->primary_group.clear();
+      wp->primary_group.reserve(cfg_.batch.max_batch);
+      wp->degraded_group.clear();
+      wp->degraded_group.reserve(cfg_.batch.max_batch);
+      wp->shed_log.clear();
+      wp->retried = wp->faults = wp->fallbacks = wp->degraded = wp->stalls = 0;
+    }
+  }
+  ServeReport& srep = rep.serve;
+  const FusionMode mode = replicas_[0]->mode_;
+  srep.fusion = mode == FusionMode::kFused
+                    ? "fused"
+                    : mode == FusionMode::kFusedPerSample ? "fused_per_sample"
+                                                          : "per_request";
+
+  const std::size_t num_requests = trace.size();
+  srep.requests = num_requests;
+  srep.outputs = Tensor({num_requests, replicas_[0]->out_dim_});
+  std::vector<std::uint64_t> enqueue(num_requests, 0);
+  std::vector<std::uint64_t> completion(num_requests, 0);
+  float* const out_rows = srep.outputs.data();
+  std::uint64_t* const completion_us = completion.data();
+
+  // One queue per replica; replicas admit only what the plan routed to
+  // them. Unbounded like run_slo's: admission was decided on the virtual
+  // clock, re-racing a wall-clock bound against the plan could diverge.
+  std::vector<std::unique_ptr<RequestQueue>> queues;
+  queues.reserve(R);
+  for (std::size_t r = 0; r < R; ++r)
+    queues.push_back(std::make_unique<RequestQueue>());
+  // Planned admission bounces, logged by the producer per target replica.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint8_t>>>
+      admission_shed(R);
+  const std::vector<std::size_t> seq_off = transition_offsets(rp);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // One flat dispatch: block 0 is the producer, block 1 + r*W + w is
+  // worker w of replica r. The pool claims blocks in order (producer
+  // first) and must not nest — a nested parallel_for would run inline on
+  // the caller — so the fleet shares a single worker-pool dispatch.
+  ThreadPool::instance().parallel_for(
+      0, 1 + R * W, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t block = lo; block < hi; ++block) {
+          obs::prime();
+          if (block == 0) {
+            // Replay each replica's control-plane trajectory with
+            // replica-major renumbered sequence ids (the fleet oracle
+            // composes the same way).
+            for (std::size_t r = 0; r < R; ++r) {
+              const Plan& p = rp.per_replica[r];
+              for (std::size_t seq = 0; seq < p.transitions.size(); ++seq) {
+                const ControlTransition& t = p.transitions[seq];
+                if (t.kind == ControlTransition::Kind::kLadder)
+                  GBO_TRACE_EVENT(obs::EventType::kLadder, seq_off[r] + seq,
+                                  static_cast<std::uint16_t>(t.level),
+                                  t.v_us);
+                else
+                  GBO_TRACE_EVENT(obs::EventType::kBreaker, seq_off[r] + seq,
+                                  1, t.v_us);
+              }
+            }
+            for (std::size_t i = 0; i < num_requests; ++i) {
+              std::this_thread::sleep_until(
+                  t0 + std::chrono::microseconds(trace[i].t_us));
+              const std::uint8_t target = rp.assignment[i];
+              GBO_TRACE_EVENT(obs::EventType::kRoute, i, target,
+                              rp.active_replicas);
+              const Decision& d = rp.decisions[i];
+              if (d.outcome == Decision::Outcome::kRejected ||
+                  d.outcome == Decision::Outcome::kEvicted) {
+                admission_shed[target].emplace_back(
+                    i, static_cast<std::uint8_t>(d.outcome));
+                GBO_TRACE_EVENT(obs::EventType::kAdmit, i,
+                                static_cast<std::uint16_t>(d.outcome),
+                                d.deadline_us);
+                continue;
+              }
+              GBO_TRACE_EVENT(obs::EventType::kAdmit, i, 0, d.deadline_us);
+              Request q;
+              q.id = i;
+              q.sample = trace[i].sample;
+              q.priority = trace[i].priority;
+              q.deadline_us = d.deadline_us;
+              q.mode = d.mode;
+              q.shed = d.shed();
+              q.reason = shed_reason(d.outcome);
+              q.enqueue_us = us_since(t0);
+              enqueue[i] = q.enqueue_us;
+              queues[target]->push(q);
+            }
+            for (auto& q : queues) q->close();
+          } else {
+            const std::size_t r = (block - 1) / W;
+            const std::size_t w = (block - 1) % W;
+            InferenceServer& srv = *replicas_[r];
+            srv.drain_queue_slo(*srv.workers_[w], *queues[r], out_rows,
+                                completion_us, t0, injector, rp.decisions);
+          }
+        }
+      });
+
+  srep.wall_s = static_cast<double>(us_since(t0)) * 1e-6;
+
+  srep.latencies_us.assign(num_requests, 0);
+  std::vector<std::uint64_t> delivered;
+  std::array<std::vector<std::uint64_t>, kNumPriorities> by_pri;
+  delivered.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    if (completion[i] == 0) continue;
+    const std::uint64_t lat = completion[i] - enqueue[i];
+    srep.latencies_us[i] = lat;
+    delivered.push_back(lat);
+    by_pri[static_cast<std::size_t>(trace[i].priority)].push_back(lat);
+  }
+  srep.latency = LatencyStats::compute(std::move(delivered));
+
+  // Per-replica exec accounting: admission bounces (attributed to the
+  // routed replica) + every worker's pop-time shed log, fingerprinted in
+  // the planner's encoding. The gates demand each replica's hash equals
+  // its sub-plan's — scale-out must not smear the §7 contract.
+  std::size_t batches = 0;
+  SloSummary& s = srep.slo;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> exec_shed_all;
+  double depth_weighted = 0.0;
+  rep.replicas.resize(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    ReplicaStats& rs = rep.replicas[r];
+    rs.alive = rp.alive[r] != 0;
+    rs.active = std::find(rp.active.begin(), rp.active.end(),
+                          static_cast<std::uint8_t>(r)) != rp.active.end();
+    rs.assigned = rp.per_replica[r].decisions.size();
+    rs.plan_shed_set_hash = rp.per_replica[r].shed_set_hash;
+    rs.max_virtual_depth = rp.per_replica[r].counters.max_virtual_depth;
+    rs.max_ladder_level = rp.per_replica[r].counters.max_ladder_level;
+    // Fleet queue stats: sums with max_depth maxed; mean_depth is the
+    // push-weighted mean of the per-replica means.
+    const RequestQueue::DepthStats qs = queues[r]->depth_stats();
+    srep.queue.pushes += qs.pushes;
+    srep.queue.max_depth = std::max(srep.queue.max_depth, qs.max_depth);
+    srep.queue.rejected += qs.rejected;
+    srep.queue.evicted += qs.evicted;
+    srep.queue.sheds += qs.sheds;
+    depth_weighted += qs.mean_depth * static_cast<double>(qs.pushes);
+
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> exec_shed =
+        std::move(admission_shed[r]);
+    for (std::size_t wi = 0; wi < replicas_[r]->workers_.size(); ++wi) {
+      InferenceServer::Worker& w = *replicas_[r]->workers_[wi];
+      rs.delivered += w.served;
+      srep.completed += w.served;
+      srep.exec_calls += w.exec_calls;
+      if (srep.batch_hist.size() < w.batch_hist.size())
+        srep.batch_hist.resize(w.batch_hist.size(), 0);
+      for (std::size_t b = 0; b < w.batch_hist.size(); ++b) {
+        srep.batch_hist[b] += w.batch_hist[b];
+        batches += w.batch_hist[b];
+      }
+      exec_shed.insert(exec_shed.end(), w.shed_log.begin(), w.shed_log.end());
+      s.exec_retried += w.retried;
+      s.exec_faults += w.faults;
+      s.exec_fallbacks += w.fallbacks;
+      s.exec_degraded += w.degraded;
+      s.exec_stalls += w.stalls;
+      const ScratchArena::Stats st = w.arena.stats();
+      srep.arena.system_allocs += st.system_allocs;
+      srep.arena.steady_allocs += st.system_allocs - allocs_before[r][wi];
+      rs.steady_allocs += st.system_allocs - allocs_before[r][wi];
+      srep.arena.high_water_bytes =
+          std::max(srep.arena.high_water_bytes, st.bump_high_water_bytes);
+      srep.arena.reserved_bytes += st.reserved_bytes;
+    }
+    std::sort(exec_shed.begin(), exec_shed.end());
+    rs.shed = exec_shed.size();
+    rs.exec_shed_set_hash = shed_set_fingerprint(exec_shed);
+    exec_shed_all.insert(exec_shed_all.end(), exec_shed.begin(),
+                         exec_shed.end());
+  }
+  srep.queue.mean_depth =
+      srep.queue.pushes == 0
+          ? 0.0
+          : depth_weighted / static_cast<double>(srep.queue.pushes);
+  srep.mean_batch = batches == 0 ? 0.0
+                                 : static_cast<double>(srep.completed) /
+                                       static_cast<double>(batches);
+  srep.mean_exec_batch = srep.exec_calls == 0
+                             ? 0.0
+                             : static_cast<double>(srep.completed) /
+                                   static_cast<double>(srep.exec_calls);
+  srep.throughput_rps = srep.wall_s > 0.0
+                            ? static_cast<double>(srep.completed) / srep.wall_s
+                            : 0.0;
+
+  std::sort(exec_shed_all.begin(), exec_shed_all.end());
+  const PlanCounters& c = rp.counters;
+  s.enabled = true;
+  s.admitted = num_requests - c.rejected;
+  s.served = c.served;
+  s.served_primary = c.served_primary;
+  s.degraded_ladder = c.degraded_ladder;
+  s.degraded_breaker = c.degraded_breaker;
+  s.degraded_fallback = c.degraded_fallback;
+  s.shed_expired = c.shed_expired;
+  s.shed_overload = c.shed_overload;
+  s.rejected_capacity = c.rejected;
+  s.evicted = c.evicted;
+  s.retried_requests = c.retried_requests;
+  s.faults_injected = c.faults_injected;
+  s.late_virtual = c.late;
+  s.breaker_opens = c.breaker_opens;
+  s.ladder_transitions = c.ladder_transitions;
+  s.final_ladder_level = c.final_ladder_level;
+  s.max_ladder_level = c.max_ladder_level;
+  s.max_virtual_depth = c.max_virtual_depth;
+  s.deadline_us = cfg_.slo.deadline_us;
+  s.shed_set_hash = rp.shed_set_hash;
+  s.virtual_latency = rp.virtual_latency;
+  s.virtual_by_priority = rp.virtual_by_priority;
+  s.exec_delivered = srep.completed;
+  s.exec_shed = exec_shed_all.size();
+  s.exec_shed_set_hash = shed_set_fingerprint(exec_shed_all);
+  for (std::size_t k = 0; k < kNumPriorities; ++k)
+    s.real_by_priority[k] = LatencyStats::compute(std::move(by_pri[k]));
+  return rep;
+}
+
+Json RouterReport::to_json() const {
+  Json j = Json::object();
+  j.set("total_replicas", total_replicas);
+  j.set("active_replicas", active_replicas);
+  j.set("routing_hash", hex64(routing_hash));
+  Json reps = Json::array();
+  for (const ReplicaStats& r : replicas) {
+    Json jr = Json::object();
+    jr.set("alive", r.alive);
+    jr.set("active", r.active);
+    jr.set("assigned", r.assigned);
+    jr.set("delivered", r.delivered);
+    jr.set("shed", r.shed);
+    jr.set("plan_shed_set_hash", hex64(r.plan_shed_set_hash));
+    jr.set("exec_shed_set_hash", hex64(r.exec_shed_set_hash));
+    jr.set("max_virtual_depth", r.max_virtual_depth);
+    jr.set("max_ladder_level", r.max_ladder_level);
+    jr.set("steady_allocs", r.steady_allocs);
+    reps.push_back(jr);
+  }
+  j.set("replicas", reps);
+  j.set("serve", serve.to_json());
+  return j;
+}
+
+}  // namespace gbo::serve

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace gbo::serve {
@@ -39,19 +41,62 @@ std::uint8_t reason_code(ShedReason r) {
   return outcome_code(Decision::Outcome::kServed);
 }
 
+// Runs the one-pass validation, throws on errors (all of them, not just the
+// first), logs every clamp warning, and hands back the primary backend so
+// the constructor's reference members can initialize. `single_replica`
+// additionally rejects multi-replica specs — ReplicaGroup (serve/router.cpp)
+// is the only consumer allowed to build those.
+const Backend& checked_primary(const ServerSpec& spec, bool single_replica) {
+  ServerSpec::Validation v = spec.validate();
+  if (single_replica && spec.normalized_replicas() > 1)
+    v.errors.push_back(
+        "replicas > 1 requires ReplicaGroup, not InferenceServer");
+  if (!v.ok()) {
+    std::string msg = "serve: invalid ServerSpec:";
+    for (const std::string& e : v.errors) msg += " [" + e + "]";
+    throw std::invalid_argument(msg);
+  }
+  for (const std::string& w : v.warnings) log_warn("serve: ", w);
+  return *spec.primary_backend();
+}
+
 }  // namespace
 
-InferenceServer::InferenceServer(const Backend& backend,
-                                 const data::Dataset& dataset, ServeConfig cfg)
-    : backend_(backend), dataset_(dataset), cfg_(cfg), root_(cfg.seed) {
-  if (cfg_.num_workers == 0) {
-    log_warn("serve: num_workers == 0, clamping to 1");
-    cfg_.num_workers = 1;
-  }
-  if (cfg_.batch.max_batch == 0) {
-    log_warn("serve: max_batch == 0, clamping to 1");
-    cfg_.batch.max_batch = 1;
-  }
+ServerSpec::Validation ServerSpec::validate() const {
+  Validation v;
+  if (primary_ == nullptr) v.errors.push_back("no primary backend set");
+  if (dataset_ == nullptr) v.errors.push_back("no dataset set");
+  if (cfg_.num_workers == 0)
+    v.warnings.push_back("num_workers == 0, clamping to 1");
+  if (cfg_.batch.max_batch == 0)
+    v.warnings.push_back("max_batch == 0, clamping to 1");
+  if (replicas_ == 0) v.warnings.push_back("replicas == 0, clamping to 1");
+  if (replicas_ > 1 && !cfg_.slo.enabled)
+    v.errors.push_back(
+        "replicas > 1 requires the SLO control plane (cfg.slo.enabled): "
+        "routing decisions live on the virtual clock");
+  if (router_.min_replicas > replicas_ && replicas_ > 0)
+    v.warnings.push_back("router.min_replicas exceeds replicas, clamping");
+  return v;
+}
+
+ServeConfig ServerSpec::normalized_config() const {
+  ServeConfig cfg = cfg_;
+  if (cfg.num_workers == 0) cfg.num_workers = 1;
+  if (cfg.batch.max_batch == 0) cfg.batch.max_batch = 1;
+  return cfg;
+}
+
+std::size_t ServerSpec::normalized_replicas() const {
+  return replicas_ == 0 ? 1 : replicas_;
+}
+
+InferenceServer::InferenceServer(const ServerSpec& spec)
+    : backend_(checked_primary(spec, /*single_replica=*/true)),
+      degraded_(spec.degraded_backend()),
+      dataset_(*spec.dataset_ref()),
+      cfg_(spec.normalized_config()),
+      root_(cfg_.seed) {
   workers_.reserve(cfg_.num_workers);
   for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
     auto w = std::make_unique<Worker>();
@@ -61,11 +106,18 @@ InferenceServer::InferenceServer(const Backend& backend,
 }
 
 InferenceServer::InferenceServer(const Backend& backend,
+                                 const data::Dataset& dataset, ServeConfig cfg)
+    : InferenceServer(
+          ServerSpec{}.primary(backend).dataset(dataset).config(cfg)) {}
+
+InferenceServer::InferenceServer(const Backend& backend,
                                  const Backend& degraded,
                                  const data::Dataset& dataset, ServeConfig cfg)
-    : InferenceServer(backend, dataset, cfg) {
-  degraded_ = &degraded;
-}
+    : InferenceServer(ServerSpec{}
+                          .primary(backend)
+                          .degraded(degraded)
+                          .dataset(dataset)
+                          .config(cfg)) {}
 
 void InferenceServer::warmup_backend(const Backend& backend, FusionMode mode) {
   const std::size_t len = dataset_.sample_numel();
@@ -202,7 +254,8 @@ void InferenceServer::process_batch_slo(
     Worker& w, const std::vector<Request>& batch, float* out_rows,
     std::uint64_t* completion_us,
     const std::chrono::steady_clock::time_point& t0,
-    const FaultInjector& injector, [[maybe_unused]] const Plan& plan) {
+    const FaultInjector& injector,
+    [[maybe_unused]] const std::vector<Decision>& decisions) {
   const RetryPolicy& retry = cfg_.slo.retry;
   [[maybe_unused]] const std::uint64_t seq =
       batch_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -266,11 +319,28 @@ void InferenceServer::process_batch_slo(
     completion_us[r.id] = done;
     GBO_TRACE_EVENT(obs::EventType::kDeliver, r.id,
                     static_cast<std::uint16_t>(r.mode),
-                    plan.decisions[r.id].v_done_us);
+                    decisions[r.id].v_done_us);
   }
   if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
   ++w.batch_hist[batch.size()];
   w.served += batch.size();
+}
+
+void InferenceServer::drain_queue_slo(
+    Worker& w, RequestQueue& queue, float* out_rows,
+    std::uint64_t* completion_us,
+    const std::chrono::steady_clock::time_point& t0,
+    const FaultInjector& injector, const std::vector<Decision>& decisions) {
+  std::vector<Request> batch, shed;
+  while (queue.pop_batch(cfg_.batch, batch, &shed)) {
+    for (const Request& s : shed) {
+      w.shed_log.emplace_back(s.id, reason_code(s.reason));
+      GBO_TRACE_EVENT(obs::EventType::kShed, s.id, reason_code(s.reason), 0);
+    }
+    if (!batch.empty())
+      process_batch_slo(w, batch, out_rows, completion_us, t0, injector,
+                        decisions);
+  }
 }
 
 ServeReport InferenceServer::run(const std::vector<Arrival>& trace) {
@@ -482,18 +552,8 @@ ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
             }
             queue.close();
           } else {
-            Worker& w = *workers_[block - 1];
-            std::vector<Request> batch, shed;
-            while (queue.pop_batch(cfg_.batch, batch, &shed)) {
-              for (const Request& s : shed) {
-                w.shed_log.emplace_back(s.id, reason_code(s.reason));
-                GBO_TRACE_EVENT(obs::EventType::kShed, s.id,
-                                reason_code(s.reason), 0);
-              }
-              if (!batch.empty())
-                process_batch_slo(w, batch, out_rows, completion_us, t0,
-                                  injector, p);
-            }
+            drain_queue_slo(*workers_[block - 1], queue, out_rows,
+                            completion_us, t0, injector, p.decisions);
           }
         }
       });

@@ -44,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace gbo::serve {
@@ -58,20 +59,76 @@ struct ServeConfig {
   SloPolicy slo;
 };
 
+/// The one way to describe a server: a fluent builder over the backends,
+/// dataset, config, and replica topology. Both the single-replica
+/// InferenceServer and the multi-replica ReplicaGroup (serve/router.hpp)
+/// construct from the same spec, so there is exactly one validation and
+/// normalization path instead of one per constructor overload.
+///
+///   ServerSpec{}.primary(b).degraded(d).dataset(ds).config(cfg).replicas(4)
+///
+/// Referenced backends and the dataset must outlive whatever is built from
+/// the spec; the spec itself only borrows them.
+class ServerSpec {
+ public:
+  ServerSpec& primary(const Backend& b) { primary_ = &b; return *this; }
+  ServerSpec& degraded(const Backend& b) { degraded_ = &b; return *this; }
+  ServerSpec& dataset(const data::Dataset& ds) { dataset_ = &ds; return *this; }
+  ServerSpec& config(const ServeConfig& cfg) { cfg_ = cfg; return *this; }
+  ServerSpec& replicas(std::size_t n) { replicas_ = n; return *this; }
+  ServerSpec& router(const RouterPolicy& rp) { router_ = rp; return *this; }
+
+  /// Everything wrong with the spec, reported in one pass: errors make the
+  /// spec unbuildable (constructors throw std::invalid_argument listing all
+  /// of them); warnings describe the clamps normalized_config() applies
+  /// (num_workers == 0 -> 1, max_batch == 0 -> 1, replicas == 0 -> 1).
+  /// Replaces the old constructors' scattered first-wins clamp logging.
+  struct Validation {
+    std::vector<std::string> errors;
+    std::vector<std::string> warnings;
+    bool ok() const { return errors.empty(); }
+  };
+  Validation validate() const;
+
+  /// The config with every validate() clamp applied.
+  ServeConfig normalized_config() const;
+  /// The replica count with every validate() clamp applied.
+  std::size_t normalized_replicas() const;
+
+  const Backend* primary_backend() const { return primary_; }
+  const Backend* degraded_backend() const { return degraded_; }
+  const data::Dataset* dataset_ref() const { return dataset_; }
+  const ServeConfig& config_ref() const { return cfg_; }
+  std::size_t num_replicas() const { return replicas_; }
+  const RouterPolicy& router_policy() const { return router_; }
+
+ private:
+  const Backend* primary_ = nullptr;
+  const Backend* degraded_ = nullptr;
+  const data::Dataset* dataset_ = nullptr;
+  ServeConfig cfg_;
+  std::size_t replicas_ = 1;
+  RouterPolicy router_;
+};
+
+class ReplicaGroup;
+
 class InferenceServer {
  public:
-  /// The backend and dataset must outlive the server. Degenerate config
-  /// values (num_workers == 0, max_batch == 0) are clamped to 1 with a
-  /// logged warning.
+  /// Canonical constructor. The spec must validate() clean and describe a
+  /// single replica (ReplicaGroup is the multi-replica entry point);
+  /// otherwise std::invalid_argument lists every problem at once.
+  explicit InferenceServer(const ServerSpec& spec);
+
+  /// Deprecated shim for the pre-ServerSpec signature; forwards to the
+  /// spec constructor. Prefer ServerSpec{}.primary(b).dataset(ds).config(c).
   InferenceServer(const Backend& backend, const data::Dataset& dataset,
                   ServeConfig cfg);
 
-  /// SLO-run constructor: `degraded` is the fidelity-ladder fallback
-  /// backend (e.g. the analytic model standing in for pulse-level
-  /// hardware). It must produce the same output dimension as the primary;
-  /// on mismatch the server logs and serves degraded requests on the
-  /// primary instead. Both backends and the dataset must outlive the
-  /// server.
+  /// Deprecated shim for the pre-ServerSpec SLO signature (`degraded` is
+  /// the fidelity-ladder fallback backend; on output-dim mismatch the
+  /// server logs and serves degraded requests on the primary instead).
+  /// Prefer ServerSpec{}.primary(b).degraded(d).dataset(ds).config(c).
   InferenceServer(const Backend& backend, const Backend& degraded,
                   const data::Dataset& dataset, ServeConfig cfg);
 
@@ -129,13 +186,25 @@ class InferenceServer {
                      const std::chrono::steady_clock::time_point& t0);
   /// SLO-route variant: injects stalls/retry backoff, splits the popped
   /// batch by planned ServeMode between the primary and degraded backends.
-  /// `plan` supplies each delivery's virtual completion time for the causal
-  /// trace (DESIGN.md §9).
+  /// `decisions` is indexed by global request id and supplies each
+  /// delivery's virtual completion time for the causal trace (DESIGN.md
+  /// §9) — for a router run it is the fleet-wide merged ledger.
   void process_batch_slo(Worker& w, const std::vector<Request>& batch,
                          float* out_rows, std::uint64_t* completion_us,
                          const std::chrono::steady_clock::time_point& t0,
-                         const FaultInjector& injector, const Plan& plan);
+                         const FaultInjector& injector,
+                         const std::vector<Decision>& decisions);
+  /// One worker's SLO drain loop: pops until `queue` closes, diverting
+  /// pre-marked sheds into the worker's shed log. Shared by run_slo and
+  /// the router's per-replica worker blocks (serve/router.cpp).
+  void drain_queue_slo(Worker& w, RequestQueue& queue, float* out_rows,
+                       std::uint64_t* completion_us,
+                       const std::chrono::steady_clock::time_point& t0,
+                       const FaultInjector& injector,
+                       const std::vector<Decision>& decisions);
   ServeReport run_slo(const std::vector<Arrival>& trace);
+
+  friend class ReplicaGroup;  // drives warmup/drain across its replicas
 
   const Backend& backend_;
   const Backend* degraded_ = nullptr;  // SLO fallback; null = use primary

@@ -103,7 +103,8 @@ TEST(CausalFingerprint, IgnoresTimingFieldsAndTimingEvents) {
 TEST(CausalFingerprint, CausalTimingPartitionMatchesEventVocabulary) {
   using obs::EventType;
   for (auto t : {EventType::kAdmit, EventType::kShed, EventType::kRetry,
-                 EventType::kDeliver, EventType::kLadder, EventType::kBreaker})
+                 EventType::kDeliver, EventType::kLadder, EventType::kBreaker,
+                 EventType::kRoute})
     EXPECT_TRUE(obs::is_causal(t)) << obs::event_name(t);
   for (auto t : {EventType::kBatch, EventType::kBatchMember,
                  EventType::kQueuePop, EventType::kStall, EventType::kGemm,
@@ -260,14 +261,16 @@ TEST(TraceServe, LegacyRunFingerprintMatchesAcrossWorkersAndOracle) {
 
   ThreadPool::instance().set_num_threads(1);
   cfg.num_workers = 1;
-  serve::InferenceServer s1(backend, ds, cfg);
+  serve::InferenceServer s1(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   obs::begin_session();
   (void)s1.run(trace);
   const obs::TraceSnapshot snap1 = obs::end_session();
 
   ThreadPool::instance().set_num_threads(4);
   cfg.num_workers = 4;
-  serve::InferenceServer s4(backend, ds, cfg);
+  serve::InferenceServer s4(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   obs::begin_session();
   (void)s4.run(trace);
   const obs::TraceSnapshot snap4 = obs::end_session();
@@ -348,14 +351,22 @@ TEST(TraceServe, SloRunFingerprintMatchesPlanOracle) {
 
   ThreadPool::instance().set_num_threads(1);
   cfg.num_workers = 1;
-  serve::InferenceServer s1(pb, db, ds, cfg);
+  serve::InferenceServer s1(serve::ServerSpec{}
+                                .primary(pb)
+                                .degraded(db)
+                                .dataset(ds)
+                                .config(cfg));
   obs::begin_session();
   (void)s1.run(trace);
   const obs::TraceSnapshot snap1 = obs::end_session();
 
   ThreadPool::instance().set_num_threads(4);
   cfg.num_workers = 4;
-  serve::InferenceServer s4(pb, db, ds, cfg);
+  serve::InferenceServer s4(serve::ServerSpec{}
+                                .primary(pb)
+                                .degraded(db)
+                                .dataset(ds)
+                                .config(cfg));
   obs::begin_session();
   (void)s4.run(trace);
   const obs::TraceSnapshot snap4 = obs::end_session();
@@ -396,7 +407,8 @@ TEST(TraceServe, SteadyStateEmissionDoesNotMintRings) {
   cfg.seed = 17;
   cfg.num_workers = 4;
   ThreadPool::instance().set_num_threads(4);
-  serve::InferenceServer server(backend, ds, cfg);
+  serve::InferenceServer server(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   (void)server.run(trace);  // warm run mints every worker's ring
   const std::uint64_t rings0 = obs::ring_allocs();
   obs::begin_session();

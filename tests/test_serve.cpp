@@ -168,7 +168,8 @@ serve::ServeReport run_server(const serve::Backend& backend,
   cfg.batch.max_wait_us = 100;
   cfg.num_workers = workers;
   cfg.seed = kServeSeed;
-  serve::InferenceServer server(backend, ds, cfg);
+  serve::InferenceServer server(
+      serve::ServerSpec{}.primary(backend).dataset(ds).config(cfg));
   return server.run(trace);
 }
 
@@ -335,7 +336,8 @@ TEST(ServeRuntime, SteadyStateRunsDoNotGrowArenas) {
   cfg.batch.max_wait_us = 100;
   cfg.num_workers = 2;
   cfg.seed = kServeSeed;
-  serve::InferenceServer server(noisy, ds, cfg);
+  serve::InferenceServer server(
+      serve::ServerSpec{}.primary(noisy).dataset(ds).config(cfg));
   server.warmup();
   const auto warm = server.run(trace);
   const auto steady = server.run(trace);
@@ -358,7 +360,8 @@ TEST(ServeRuntime, DegenerateInputsReturnCleanly) {
   serve::ServeConfig cfg;
   cfg.num_workers = 0;   // clamped to 1 with a warning
   cfg.batch.max_batch = 0;  // clamped to 1 with a warning
-  serve::InferenceServer server(clean, ds, cfg);
+  serve::InferenceServer server(
+      serve::ServerSpec{}.primary(clean).dataset(ds).config(cfg));
   const auto empty = server.run({});
   EXPECT_EQ(empty.requests, 0u);
   EXPECT_EQ(empty.completed, 0u);
@@ -367,7 +370,8 @@ TEST(ServeRuntime, DegenerateInputsReturnCleanly) {
   EXPECT_EQ(tiny.completed, 5u);
 
   data::Dataset none;
-  serve::InferenceServer no_data(clean, none, cfg);
+  serve::InferenceServer no_data(
+      serve::ServerSpec{}.primary(clean).dataset(none).config(cfg));
   EXPECT_EQ(no_data.run(serve_trace(5, 8)).completed, 0u);
 }
 

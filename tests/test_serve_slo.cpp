@@ -546,11 +546,19 @@ TEST(ServeSloRuntime, ShedSetAndPayloadsAreBitwiseIdenticalAcrossWorkers) {
 
   ThreadPool::instance().set_num_threads(1);
   cfg.num_workers = 1;
-  serve::InferenceServer s1(pb, db, ds, cfg);
+  serve::InferenceServer s1(serve::ServerSpec{}
+                                .primary(pb)
+                                .degraded(db)
+                                .dataset(ds)
+                                .config(cfg));
   const auto rep1 = s1.run(trace);
   ThreadPool::instance().set_num_threads(4);
   cfg.num_workers = 4;
-  serve::InferenceServer s4(pb, db, ds, cfg);
+  serve::InferenceServer s4(serve::ServerSpec{}
+                                .primary(pb)
+                                .degraded(db)
+                                .dataset(ds)
+                                .config(cfg));
   const auto rep4 = s4.run(trace);
 
   // The tentpole contract: at fixed (seed, trace, policy) the shed set and
@@ -624,7 +632,8 @@ TEST(ServeSloRuntime, DisabledSloPreservesLegacyBehaviour) {
   cfg.num_workers = 2;
   cfg.seed = kServeSeed;
   // slo.enabled defaults to false: every request is served, no report slo.
-  serve::InferenceServer server(clean, ds, cfg);
+  serve::InferenceServer server(
+      serve::ServerSpec{}.primary(clean).dataset(ds).config(cfg));
   const auto rep = server.run(trace);
   EXPECT_EQ(rep.completed, trace.size());
   EXPECT_FALSE(rep.slo.enabled);

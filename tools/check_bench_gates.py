@@ -70,6 +70,30 @@ and, across ALL serve_slo files passed in one invocation (CI passes the
 shed-set fingerprints must be identical — the cross-pool half of the
 shed-set determinism contract.
 
+For BENCH_serve_router*.json files ("bench": "serve_router"), the
+multi-replica routing contract (DESIGN.md S10) is gated: the document's
+"sharded_mvm" section must show the column-sharded crossbar sweep bitwise
+equal to the unsharded one at both the engine and the deployed-network
+level, and every router scenario must satisfy
+
+    router_payload_match    payloads bitwise identical at 1 and N workers
+                            per replica
+    routing_deterministic   the runtime routing hash equals route_plan()'s
+    replica_sheds_match     every replica's executed shed set == its
+                            sub-plan's fingerprint
+    replica_zero_allocs     no replica arena grew during the measured run
+    fleet_shed_match        the fleet shed-set union == the plan's
+    no_lost_requests        every planned-served request was delivered
+    outage_rerouted         the downed replica received zero traffic
+    autoscale_bounded       the active count stayed within policy bounds
+    overload_exercised      the flash actually shed work fleet-wide
+
+plus per-replica structural checks (exec shed hash == plan shed hash,
+steady_allocs == 0), and — across ALL serve_router files in one
+invocation — identical routing hashes, fleet shed hashes, and per-replica
+shed fingerprints (the cross-pool half of the routing determinism
+contract).
+
 It also prints trajectory tables (markdown, suitable for
 $GITHUB_STEP_SUMMARY) so the perf and prepack numbers ride along without
 gating on them.
@@ -119,6 +143,23 @@ TRACE_GATES = [
 # Doc-level keys every serve/serve_slo artifact must record (what hardware
 # path actually ran), mirroring SECTION_REQUIRED_KEYS for gemm_binary.
 SERVE_REQUIRED_DOC_KEYS = ["binary_kernel", "cpu_features"]
+
+SERVE_ROUTER_GATES = [
+    "router_payload_match",
+    "routing_deterministic",
+    "replica_sheds_match",
+    "replica_zero_allocs",
+    "fleet_shed_match",
+    "no_lost_requests",
+    "outage_rerouted",
+    "autoscale_bounded",
+    "overload_exercised",
+]
+
+SHARDED_MVM_GATES = [
+    "engine_bitwise_sharded_vs_unsharded",
+    "network_bitwise_sharded_vs_unsharded",
+]
 
 SERVE_SLO_GATES = [
     "slo_payload_match",
@@ -273,6 +314,78 @@ def check_serve_slo(path, doc, fingerprints, trace_fingerprints):
     return failures
 
 
+def check_serve_router(path, doc, router_fingerprints, trace_fingerprints):
+    failures = check_serve_doc_keys(path, doc)
+    if doc.get("gates_ok") is not True:
+        failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
+    sharded = doc.get("sharded_mvm")
+    if not isinstance(sharded, dict):
+        failures.append(f"{path}: sharded_mvm section missing")
+    else:
+        for gate in SHARDED_MVM_GATES:
+            if sharded.get(gate) is not True:
+                failures.append(
+                    f"{path}: sharded_mvm.{gate} is {sharded.get(gate)!r}, "
+                    "expected true")
+    scenarios = serve_scenarios(doc)
+    if not scenarios:
+        failures.append(f"{path}: no serve_router scenarios found")
+    for name, node in scenarios:
+        for gate in SERVE_ROUTER_GATES:
+            if node.get(gate) is not True:
+                failures.append(
+                    f"{path}: {name}.{gate} is {node.get(gate)!r}, "
+                    "expected true")
+        replica_hashes = []
+        for i, rep in enumerate(node.get("replicas", [])):
+            plan_hash = rep.get("plan_shed_set_hash")
+            exec_hash = rep.get("exec_shed_set_hash")
+            if plan_hash is None or exec_hash is None:
+                failures.append(
+                    f"{path}: {name}.replicas[{i}] missing shed-set hashes")
+                continue
+            if plan_hash != exec_hash:
+                failures.append(
+                    f"{path}: {name}.replicas[{i}] plan hash {plan_hash} "
+                    f"!= exec hash {exec_hash}")
+            if rep.get("steady_allocs") != 0:
+                failures.append(
+                    f"{path}: {name}.replicas[{i}].steady_allocs is "
+                    f"{rep.get('steady_allocs')!r}, expected 0")
+            replica_hashes.append(exec_hash)
+        routing = node.get("routing_hash")
+        fleet = node.get("serve", {}).get("slo", {}).get("exec", {}).get(
+            "shed_set_hash")
+        if not routing:
+            failures.append(f"{path}: {name}.routing_hash missing")
+        else:
+            # Collected for the cross-file (1-thread vs 4-thread pool)
+            # equality check in main(): same scenario name => identical
+            # routing hash, fleet shed hash, and per-replica shed hashes.
+            router_fingerprints.setdefault(name, []).append(
+                (path, (routing, fleet, tuple(replica_hashes))))
+        failures.extend(check_trace(path, name, node, trace_fingerprints))
+    return failures
+
+
+def serve_router_rows(doc):
+    rows = []
+    for name, node in serve_scenarios(doc):
+        slo = node.get("serve", {}).get("slo", {})
+        plan = slo.get("plan", {})
+        exec_ = slo.get("exec", {})
+        rows.append((
+            name,
+            f"{node.get('active_replicas', '?')}/"
+            f"{node.get('total_replicas', '?')}",
+            str(plan.get("served", "?")),
+            str(exec_.get("shed", "?")),
+            str(node.get("routing_hash", "?")),
+            str(plan.get("shed_set_hash", "?")),
+        ))
+    return rows
+
+
 def serve_slo_rows(doc):
     rows = []
     for name, node in serve_scenarios(doc):
@@ -332,6 +445,7 @@ def main(argv):
         return 2
     all_failures = []
     slo_fingerprints = {}
+    router_fingerprints = {}
     trace_fingerprints = {}
     print("## bench gates and perf trajectory\n")
     for path in argv[1:]:
@@ -352,6 +466,14 @@ def main(argv):
                   "| binary mvms |")
             print("|---|---|---|---|---|---|---|---|---|---|")
             for row in serve_rows(doc):
+                print("| " + " | ".join(row) + " |")
+        elif doc.get("bench") == "serve_router":
+            failures = check_serve_router(path, doc, router_fingerprints,
+                                          trace_fingerprints)
+            print("| scenario | active/total | served | shed | routing hash "
+                  "| fleet shed hash |")
+            print("|---|---|---|---|---|---|")
+            for row in serve_router_rows(doc):
                 print("| " + " | ".join(row) + " |")
         elif doc.get("bench") == "serve_slo":
             failures = check_serve_slo(path, doc, slo_fingerprints,
@@ -379,6 +501,16 @@ def main(argv):
             all_failures.append(
                 f"slo scenario '{name}': shed-set fingerprint differs "
                 f"across artifacts ({detail})")
+    # Cross-file routing determinism (DESIGN.md S10): the same router
+    # scenario must carry the identical routing hash, fleet shed hash, and
+    # per-replica shed fingerprints in every artifact.
+    for name, entries in router_fingerprints.items():
+        hashes = {h for _, h in entries}
+        if len(hashes) > 1:
+            detail = "; ".join(f"{p}={h}" for p, h in entries)
+            all_failures.append(
+                f"router scenario '{name}': routing/shed fingerprints "
+                f"differ across artifacts ({detail})")
     # Cross-file causal-trace determinism (DESIGN.md S9): same scenario,
     # same (seed, trace, policy) => the identical causal event fingerprint
     # in every artifact, whatever the pool size or machine.
