@@ -590,6 +590,152 @@ Json run_router_scenario(const serve::Backend& primary,
   return j;
 }
 
+/// One leg of the hot-swap scenario (DESIGN.md §11): a canary rollout under
+/// the flash crowd, run at 1 worker and `workers` workers per replica with
+/// the full trace ladder, then compared row-for-row against the two pinned
+/// single-version reference runs. Gates:
+///   * swap_payload_match     payloads, versions, and the provenance hash
+///                            bitwise identical 1 vs N workers per replica
+///   * zero_dropped_by_swap   exec shed-set fingerprint == the version-blind
+///                            plan's (== the no-swap fleet's shed set)
+///   * provenance_exact       every delivered row bitwise equals the pinned
+///                            run of exactly the version the plan pinned it
+///                            to — no mixed-version payloads
+///   * verdict_exercised      promote leg: all replicas cut over, candidate
+///                            payloads delivered; rollback leg: the breaker
+///                            opened, the canary cut back, post-verdict
+///                            admissions pinned to the incumbent
+///   * swap_zero_allocs/packs prepack-before-cutover: the measured swap run
+///                            grows no arena and packs/binarizes nothing
+/// plus the §9 trace gates (fingerprint 1w == Nw == plan oracle, including
+/// the kSwap/kCanary events).
+Json run_swap_leg(const char* name, const char* backend_label,
+                  serve::ServerSpec spec,
+                  const std::vector<serve::Arrival>& trace,
+                  std::size_t workers, serve::ServeConfig cfg,
+                  const serve::ServeReport& pin_from,
+                  const serve::ServeReport& pin_to, bool expect_rollback,
+                  const std::string& trace_out, GateState* gates) {
+  cfg.num_workers = 1;
+  serve::ReplicaGroup one(spec.config(cfg));
+  const serve::RouterPlan plan = one.plan_trace(trace);
+  obs::begin_session();
+  const serve::RouterReport rep1 = one.run(trace);
+  const obs::TraceSnapshot snap1 = obs::end_session();
+
+  cfg.num_workers = workers;
+  serve::ReplicaGroup many(spec.config(cfg));
+  (void)many.run(trace);  // warm run: arenas + rings + every pinned backend
+  const std::uint64_t packs0 = gemm::b_pack_count();
+  const std::uint64_t bins0 = quant::binarize_count();
+  const std::uint64_t bpacks0 = gemm::binary_pack_count();
+  obs::begin_session();
+  const std::uint64_t rings0 = obs::ring_allocs();
+  const serve::RouterReport rep = many.run(trace);
+  const obs::TraceSnapshot snapN = obs::end_session();
+  const std::uint64_t steady_rings = obs::ring_allocs() - rings0;
+  const std::uint64_t steady_packs = gemm::b_pack_count() - packs0;
+  const std::uint64_t steady_bins = quant::binarize_count() - bins0;
+  const std::uint64_t steady_bpacks = gemm::binary_pack_count() - bpacks0;
+
+  const serve::SwapSummary& sw = rep.serve.swap;
+  const bool payload_match =
+      bitwise_equal(rep1.serve.outputs, rep.serve.outputs) &&
+      rep1.serve.versions == rep.serve.versions &&
+      rep1.serve.swap.version_hash == sw.version_hash;
+  if (!payload_match)
+    gates->fail(name, "payloads or provenance differ between 1 and N workers");
+
+  // The overlay is version-blind: the swap must not change who was shed.
+  const bool zero_dropped =
+      rep.serve.slo.exec_shed_set_hash == plan.shed_set_hash &&
+      rep.serve.slo.exec_shed_set_hash == pin_from.slo.exec_shed_set_hash;
+  if (!zero_dropped)
+    gates->fail(name, "the swap changed the shed set (dropped live traffic)");
+
+  // Zero mixed-version payloads: row-for-row attribution to the pinned runs.
+  bool provenance_exact = rep.serve.versions == plan.swap.version_of;
+  std::size_t to_rows = 0;
+  const std::size_t out_dim = rep.serve.outputs.shape()[1];
+  for (std::size_t i = 0; i < trace.size() && provenance_exact; ++i) {
+    const bool is_to = plan.swap.version_of[i] == plan.swap.to_version;
+    const Tensor& want = is_to ? pin_to.outputs : pin_from.outputs;
+    for (std::size_t j = 0; j < out_dim; ++j)
+      provenance_exact =
+          provenance_exact && rep.serve.outputs.at(i, j) == want.at(i, j);
+    if (is_to && plan.decisions[i].served() &&
+        (plan.decisions[i].mode == serve::ServeMode::kPrimary ||
+         plan.decisions[i].mode == serve::ServeMode::kCanary))
+      ++to_rows;
+  }
+  if (!provenance_exact)
+    gates->fail(name, "a payload row does not match its pinned version");
+
+  bool verdict_ok;
+  if (expect_rollback) {
+    // The breaker must have opened, cut the canary back, and pinned every
+    // post-verdict admission to the incumbent.
+    verdict_ok = sw.rolled_back && sw.breaker_opens >= 1 && sw.cutovers == 2;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      if (trace[i].t_us >= sw.verdict_us)
+        verdict_ok = verdict_ok &&
+                     plan.swap.version_of[i] == plan.swap.from_version;
+    if (!verdict_ok)
+      gates->fail(name, "faulty candidate did not roll back cleanly");
+  } else {
+    // Promotion must have cut every active replica over and actually moved
+    // payloads onto the candidate.
+    verdict_ok = !sw.rolled_back && sw.cutovers == plan.active.size() &&
+                 sw.canary_faults == 0 && to_rows > 0;
+    if (!verdict_ok)
+      gates->fail(name, "clean candidate did not promote fleet-wide");
+  }
+
+  bool replica_steady = true;
+  for (const auto& r : rep.replicas)
+    replica_steady = replica_steady && r.steady_allocs == 0;
+  if (!replica_steady)
+    gates->fail(name, "a replica arena grew during the swap run");
+  const bool zero_packs =
+      steady_packs == 0 && steady_bins == 0 && steady_bpacks == 0;
+  if (!zero_packs)
+    gates->fail(name, "swap run packed or binarized weights in steady state");
+
+  std::printf(
+      "  [%s] %zu req, %zu workers/replica: %s at %lluus, canary %zu/%zu "
+      "faults, %zu cutovers, versions=%s %s\n",
+      name, rep.serve.requests, workers,
+      sw.rolled_back ? "ROLLBACK" : "promote",
+      static_cast<unsigned long long>(sw.verdict_us), sw.canary_faults,
+      sw.canary_served, sw.cutovers, serve::hex64(sw.version_hash).c_str(),
+      payload_match && zero_dropped && provenance_exact && verdict_ok &&
+              replica_steady && zero_packs
+          ? "OK"
+          : "GATE-FAIL");
+  const auto vrows = serve::version_report_rows(rep.serve);
+  for (const auto& row : vrows)
+    std::printf("    v%s: served=%s %s\n", row[0].c_str(), row[1].c_str(),
+                row[2].c_str());
+
+  Json j = rep.to_json();
+  j.set("backend", std::string(backend_label));
+  j.set("plan_shed_set_hash", serve::hex64(plan.shed_set_hash));
+  j.set("plan_version_hash", serve::hex64(plan.swap.version_hash));
+  j.set("swap_payload_match", payload_match);
+  j.set("zero_dropped_by_swap", zero_dropped);
+  j.set("provenance_exact", provenance_exact);
+  j.set("verdict_exercised", verdict_ok);
+  j.set("swap_zero_allocs", replica_steady);
+  j.set("swap_zero_packs", zero_packs);
+  j.set("steady_weight_packs", steady_packs);
+  j.set("steady_binarizes", steady_bins);
+  j.set("trace", trace_section(name, snap1, snapN,
+                               serve::expected_causal_fingerprint(plan),
+                               serve::expected_causal_event_count(plan),
+                               steady_rings, trace_out, gates));
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -602,6 +748,8 @@ int main(int argc, char** argv) {
                  "BENCH_serve_slo.json");
   cli.add_option("router-json", "Router-scenario output JSON path",
                  "BENCH_serve_router.json");
+  cli.add_option("swap-json", "Hot-swap-scenario output JSON path",
+                 "BENCH_serve_swap.json");
   cli.add_option("requests", "Analytic-scenario trace length", "auto");
   cli.add_option("rate", "Mean arrival rate, requests/s", "auto");
   cli.add_option("workers", "Serving worker count", "4");
@@ -618,6 +766,8 @@ int main(int argc, char** argv) {
       cli.get_string("slo-json", "BENCH_serve_slo.json");
   const std::string router_json_path =
       cli.get_string("router-json", "BENCH_serve_router.json");
+  const std::string swap_json_path =
+      cli.get_string("swap-json", "BENCH_serve_swap.json");
   const auto workers =
       static_cast<std::size_t>(cli.get_int("workers", 4));
   const auto requests = static_cast<std::size_t>(
@@ -951,6 +1101,163 @@ int main(int argc, char** argv) {
                                        workers, rcfg2, router, /*replicas=*/3,
                                        trace_out, &gates));
   }
+  // -- zero-downtime weight hot-swap under the flash crowd -----------------
+  // (DESIGN.md §11): an incumbent/candidate pair of equal topology but
+  // different weights behind a 3-replica fleet; the canary controller swaps
+  // replica 0 mid-trace, judges the candidate through the breaker, then
+  // promotes fleet-wide (clean leg) or rolls back (seeded always-faulty
+  // leg). Shape fixed by --smoke alone so the 1t and 4t artifacts describe
+  // the identical tuple and check_bench_gates.py can demand equal
+  // provenance/shed/causal fingerprints across them.
+  Json swap_doc = Json::object();
+  swap_doc.set("bench", "serve_swap");
+  swap_doc.set("smoke", smoke);
+  swap_doc.set("num_threads", pool.num_threads());
+  swap_doc.set("workers", workers);
+  swap_doc.set("binary_kernel", gemm::binary_kernel_name());
+  swap_doc.set("cpu_features", gemm::cpu_features());
+  swap_doc.set("trace_enabled", obs::runtime_enabled());
+  {
+    models::MlpConfig wcfg;
+    wcfg.in_features = 24;
+    wcfg.hidden = {32, 32};
+    wcfg.num_classes = 10;
+    wcfg.seed = 21;
+    models::Mlp incumbent_model = models::build_mlp(wcfg);
+    incumbent_model.net->set_training(false);
+    wcfg.seed = 77;  // same topology, different weights: rows prove versions
+    models::Mlp candidate_model = models::build_mlp(wcfg);
+    candidate_model.net->set_training(false);
+    models::MlpConfig dcfg = wcfg;
+    dcfg.hidden = {16};
+    dcfg.seed = 22;
+    models::Mlp degraded_model = models::build_mlp(dcfg);
+    degraded_model.net->set_training(false);
+    data::Dataset wds = random_dataset(128, wcfg.in_features, 43);
+
+    serve::AnalyticBackend incumbent(*incumbent_model.net,
+                                     /*stochastic=*/false);
+    serve::AnalyticBackend candidate(*candidate_model.net,
+                                     /*stochastic=*/false);
+    serve::AnalyticBackend degraded(*degraded_model.net, /*stochastic=*/false);
+    serve::ModelRegistry registry;
+    const std::uint32_t v1 = registry.register_model(incumbent, "incumbent");
+    const std::uint32_t v2 = registry.register_model(candidate, "candidate");
+
+    serve::TrafficConfig wtraffic;
+    wtraffic.num_requests = smoke ? 320 : 1200;
+    wtraffic.rate_rps = 1600.0;
+    wtraffic.shape = serve::TraceShape::kFlashCrowd;
+    wtraffic.flash_factor = 14.0;
+    wtraffic.flash_start_s = smoke ? 0.05 : 0.2;
+    wtraffic.flash_ramp_s = 0.005;
+    wtraffic.flash_hold_s = smoke ? 0.02 : 0.05;
+    wtraffic.high_fraction = 0.2;
+    wtraffic.low_fraction = 0.3;
+    wtraffic.seed = 101;
+    const auto wtrace = serve::make_trace(wtraffic, wds.size());
+    Json wtj = Json::object();
+    wtj.set("requests", wtraffic.num_requests);
+    wtj.set("rate_rps", wtraffic.rate_rps);
+    wtj.set("flash_factor", wtraffic.flash_factor);
+    wtj.set("shape", "flash_crowd");
+    swap_doc.set("traffic", wtj);
+
+    serve::ServeConfig wcfg2;
+    wcfg2.batch = policy;
+    wcfg2.seed = 29;
+    wcfg2.slo.enabled = true;
+    wcfg2.slo.deadline_us = 15000;
+    wcfg2.slo.completion_headroom_us = 9000;
+    wcfg2.slo.queue.capacity = 64;
+    wcfg2.slo.queue.on_full = serve::QueuePolicy::OnFull::kDropOldest;
+    wcfg2.slo.cost.batch_fixed_us = 50;
+    wcfg2.slo.cost.primary_us = 800;
+    wcfg2.slo.cost.degraded_us = 100;
+    wcfg2.slo.ladder.degrade_depth = 8;
+    wcfg2.slo.ladder.shed_depth = 30;
+    wcfg2.slo.ladder.recover_depth = 2;
+    wcfg2.slo.ladder.shed_floor = serve::Priority::kNormal;
+
+    serve::RouterPolicy wrouter;
+    wrouter.strategy = serve::RouterPolicy::Strategy::kRoundRobin;
+    wrouter.seed = 71;
+
+    serve::SwapPolicy swap;
+    swap.enabled = true;
+    swap.from_version = v1;
+    swap.to_version = v2;
+    swap.start_us = 30000;  // mid-trace, before the flash crowd hits
+    swap.canary_replica = 0;
+    swap.canary_requests = 8;
+    swap.breaker.failure_threshold = 3;
+    swap.breaker.cooldown_us = 5000;
+    swap_doc.set("replicas", std::size_t{3});
+    swap_doc.set("swap_policy", [&] {
+      Json sj = Json::object();
+      sj.set("from_version", v1);
+      sj.set("to_version", v2);
+      sj.set("start_us", swap.start_us);
+      sj.set("canary_replica",
+             static_cast<std::size_t>(swap.canary_replica));
+      sj.set("canary_requests", swap.canary_requests);
+      sj.set("breaker_failure_threshold", swap.breaker.failure_threshold);
+      return sj;
+    }());
+
+    const auto fleet_spec = [&](const serve::SwapPolicy* sp) {
+      serve::ServerSpec s = serve::ServerSpec{}
+                                .primary(incumbent)
+                                .degraded(degraded)
+                                .dataset(wds)
+                                .config(wcfg2)
+                                .replicas(3)
+                                .router(wrouter)
+                                .registry(registry);
+      if (sp != nullptr) s.swap(*sp);
+      return s;
+    };
+
+    // Pinned single-version reference runs (no swap): the whole trace on
+    // the incumbent, and on the candidate. The overlay is version-blind,
+    // so all plans share outcomes and the row comparison is exact.
+    serve::ServeConfig pcfg = wcfg2;
+    pcfg.num_workers = workers;
+    serve::ReplicaGroup pin_from(fleet_spec(nullptr).config(pcfg));
+    const serve::RouterReport rv1 = pin_from.run(wtrace);
+    serve::ReplicaGroup pin_to(serve::ServerSpec{}
+                                   .primary(candidate)
+                                   .degraded(degraded)
+                                   .dataset(wds)
+                                   .config(pcfg)
+                                   .replicas(3)
+                                   .router(wrouter));
+    const serve::RouterReport rv2 = pin_to.run(wtrace);
+
+    const std::string backend_label =
+        incumbent.name() + "->" + candidate.name();
+    swap_doc.set("swap_flash",
+                 run_swap_leg("swap_flash", backend_label.c_str(),
+                              fleet_spec(&swap), wtrace, workers, wcfg2,
+                              rv1.serve, rv2.serve,
+                              /*expect_rollback=*/false, trace_out, &gates));
+
+    serve::SwapPolicy faulty = swap;
+    faulty.candidate_fault.enabled = true;
+    faulty.candidate_fault.transient_rate = 1.0;  // candidate always fails
+    swap_doc.set("swap_rollback",
+                 run_swap_leg("swap_rollback", backend_label.c_str(),
+                              fleet_spec(&faulty), wtrace, workers, wcfg2,
+                              rv1.serve, rv2.serve,
+                              /*expect_rollback=*/true, trace_out, &gates));
+  }
+  swap_doc.set("gates_ok", gates.ok);
+  if (!swap_doc.write_file(swap_json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", swap_json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", swap_json_path.c_str());
+
   slo_doc.set("gates_ok", gates.ok);
   if (!slo_doc.write_file(slo_json_path)) {
     std::fprintf(stderr, "failed to write %s\n", slo_json_path.c_str());

@@ -21,6 +21,8 @@ const char* event_name(EventType t) {
     case EventType::kLadder: return "ladder";
     case EventType::kBreaker: return "breaker";
     case EventType::kRoute: return "route";
+    case EventType::kSwap: return "swap";
+    case EventType::kCanary: return "canary";
     case EventType::kBatch: return "batch";
     case EventType::kBatchMember: return "batch_member";
     case EventType::kQueuePop: return "queue_pop";

@@ -57,17 +57,21 @@ enum class EventType : std::uint8_t {
   kBreaker = 5,  // id=transition seq, a=1 (opened), arg=virtual us
   // ---- causal: replica routing (DESIGN.md §10) -------------------------
   kRoute = 6,    // id=request, a=replica index, arg=active replica count
+  // ---- causal: model versioning / hot swap (DESIGN.md §11) -------------
+  kSwap = 7,     // id=replica, a=model version cut over to, arg=virtual us
+  kCanary = 8,   // id=canary replica, a=verdict (1 promote, 0 rollback),
+                 // arg=virtual verdict us
   // ---- timing: serving pipeline ---------------------------------------
-  kBatch = 7,        // span: id=batch seq, a=route (0 primary, 1 degraded),
+  kBatch = 9,        // span: id=batch seq, a=route (0 primary, 1 degraded),
                      // arg=rows executed
-  kBatchMember = 8,  // instant: id=request, arg=batch seq
-  kQueuePop = 9,     // instant: id=batch seq, arg=queue depth after the pop
-  kStall = 10,       // span: injected stall + retry backoff, arg=slept us
+  kBatchMember = 10, // instant: id=request, arg=batch seq
+  kQueuePop = 11,    // instant: id=batch seq, arg=queue depth after the pop
+  kStall = 12,       // span: injected stall + retry backoff, arg=slept us
   // ---- timing: kernel profiling ---------------------------------------
-  kGemm = 11,         // span: packed-panel GEMM, arg=2*m*n*k
-  kBinaryMvm = 12,    // span: XNOR/popcount MVM, arg=2*m*n*k
-  kPulseEncode = 13,  // span: pulse-train encode, arg=pulses encoded
-  kArenaAlloc = 14,   // instant: arena system alloc, arg=bytes
+  kGemm = 13,         // span: packed-panel GEMM, arg=2*m*n*k
+  kBinaryMvm = 14,    // span: XNOR/popcount MVM, arg=2*m*n*k
+  kPulseEncode = 15,  // span: pulse-train encode, arg=pulses encoded
+  kArenaAlloc = 16,   // instant: arena system alloc, arg=bytes
   kCount
 };
 
@@ -75,7 +79,7 @@ enum class EventType : std::uint8_t {
 /// fingerprint.
 constexpr bool is_causal(EventType t) {
   return static_cast<std::uint8_t>(t) <=
-         static_cast<std::uint8_t>(EventType::kRoute);
+         static_cast<std::uint8_t>(EventType::kCanary);
 }
 
 const char* event_name(EventType t);

@@ -72,6 +72,7 @@ Json SloSummary::to_json() const {
   plan.set("admitted", admitted);
   plan.set("served", served);
   plan.set("served_primary", served_primary);
+  plan.set("served_canary", served_canary);
   plan.set("degraded_ladder", degraded_ladder);
   plan.set("degraded_breaker", degraded_breaker);
   plan.set("degraded_fallback", degraded_fallback);
@@ -110,6 +111,32 @@ Json SloSummary::to_json() const {
   return j;
 }
 
+Json SwapSummary::to_json() const {
+  Json j = Json::object();
+  j.set("enabled", enabled);
+  j.set("rolled_back", rolled_back);
+  j.set("from_version", from_version);
+  j.set("to_version", to_version);
+  j.set("canary_replica", static_cast<std::size_t>(canary_replica));
+  j.set("start_us", start_us);
+  j.set("verdict_us", verdict_us);
+  j.set("canary_served", canary_served);
+  j.set("canary_faults", canary_faults);
+  j.set("breaker_opens", breaker_opens);
+  j.set("latency_breach", latency_breach);
+  j.set("cutovers", cutovers);
+  j.set("version_hash", hex64(version_hash));
+  Json by = Json::array();
+  for (const auto& e : served_by_version) {
+    Json v = Json::object();
+    v.set("version", e.first);
+    v.set("served", e.second);
+    by.push_back(v);
+  }
+  j.set("served_by_version", by);
+  return j;
+}
+
 Json ServeReport::to_json() const {
   Json j = Json::object();
   j.set("requests", requests);
@@ -141,6 +168,7 @@ Json ServeReport::to_json() const {
   j.set("fusion", fusion);
   j.set("arena", arena.to_json());
   if (slo.enabled) j.set("slo", slo.to_json());
+  if (swap.enabled) j.set("swap", swap.to_json());
   return j;
 }
 
@@ -168,6 +196,26 @@ std::string slo_exec_summary(const std::string& label, const ServeReport& r) {
                 label.c_str(), r.completed, r.slo.exec_shed,
                 hex64(r.slo.exec_shed_set_hash).c_str());
   return std::string(buf);
+}
+
+std::vector<std::string> version_report_header() {
+  return {"version", "served", "role", "canary served", "canary faults"};
+}
+
+std::vector<std::vector<std::string>> version_report_rows(
+    const ServeReport& r) {
+  std::vector<std::vector<std::string>> rows;
+  if (!r.swap.enabled) return rows;
+  for (const auto& e : r.swap.served_by_version) {
+    const bool is_to = e.first == r.swap.to_version;
+    rows.push_back({std::to_string(e.first), std::to_string(e.second),
+                    is_to ? (r.swap.rolled_back ? "candidate (rolled back)"
+                                                : "candidate (promoted)")
+                          : "incumbent",
+                    is_to ? std::to_string(r.swap.canary_served) : "-",
+                    is_to ? std::to_string(r.swap.canary_faults) : "-"});
+  }
+  return rows;
 }
 
 }  // namespace gbo::serve

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gbo::serve {
@@ -58,6 +59,7 @@ struct SloSummary {
   std::size_t admitted = 0;          // pushed into the queue
   std::size_t served = 0;
   std::size_t served_primary = 0;
+  std::size_t served_canary = 0;     // full fidelity, swap candidate version
   std::size_t degraded_ladder = 0;
   std::size_t degraded_breaker = 0;
   std::size_t degraded_fallback = 0;
@@ -92,6 +94,29 @@ struct SloSummary {
   Json to_json() const;
 };
 
+/// The hot-swap rollout ledger of one run (DESIGN.md §11): what the canary
+/// controller planned and the provenance of every delivered payload. All
+/// fields are deterministic in (trace, policies).
+struct SwapSummary {
+  bool enabled = false;
+  bool rolled_back = false;
+  std::uint32_t from_version = 0;
+  std::uint32_t to_version = 0;
+  std::uint8_t canary_replica = 0;
+  std::uint64_t start_us = 0;        // canary cutover (virtual clock)
+  std::uint64_t verdict_us = 0;      // promote/rollback instant
+  std::size_t canary_served = 0;     // health-evaluated canary requests
+  std::size_t canary_faults = 0;     // health failures among them
+  std::size_t breaker_opens = 0;
+  bool latency_breach = false;
+  std::size_t cutovers = 0;          // planned replica cutovers
+  std::uint64_t version_hash = 0;    // (id, version) provenance fingerprint
+  /// Delivered payloads per pinned version, version ascending.
+  std::vector<std::pair<std::uint32_t, std::size_t>> served_by_version;
+
+  Json to_json() const;
+};
+
 /// Everything one InferenceServer::run produced.
 struct ServeReport {
   std::size_t requests = 0;
@@ -118,6 +143,11 @@ struct ServeReport {
   ArenaSummary arena;
   /// Control-plane ledger; enabled only for SLO runs.
   SloSummary slo;
+  /// Hot-swap rollout ledger; enabled only for swap runs (DESIGN.md §11).
+  SwapSummary swap;
+  /// Payload provenance of a swap run: versions[id] = registry version that
+  /// produced request id's payload row. Empty for non-swap runs.
+  std::vector<std::uint32_t> versions;
 
   /// Per-request payloads, [requests, out_dim] — row r is request r's
   /// logits (all-zero for shed/rejected requests). Bitwise identical across
@@ -143,5 +173,13 @@ std::vector<std::string> report_row(const std::string& label,
 /// One-line execution summary for an SLO run: delivered/shed counts plus
 /// the runtime shed-set fingerprint (newline-terminated).
 std::string slo_exec_summary(const std::string& label, const ServeReport& r);
+
+/// Shared rendering of a swap run's per-version payload provenance — one
+/// row per registered version that delivered payloads, same fixed-schema
+/// discipline as report_header/report_row so demos and benches cannot
+/// drift into ad-hoc printf blocks. Empty rows for non-swap runs.
+std::vector<std::string> version_report_header();
+std::vector<std::vector<std::string>> version_report_rows(
+    const ServeReport& r);
 
 }  // namespace gbo::serve

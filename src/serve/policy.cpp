@@ -285,8 +285,16 @@ void append_causal_decision_tuples(const Plan& p,
       if (d.attempts > 0)
         tuples.push_back({id, static_cast<std::uint8_t>(EventType::kRetry),
                           d.attempts, 0});
-      tuples.push_back({id, static_cast<std::uint8_t>(EventType::kDeliver),
-                        static_cast<std::uint16_t>(d.mode), d.v_done_us});
+      // The delivery tuple folds the pinned model version into the high
+      // byte of `a` (DESIGN.md §11): version 0 — every non-swap run —
+      // reproduces the historical tuple bit for bit, and a swap run's
+      // fingerprint attributes every payload to exactly one version.
+      tuples.push_back(
+          {id, static_cast<std::uint8_t>(EventType::kDeliver),
+           static_cast<std::uint16_t>(
+               static_cast<std::uint16_t>(d.mode) |
+               static_cast<std::uint16_t>((d.version & 0xff) << 8)),
+           d.v_done_us});
     } else if (!bounced) {
       tuples.push_back({id, static_cast<std::uint8_t>(EventType::kShed),
                         static_cast<std::uint16_t>(d.outcome), 0});

@@ -137,6 +137,10 @@ struct Decision {
   std::uint64_t v_pop_us = 0;  // virtual flush instant
   std::uint64_t v_done_us = 0; // virtual completion
   std::uint64_t deadline_us = 0;
+  /// Model version pinned at admission (DESIGN.md §11). plan() always
+  /// leaves 0 (the primary backend); the hot-swap overlay
+  /// (serve/swap.hpp) stamps registry versions after the fact.
+  std::uint32_t version = 0;
 
   bool served() const { return outcome == Outcome::kServed; }
   bool shed() const { return !served(); }
@@ -146,6 +150,7 @@ struct Decision {
 struct PlanCounters {
   std::size_t served = 0;
   std::size_t served_primary = 0;
+  std::size_t served_canary = 0;  // full fidelity on a swap candidate version
   std::size_t degraded_ladder = 0;
   std::size_t degraded_breaker = 0;
   std::size_t degraded_fallback = 0;

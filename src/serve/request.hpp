@@ -36,6 +36,8 @@ enum class ServeMode : std::uint8_t {
   kDegradedLadder = 1,    // fidelity ladder stepped down under queue pressure
   kDegradedBreaker = 2,   // circuit breaker open: primary quarantined
   kDegradedFallback = 3,  // primary retries exhausted, served degraded
+  kCanary = 4,            // full fidelity on the candidate model version of a
+                          // hot-swap rollout (DESIGN.md §11)
 };
 
 /// Why a request produced no payload.
@@ -69,6 +71,11 @@ struct Request {
   /// shed output instead of batching them.
   bool shed = false;
   ShedReason reason = ShedReason::kNone;
+  /// Model version pinned at admission (DESIGN.md §11): the request executes
+  /// on this registry version no matter when it is popped — a cutover that
+  /// lands while it is queued must not move it. 0 = the server's primary
+  /// backend (no registry / no swap in flight).
+  std::uint32_t version = 0;
 };
 
 /// Micro-batching policy: a batch flushes as soon as it holds max_batch

@@ -141,6 +141,7 @@ RouterPlan route_plan(const std::vector<Arrival>& trace, const SloPolicy& slo,
     const PlanCounters& c = p.counters;
     rp.counters.served += c.served;
     rp.counters.served_primary += c.served_primary;
+    rp.counters.served_canary += c.served_canary;
     rp.counters.degraded_ladder += c.degraded_ladder;
     rp.counters.degraded_breaker += c.degraded_breaker;
     rp.counters.degraded_fallback += c.degraded_fallback;
@@ -197,6 +198,7 @@ std::vector<obs::CausalTuple> router_causal_tuples(const RouterPlan& rp) {
     append_causal_decision_tuples(rp.per_replica[r], tuples);
     append_causal_transition_tuples(rp.per_replica[r], off[r], tuples);
   }
+  append_causal_swap_tuples(rp.swap, tuples);  // no-op when no swap planned
   return tuples;
 }
 
@@ -213,7 +215,9 @@ std::size_t expected_causal_event_count(const RouterPlan& rp) {
 ReplicaGroup::ReplicaGroup(const ServerSpec& spec)
     : dataset_(checked_group_dataset(spec)),
       cfg_(spec.normalized_config()),
-      router_(spec.router_policy()) {
+      router_(spec.router_policy()),
+      registry_(spec.model_registry()),
+      swap_(spec.swap_policy()) {
   const std::size_t n = spec.normalized_replicas();
   replicas_.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
@@ -221,6 +225,10 @@ ReplicaGroup::ReplicaGroup(const ServerSpec& spec)
     one.primary(*spec.primary_backend()).dataset(dataset_).config(cfg_);
     if (spec.degraded_backend() != nullptr)
       one.degraded(*spec.degraded_backend());
+    // Each replica pins the whole registry (not the swap policy — the
+    // rollout is fleet-level): every version is warmed before traffic, so
+    // a cutover is a pointer hop, never a pack or an allocation.
+    if (registry_ != nullptr) one.registry(*registry_);
     replicas_.push_back(std::make_unique<InferenceServer>(one));
   }
 }
@@ -230,7 +238,12 @@ void ReplicaGroup::warmup() {
 }
 
 RouterPlan ReplicaGroup::plan_trace(const std::vector<Arrival>& trace) const {
-  return route_plan(trace, cfg_.slo, cfg_.batch, router_, replicas_.size());
+  RouterPlan rp =
+      route_plan(trace, cfg_.slo, cfg_.batch, router_, replicas_.size());
+  // The hot-swap overlay (DESIGN.md §11) stamps pinned versions and the
+  // canary rewrite onto the routed ledger. Pure like route_plan itself.
+  if (swap_.enabled) apply_swap(rp, trace, swap_);
+  return rp;
 }
 
 RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
@@ -324,6 +337,17 @@ RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
                                   1, t.v_us);
               }
             }
+            // The swap trajectory is part of the executed ledger too: one
+            // kSwap per planned cutover and the kCanary verdict, replayed
+            // exactly as the oracle composes them (DESIGN.md §11).
+            if (rp.swap.enabled) {
+              for (const SwapCutover& cut : rp.swap.cutovers)
+                GBO_TRACE_EVENT(obs::EventType::kSwap, cut.replica,
+                                static_cast<std::uint16_t>(cut.version),
+                                cut.at_us);
+              GBO_TRACE_EVENT(obs::EventType::kCanary, rp.swap.canary_replica,
+                              rp.swap.rolled_back ? 0 : 1, rp.swap.verdict_us);
+            }
             for (std::size_t i = 0; i < num_requests; ++i) {
               std::this_thread::sleep_until(
                   t0 + std::chrono::microseconds(trace[i].t_us));
@@ -347,6 +371,10 @@ RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
               q.priority = trace[i].priority;
               q.deadline_us = d.deadline_us;
               q.mode = d.mode;
+              // The version pin happens here, at admission: whatever
+              // cutovers land while the request waits in its queue, the
+              // worker resolves exactly this version (DESIGN.md §11).
+              q.version = d.version;
               q.shed = d.shed();
               q.reason = shed_reason(d.outcome);
               q.enqueue_us = us_since(t0);
@@ -461,6 +489,7 @@ RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
   s.admitted = num_requests - c.rejected;
   s.served = c.served;
   s.served_primary = c.served_primary;
+  s.served_canary = c.served_canary;
   s.degraded_ladder = c.degraded_ladder;
   s.degraded_breaker = c.degraded_breaker;
   s.degraded_fallback = c.degraded_fallback;
@@ -485,6 +514,40 @@ RouterReport ReplicaGroup::run(const std::vector<Arrival>& trace) {
   s.exec_shed_set_hash = shed_set_fingerprint(exec_shed_all);
   for (std::size_t k = 0; k < kNumPriorities; ++k)
     s.real_by_priority[k] = LatencyStats::compute(std::move(by_pri[k]));
+
+  if (rp.swap.enabled) {
+    SwapSummary& sw = srep.swap;
+    sw.enabled = true;
+    sw.rolled_back = rp.swap.rolled_back;
+    sw.from_version = rp.swap.from_version;
+    sw.to_version = rp.swap.to_version;
+    sw.canary_replica = rp.swap.canary_replica;
+    sw.start_us = rp.swap.start_us;
+    sw.verdict_us = rp.swap.verdict_us;
+    sw.canary_served = rp.swap.canary_served;
+    sw.canary_faults = rp.swap.canary_faults;
+    sw.breaker_opens = rp.swap.breaker_opens;
+    sw.latency_breach = rp.swap.latency_breach;
+    sw.cutovers = rp.swap.cutovers.size();
+    sw.version_hash = rp.swap.version_hash;
+    // Payload provenance: the pinned version per request id, and how many
+    // deliveries each version produced.
+    srep.versions = rp.swap.version_of;
+    for (std::size_t i = 0; i < num_requests; ++i) {
+      if (!rp.decisions[i].served()) continue;
+      const std::uint32_t v = rp.swap.version_of[i];
+      auto it = std::find_if(
+          sw.served_by_version.begin(), sw.served_by_version.end(),
+          [v](const std::pair<std::uint32_t, std::size_t>& e) {
+            return e.first == v;
+          });
+      if (it == sw.served_by_version.end())
+        sw.served_by_version.emplace_back(v, 1);
+      else
+        ++it->second;
+    }
+    std::sort(sw.served_by_version.begin(), sw.served_by_version.end());
+  }
   return rep;
 }
 

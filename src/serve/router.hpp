@@ -34,6 +34,7 @@
 #pragma once
 
 #include "serve/server.hpp"
+#include "serve/swap.hpp"
 
 #include <array>
 #include <cstdint>
@@ -72,6 +73,9 @@ struct RouterPlan {
   /// requests, recomputed across the merged ledger.
   LatencyStats virtual_latency;
   std::array<LatencyStats, kNumPriorities> virtual_by_priority;
+  /// Hot-swap overlay (DESIGN.md §11): disabled unless the group carries a
+  /// SwapPolicy, in which case apply_swap() stamped the ledger above.
+  SwapPlan swap;
 };
 
 /// The deterministic routing function: which member of `active` (ascending
@@ -149,6 +153,8 @@ class ReplicaGroup {
   const data::Dataset& dataset_;
   ServeConfig cfg_;
   RouterPolicy router_;
+  const ModelRegistry* registry_ = nullptr;  // borrowed from the spec
+  SwapPolicy swap_;
   std::vector<std::unique_ptr<InferenceServer>> replicas_;
 };
 

@@ -51,6 +51,10 @@ const Backend& checked_primary(const ServerSpec& spec, bool single_replica) {
   if (single_replica && spec.normalized_replicas() > 1)
     v.errors.push_back(
         "replicas > 1 requires ReplicaGroup, not InferenceServer");
+  if (single_replica && spec.swap_policy().enabled)
+    v.errors.push_back(
+        "a hot swap requires ReplicaGroup, not InferenceServer: the canary "
+        "boundary is a replica");
   if (!v.ok()) {
     std::string msg = "serve: invalid ServerSpec:";
     for (const std::string& e : v.errors) msg += " [" + e + "]";
@@ -77,6 +81,27 @@ ServerSpec::Validation ServerSpec::validate() const {
         "routing decisions live on the virtual clock");
   if (router_.min_replicas > replicas_ && replicas_ > 0)
     v.warnings.push_back("router.min_replicas exceeds replicas, clamping");
+  if (swap_.enabled) {
+    if (!cfg_.slo.enabled)
+      v.errors.push_back(
+          "swap requires the SLO control plane (cfg.slo.enabled): the "
+          "rollout schedule lives on the virtual clock");
+    if (registry_ == nullptr) {
+      v.errors.push_back("swap requires a model registry (registry())");
+    } else {
+      if (!registry_->has(swap_.from_version))
+        v.errors.push_back("swap.from_version is not registered");
+      if (!registry_->has(swap_.to_version))
+        v.errors.push_back("swap.to_version is not registered");
+    }
+    if (swap_.from_version == swap_.to_version)
+      v.errors.push_back("swap.from_version == swap.to_version: nothing to "
+                         "roll out");
+    if (swap_.canary_replica >= normalized_replicas())
+      v.warnings.push_back(
+          "swap.canary_replica exceeds replicas; the first active replica "
+          "canaries instead");
+  }
   return v;
 }
 
@@ -95,6 +120,7 @@ InferenceServer::InferenceServer(const ServerSpec& spec)
     : backend_(checked_primary(spec, /*single_replica=*/true)),
       degraded_(spec.degraded_backend()),
       dataset_(*spec.dataset_ref()),
+      registry_(spec.model_registry()),
       cfg_(spec.normalized_config()),
       root_(cfg_.seed) {
   workers_.reserve(cfg_.num_workers);
@@ -104,20 +130,6 @@ InferenceServer::InferenceServer(const ServerSpec& spec)
     workers_.push_back(std::move(w));
   }
 }
-
-InferenceServer::InferenceServer(const Backend& backend,
-                                 const data::Dataset& dataset, ServeConfig cfg)
-    : InferenceServer(
-          ServerSpec{}.primary(backend).dataset(dataset).config(cfg)) {}
-
-InferenceServer::InferenceServer(const Backend& backend,
-                                 const Backend& degraded,
-                                 const data::Dataset& dataset, ServeConfig cfg)
-    : InferenceServer(ServerSpec{}
-                          .primary(backend)
-                          .degraded(degraded)
-                          .dataset(dataset)
-                          .config(cfg)) {}
 
 void InferenceServer::warmup_backend(const Backend& backend, FusionMode mode) {
   const std::size_t len = dataset_.sample_numel();
@@ -177,13 +189,48 @@ void InferenceServer::warmup() {
       out_dim_ = primary_dim;
     }
   }
+  if (registry_ != nullptr) {
+    // Pin and warm every registered version now, before any cutover can
+    // route a request at it (prepack-before-cutover, DESIGN.md §11): the
+    // incoming version's weight-panel caches, arenas, and gather buffers
+    // are steady-state before the first swapped request arrives, so a live
+    // cutover packs, binarizes, and allocates nothing.
+    const std::uint32_t latest = registry_->latest();
+    pinned_.clear();
+    pinned_modes_.clear();
+    pinned_.reserve(latest);
+    pinned_modes_.reserve(latest);
+    for (std::uint32_t ver = 1; ver <= latest; ++ver) {
+      std::shared_ptr<const ModelSnapshot> snap = registry_->snapshot(ver);
+      const FusionMode m = snap->backend->fusion_mode();
+      warmup_backend(*snap->backend, m);
+      if (out_dim_ != primary_dim)
+        throw std::invalid_argument(
+            "serve: registry version " + std::to_string(ver) + " (" +
+            snap->label + ") output dim mismatch: a hot swap must not " +
+            "change the response shape under live traffic");
+      pinned_.push_back(std::move(snap));
+      pinned_modes_.push_back(m);
+    }
+    out_dim_ = primary_dim;
+  }
+}
+
+const Backend& InferenceServer::backend_for_version(
+    std::uint32_t version) const {
+  if (version == 0 || pinned_.empty()) return backend_;
+  return *pinned_[version - 1]->backend;
+}
+
+FusionMode InferenceServer::mode_for_version(std::uint32_t version) const {
+  if (version == 0 || pinned_modes_.empty()) return mode_;
+  return pinned_modes_[version - 1];
 }
 
 void InferenceServer::exec_rows(Worker& w, const Backend& backend,
-                                FusionMode mode,
-                                const std::vector<Request>& group,
-                                float* out_rows) {
-  if (group.empty()) return;
+                                FusionMode mode, const Request* group,
+                                std::size_t n, float* out_rows) {
+  if (n == 0) return;
   const std::size_t len = dataset_.sample_numel();
   const float* images = dataset_.images.data();
   if (mode != FusionMode::kPerRequest) {
@@ -192,20 +239,20 @@ void InferenceServer::exec_rows(Worker& w, const Backend& backend,
     // configurations ride the same call with one request stream per row
     // (DESIGN.md §6), so their payloads are likewise independent of how
     // the micro-batcher grouped the requests.
-    w.in_shape[0] = group.size();
+    w.in_shape[0] = n;
     w.gather.resize(w.in_shape);
     float* g = w.gather.data();
-    for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       std::copy(images + group[i].sample * len,
                 images + (group[i].sample + 1) * len, g + i * len);
     if (mode == FusionMode::kFusedPerSample) {
-      w.ctx.row_rngs.resize(group.size());  // capacity warmed at max_batch
-      for (std::size_t i = 0; i < group.size(); ++i)
+      w.ctx.row_rngs.resize(n);  // capacity warmed at max_batch
+      for (std::size_t i = 0; i < n; ++i)
         w.ctx.row_rngs[i] = root_.fork(group[i].id);
     }
     Tensor logits = backend.run(w.gather, w.ctx);
     const float* rows = logits.data();
-    for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t i = 0; i < n; ++i)
       std::copy(rows + i * out_dim_, rows + (i + 1) * out_dim_,
                 out_rows + group[i].id * out_dim_);
     w.ctx.recycle(std::move(logits));
@@ -217,7 +264,8 @@ void InferenceServer::exec_rows(Worker& w, const Backend& backend,
     w.in_shape[0] = 1;
     w.gather.resize(w.in_shape);
     float* g = w.gather.data();
-    for (const Request& r : group) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request& r = group[i];
       std::copy(images + r.sample * len, images + (r.sample + 1) * len, g);
       w.ctx.rng = root_.fork(r.id);
       Tensor logits = backend.run(w.gather, w.ctx);
@@ -238,7 +286,7 @@ void InferenceServer::process_batch(
   GBO_TRACE_SPAN(obs::EventType::kBatch, seq, 0, batch.size());
   for ([[maybe_unused]] const Request& r : batch)
     GBO_TRACE_EVENT(obs::EventType::kBatchMember, r.id, 0, seq);
-  exec_rows(w, backend_, mode_, batch, out_rows);
+  exec_rows(w, backend_, mode_, batch.data(), batch.size(), out_rows);
   const std::uint64_t done = us_since(t0);
   for (const Request& r : batch) {
     completion_us[r.id] = done;
@@ -274,10 +322,13 @@ void InferenceServer::process_batch_slo(
       ++w.stalls;
     }
     switch (r.mode) {
-      case ServeMode::kPrimary: {
+      case ServeMode::kPrimary:
+      case ServeMode::kCanary: {
         // Re-derive the retry ladder live from the same pure injector the
         // planner consulted: the worker observes exactly the failed
         // attempts the plan charged for, then the surviving attempt runs.
+        // A canary request is primary-class — full fidelity, same retry
+        // ladder — it only resolves to the candidate version's backend.
         const std::size_t a =
             injector.attempts_to_success(r.id, retry.max_attempts);
         if (a > 0) {
@@ -310,15 +361,40 @@ void InferenceServer::process_batch_slo(
     GBO_TRACE_SPAN(obs::EventType::kStall, seq, 0, sleep_us);
     std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   }
-  exec_rows(w, backend_, mode_, w.primary_group, out_rows);
+  // Primary-class requests execute on the backend of their pinned version
+  // (DESIGN.md §11). Group the batch into contiguous same-version runs with
+  // an in-place insertion sort — batches are at most max_batch long and hold
+  // at most two distinct versions mid-swap, and std::stable_sort may heap-
+  // allocate its scratch, which the steady-state zero-alloc gate forbids.
+  std::vector<Request>& pg = w.primary_group;
+  for (std::size_t i = 1; i < pg.size(); ++i) {
+    const Request key = pg[i];
+    std::size_t j = i;
+    for (; j > 0 && pg[j - 1].version > key.version; --j) pg[j] = pg[j - 1];
+    pg[j] = key;
+  }
+  for (std::size_t lo = 0; lo < pg.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < pg.size() && pg[hi].version == pg[lo].version) ++hi;
+    const std::uint32_t ver = pg[lo].version;
+    exec_rows(w, backend_for_version(ver), mode_for_version(ver),
+              pg.data() + lo, hi - lo, out_rows);
+    lo = hi;
+  }
   exec_rows(w, degraded_ != nullptr ? *degraded_ : backend_,
-            degraded_ != nullptr ? dmode_ : mode_, w.degraded_group, out_rows);
+            degraded_ != nullptr ? dmode_ : mode_, w.degraded_group.data(),
+            w.degraded_group.size(), out_rows);
   w.degraded += w.degraded_group.size();
   const std::uint64_t done = us_since(t0);
   for (const Request& r : batch) {
     completion_us[r.id] = done;
+    // The delivery event folds the pinned version into the high byte of
+    // `a`, matching the planner oracle (serve/policy.cpp): version 0 —
+    // every non-swap run — reproduces the historical event bit for bit.
     GBO_TRACE_EVENT(obs::EventType::kDeliver, r.id,
-                    static_cast<std::uint16_t>(r.mode),
+                    static_cast<std::uint16_t>(
+                        static_cast<std::uint16_t>(r.mode) |
+                        static_cast<std::uint16_t>((r.version & 0xff) << 8)),
                     decisions[r.id].v_done_us);
   }
   if (w.batch_hist.size() <= batch.size()) w.batch_hist.resize(batch.size() + 1);
@@ -622,6 +698,7 @@ ServeReport InferenceServer::run_slo(const std::vector<Arrival>& trace) {
   s.admitted = num_requests - c.rejected;
   s.served = c.served;
   s.served_primary = c.served_primary;
+  s.served_canary = c.served_canary;
   s.degraded_ladder = c.degraded_ladder;
   s.degraded_breaker = c.degraded_breaker;
   s.degraded_fallback = c.degraded_fallback;

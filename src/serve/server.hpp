@@ -39,6 +39,7 @@
 #include "serve/backend.hpp"
 #include "serve/metrics.hpp"
 #include "serve/policy.hpp"
+#include "serve/swap.hpp"
 #include "serve/traffic.hpp"
 
 #include <atomic>
@@ -77,6 +78,14 @@ class ServerSpec {
   ServerSpec& config(const ServeConfig& cfg) { cfg_ = cfg; return *this; }
   ServerSpec& replicas(std::size_t n) { replicas_ = n; return *this; }
   ServerSpec& router(const RouterPolicy& rp) { router_ = rp; return *this; }
+  /// Model-version registry (DESIGN.md §11). The server pins every
+  /// registered snapshot at warmup and can then resolve a request's pinned
+  /// version lock-free on the hot path. Borrowed, like the backends.
+  ServerSpec& registry(const ModelRegistry& r) { registry_ = &r; return *this; }
+  /// Canary hot-swap rollout executed by a ReplicaGroup built from this
+  /// spec. Requires registry() with both versions registered; the
+  /// single-replica InferenceServer rejects a spec with a swap enabled.
+  ServerSpec& swap(const SwapPolicy& sp) { swap_ = sp; return *this; }
 
   /// Everything wrong with the spec, reported in one pass: errors make the
   /// spec unbuildable (constructors throw std::invalid_argument listing all
@@ -101,6 +110,8 @@ class ServerSpec {
   const ServeConfig& config_ref() const { return cfg_; }
   std::size_t num_replicas() const { return replicas_; }
   const RouterPolicy& router_policy() const { return router_; }
+  const ModelRegistry* model_registry() const { return registry_; }
+  const SwapPolicy& swap_policy() const { return swap_; }
 
  private:
   const Backend* primary_ = nullptr;
@@ -109,28 +120,18 @@ class ServerSpec {
   ServeConfig cfg_;
   std::size_t replicas_ = 1;
   RouterPolicy router_;
+  const ModelRegistry* registry_ = nullptr;
+  SwapPolicy swap_;
 };
 
 class ReplicaGroup;
 
 class InferenceServer {
  public:
-  /// Canonical constructor. The spec must validate() clean and describe a
+  /// The only constructor: the spec must validate() clean and describe a
   /// single replica (ReplicaGroup is the multi-replica entry point);
   /// otherwise std::invalid_argument lists every problem at once.
   explicit InferenceServer(const ServerSpec& spec);
-
-  /// Deprecated shim for the pre-ServerSpec signature; forwards to the
-  /// spec constructor. Prefer ServerSpec{}.primary(b).dataset(ds).config(c).
-  InferenceServer(const Backend& backend, const data::Dataset& dataset,
-                  ServeConfig cfg);
-
-  /// Deprecated shim for the pre-ServerSpec SLO signature (`degraded` is
-  /// the fidelity-ladder fallback backend; on output-dim mismatch the
-  /// server logs and serves degraded requests on the primary instead).
-  /// Prefer ServerSpec{}.primary(b).degraded(d).dataset(ds).config(c).
-  InferenceServer(const Backend& backend, const Backend& degraded,
-                  const data::Dataset& dataset, ServeConfig cfg);
 
   /// Sizes every worker's arena and gather buffers by running one maximal
   /// micro-batch (and one unit batch) through the backend, and freezes the
@@ -176,11 +177,18 @@ class InferenceServer {
   };
 
   void warmup_backend(const Backend& backend, FusionMode mode);
-  /// Executes `group` (all routed to `backend` under `mode`) and writes
-  /// each request's logits row into out_rows[id]. Shared by the legacy
-  /// path and both SLO routes.
+  /// Executes group[0..n) (all routed to `backend` under `mode`) and writes
+  /// each request's logits row into out_rows[id]. Takes a pointer + count
+  /// so the SLO route can execute contiguous same-version runs of a batch
+  /// without re-partitioning into fresh vectors (hot path stays
+  /// zero-alloc). Shared by the legacy path and both SLO routes.
   void exec_rows(Worker& w, const Backend& backend, FusionMode mode,
-                 const std::vector<Request>& group, float* out_rows);
+                 const Request* group, std::size_t n, float* out_rows);
+  /// The backend / frozen fusion mode serving primary-class requests pinned
+  /// to `version` (0 = the spec's primary backend; otherwise a registry
+  /// snapshot pinned at warmup). Lock-free: flat vector lookups.
+  const Backend& backend_for_version(std::uint32_t version) const;
+  FusionMode mode_for_version(std::uint32_t version) const;
   void process_batch(Worker& w, const std::vector<Request>& batch,
                      float* out_rows, std::uint64_t* completion_us,
                      const std::chrono::steady_clock::time_point& t0);
@@ -209,6 +217,13 @@ class InferenceServer {
   const Backend& backend_;
   const Backend* degraded_ = nullptr;  // SLO fallback; null = use primary
   const data::Dataset& dataset_;
+  /// Hot-swap version resolution (DESIGN.md §11). warmup() pins every
+  /// registry snapshot into pinned_ (index = version - 1) and warms its
+  /// caches, so a cutover never packs, binarizes, or allocates on the
+  /// serving path — the incoming version is already steady-state.
+  const ModelRegistry* registry_ = nullptr;
+  std::vector<std::shared_ptr<const ModelSnapshot>> pinned_;
+  std::vector<FusionMode> pinned_modes_;
   ServeConfig cfg_;
   Rng root_;
   std::vector<std::unique_ptr<Worker>> workers_;

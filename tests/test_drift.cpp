@@ -3,6 +3,10 @@
 #include "crossbar/drift.hpp"
 
 #include "crossbar/crossbar_array.hpp"
+#include "crossbar/hw_deploy.hpp"
+#include "models/mlp.hpp"
+#include "quant/binary_weight.hpp"
+#include "tensor/ops.hpp"
 
 #include <gtest/gtest.h>
 
@@ -194,6 +198,109 @@ TEST(DeviceDrift, IdealAccountsForDrift) {
   EXPECT_TRUE(cfg.ideal());  // enabled but fresh: still Eq. 1 behaviour
   cfg.drift_time = 10.0;
   EXPECT_FALSE(cfg.ideal());
+}
+
+// --- re-deploy under drift (the hot-swap warm-up path) --------------------
+//
+// A weight hot-swap (DESIGN.md §11) re-deploys drifted arrays from a new
+// weight snapshot at warmup. These regressions pin the two invariants that
+// path relies on: mutating the snapshot bumps Tensor::version(), and the
+// frozen-weight caches (gemm::PackedWeightCache / the quant layers'
+// BinaryPanelCache) keyed on that version are invalidated instead of
+// serving panels packed from the pre-swap weights.
+
+TEST(DeviceDrift, RedeployFromNewSnapshotReprogramsDriftedArray) {
+  DeviceConfig cfg;
+  cfg.drift_nu = 0.05;
+  cfg.drift_nu_sigma = 0.02;
+  cfg.drift_time = 1e4;
+
+  Tensor w = binary_weight(4, 8);
+  CrossbarArray stale(w, cfg, 0, Rng(5));
+
+  // The new snapshot arrives through the mutable-pointer route; the
+  // version counter is what downstream caches key on.
+  const std::uint64_t v_before = w.version();
+  float* p = w.data();
+  for (std::size_t i = 0; i < w.numel(); ++i) p[i] = -p[i];
+  EXPECT_GT(w.version(), v_before);
+
+  // Re-deploying programs the new snapshot: drift preserves sign, so every
+  // cell's effective weight must carry the flipped sign — the array did
+  // not keep the old conductances. (Magnitudes differ: programming noise
+  // draws depend on the target state.)
+  CrossbarArray fresh(w, cfg, 0, Rng(5));
+  ASSERT_EQ(fresh.effective_weight().numel(), stale.effective_weight().numel());
+  for (std::size_t i = 0; i < fresh.effective_weight().numel(); ++i) {
+    const float a = fresh.effective_weight()[i];
+    const float b = stale.effective_weight()[i];
+    EXPECT_TRUE((a > 0.0f) == (b < 0.0f)) << "i=" << i << " stale sign kept";
+  }
+
+  // And the re-deploy itself is deterministic: same snapshot, same config,
+  // same seed -> bitwise identical programmed state.
+  CrossbarArray again(w, cfg, 0, Rng(5));
+  for (std::size_t i = 0; i < again.effective_weight().numel(); ++i)
+    ASSERT_EQ(again.effective_weight()[i], fresh.effective_weight()[i])
+        << "i=" << i;
+}
+
+TEST(DeviceDrift, DriftedRedeployInvalidatesFrozenWeightCaches) {
+  models::MlpConfig mcfg;
+  mcfg.in_features = 12;
+  mcfg.hidden = {16, 16};
+  mcfg.num_classes = 4;
+  models::Mlp m = models::build_mlp(mcfg);
+  m.net->set_training(false);
+  Rng xrng(21);
+  Tensor x({3, 12});
+  ops::fill_uniform(x, xrng, -1.0f, 1.0f);
+
+  xbar::HwDeployConfig hw_cfg;
+  hw_cfg.device.drift_nu = 0.05;
+  hw_cfg.device.drift_nu_sigma = 0.02;
+  hw_cfg.device.drift_time = 1e4;  // aged: drift actually scales the cells
+  xbar::HardwareNetwork hw1(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c1(Rng(23));
+  const Tensor y1 = hw1.forward(x, c1);
+
+  // Steady state before the swap: once one host-side pass has warmed the
+  // quant layers' binarize caches (the crossbar deploy above binarizes at
+  // programming time, outside the layer caches), repeat forwards with
+  // unchanged weights re-binarize nothing — the caches hit.
+  nn::EvalContext c1b(Rng(23));
+  (void)m.net->infer(x, c1b);
+  const std::uint64_t binarize_before = quant::binarize_count();
+  (void)m.net->infer(x, c1b);
+  EXPECT_EQ(quant::binarize_count(), binarize_before)
+      << "warm caches re-binarized unchanged weights";
+
+  // The new weight snapshot: every parameter moves, every version bumps.
+  for (nn::Param* prm : m.net->params()) {
+    const std::uint64_t v = prm->value.version();
+    float* wp = prm->value.data();
+    for (std::size_t i = 0; i < prm->value.numel(); ++i)
+      wp[i] = 0.5f * wp[i] + 0.01f;
+    EXPECT_GT(prm->value.version(), v);
+  }
+
+  // Re-deploy onto the same drifted devices. The stale deployment must not
+  // be reproduced, and a second identical deployment is the bitwise oracle
+  // proving the host-side digital layers did not serve pre-swap panels.
+  xbar::HardwareNetwork hw2(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c2(Rng(23));
+  const Tensor y2 = hw2.forward(x, c2);
+  bool differs = false;
+  for (std::size_t i = 0; i < y2.numel(); ++i)
+    differs = differs || y2[i] != y1[i];
+  EXPECT_TRUE(differs) << "drifted re-deploy reproduced stale outputs";
+
+  xbar::HardwareNetwork hw3(*m.net, m.encoded, hw_cfg);
+  nn::EvalContext c3(Rng(23));
+  const Tensor y3 = hw3.forward(x, c3);
+  ASSERT_EQ(y3.shape(), y2.shape());
+  for (std::size_t i = 0; i < y3.numel(); ++i)
+    ASSERT_EQ(y3[i], y2[i]) << "i=" << i;
 }
 
 }  // namespace

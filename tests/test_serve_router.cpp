@@ -361,7 +361,7 @@ TEST(ServeRouter, OutageRerouteKeepsDeliveredPayloadBits) {
 
 // ---- ServerSpec builder ---------------------------------------------------
 
-TEST(ServerSpecBuilder, SingleReplicaSpecMatchesLegacyConstructors) {
+TEST(ServerSpecBuilder, SingleReplicaSpecIsReproducible) {
   ThreadGuard guard;
   ThreadPool::instance().set_num_threads(2);
   const FleetFixture f;
@@ -369,17 +369,22 @@ TEST(ServerSpecBuilder, SingleReplicaSpecMatchesLegacyConstructors) {
   serve::ServeConfig cfg = fleet_config();
   cfg.num_workers = 2;
 
-  // The deprecated shims and the builder must construct byte-for-byte
-  // equivalent servers: identical payloads and shed fingerprints. (These
-  // are the only legacy-constructor uses left in the tree.)
-  serve::InferenceServer legacy(f.primary, f.degraded, f.ds, cfg);
-  serve::InferenceServer built(serve::ServerSpec{}
+  // ServerSpec::validate() is the only construction path (the deprecated
+  // pre-spec constructor shims are gone): two servers built from the same
+  // spec must be byte-for-byte equivalent — identical payloads and shed
+  // fingerprints — and spec evaluation order must not matter.
+  serve::InferenceServer first(serve::ServerSpec{}
                                    .primary(f.primary)
                                    .degraded(f.degraded)
                                    .dataset(f.ds)
                                    .config(cfg));
-  const serve::ServeReport a = legacy.run(trace);
-  const serve::ServeReport b = built.run(trace);
+  serve::InferenceServer second(serve::ServerSpec{}
+                                    .config(cfg)
+                                    .dataset(f.ds)
+                                    .degraded(f.degraded)
+                                    .primary(f.primary));
+  const serve::ServeReport a = first.run(trace);
+  const serve::ServeReport b = second.run(trace);
   expect_bitwise_equal(a.outputs, b.outputs);
   EXPECT_EQ(a.slo.exec_shed_set_hash, b.slo.exec_shed_set_hash);
   EXPECT_EQ(a.completed, b.completed);
@@ -394,11 +399,12 @@ TEST(ServerSpecBuilder, SingleReplicaSpecMatchesLegacyConstructors) {
   tcfg.rate_rps = 20000.0;
   tcfg.seed = 13;
   const auto ptrace = serve::make_trace(tcfg, f.ds.size());
-  serve::InferenceServer legacy1(f.primary, f.ds, plain);
-  serve::InferenceServer built1(
+  serve::InferenceServer plain0(
       serve::ServerSpec{}.primary(f.primary).dataset(f.ds).config(plain));
-  expect_bitwise_equal(legacy1.run(ptrace).outputs,
-                       built1.run(ptrace).outputs);
+  serve::InferenceServer plain1(
+      serve::ServerSpec{}.primary(f.primary).dataset(f.ds).config(plain));
+  expect_bitwise_equal(plain0.run(ptrace).outputs,
+                       plain1.run(ptrace).outputs);
 }
 
 TEST(ServerSpecBuilder, ValidateReportsEveryProblemAtOnce) {

@@ -94,6 +94,27 @@ invocation — identical routing hashes, fleet shed hashes, and per-replica
 shed fingerprints (the cross-pool half of the routing determinism
 contract).
 
+For BENCH_serve_swap*.json files ("bench": "serve_swap"), the hot-swap
+rollout contract (DESIGN.md S11) is gated: every swap leg (the clean
+promote and the seeded-faulty rollback) must satisfy
+
+    swap_payload_match      payloads, per-request versions, and the
+                            provenance hash identical at 1 and N workers
+    zero_dropped_by_swap    the swap changed no shed decision — exec shed
+                            fingerprint == the version-blind plan's
+    provenance_exact        every delivered row bitwise equals the pinned
+                            single-version run it was attributed to
+    verdict_exercised       promote: all replicas cut over; rollback: the
+                            breaker opened and the canary cut back
+    swap_zero_allocs        no replica arena grew during the swap run
+    swap_zero_packs         prepack-before-cutover — zero packs and
+                            binarizations through the live cutover
+
+plus structural checks (runtime swap ledger hashes == the plan's), and —
+across ALL serve_swap files in one invocation — identical provenance
+hashes, shed hashes, and verdicts (the cross-pool half of the swap
+determinism contract).
+
 It also prints trajectory tables (markdown, suitable for
 $GITHUB_STEP_SUMMARY) so the perf and prepack numbers ride along without
 gating on them.
@@ -159,6 +180,15 @@ SERVE_ROUTER_GATES = [
 SHARDED_MVM_GATES = [
     "engine_bitwise_sharded_vs_unsharded",
     "network_bitwise_sharded_vs_unsharded",
+]
+
+SERVE_SWAP_GATES = [
+    "swap_payload_match",
+    "zero_dropped_by_swap",
+    "provenance_exact",
+    "verdict_exercised",
+    "swap_zero_allocs",
+    "swap_zero_packs",
 ]
 
 SERVE_SLO_GATES = [
@@ -368,6 +398,62 @@ def check_serve_router(path, doc, router_fingerprints, trace_fingerprints):
     return failures
 
 
+def check_serve_swap(path, doc, swap_fingerprints, trace_fingerprints):
+    failures = check_serve_doc_keys(path, doc)
+    if doc.get("gates_ok") is not True:
+        failures.append(f"{path}: gates_ok is {doc.get('gates_ok')!r}")
+    scenarios = serve_scenarios(doc)
+    if not scenarios:
+        failures.append(f"{path}: no serve_swap scenarios found")
+    for name, node in scenarios:
+        for gate in SERVE_SWAP_GATES:
+            if node.get(gate) is not True:
+                failures.append(
+                    f"{path}: {name}.{gate} is {node.get(gate)!r}, "
+                    "expected true")
+        sw = node.get("serve", {}).get("swap", {})
+        if not sw.get("enabled"):
+            failures.append(f"{path}: {name} is missing the swap ledger")
+            continue
+        version_hash = sw.get("version_hash")
+        if version_hash != node.get("plan_version_hash"):
+            failures.append(
+                f"{path}: {name} runtime provenance hash {version_hash} != "
+                f"plan hash {node.get('plan_version_hash')}")
+        shed_hash = node.get("serve", {}).get("slo", {}).get("exec", {}).get(
+            "shed_set_hash")
+        if shed_hash != node.get("plan_shed_set_hash"):
+            failures.append(
+                f"{path}: {name} exec shed hash {shed_hash} != plan hash "
+                f"{node.get('plan_shed_set_hash')}")
+        # Collected for the cross-file (1-thread vs 4-thread pool) equality
+        # check in main(): same leg => identical provenance hash, shed hash,
+        # and verdict.
+        swap_fingerprints.setdefault(name, []).append(
+            (path, (version_hash, shed_hash, sw.get("rolled_back"))))
+        failures.extend(check_trace(path, name, node, trace_fingerprints))
+    return failures
+
+
+def serve_swap_rows(doc):
+    rows = []
+    for name, node in serve_scenarios(doc):
+        sw = node.get("serve", {}).get("swap", {})
+        by = {e.get("version"): e.get("served")
+              for e in sw.get("served_by_version", [])}
+        rows.append((
+            name,
+            "rollback" if sw.get("rolled_back") else "promote",
+            str(sw.get("verdict_us", "?")),
+            f"{sw.get('canary_faults', '?')}/{sw.get('canary_served', '?')}",
+            str(sw.get("cutovers", "?")),
+            str(by.get(sw.get("from_version"), 0)),
+            str(by.get(sw.get("to_version"), 0)),
+            str(sw.get("version_hash", "?")),
+        ))
+    return rows
+
+
 def serve_router_rows(doc):
     rows = []
     for name, node in serve_scenarios(doc):
@@ -446,6 +532,7 @@ def main(argv):
     all_failures = []
     slo_fingerprints = {}
     router_fingerprints = {}
+    swap_fingerprints = {}
     trace_fingerprints = {}
     print("## bench gates and perf trajectory\n")
     for path in argv[1:]:
@@ -474,6 +561,15 @@ def main(argv):
                   "| fleet shed hash |")
             print("|---|---|---|---|---|---|")
             for row in serve_router_rows(doc):
+                print("| " + " | ".join(row) + " |")
+        elif doc.get("bench") == "serve_swap":
+            failures = check_serve_swap(path, doc, swap_fingerprints,
+                                        trace_fingerprints)
+            print("| leg | verdict | verdict us | canary faults/served "
+                  "| cutovers | incumbent rows | candidate rows "
+                  "| provenance hash |")
+            print("|---|---|---|---|---|---|---|---|")
+            for row in serve_swap_rows(doc):
                 print("| " + " | ".join(row) + " |")
         elif doc.get("bench") == "serve_slo":
             failures = check_serve_slo(path, doc, slo_fingerprints,
@@ -511,6 +607,17 @@ def main(argv):
             all_failures.append(
                 f"router scenario '{name}': routing/shed fingerprints "
                 f"differ across artifacts ({detail})")
+    # Cross-file swap determinism (DESIGN.md S11): the same swap leg must
+    # carry the identical provenance hash, shed hash, and verdict in every
+    # artifact — a hot swap pins versions by admission time on the virtual
+    # clock, never by pool size.
+    for name, entries in swap_fingerprints.items():
+        hashes = {h for _, h in entries}
+        if len(hashes) > 1:
+            detail = "; ".join(f"{p}={h}" for p, h in entries)
+            all_failures.append(
+                f"swap leg '{name}': provenance/shed fingerprints differ "
+                f"across artifacts ({detail})")
     # Cross-file causal-trace determinism (DESIGN.md S9): same scenario,
     # same (seed, trace, policy) => the identical causal event fingerprint
     # in every artifact, whatever the pool size or machine.
